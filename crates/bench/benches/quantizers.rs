@@ -1,0 +1,37 @@
+//! Criterion benchmarks over every codec the accuracy experiments sweep
+//! (Tables IV/V): compression throughput on a calibrated 64k-value tensor.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spark_data::ModelProfile;
+use spark_quant::{
+    AdaptiveFloatCodec, AntCodec, BiScaledCodec, Codec, GoboCodec, OlAccelCodec, OliveCodec,
+    OutlierSuppressionCodec, SparkCodec, UniformQuantizer,
+};
+
+fn bench_codecs(c: &mut Criterion) {
+    let tensor = ModelProfile::bert().sample_tensor(65_536, 3);
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::new(SparkCodec::default()),
+        Box::new(UniformQuantizer::symmetric(8)),
+        Box::new(AntCodec::new(4).expect("valid bits")),
+        Box::new(BiScaledCodec::new(6).expect("valid bits")),
+        Box::new(OlAccelCodec::new()),
+        Box::new(OliveCodec::new()),
+        Box::new(GoboCodec::new()),
+        Box::new(OutlierSuppressionCodec::new(6).expect("valid bits")),
+        Box::new(AdaptiveFloatCodec::adafloat8()),
+    ];
+    let mut group = c.benchmark_group("quantizers/compress_64k");
+    group.throughput(Throughput::Elements(tensor.len() as u64));
+    for codec in &codecs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            codec,
+            |b, codec| b.iter(|| black_box(codec.compress(&tensor).expect("finite tensor"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the accelerator simulator: the cycle-accurate
+//! systolic tile (Fig 9(c) protocol) and the workload-level model behind
+//! Figs 11/12.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use spark_nn::ModelWorkload;
+use spark_sim::perf::spark_cycles_per_wave;
+use spark_sim::{Accelerator, AcceleratorKind, PrecisionProfile, SimConfig};
+
+fn bench_cycle_accurate_tile(c: &mut Criterion) {
+    let profile = PrecisionProfile::from_short_fractions(0.8, 0.8);
+    let mut group = c.benchmark_group("sim/cycle_accurate_tile");
+    for waves in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(waves), &waves, |b, &waves| {
+            b.iter(|| black_box(spark_cycles_per_wave(64, 64, &profile, waves, 5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_simulation(c: &mut Criterion) {
+    let workload = ModelWorkload::resnet50();
+    let profile = PrecisionProfile::from_short_fractions(0.65, 0.6);
+    let cfg = SimConfig::default();
+    let mut group = c.benchmark_group("sim/resnet50_workload");
+    for kind in [
+        AcceleratorKind::Spark,
+        AcceleratorKind::Ant,
+        AcceleratorKind::Eyeriss,
+    ] {
+        let acc = Accelerator::new(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &acc, |b, acc| {
+            b.iter(|| black_box(acc.run(&workload, &profile, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_array(c: &mut Criterion) {
+    use spark_sim::pe::SignMag;
+    use spark_sim::FunctionalArray;
+    let (m, k, n) = (16usize, 64usize, 32usize);
+    let a: Vec<SignMag> = (0..m * k)
+        .map(|i| SignMag::from_i16(((i * 37) % 511) as i16 - 255))
+        .collect();
+    let w: Vec<SignMag> = (0..k * n)
+        .map(|i| SignMag::from_i16(((i * 91) % 511) as i16 - 255))
+        .collect();
+    let array = FunctionalArray::new(64, 64);
+    let mut group = c.benchmark_group("sim/functional_array");
+    group.bench_function("16x64x32_gemm", |b| {
+        b.iter(|| black_box(array.gemm(&a, &w, m, k, n)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cycle_accurate_tile,
+    bench_workload_simulation,
+    bench_functional_array
+);
+criterion_main!(benches);

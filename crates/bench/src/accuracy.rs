@@ -1,0 +1,180 @@
+//! Shared machinery for the accuracy experiments (Tables III–V, Fig 13):
+//! train a proxy once, then measure each codec's accuracy delta by
+//! compressing the trained weights, evaluating, and restoring.
+
+use spark_data::Dataset;
+use spark_nn::{proxy, train, Sequential};
+use spark_quant::Codec;
+use spark_tensor::Tensor;
+
+/// Which proxy family stands in for a paper model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyFamily {
+    /// Convolutional proxy (`tiny_cnn` on the bar-images task).
+    Cnn,
+    /// Attention proxy (`tiny_attention` on the token-patterns task).
+    Attention,
+}
+
+impl ProxyFamily {
+    /// Family for a paper model name.
+    pub fn of_model(name: &str) -> Self {
+        match name {
+            "BERT" | "ViT" | "GPT-2" | "BART" => ProxyFamily::Attention,
+            _ => ProxyFamily::Cnn,
+        }
+    }
+}
+
+/// A trained proxy plus its datasets, reusable across codecs.
+pub struct TrainedProxy {
+    model: Sequential,
+    train_set: Dataset,
+    test_set: Dataset,
+    /// FP32 test accuracy after training.
+    pub fp32_acc: f64,
+}
+
+impl std::fmt::Debug for TrainedProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedProxy")
+            .field("fp32_acc", &self.fp32_acc)
+            .finish()
+    }
+}
+
+impl TrainedProxy {
+    /// Trains a proxy of the given family. `quick` shrinks data and epochs
+    /// for unit tests; experiments use `quick = false`.
+    pub fn train_for(family: ProxyFamily, seed: u64, quick: bool) -> Self {
+        let (mut model, data, cfg) = match family {
+            ProxyFamily::Cnn => {
+                let n = if quick { 600 } else { 1600 };
+                // Noise 0.7 keeps FP32 accuracy around 93% so codec damage
+                // is visible (a saturated task hides it).
+                let data = Dataset::bars_noisy(n, 8, 16, 0.7, seed);
+                let model = proxy::tiny_cnn(8, 6, 48, 16, seed.wrapping_add(31));
+                let cfg = train::TrainConfig {
+                    epochs: if quick { 8 } else { 16 },
+                    lr: 0.25,
+                    batch: 16,
+                    seed,
+                };
+                (model, data, cfg)
+            }
+            ProxyFamily::Attention => {
+                let n = if quick { 800 } else { 1600 };
+                // Attention training is stable at lr 0.1 (higher rates
+                // collapse to the uniform predictor); noise 0.25 keeps the
+                // task off saturation.
+                let data = Dataset::token_patterns_noisy(n, 5, 8, 0.25, seed);
+                let model = proxy::tiny_attention(5, 8, 16, 8, seed.wrapping_add(41));
+                let cfg = train::TrainConfig {
+                    epochs: if quick { 40 } else { 80 },
+                    lr: 0.1,
+                    batch: 8,
+                    seed,
+                };
+                (model, data, cfg)
+            }
+        };
+        let (train_set, test_set) = data.split(0.8);
+        train::train(&mut model, &train_set, &cfg);
+        let fp32_acc = train::evaluate(&mut model, &test_set);
+        Self {
+            model,
+            train_set,
+            test_set,
+            fp32_acc,
+        }
+    }
+
+    /// Snapshot of the current weights.
+    fn snapshot(&mut self) -> Vec<Tensor> {
+        self.model.weights_mut().into_iter().map(|w| w.clone()).collect()
+    }
+
+    /// Restores weights from a snapshot.
+    fn restore(&mut self, snap: &[Tensor]) {
+        for (w, s) in self.model.weights_mut().into_iter().zip(snap) {
+            *w = s.clone();
+        }
+    }
+
+    /// Compresses the trained weights with `codec`, evaluates, restores.
+    /// Returns `(accuracy, avg_bits)`.
+    pub fn accuracy_with(&mut self, codec: &dyn Codec) -> (f64, f64) {
+        let snap = self.snapshot();
+        let bits = train::compress_weights(&mut self.model, codec)
+            .expect("trained weights are finite");
+        let acc = train::evaluate(&mut self.model, &self.test_set);
+        self.restore(&snap);
+        (acc, bits)
+    }
+
+    /// Like [`TrainedProxy::accuracy_with`] but finetunes with the codec in
+    /// the loop before evaluating (the "w/-FT" Fig 13 arm).
+    pub fn accuracy_with_finetune(&mut self, codec: &dyn Codec, epochs: usize) -> f64 {
+        let snap = self.snapshot();
+        train::compress_weights(&mut self.model, codec).expect("finite");
+        let cfg = train::TrainConfig {
+            epochs,
+            lr: 0.02,
+            batch: 16,
+            seed: 77,
+        };
+        train::finetune_with_codec(&mut self.model, &self.train_set, codec, &cfg)
+            .expect("finite");
+        let acc = train::evaluate(&mut self.model, &self.test_set);
+        self.restore(&snap);
+        acc
+    }
+
+    /// Accuracy with weights compressed AND activations round-tripped
+    /// through the codec between layers (the full accelerator datapath).
+    pub fn accuracy_with_activations(&mut self, codec: &dyn Codec) -> f64 {
+        let snap = self.snapshot();
+        train::compress_weights(&mut self.model, codec).expect("finite");
+        let acc = train::evaluate_with_activation_codec(&mut self.model, &self.test_set, codec);
+        self.restore(&snap);
+        acc
+    }
+
+    /// Accuracy loss of a codec in percentage points relative to FP32.
+    pub fn loss_pct(&mut self, codec: &dyn Codec) -> f64 {
+        let (acc, _) = self.accuracy_with(codec);
+        (self.fp32_acc - acc) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_quant::{SparkCodec, UniformQuantizer};
+
+    #[test]
+    fn family_mapping() {
+        assert_eq!(ProxyFamily::of_model("BERT"), ProxyFamily::Attention);
+        assert_eq!(ProxyFamily::of_model("VGG16"), ProxyFamily::Cnn);
+        assert_eq!(ProxyFamily::of_model("ResNet152"), ProxyFamily::Cnn);
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut p = TrainedProxy::train_for(ProxyFamily::Cnn, 3, true);
+        let before = p.fp32_acc;
+        // Destroy accuracy with 2-bit quantization, then verify restore.
+        let _ = p.accuracy_with(&UniformQuantizer::symmetric(2));
+        let mut model_acc = spark_nn::train::evaluate(&mut p.model, &p.test_set.clone());
+        assert!((model_acc - before).abs() < 1e-9, "{model_acc} vs {before}");
+        model_acc = spark_nn::train::evaluate(&mut p.model, &p.test_set.clone());
+        assert!((model_acc - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spark_loss_small_on_quick_proxy() {
+        let mut p = TrainedProxy::train_for(ProxyFamily::Cnn, 5, true);
+        let loss = p.loss_pct(&SparkCodec::default());
+        assert!(loss < 10.0, "loss {loss}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Experiment runner: regenerates every table and figure of the SPARK
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments all              # everything (slow: trains proxies)
+//! experiments fig2 table4 ...  # selected experiments
+//! experiments --quick all      # reduced training, for smoke tests
+//! experiments --json DIR all   # additionally dump JSON per experiment
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use spark_bench::context::ExperimentContext;
+use spark_bench::{
+    entropy, fig11, fig12, fig13, fig14, fig15, fig2, fig4, formats, scaling, table2, table3,
+    table4, table5, table6, table7, timing,
+};
+
+struct Options {
+    quick: bool,
+    json_dir: Option<PathBuf>,
+    selected: Vec<String>,
+}
+
+const EXPERIMENTS: [&str; 17] = [
+    "table2", "fig2", "fig4", "table3", "table4", "table5", "fig11", "fig12", "table6",
+    "table7", "fig13", "fig14", "fig15", "formats", "timing", "scaling", "entropy",
+];
+
+fn parse_args() -> Options {
+    let mut quick = false;
+    let mut json_dir = None;
+    let mut selected = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                println!("available experiments (or 'all'):");
+                for e in EXPERIMENTS {
+                    println!("  {e}");
+                }
+                std::process::exit(0);
+            }
+            "--quick" => quick = true,
+            "--json" => {
+                json_dir = args.next().map(PathBuf::from);
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+    Options {
+        quick,
+        json_dir,
+        selected,
+    }
+}
+
+fn wants(opts: &Options, name: &str) -> bool {
+    opts.selected.iter().any(|s| s == name || s == "all")
+}
+
+fn emit(opts: &Options, name: &str, rendered: String, json: serde_json::Value) {
+    println!("{rendered}");
+    if let Some(dir) = &opts.json_dir {
+        fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        fs::write(&path, serde_json::to_string_pretty(&json).expect("serializable"))
+            .expect("write json");
+        eprintln!("[wrote {}]", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let needs_ctx = ["fig2", "fig4", "fig11", "fig12", "fig14", "fig15", "formats", "timing", "scaling", "entropy", "table3", "table4", "table5"]
+        .iter()
+        .any(|n| wants(&opts, n));
+    let ctx = if needs_ctx {
+        eprintln!("[building experiment context: sampling calibrated tensors]");
+        Some(ExperimentContext::new())
+    } else {
+        None
+    };
+    let ctx_ref = ctx.as_ref();
+
+    if wants(&opts, "table2") {
+        let t = table2::run();
+        emit(&opts, "table2", table2::render(&t), serde_json::to_value(&t).expect("json"));
+    }
+    if wants(&opts, "fig2") {
+        let f = fig2::run(ctx_ref.expect("ctx"), opts.quick);
+        emit(&opts, "fig2", fig2::render(&f), serde_json::to_value(&f).expect("json"));
+    }
+    if wants(&opts, "fig4") {
+        let f = fig4::run(ctx_ref.expect("ctx"));
+        emit(&opts, "fig4", fig4::render(&f), serde_json::to_value(&f).expect("json"));
+    }
+    if wants(&opts, "table3") {
+        let t = table3::run(ctx_ref.expect("ctx"), opts.quick);
+        emit(&opts, "table3", table3::render(&t), serde_json::to_value(&t).expect("json"));
+    }
+    if wants(&opts, "table4") {
+        let t = table4::run(ctx_ref.expect("ctx"), opts.quick);
+        emit(&opts, "table4", table4::render(&t), serde_json::to_value(&t).expect("json"));
+    }
+    if wants(&opts, "table5") {
+        let t = table5::run(ctx_ref.expect("ctx"), opts.quick);
+        emit(&opts, "table5", table5::render(&t), serde_json::to_value(&t).expect("json"));
+    }
+    if wants(&opts, "fig11") {
+        let f = fig11::run(ctx_ref.expect("ctx"));
+        emit(&opts, "fig11", fig11::render(&f), serde_json::to_value(&f).expect("json"));
+    }
+    if wants(&opts, "fig12") {
+        let f = fig12::run(ctx_ref.expect("ctx"));
+        emit(&opts, "fig12", fig12::render(&f), serde_json::to_value(&f).expect("json"));
+    }
+    if wants(&opts, "table6") {
+        let t = table6::run();
+        emit(&opts, "table6", table6::render(&t), serde_json::to_value(&t).expect("json"));
+    }
+    if wants(&opts, "table7") {
+        let t = table7::run();
+        emit(&opts, "table7", table7::render(&t), serde_json::to_value(&t).expect("json"));
+    }
+    if wants(&opts, "fig13") {
+        let f = fig13::run(opts.quick);
+        emit(&opts, "fig13", fig13::render(&f), serde_json::to_value(&f).expect("json"));
+    }
+    if wants(&opts, "fig14") {
+        let f = fig14::run(ctx_ref.expect("ctx"));
+        emit(&opts, "fig14", fig14::render(&f), serde_json::to_value(&f).expect("json"));
+    }
+    if wants(&opts, "fig15") {
+        let f = fig15::run(ctx_ref.expect("ctx"));
+        emit(&opts, "fig15", fig15::render(&f), serde_json::to_value(&f).expect("json"));
+    }
+    if wants(&opts, "formats") {
+        let f = formats::run(ctx_ref.expect("ctx"));
+        emit(&opts, "formats", formats::render(&f), serde_json::to_value(&f).expect("json"));
+    }
+    if wants(&opts, "timing") {
+        let t = timing::run(ctx_ref.expect("ctx"));
+        emit(&opts, "timing", timing::render(&t), serde_json::to_value(&t).expect("json"));
+    }
+    if wants(&opts, "scaling") {
+        let s = scaling::run(ctx_ref.expect("ctx"));
+        emit(&opts, "scaling", scaling::render(&s), serde_json::to_value(&s).expect("json"));
+    }
+    if wants(&opts, "entropy") {
+        let e = entropy::run(ctx_ref.expect("ctx"));
+        emit(&opts, "entropy", entropy::render(&e), serde_json::to_value(&e).expect("json"));
+    }
+}

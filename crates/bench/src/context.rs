@@ -1,0 +1,118 @@
+//! Shared experiment context: per-model precision profiles, workloads, and
+//! sampled tensors.
+
+use spark_data::ModelProfile;
+use spark_nn::ModelWorkload;
+use spark_sim::{PrecisionProfile, SimConfig};
+use spark_tensor::Tensor;
+
+/// How many values are sampled per tensor when measuring code statistics.
+pub const SAMPLE_ELEMS: usize = 40_000;
+
+/// Everything an experiment needs about one model.
+#[derive(Debug, Clone)]
+pub struct ModelContext {
+    /// The calibrated distribution profile.
+    pub profile: ModelProfile,
+    /// The GEMM workload (when the model has one defined).
+    pub workload: Option<ModelWorkload>,
+    /// Sampled weight tensor.
+    pub weights: Tensor,
+    /// Sampled activation tensor.
+    pub activations: Tensor,
+    /// SPARK precision statistics measured on the samples.
+    pub precision: PrecisionProfile,
+}
+
+/// Shared context across all experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Per-model contexts, Fig 2 order.
+    pub models: Vec<ModelContext>,
+    /// Simulator configuration (paper defaults).
+    pub sim: SimConfig,
+}
+
+impl ExperimentContext {
+    /// Builds the context for every model in the paper, sampling tensors
+    /// deterministically.
+    pub fn new() -> Self {
+        let models = ModelProfile::all()
+            .into_iter()
+            .enumerate()
+            .map(|(i, profile)| ModelContext::build(profile, 1000 + i as u64))
+            .collect();
+        Self {
+            models,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Looks up a model context by name.
+    pub fn model(&self, name: &str) -> Option<&ModelContext> {
+        self.models.iter().find(|m| m.profile.name == name)
+    }
+
+    /// The models of the Fig 11/12/15 performance suite, in paper order.
+    pub fn performance_models(&self) -> Vec<&ModelContext> {
+        ["VGG16", "ResNet18", "ResNet50", "ViT", "BERT", "GPT-2"]
+            .iter()
+            .filter_map(|n| self.model(n))
+            .collect()
+    }
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelContext {
+    /// Builds one model's context with a deterministic seed.
+    pub fn build(profile: ModelProfile, seed: u64) -> Self {
+        let weights = profile.sample_tensor(SAMPLE_ELEMS, seed);
+        let activations = profile.sample_activations(SAMPLE_ELEMS, seed.wrapping_add(1));
+        let precision = PrecisionProfile::from_tensors(&weights, &activations)
+            .expect("sampled tensors are finite");
+        let workload = ModelWorkload::by_name(&profile.name);
+        Self {
+            profile,
+            workload,
+            weights,
+            activations,
+            precision,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_all_models() {
+        let ctx = ExperimentContext::new();
+        assert_eq!(ctx.models.len(), 8);
+        assert!(ctx.model("BERT").is_some());
+        assert!(ctx.model("Nonexistent").is_none());
+        assert_eq!(ctx.performance_models().len(), 6);
+    }
+
+    #[test]
+    fn precision_profiles_measured_not_defaulted() {
+        let ctx = ExperimentContext::new();
+        let bert = ctx.model("BERT").unwrap();
+        let resnet = ctx.model("ResNet50").unwrap();
+        assert!(bert.precision.short_frac_w > resnet.precision.short_frac_w);
+        assert!(bert.precision.spark_bits_w < resnet.precision.spark_bits_w);
+    }
+
+    #[test]
+    fn workloads_attached_where_defined() {
+        let ctx = ExperimentContext::new();
+        for m in &ctx.models {
+            assert!(m.workload.is_some(), "{} missing workload", m.profile.name);
+        }
+    }
+}

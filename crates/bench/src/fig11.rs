@@ -1,0 +1,131 @@
+//! Fig 11 — normalized total execution cycles across accelerators for the
+//! six performance-suite networks (normalized to SPARK = 1).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use spark_sim::{Accelerator, AcceleratorKind};
+
+use crate::context::ExperimentContext;
+
+/// One model's latency bars.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Row {
+    /// Model name.
+    pub model: String,
+    /// `(accelerator, normalized latency)` pairs, SPARK = 1.0.
+    pub normalized: Vec<(String, f64)>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// One row per performance-suite model.
+    pub rows: Vec<Fig11Row>,
+    /// Geometric-mean speedup of SPARK over each design.
+    pub mean_speedup: Vec<(String, f64)>,
+}
+
+/// Runs the latency sweep.
+pub fn run(ctx: &ExperimentContext) -> Fig11 {
+    let designs = Accelerator::all();
+    let models = ctx.performance_models();
+    let rows: Vec<Fig11Row> = models
+        .par_iter()
+        .map(|m| {
+            let workload = m.workload.as_ref().expect("performance models have workloads");
+            let reports: Vec<(String, f64)> = designs
+                .iter()
+                .map(|d| {
+                    let r = d.run(workload, &m.precision, &ctx.sim);
+                    (d.kind.name().to_string(), r.total_cycles)
+                })
+                .collect();
+            let spark = reports
+                .iter()
+                .find(|(n, _)| n == "SPARK")
+                .expect("SPARK among designs")
+                .1;
+            Fig11Row {
+                model: m.profile.name.clone(),
+                normalized: reports
+                    .into_iter()
+                    .map(|(n, c)| (n, c / spark))
+                    .collect(),
+            }
+        })
+        .collect();
+    // Geomean speedup of SPARK over each design across models.
+    let mut mean_speedup = Vec::new();
+    for kind in AcceleratorKind::ALL {
+        let name = kind.name().to_string();
+        let logsum: f64 = rows
+            .iter()
+            .map(|r| {
+                r.normalized
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, v)| v.ln())
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        mean_speedup.push((name, (logsum / rows.len() as f64).exp()));
+    }
+    Fig11 { rows, mean_speedup }
+}
+
+/// Renders the figure as text.
+pub fn render(fig: &Fig11) -> String {
+    let mut out = String::from("Fig 11: normalized latency (SPARK = 1.0)\n");
+    if let Some(first) = fig.rows.first() {
+        out.push_str(&format!("{:<10}", "model"));
+        for (n, _) in &first.normalized {
+            out.push_str(&format!("{n:>11}"));
+        }
+        out.push('\n');
+    }
+    for r in &fig.rows {
+        out.push_str(&format!("{:<10}", r.model));
+        for (_, v) in &r.normalized {
+            out.push_str(&format!("{v:>11.2}"));
+        }
+        out.push('\n');
+    }
+    out.push_str("geomean   ");
+    for (_, v) in &fig.mean_speedup {
+        out.push_str(&format!("{v:>11.2}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_wins_and_ordering_matches_paper() {
+        let ctx = ExperimentContext::new();
+        let fig = run(&ctx);
+        assert_eq!(fig.rows.len(), 6);
+        let geo = |name: &str| {
+            fig.mean_speedup
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        // SPARK is the fastest design everywhere.
+        for r in &fig.rows {
+            for (n, v) in &r.normalized {
+                assert!(*v >= 0.99, "{} beat SPARK on {}: {v}", n, r.model);
+            }
+        }
+        // Paper's headline ratios (shape): ANT closest (~1.1x), then
+        // OliVe, with OLAccel ~3.8x and AdaFloat ~4.7x, Eyeriss far worst.
+        assert!((1.02..1.6).contains(&geo("ANT")), "ANT {}", geo("ANT"));
+        assert!(geo("OliVe") > geo("ANT"));
+        assert!((2.0..7.0).contains(&geo("OLAccel")), "OLAccel {}", geo("OLAccel"));
+        assert!((2.0..7.0).contains(&geo("AdaFloat")), "AdaFloat {}", geo("AdaFloat"));
+        assert!(geo("Eyeriss") > geo("AdaFloat"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Fig 12 — normalized energy across designs, decomposed into DRAM,
+//! global buffer and core.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use spark_sim::Accelerator;
+
+use crate::context::ExperimentContext;
+
+/// One design's stacked energy bar for one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyBar {
+    /// Design name.
+    pub accelerator: String,
+    /// DRAM share of the normalized bar.
+    pub dram: f64,
+    /// Buffer share.
+    pub buffer: f64,
+    /// Core share.
+    pub core: f64,
+}
+
+impl EnergyBar {
+    /// Total normalized energy.
+    pub fn total(&self) -> f64 {
+        self.dram + self.buffer + self.core
+    }
+}
+
+/// One model's bar group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12Row {
+    /// Model name.
+    pub model: String,
+    /// Bars normalized so the largest design = 1.0.
+    pub bars: Vec<EnergyBar>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12 {
+    /// One row per performance-suite model.
+    pub rows: Vec<Fig12Row>,
+}
+
+/// Runs the energy sweep.
+pub fn run(ctx: &ExperimentContext) -> Fig12 {
+    let designs = Accelerator::all();
+    let rows = ctx
+        .performance_models()
+        .par_iter()
+        .map(|m| {
+            let workload = m.workload.as_ref().expect("workload exists");
+            let raw: Vec<EnergyBar> = designs
+                .iter()
+                .map(|d| {
+                    let r = d.run(workload, &m.precision, &ctx.sim);
+                    EnergyBar {
+                        accelerator: d.kind.name().to_string(),
+                        dram: r.energy.dram_pj,
+                        buffer: r.energy.buffer_pj,
+                        core: r.energy.core_pj,
+                    }
+                })
+                .collect();
+            let max = raw
+                .iter()
+                .map(EnergyBar::total)
+                .fold(f64::MIN_POSITIVE, f64::max);
+            Fig12Row {
+                model: m.profile.name.clone(),
+                bars: raw
+                    .into_iter()
+                    .map(|b| EnergyBar {
+                        accelerator: b.accelerator,
+                        dram: b.dram / max,
+                        buffer: b.buffer / max,
+                        core: b.core / max,
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    Fig12 { rows }
+}
+
+/// Renders the figure as text.
+pub fn render(fig: &Fig12) -> String {
+    let mut out = String::from("Fig 12: normalized energy (stacked DRAM/buffer/core)\n");
+    for r in &fig.rows {
+        out.push_str(&format!("{}\n", r.model));
+        for b in &r.bars {
+            out.push_str(&format!(
+                "  {:<10} total {:>6.3}  dram {:>6.3}  buffer {:>6.3}  core {:>6.3}\n",
+                b.accelerator,
+                b.total(),
+                b.dram,
+                b.buffer,
+                b.core
+            ));
+        }
+    }
+    out
+}
+
+/// SPARK's energy reduction (%) vs a named design for a model.
+pub fn reduction(fig: &Fig12, model: &str, vs: &str) -> Option<f64> {
+    let row = fig.rows.iter().find(|r| r.model == model)?;
+    let spark = row.bars.iter().find(|b| b.accelerator == "SPARK")?.total();
+    let other = row.bars.iter().find(|b| b.accelerator == vs)?.total();
+    Some((1.0 - spark / other) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_lowest_energy_and_paper_reductions_in_shape() {
+        let ctx = ExperimentContext::new();
+        let fig = run(&ctx);
+        for r in &fig.rows {
+            let spark = r.bars.iter().find(|b| b.accelerator == "SPARK").unwrap();
+            for b in &r.bars {
+                assert!(
+                    spark.total() <= b.total() + 1e-12,
+                    "{}: SPARK {} vs {} {}",
+                    r.model,
+                    spark.total(),
+                    b.accelerator,
+                    b.total()
+                );
+            }
+        }
+        // Paper: ResNet-50 reductions — 74.7% vs Eyeriss, 21.0% vs ANT.
+        let vs_eyeriss = reduction(&fig, "ResNet50", "Eyeriss").unwrap();
+        assert!((50.0..95.0).contains(&vs_eyeriss), "vs Eyeriss {vs_eyeriss}");
+        let vs_ant = reduction(&fig, "ResNet50", "ANT").unwrap();
+        assert!((2.0..50.0).contains(&vs_ant), "vs ANT {vs_ant}");
+        // ViT: 69.9% less than AdaFloat, 36.3% less than ANT (shape).
+        let vit_ada = reduction(&fig, "ViT", "AdaFloat").unwrap();
+        assert!((40.0..90.0).contains(&vit_ada), "ViT vs AdaFloat {vit_ada}");
+    }
+}

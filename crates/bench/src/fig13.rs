@@ -1,0 +1,101 @@
+//! Fig 13 — accuracy loss under different optimization settings:
+//! without the compensation mechanism (w/o CM), with CM but no finetuning
+//! (CM w/o-FT), and with CM plus codec-aware finetuning (CM w/-FT).
+
+use serde::{Deserialize, Serialize};
+use spark_quant::SparkCodec;
+
+use crate::accuracy::{ProxyFamily, TrainedProxy};
+
+/// One model's three bars.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13Row {
+    /// Model name.
+    pub model: String,
+    /// Accuracy loss (%) without the compensation mechanism.
+    pub no_cm: f64,
+    /// Accuracy loss (%) with CM, no finetuning.
+    pub cm_no_ft: f64,
+    /// Accuracy loss (%) with CM and finetuning.
+    pub cm_ft: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13 {
+    /// One row per representative model.
+    pub rows: Vec<Fig13Row>,
+}
+
+/// Runs the ablation on one CNN and one attention proxy per representative
+/// model (the paper shows ResNet50, VGG16, BERT, ViT).
+pub fn run(quick: bool) -> Fig13 {
+    let models = ["ResNet50", "VGG16", "BERT", "ViT"];
+    let cm = SparkCodec::default();
+    let no_cm = SparkCodec::default().without_compensation().without_bias_correction();
+    let ft_epochs = if quick { 2 } else { 6 };
+    let rows = models
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let family = ProxyFamily::of_model(name);
+            let mut proxy = TrainedProxy::train_for(family, 600 + i as u64, quick);
+            let (acc_no_cm, _) = proxy.accuracy_with(&no_cm);
+            let (acc_cm, _) = proxy.accuracy_with(&cm);
+            let acc_ft = proxy.accuracy_with_finetune(&cm, ft_epochs);
+            Fig13Row {
+                model: name.to_string(),
+                no_cm: (proxy.fp32_acc - acc_no_cm) * 100.0,
+                cm_no_ft: (proxy.fp32_acc - acc_cm) * 100.0,
+                cm_ft: (proxy.fp32_acc - acc_ft) * 100.0,
+            }
+        })
+        .collect();
+    Fig13 { rows }
+}
+
+/// Renders the figure as text.
+pub fn render(fig: &Fig13) -> String {
+    let mut out = String::from(
+        "Fig 13: accuracy loss (%) under optimization settings\n\
+         model      w/o CM    CM w/o-FT   CM w/-FT\n",
+    );
+    for r in &fig.rows {
+        out.push_str(&format!(
+            "{:<10} {:>7.2}   {:>9.2}   {:>8.2}\n",
+            r.model, r.no_cm, r.cm_no_ft, r.cm_ft
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_and_finetuning_monotonically_help() {
+        let fig = run(true);
+        assert_eq!(fig.rows.len(), 4);
+        for r in &fig.rows {
+            // CM should not hurt relative to no-CM. Quick-mode proxy test
+            // sets are small (each example is worth ~0.6 points), so allow
+            // a few points of sampling noise.
+            assert!(
+                r.cm_no_ft <= r.no_cm + 4.0,
+                "{}: CM {} vs no-CM {}",
+                r.model,
+                r.cm_no_ft,
+                r.no_cm
+            );
+            // Finetuning should not hurt relative to no finetuning.
+            assert!(
+                r.cm_ft <= r.cm_no_ft + 4.0,
+                "{}: FT {} vs no-FT {}",
+                r.model,
+                r.cm_ft,
+                r.cm_no_ft
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Fig 14 — energy efficiency and accuracy versus model size.
+//!
+//! The paper scales a BERT-family model and shows SPARK's energy-efficiency
+//! advantage grows with parameter count, because larger models exhibit more
+//! bit sparsity. We scale the transformer workload (3 → 48 layers) and let
+//! the outlier ratio — and hence the short-code fraction — grow mildly with
+//! size, matching that observation.
+
+use serde::{Deserialize, Serialize};
+use spark_data::dist::ParamDistribution;
+use spark_nn::{Gemm, ModelWorkload};
+use spark_sim::{Accelerator, AcceleratorKind, PrecisionProfile};
+
+use crate::context::ExperimentContext;
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig14Point {
+    /// Transformer depth.
+    pub layers: usize,
+    /// Parameter count (millions) of the scaled model.
+    pub param_millions: f64,
+    /// Measured short-code fraction of its weights.
+    pub short_frac: f64,
+    /// SPARK energy efficiency (GMAC/J).
+    pub spark_gmacs_per_j: f64,
+    /// Eyeriss (INT16 baseline) energy efficiency (GMAC/J).
+    pub baseline_gmacs_per_j: f64,
+    /// SPARK accuracy proxy: lossless fraction of the encoding (%).
+    pub lossless_pct: f64,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig14 {
+    /// Points in increasing model size.
+    pub points: Vec<Fig14Point>,
+}
+
+fn scaled_transformer(layers: usize) -> ModelWorkload {
+    let d = 768;
+    let seq = 128;
+    let mut gemms = vec![
+        Gemm::new("qkv", seq, d, 3 * d).times(layers),
+        Gemm::new("scores", seq, d, seq).times(layers),
+        Gemm::new("context", seq, seq, d).times(layers),
+        Gemm::new("attn_out", seq, d, d).times(layers),
+        Gemm::new("ffn_up", seq, d, 4 * d).times(layers),
+        Gemm::new("ffn_down", seq, 4 * d, d).times(layers),
+    ];
+    gemms.push(Gemm::new("head", 1, d, 2));
+    ModelWorkload {
+        name: format!("BERT-{layers}L"),
+        gemms,
+    }
+}
+
+/// Runs the model-size sweep.
+pub fn run(ctx: &ExperimentContext) -> Fig14 {
+    let spark = Accelerator::new(AcceleratorKind::Spark);
+    let eyeriss = Accelerator::new(AcceleratorKind::Eyeriss);
+    let points = [3usize, 6, 12, 24, 48]
+        .iter()
+        .map(|&layers| {
+            let workload = scaled_transformer(layers);
+            // Bit sparsity grows gently with scale (larger models carry
+            // heavier outlier tails relative to the body).
+            let ratio = 28.0 + 6.0 * (layers as f32 / 3.0).log2();
+            let dist = ParamDistribution::GaussianWithOutliers {
+                std: 0.02,
+                outlier_prob: 0.003,
+                outlier_ratio: ratio,
+            };
+            let weights = dist.sample_tensor(40_000, 500 + layers as u64);
+            let acts = dist.sample_tensor(40_000, 600 + layers as u64);
+            let precision =
+                PrecisionProfile::from_tensors(&weights, &acts).expect("finite samples");
+            let spark_report = spark.run(&workload, &precision, &ctx.sim);
+            let eyeriss_report = eyeriss.run(&workload, &precision, &ctx.sim);
+            let codec = spark_quant::SparkCodec::default();
+            let (_, stats) = codec.compress_with_stats(&weights).expect("finite");
+            Fig14Point {
+                layers,
+                param_millions: workload.total_weights() as f64 / 1e6,
+                short_frac: precision.short_frac_w,
+                spark_gmacs_per_j: spark_report.gmacs_per_joule(&workload),
+                baseline_gmacs_per_j: eyeriss_report.gmacs_per_joule(&workload),
+                lossless_pct: stats.lossless_fraction() * 100.0,
+            }
+        })
+        .collect();
+    Fig14 { points }
+}
+
+/// Renders the sweep as text.
+pub fn render(fig: &Fig14) -> String {
+    let mut out = String::from(
+        "Fig 14: energy efficiency and accuracy vs model size\n\
+         layers   params(M)  short%   SPARK GMAC/J   INT16 GMAC/J   gain x   lossless %\n",
+    );
+    for p in &fig.points {
+        out.push_str(&format!(
+            "{:>6}   {:>8.1}  {:>6.1}   {:>12.1}   {:>12.1}   {:>6.2}   {:>9.2}\n",
+            p.layers,
+            p.param_millions,
+            p.short_frac * 100.0,
+            p.spark_gmacs_per_j,
+            p.baseline_gmacs_per_j,
+            p.spark_gmacs_per_j / p.baseline_gmacs_per_j,
+            p.lossless_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_gain_grows_with_model_size() {
+        let ctx = ExperimentContext::new();
+        let fig = run(&ctx);
+        assert_eq!(fig.points.len(), 5);
+        let gains: Vec<f64> = fig
+            .points
+            .iter()
+            .map(|p| p.spark_gmacs_per_j / p.baseline_gmacs_per_j)
+            .collect();
+        // Monotone non-decreasing advantage with size (paper's claim).
+        for w in gains.windows(2) {
+            assert!(w[1] >= w[0] * 0.98, "gains {gains:?}");
+        }
+        assert!(gains[0] > 2.0, "even the small model wins: {}", gains[0]);
+        // Short-code fraction grows with size.
+        assert!(fig.points.last().unwrap().short_frac > fig.points[0].short_frac);
+        // Accuracy proxy stays high.
+        for p in &fig.points {
+            assert!(p.lossless_pct > 90.0);
+        }
+    }
+}

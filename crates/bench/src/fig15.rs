@@ -1,0 +1,114 @@
+//! Fig 15 — joint optimization: Density-Bound Block (50 %) sparsity
+//! combined with SPARK.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use spark_data::{dbb_prune, DbbConfig};
+use spark_sim::{Accelerator, AcceleratorKind, SimConfig};
+
+use crate::context::ExperimentContext;
+
+/// One model's dense-vs-DBB comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig15Row {
+    /// Model name.
+    pub model: String,
+    /// SPARK cycles, dense.
+    pub dense_cycles: f64,
+    /// SPARK cycles with DBB 50 %.
+    pub dbb_cycles: f64,
+    /// Achieved sparsity of the pruned weight sample.
+    pub achieved_sparsity: f64,
+    /// Short-code fraction after pruning (zeros are short codes, so DBB
+    /// *increases* bit sparsity — the compressions compose).
+    pub short_frac_after_dbb: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig15 {
+    /// One row per performance model (the paper shows five networks).
+    pub rows: Vec<Fig15Row>,
+}
+
+/// Runs the joint-optimization comparison.
+pub fn run(ctx: &ExperimentContext) -> Fig15 {
+    let spark = Accelerator::new(AcceleratorKind::Spark);
+    let dbb_cfg = DbbConfig::half_sparse();
+    let rows = ctx
+        .performance_models()
+        .par_iter()
+        .map(|m| {
+            let workload = m.workload.as_ref().expect("workload exists");
+            let dense = spark.run(workload, &m.precision, &ctx.sim);
+            let sparse_sim = SimConfig {
+                dbb_density: Some(dbb_cfg.density()),
+                ..ctx.sim
+            };
+            // Measure how pruning changes the code statistics.
+            let (pruned, sparsity) = dbb_prune(&m.weights, &dbb_cfg);
+            let precision_after =
+                spark_sim::PrecisionProfile::from_tensors(&pruned, &m.activations)
+                    .expect("finite");
+            let sparse = spark.run(workload, &precision_after, &sparse_sim);
+            Fig15Row {
+                model: m.profile.name.clone(),
+                dense_cycles: dense.total_cycles,
+                dbb_cycles: sparse.total_cycles,
+                achieved_sparsity: sparsity,
+                short_frac_after_dbb: precision_after.short_frac_w,
+            }
+        })
+        .collect();
+    Fig15 { rows }
+}
+
+/// Renders the figure as text.
+pub fn render(fig: &Fig15) -> String {
+    let mut out = String::from(
+        "Fig 15: SPARK + DBB (50%) joint optimization\n\
+         model       dense cycles    DBB cycles    speedup   sparsity   short% after DBB\n",
+    );
+    for r in &fig.rows {
+        out.push_str(&format!(
+            "{:<11} {:>12.3e}  {:>12.3e}   {:>7.2}   {:>8.2}   {:>16.1}\n",
+            r.model,
+            r.dense_cycles,
+            r.dbb_cycles,
+            r.dense_cycles / r.dbb_cycles,
+            r.achieved_sparsity,
+            r.short_frac_after_dbb * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbb_roughly_halves_cycles_and_composes() {
+        let ctx = ExperimentContext::new();
+        let fig = run(&ctx);
+        assert_eq!(fig.rows.len(), 6);
+        for r in &fig.rows {
+            let speedup = r.dense_cycles / r.dbb_cycles;
+            assert!(
+                (1.4..2.6).contains(&speedup),
+                "{}: speedup {speedup}",
+                r.model
+            );
+            assert!((r.achieved_sparsity - 0.5).abs() < 0.05, "{}", r.model);
+        }
+        // Pruning zeroes values -> more short codes (compositionality).
+        let dense_short = ctx.model("ResNet50").unwrap().precision.short_frac_w;
+        let after = fig
+            .rows
+            .iter()
+            .find(|r| r.model == "ResNet50")
+            .unwrap()
+            .short_frac_after_dbb;
+        assert!(after > dense_short);
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig 2 — the quantized-network characterization: per model, the fraction
+//! of INT8 values that fit the `[0, 7]` short-code range, and the INT8
+//! quantization accuracy loss.
+
+use serde::{Deserialize, Serialize};
+use spark_quant::{MagnitudeQuantizer, UniformQuantizer};
+use spark_tensor::stats;
+
+use crate::accuracy::{ProxyFamily, TrainedProxy};
+use crate::context::ExperimentContext;
+
+/// One bar group of Fig 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Model name.
+    pub model: String,
+    /// Percentage of INT8 codes in `[0, 7]` (the blue bars).
+    pub short_pct: f64,
+    /// Percentage in `[8, 255]` (the orange bars).
+    pub long_pct: f64,
+    /// INT8 accuracy loss in percentage points (the folded line), measured
+    /// on the family's trained proxy.
+    pub int8_acc_loss_pct: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// One row per model, paper order.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Runs the characterization. `quick` shrinks the proxy training for tests.
+pub fn run(ctx: &ExperimentContext, quick: bool) -> Fig2 {
+    // One trained proxy per family; the INT8 loss line is family-level.
+    let mut cnn = TrainedProxy::train_for(ProxyFamily::Cnn, 101, quick);
+    let mut att = TrainedProxy::train_for(ProxyFamily::Attention, 102, quick);
+    let int8 = UniformQuantizer::symmetric(8);
+    let cnn_loss = cnn.loss_pct(&int8);
+    let att_loss = att.loss_pct(&int8);
+
+    let quantizer = MagnitudeQuantizer::new(8).expect("8 bits supported");
+    let rows = ctx
+        .models
+        .iter()
+        .map(|m| {
+            let codes = quantizer
+                .quantize(&m.weights)
+                .expect("sampled weights are finite");
+            let short = stats::fraction_in_range(&codes.codes, 0, 7);
+            let loss = match ProxyFamily::of_model(&m.profile.name) {
+                ProxyFamily::Cnn => cnn_loss,
+                ProxyFamily::Attention => att_loss,
+            };
+            Fig2Row {
+                model: m.profile.name.clone(),
+                short_pct: short * 100.0,
+                long_pct: (1.0 - short) * 100.0,
+                int8_acc_loss_pct: loss,
+            }
+        })
+        .collect();
+    Fig2 { rows }
+}
+
+/// Renders the figure as a text table.
+pub fn render(fig: &Fig2) -> String {
+    let mut out = String::from(
+        "Fig 2: short-code percentage and INT8 accuracy loss\n\
+         model       [0,7] %   [8,255] %   INT8 acc loss %\n",
+    );
+    for r in &fig.rows {
+        out.push_str(&format!(
+            "{:<11} {:>7.1}   {:>9.1}   {:>15.2}\n",
+            r.model, r.short_pct, r.long_pct, r.int8_acc_loss_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let ctx = ExperimentContext::new();
+        let fig = run(&ctx, true);
+        assert_eq!(fig.rows.len(), 8);
+        for r in &fig.rows {
+            // Paper: "more than 40% of the values can be converted to short
+            // codes" across all evaluated models.
+            assert!(r.short_pct > 30.0, "{}: {}", r.model, r.short_pct);
+            assert!((r.short_pct + r.long_pct - 100.0).abs() < 1e-9);
+            // INT8 loss is small ("generally no more than 2%"); proxies are
+            // noisier than ImageNet, allow slack.
+            assert!(r.int8_acc_loss_pct.abs() < 6.0, "{}: {}", r.model, r.int8_acc_loss_pct);
+        }
+        // Attention models have more short codes than CNNs.
+        let short = |name: &str| {
+            fig.rows
+                .iter()
+                .find(|r| r.model == name)
+                .map(|r| r.short_pct)
+                .unwrap()
+        };
+        assert!(short("BERT") > short("ResNet50"));
+        let rendered = render(&fig);
+        assert!(rendered.contains("BERT"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Extension experiment (beyond the paper): the generalized SPARK format
+//! sweep.
+//!
+//! Sweeps `(base, short)` instances of the SPARK family over the calibrated
+//! model tensors and reports bits/fidelity, showing where the paper's 8/4
+//! choice sits on the frontier and demonstrating the format-selection rule
+//! documented in `spark-quant::general_spark`.
+
+use serde::{Deserialize, Serialize};
+use spark_quant::{Codec, GeneralSparkCodec};
+
+use crate::context::ExperimentContext;
+
+/// One format's measurement on one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FormatPoint {
+    /// Format name (e.g. "SPARK-8/4").
+    pub format: String,
+    /// Average storage bits.
+    pub avg_bits: f64,
+    /// Reconstruction SQNR in dB.
+    pub sqnr_db: f64,
+    /// Short-code fraction.
+    pub short_fraction: f64,
+}
+
+/// The sweep for one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FormatsRow {
+    /// Model name.
+    pub model: String,
+    /// Points across formats.
+    pub points: Vec<FormatPoint>,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Formats {
+    /// One row per representative model.
+    pub rows: Vec<FormatsRow>,
+}
+
+/// Formats swept, `(base, short)` pairs.
+pub const FORMATS: [(u8, u8); 6] = [(6, 3), (8, 4), (8, 5), (10, 5), (12, 6), (16, 8)];
+
+/// Runs the sweep on one CNN and one attention profile.
+pub fn run(ctx: &ExperimentContext) -> Formats {
+    let rows = ["ResNet50", "BERT"]
+        .iter()
+        .filter_map(|name| ctx.model(name))
+        .map(|m| {
+            let points = FORMATS
+                .iter()
+                .map(|&(base, short)| {
+                    let codec = GeneralSparkCodec::new(base, short)
+                        .expect("formats in the sweep are valid");
+                    let r = codec.compress(&m.weights).expect("finite samples");
+                    FormatPoint {
+                        format: codec.name(),
+                        avg_bits: r.avg_bits,
+                        sqnr_db: r.sqnr_db(&m.weights),
+                        short_fraction: r.low_precision_fraction,
+                    }
+                })
+                .collect();
+            FormatsRow {
+                model: m.profile.name.clone(),
+                points,
+            }
+        })
+        .collect();
+    Formats { rows }
+}
+
+/// Renders the sweep as text.
+pub fn render(f: &Formats) -> String {
+    let mut out = String::from(
+        "Format sweep (extension): generalized SPARK family on calibrated tensors\n",
+    );
+    for row in &f.rows {
+        out.push_str(&format!(
+            "{}\n  format        bits    SQNR(dB)  short%\n",
+            row.model
+        ));
+        for p in &row.points {
+            out.push_str(&format!(
+                "  {:<12} {:>5.2}  {:>9.1}  {:>6.1}\n",
+                p.format,
+                p.avg_bits,
+                p.sqnr_db,
+                p.short_fraction * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_format_on_the_frontier() {
+        let ctx = ExperimentContext::new();
+        let f = run(&ctx);
+        assert_eq!(f.rows.len(), 2);
+        for row in &f.rows {
+            assert_eq!(row.points.len(), FORMATS.len());
+            let p84 = row
+                .points
+                .iter()
+                .find(|p| p.format == "SPARK-8/4")
+                .expect("8/4 swept");
+            // The paper's point: high short fraction at useful fidelity.
+            assert!(p84.short_fraction > 0.4, "{}", row.model);
+            assert!(p84.sqnr_db > 15.0, "{}", row.model);
+            // The 16/8 point stores more bits on INT8-scale data (the
+            // format-selection rule).
+            let p168 = row.points.iter().find(|p| p.format == "SPARK-16/8").unwrap();
+            assert!(p168.avg_bits > p84.avg_bits);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # spark-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation. Every experiment
+//! is a library function returning a serializable result, so the
+//! `experiments` binary, the integration tests and the Criterion benches
+//! all share the same code paths.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig2`] | Fig 2 — short-code percentage and INT8 accuracy loss per model |
+//! | [`table2`] | Table II — the SPARK value table |
+//! | [`fig4`] | Fig 4 — lossless/lossy fractions after SPARK encoding |
+//! | [`table3`] | Table III — FP32 vs SPARK accuracy (trained proxies) |
+//! | [`table4`] | Table IV — accuracy loss and bit-width vs ANT/BiScaled |
+//! | [`table5`] | Table V — BERT accuracy loss vs Q8BERT/OS/OliVe/ANT |
+//! | [`fig11`] | Fig 11 — normalized latency across accelerators |
+//! | [`fig12`] | Fig 12 — normalized energy (DRAM/buffer/core) |
+//! | [`table6`] | Table VI — SPARK area breakdown |
+//! | [`table7`] | Table VII — iso-area core configurations |
+//! | [`fig13`] | Fig 13 — compensation mechanism / finetuning ablation |
+//! | [`fig14`] | Fig 14 — energy efficiency vs model size |
+//! | [`fig15`] | Fig 15 — DBB sparsity + SPARK |
+//! | [`formats`] | extension: generalized SPARK format sweep |
+//! | [`timing`] | extension: decoupled vs lockstep array timing |
+//! | [`scaling`] | extension: PE-page and batch-size scaling |
+//! | [`entropy`] | extension: SPARK rate vs the entropy bound |
+
+pub mod accuracy;
+pub mod context;
+pub mod entropy;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig2;
+pub mod fig4;
+pub mod formats;
+pub mod scaling;
+pub mod table2;
+pub mod timing;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+pub use context::ExperimentContext;

@@ -1,0 +1,166 @@
+//! Extension experiments: multi-page scaling and batch-size sensitivity.
+//!
+//! The paper says the SPARK architecture "can be extended to a larger
+//! number of PEs under the same area budget" (Section V-A); the page sweep
+//! quantifies that, and the batch sweep shows how weight-traffic
+//! amortization moves the compute/memory balance.
+
+use serde::{Deserialize, Serialize};
+use spark_nn::{Gemm, ModelWorkload};
+use spark_sim::{scaling_sweep, Accelerator, AcceleratorKind, PageReport};
+
+use crate::context::ExperimentContext;
+
+/// The page-scaling sweep for one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Model name.
+    pub model: String,
+    /// One report per page count.
+    pub reports: Vec<PageReport>,
+}
+
+/// One batch point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchPoint {
+    /// Batch size.
+    pub batch: usize,
+    /// SPARK cycles per inference.
+    pub cycles_per_inference: f64,
+    /// Fraction of layers memory-bound at this batch.
+    pub memory_bound_fraction: f64,
+}
+
+/// The combined extension experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scaling {
+    /// Page sweeps (BERT and ResNet50).
+    pub pages: Vec<ScalingRow>,
+    /// Batch sweep on BERT.
+    pub batch: Vec<BatchPoint>,
+}
+
+/// Replicates a workload's activation stream for a batch of inputs.
+fn with_batch(workload: &ModelWorkload, batch: usize) -> ModelWorkload {
+    ModelWorkload {
+        name: format!("{}xB{batch}", workload.name),
+        gemms: workload
+            .gemms
+            .iter()
+            .map(|g| Gemm::new(&g.label, g.m * batch, g.k, g.n).times(g.repeats))
+            .collect(),
+    }
+}
+
+/// Runs both sweeps.
+pub fn run(ctx: &ExperimentContext) -> Scaling {
+    let spark = Accelerator::new(AcceleratorKind::Spark);
+    let pages = ["BERT", "ResNet50"]
+        .iter()
+        .filter_map(|n| ctx.model(n))
+        .map(|m| {
+            let workload = m.workload.as_ref().expect("workload exists");
+            ScalingRow {
+                model: m.profile.name.clone(),
+                reports: scaling_sweep(
+                    &spark,
+                    workload,
+                    &m.precision,
+                    &ctx.sim,
+                    &[1, 2, 4, 8, 16],
+                ),
+            }
+        })
+        .collect();
+
+    let bert = ctx.model("BERT").expect("BERT in context");
+    let base = bert.workload.as_ref().expect("workload exists");
+    // Batch effects only show when weight traffic matters: evaluate at a
+    // bandwidth-constrained configuration (an edge-device DRAM interface),
+    // where batch-1 inference is memory-bound and batching amortizes the
+    // weight stream back to compute-bound.
+    let constrained = spark_sim::SimConfig {
+        dram_bytes_per_cycle: 8.0,
+        ..ctx.sim
+    };
+    let batch = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&b| {
+            let w = with_batch(base, b);
+            let r = spark.run(&w, &bert.precision, &constrained);
+            let memory_bound = r
+                .layers
+                .iter()
+                .filter(|l| l.memory_cycles > l.compute_cycles)
+                .count() as f64
+                / r.layers.len().max(1) as f64;
+            BatchPoint {
+                batch: b,
+                cycles_per_inference: r.total_cycles / b as f64,
+                memory_bound_fraction: memory_bound,
+            }
+        })
+        .collect();
+    Scaling { pages, batch }
+}
+
+/// Renders the experiment as text.
+pub fn render(s: &Scaling) -> String {
+    let mut out = String::from("Scaling (extension): PE pages and batch size\n");
+    for row in &s.pages {
+        out.push_str(&format!("{} page sweep:\n", row.model));
+        let base = row.reports[0].total_cycles;
+        for r in &row.reports {
+            out.push_str(&format!(
+                "  {:>2} pages: {:>10.3e} cycles  speedup {:>5.2}x  util {:>5.2}  mem-bound {:>4.0}%\n",
+                r.pages,
+                r.total_cycles,
+                base / r.total_cycles,
+                r.utilization,
+                r.memory_bound_fraction * 100.0
+            ));
+        }
+    }
+    out.push_str("BERT batch sweep (SPARK, bandwidth-constrained 1.6 GB/s):\n");
+    for p in &s.batch {
+        out.push_str(&format!(
+            "  batch {:>2}: {:>10.3e} cycles/inference  mem-bound {:>4.0}%\n",
+            p.batch, p.cycles_per_inference, p.memory_bound_fraction * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_scale_and_batch_amortizes() {
+        let ctx = ExperimentContext::new();
+        let s = run(&ctx);
+        assert_eq!(s.pages.len(), 2);
+        for row in &s.pages {
+            assert_eq!(row.reports.len(), 5);
+            let speedup_16 = row.reports[0].total_cycles / row.reports[4].total_cycles;
+            assert!(speedup_16 > 2.0, "{}: {speedup_16}", row.model);
+        }
+        // Batching never increases per-inference cycles, and at the
+        // constrained bandwidth it strictly amortizes the weight stream.
+        for pair in s.batch.windows(2) {
+            assert!(
+                pair[1].cycles_per_inference <= pair[0].cycles_per_inference * 1.01,
+                "{pair:?}"
+            );
+        }
+        let first = &s.batch[0];
+        let last = s.batch.last().unwrap();
+        assert!(
+            last.cycles_per_inference < first.cycles_per_inference * 0.9,
+            "batching should amortize: {} -> {}",
+            first.cycles_per_inference,
+            last.cycles_per_inference
+        );
+        assert!(last.memory_bound_fraction <= first.memory_bound_fraction);
+    }
+}

@@ -1,0 +1,102 @@
+//! Table III — FP32 vs SPARK accuracy for the five evaluated models,
+//! measured end to end on the trained proxies.
+
+use serde::{Deserialize, Serialize};
+use spark_quant::SparkCodec;
+
+use crate::accuracy::{ProxyFamily, TrainedProxy};
+use crate::context::ExperimentContext;
+
+/// One model row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Paper model the proxy stands in for.
+    pub model: String,
+    /// Proxy FP32 test accuracy (%).
+    pub fp32_acc: f64,
+    /// Proxy accuracy after SPARK weight compression (%).
+    pub spark_acc: f64,
+    /// Average storage bits per weight under SPARK.
+    pub avg_bits: f64,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3 {
+    /// Rows in paper order (VGG16, ResNet18, ResNet50, ViT, BERT).
+    pub rows: Vec<Table3Row>,
+}
+
+/// Trains one proxy per model (distinct seeds stand in for distinct
+/// networks) and measures the SPARK accuracy delta. The reported bit-width
+/// is the codec measured on the model's calibrated weight distribution
+/// (trained-proxy weights are near-Gaussian without the long tails real
+/// checkpoints show, so their own bit-width is not representative).
+pub fn run(ctx: &ExperimentContext, quick: bool) -> Table3 {
+    let models = ["VGG16", "ResNet18", "ResNet50", "ViT", "BERT"];
+    let codec = SparkCodec::default();
+    let rows = models
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let family = ProxyFamily::of_model(name);
+            let mut proxy = TrainedProxy::train_for(family, 300 + i as u64, quick);
+            let (acc, _) = proxy.accuracy_with(&codec);
+            let model_bits = ctx
+                .model(name)
+                .map(|m| m.precision.spark_bits_w)
+                .unwrap_or(8.0);
+            Table3Row {
+                model: name.to_string(),
+                fp32_acc: proxy.fp32_acc * 100.0,
+                spark_acc: acc * 100.0,
+                avg_bits: model_bits,
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+/// Renders the table as text.
+pub fn render(t: &Table3) -> String {
+    let mut out = String::from(
+        "Table III: FP32 vs SPARK accuracy (trained proxies)\n\
+         model      FP32 acc %   SPARK acc %   delta    avg bits\n",
+    );
+    for r in &t.rows {
+        out.push_str(&format!(
+            "{:<10} {:>9.2}   {:>11.2}   {:>6.2}   {:>8.2}\n",
+            r.model,
+            r.fp32_acc,
+            r.spark_acc,
+            r.spark_acc - r.fp32_acc,
+            r.avg_bits
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_accuracy_near_fp32() {
+        let ctx = ExperimentContext::new();
+        let t = run(&ctx, true);
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            // Paper: ~0.1-0.7 point deltas on ImageNet/SST-2; the tiny
+            // proxies are noisier, so allow a few points.
+            assert!(
+                (r.fp32_acc - r.spark_acc).abs() < 8.0,
+                "{}: {} vs {}",
+                r.model,
+                r.fp32_acc,
+                r.spark_acc
+            );
+            assert!(r.fp32_acc > 30.0, "{} undertrained: {}", r.model, r.fp32_acc);
+            assert!(r.avg_bits < 8.0);
+        }
+    }
+}

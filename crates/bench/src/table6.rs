@@ -1,0 +1,51 @@
+//! Table VI — area breakdown of the SPARK core.
+
+use serde::{Deserialize, Serialize};
+use spark_sim::area::{spark_breakdown, AreaBreakdown};
+
+/// The regenerated table (the area crate's breakdown plus shares).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table6 {
+    /// The breakdown.
+    pub breakdown: AreaBreakdown,
+}
+
+/// Regenerates Table VI.
+pub fn run() -> Table6 {
+    Table6 {
+        breakdown: spark_breakdown(),
+    }
+}
+
+/// Renders the table as text.
+pub fn render(t: &Table6) -> String {
+    let total = t.breakdown.total_mm2();
+    let mut out = String::from(
+        "Table VI: SPARK area breakdown (28 nm)\n\
+         component       count     area (mm^2)   share (%)\n",
+    );
+    for c in &t.breakdown.components {
+        out.push_str(&format!(
+            "{:<15} {:>5}   {:>12.6}   {:>8.3}\n",
+            c.component,
+            c.count,
+            c.area_mm2,
+            c.area_mm2 / total * 100.0
+        ));
+    }
+    out.push_str(&format!("total                   {total:>12.6}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_overhead_below_one_percent() {
+        let t = run();
+        let codec_share = t.breakdown.share("4-bit decoder") + t.breakdown.share("encoder");
+        assert!(codec_share < 0.01, "codec share {codec_share}");
+        assert!(render(&t).contains("4-bit PE"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Table VII — iso-area core configurations across all designs.
+
+use serde::{Deserialize, Serialize};
+use spark_sim::area::{breakdown, AreaBreakdown};
+use spark_sim::AcceleratorKind;
+
+/// The regenerated table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table7 {
+    /// One breakdown per design.
+    pub designs: Vec<AreaBreakdown>,
+}
+
+/// Regenerates Table VII.
+pub fn run() -> Table7 {
+    Table7 {
+        designs: AcceleratorKind::ALL.into_iter().map(breakdown).collect(),
+    }
+}
+
+/// Renders the table as text.
+pub fn render(t: &Table7) -> String {
+    let mut out = String::from("Table VII: core configuration and area (28 nm, iso-area)\n");
+    for d in &t.designs {
+        out.push_str(&format!(
+            "{:<10} total {:>7.4} mm^2\n",
+            d.kind.name(),
+            d.total_mm2()
+        ));
+        for c in &d.components {
+            out.push_str(&format!(
+                "    {:<16} x{:<5} {:>10.6} mm^2\n",
+                c.component, c.count, c.area_mm2
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_iso_area() {
+        let t = run();
+        assert_eq!(t.designs.len(), 8);
+        for d in &t.designs {
+            let total = d.total_mm2();
+            assert!(
+                (0.29..0.35).contains(&total),
+                "{}: {total}",
+                d.kind.name()
+            );
+        }
+        // SPARK has the smallest codec area of the decoder-based designs.
+        let codec_area = |kind: AcceleratorKind| -> f64 {
+            breakdown(kind)
+                .components
+                .iter()
+                .filter(|c| c.component.contains("decoder") || c.component.contains("encoder"))
+                .map(|c| c.area_mm2)
+                .sum()
+        };
+        assert!(codec_area(AcceleratorKind::Spark) < codec_area(AcceleratorKind::Olive));
+        assert!(render(&t).contains("SPARK"));
+    }
+}

@@ -1,0 +1,258 @@
+//! `spark` — command-line front end for the SPARK encoding and simulator.
+//!
+//! ```text
+//! spark encode  <input.f32> <output.spark>    quantize + SPARK-encode an f32 LE file
+//! spark decode  <input.spark> <output.u8>     decode a container back to code words
+//! spark analyze <input.f32>                   code statistics + entropy analysis
+//! spark simulate <model> [accelerator]        run a workload on the perf model
+//! spark profile <model>                       calibrated distribution characterization
+//! spark models                                list known model names
+//! ```
+//!
+//! Input `.f32` files are raw little-endian 32-bit floats (e.g. exported
+//! with `numpy.ndarray.tofile`).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+use spark_codec::{analysis, encode_tensor, read_container, write_container, decode_stream};
+use spark_data::ModelProfile;
+use spark_nn::ModelWorkload;
+use spark_quant::{Codec, MagnitudeQuantizer, SparkCodec};
+use spark_sim::{Accelerator, AcceleratorKind, PrecisionProfile, SimConfig};
+use spark_tensor::Tensor;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("encode") => cmd_encode(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("models") => cmd_models(),
+        _ => {
+            eprintln!("usage: spark <encode|decode|analyze|simulate|profile|models> ...");
+            eprintln!("  encode  <input.f32> <output.spark>");
+            eprintln!("  decode  <input.spark> <output.u8>");
+            eprintln!("  analyze <input.f32>");
+            eprintln!("  simulate <model> [accelerator]");
+            eprintln!("  profile <model>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn read_f32_file(path: &str) -> Result<Tensor, Box<dyn std::error::Error>> {
+    let mut bytes = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
+    if bytes.len() % 4 != 0 {
+        return Err(format!("{path}: length {} is not a multiple of 4", bytes.len()).into());
+    }
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let n = data.len();
+    Ok(Tensor::from_vec(data, &[n])?)
+}
+
+fn cmd_encode(args: &[String]) -> CliResult {
+    let [input, output] = args else {
+        return Err("usage: spark encode <input.f32> <output.spark>".into());
+    };
+    let tensor = read_f32_file(input)?;
+    let quantizer = MagnitudeQuantizer::new(8)?;
+    let codes = quantizer.quantize(&tensor)?;
+    let encoded = encode_tensor(&codes.codes);
+    let mut out = BufWriter::new(File::create(output)?);
+    let written = write_container(&encoded, &mut out)?;
+    out.flush()?;
+    println!(
+        "{}: {} values -> {} bytes ({:.2} bits/value, {:.1}% short, {:.1}% lossless)",
+        output,
+        encoded.elements,
+        written,
+        encoded.stats.avg_bits(),
+        encoded.stats.short_fraction() * 100.0,
+        encoded.stats.lossless_fraction() * 100.0
+    );
+    println!("scale: {} (store it to dequantize)", codes.scale);
+    Ok(())
+}
+
+fn cmd_decode(args: &[String]) -> CliResult {
+    let [input, output] = args else {
+        return Err("usage: spark decode <input.spark> <output.u8>".into());
+    };
+    let encoded = read_container(BufReader::new(File::open(input)?))?;
+    let decoded = decode_stream(&encoded.stream)?;
+    let mut out = BufWriter::new(File::create(output)?);
+    out.write_all(&decoded)?;
+    out.flush()?;
+    println!("{}: {} code words written", output, decoded.len());
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let [input] = args else {
+        return Err("usage: spark analyze <input.f32>".into());
+    };
+    let tensor = read_f32_file(input)?;
+    let quantizer = MagnitudeQuantizer::new(8)?;
+    let codes = quantizer.quantize(&tensor)?;
+    let a = analysis::analyze(&codes.codes);
+    println!("values:            {}", a.count);
+    println!("SPARK bits/value:  {:.3}", a.spark_bits);
+    println!("source entropy:    {:.3} bits", a.source_entropy);
+    println!("recon entropy:     {:.3} bits", a.reconstructed_entropy);
+    println!("alignment cost:    {:.3} bits", a.alignment_overhead_bits());
+    println!("mean / RMS error:  {:.3} / {:.3} code units", a.mean_error, a.rms_error);
+    let r = SparkCodec::default().compress(&tensor)?;
+    println!("end-to-end SQNR:   {:.1} dB", r.sqnr_db(&tensor));
+    Ok(())
+}
+
+fn parse_accelerator(name: &str) -> Option<AcceleratorKind> {
+    AcceleratorKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+fn cmd_simulate(args: &[String]) -> CliResult {
+    let model = args
+        .first()
+        .ok_or("usage: spark simulate <model> [accelerator]")?;
+    let workload = ModelWorkload::by_name(model)
+        .ok_or_else(|| format!("unknown model {model}; try `spark models`"))?;
+    let kind = match args.get(1) {
+        Some(name) => {
+            parse_accelerator(name).ok_or_else(|| format!("unknown accelerator {name}"))?
+        }
+        None => AcceleratorKind::Spark,
+    };
+    let profile = ModelProfile::all()
+        .into_iter()
+        .find(|p| p.name == *model)
+        .ok_or_else(|| format!("no calibrated profile for {model}"))?;
+    let weights = profile.sample_tensor(40_000, 1);
+    let acts = profile.sample_activations(40_000, 2);
+    let precision = PrecisionProfile::from_tensors(&weights, &acts)?;
+    let config = SimConfig::default();
+    let acc = Accelerator::new(kind);
+    let report = acc.run(&workload, &precision, &config);
+    println!("{} on {}:", workload.name, kind.name());
+    println!("  cycles:     {:.3e}", report.total_cycles);
+    println!("  latency:    {:.3} ms @ {} MHz", report.latency_ms(&config), config.frequency_mhz);
+    println!(
+        "  energy:     {:.3} mJ (dram {:.1}% / buffer {:.1}% / core {:.1}%)",
+        report.energy.total() * 1e-9,
+        report.energy.dram_pj / report.energy.total() * 100.0,
+        report.energy.buffer_pj / report.energy.total() * 100.0,
+        report.energy.core_pj / report.energy.total() * 100.0
+    );
+    println!("  efficiency: {:.0} GMAC/J", report.gmacs_per_joule(&workload));
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> CliResult {
+    let model = args.first().ok_or("usage: spark profile <model>")?;
+    let profile = ModelProfile::all()
+        .into_iter()
+        .find(|p| p.name == *model)
+        .ok_or_else(|| format!("unknown model {model}; try `spark models`"))?;
+    let weights = profile.sample_tensor(40_000, 1);
+    let (result, stats) = SparkCodec::default().compress_with_stats(&weights)?;
+    println!("{} (calibrated weight distribution):", profile.name);
+    println!("  short codes:  {:.1}%", stats.short_fraction() * 100.0);
+    println!("  lossless:     {:.1}%", stats.lossless_fraction() * 100.0);
+    println!("  avg bits:     {:.2}", stats.avg_bits());
+    println!("  SQNR:         {:.1} dB", result.sqnr_db(&weights));
+    Ok(())
+}
+
+fn cmd_models() -> CliResult {
+    println!("models:");
+    for p in ModelProfile::all() {
+        let w = ModelWorkload::by_name(&p.name).expect("every profile has a workload");
+        println!(
+            "  {:<10} {:>8.2} GMACs  {:>7.1}M weights",
+            p.name,
+            w.total_macs() as f64 / 1e9,
+            w.total_weights() as f64 / 1e6
+        );
+    }
+    println!("accelerators:");
+    for k in AcceleratorKind::ALL {
+        println!("  {}", k.name());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_reader_round_trips() {
+        let path = std::env::temp_dir().join("spark_cli_test.f32");
+        let values = [1.5f32, -2.25, 0.0, 1e-3];
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::write(&path, &bytes).unwrap();
+        let t = read_f32_file(path.to_str().unwrap()).unwrap();
+        assert_eq!(t.as_slice(), &values);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn f32_reader_rejects_misaligned_files() {
+        let path = std::env::temp_dir().join("spark_cli_bad.f32");
+        std::fs::write(&path, [1u8, 2, 3]).unwrap();
+        assert!(read_f32_file(path.to_str().unwrap()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn accelerator_names_parse_case_insensitively() {
+        assert_eq!(parse_accelerator("spark"), Some(AcceleratorKind::Spark));
+        assert_eq!(parse_accelerator("EYERISS"), Some(AcceleratorKind::Eyeriss));
+        assert_eq!(parse_accelerator("olive"), Some(AcceleratorKind::Olive));
+        assert_eq!(parse_accelerator("nonsense"), None);
+    }
+
+    #[test]
+    fn encode_decode_files_end_to_end() {
+        let dir = std::env::temp_dir();
+        let f32_path = dir.join("spark_cli_e2e.f32");
+        let spark_path = dir.join("spark_cli_e2e.spark");
+        let u8_path = dir.join("spark_cli_e2e.u8");
+        let values: Vec<f32> = (0..512).map(|i| ((i * 37) % 100) as f32 / 100.0 - 0.5).collect();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::write(&f32_path, &bytes).unwrap();
+        cmd_encode(&[
+            f32_path.to_str().unwrap().to_string(),
+            spark_path.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        cmd_decode(&[
+            spark_path.to_str().unwrap().to_string(),
+            u8_path.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        let codes = std::fs::read(&u8_path).unwrap();
+        assert_eq!(codes.len(), 512);
+        for p in [f32_path, spark_path, u8_path] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+}

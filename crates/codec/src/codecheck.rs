@@ -1,0 +1,58 @@
+//! Error type for invalid generalized-format parameters.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a `(base_bits, short_bits)` pair is not a valid SPARK
+/// format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FormatError {
+    base_bits: u8,
+    short_bits: u8,
+}
+
+impl FormatError {
+    pub(crate) fn new(base_bits: u8, short_bits: u8) -> Self {
+        Self {
+            base_bits,
+            short_bits,
+        }
+    }
+
+    /// The rejected base width.
+    pub fn base_bits(&self) -> u8 {
+        self.base_bits
+    }
+
+    /// The rejected short-code width.
+    pub fn short_bits(&self) -> u8 {
+        self.short_bits
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid SPARK format ({}/{}): need 3 <= short < base <= 16",
+            self.base_bits, self.short_bits
+        )
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_both_widths() {
+        let e = FormatError::new(20, 2);
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains('2'));
+        assert_eq!(e.base_bits(), 20);
+        assert_eq!(e.short_bits(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! On-disk container for SPARK-encoded tensors.
+//!
+//! A compact binary format for persisting encoded tensors — what a
+//! deployment pipeline would ship to the accelerator: a 24-byte header
+//! (magic, version, element and nibble counts) followed by the packed
+//! nibble stream. Everything is little-endian and the stream bytes are the
+//! exact DRAM image.
+
+use std::io::{self, Read, Write};
+
+use crate::stats::CodeStats;
+use crate::stream::{EncodedTensor, NibbleStream};
+use crate::{decode_stream, DecodeError};
+
+/// File magic: "SPRK".
+pub const MAGIC: [u8; 4] = *b"SPRK";
+/// Container format version.
+pub const VERSION: u32 = 1;
+
+/// Errors reading a container.
+#[derive(Debug)]
+pub enum ContainerError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Wrong magic bytes.
+    BadMagic([u8; 4]),
+    /// Unsupported version.
+    BadVersion(u32),
+    /// Header counts inconsistent with the payload.
+    Corrupt(String),
+    /// The nibble stream itself is malformed.
+    Stream(DecodeError),
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::Io(e) => write!(f, "i/o error: {e}"),
+            ContainerError::BadMagic(m) => write!(f, "bad magic {m:?}, not a SPARK container"),
+            ContainerError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            ContainerError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
+            ContainerError::Stream(e) => write!(f, "malformed stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+impl From<io::Error> for ContainerError {
+    fn from(e: io::Error) -> Self {
+        ContainerError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ContainerError {
+    fn from(e: DecodeError) -> Self {
+        ContainerError::Stream(e)
+    }
+}
+
+/// Writes an encoded tensor to a writer. Returns the bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_container<W: Write>(tensor: &EncodedTensor, mut out: W) -> Result<usize, io::Error> {
+    out.write_all(&MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(tensor.elements as u64).to_le_bytes())?;
+    out.write_all(&(tensor.stream.len() as u64).to_le_bytes())?;
+    out.write_all(tensor.stream.as_bytes())?;
+    Ok(4 + 4 + 8 + 8 + tensor.stream.as_bytes().len())
+}
+
+/// Reads an encoded tensor back from a reader, re-deriving the statistics
+/// by decoding the stream.
+///
+/// # Errors
+///
+/// Returns [`ContainerError`] on I/O failure, bad magic/version, count
+/// mismatches, or a malformed nibble stream.
+pub fn read_container<R: Read>(mut input: R) -> Result<EncodedTensor, ContainerError> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(ContainerError::BadMagic(magic));
+    }
+    let mut buf4 = [0u8; 4];
+    input.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(ContainerError::BadVersion(version));
+    }
+    let mut buf8 = [0u8; 8];
+    input.read_exact(&mut buf8)?;
+    let elements = u64::from_le_bytes(buf8) as usize;
+    input.read_exact(&mut buf8)?;
+    let nibbles = u64::from_le_bytes(buf8) as usize;
+    let mut bytes = vec![0u8; nibbles.div_ceil(2)];
+    input.read_exact(&mut bytes)?;
+
+    let mut stream = NibbleStream::with_capacity(nibbles);
+    for i in 0..nibbles {
+        let b = bytes[i / 2];
+        stream.push(if i % 2 == 0 { b >> 4 } else { b & 0x0F });
+    }
+    // Validate and re-derive statistics by decoding.
+    let decoded = decode_stream(&stream)?;
+    if decoded.len() != elements {
+        return Err(ContainerError::Corrupt(format!(
+            "header says {elements} elements, stream holds {}",
+            decoded.len()
+        )));
+    }
+    let mut stats = CodeStats::new();
+    for &v in &decoded {
+        // Decoded values are fixed points, so re-encoding them recovers the
+        // exact code kinds; errors are all zero by construction.
+        stats.record(v, crate::encode_value(v));
+    }
+    Ok(EncodedTensor {
+        stream,
+        elements,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode_tensor;
+
+    fn sample() -> EncodedTensor {
+        let values: Vec<u8> = (0..500u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        encode_tensor(&values)
+    }
+
+    #[test]
+    fn round_trip_preserves_stream_and_counts() {
+        let enc = sample();
+        let mut buf = Vec::new();
+        let written = write_container(&enc, &mut buf).unwrap();
+        assert_eq!(written, buf.len());
+        let back = read_container(buf.as_slice()).unwrap();
+        assert_eq!(back.stream, enc.stream);
+        assert_eq!(back.elements, enc.elements);
+        assert_eq!(back.stats.short_count(), enc.stats.short_count());
+        assert_eq!(back.stats.long_count(), enc.stats.long_count());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_container(&sample(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_container(buf.as_slice()),
+            Err(ContainerError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_container(&sample(), &mut buf).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_container(buf.as_slice()),
+            Err(ContainerError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut buf = Vec::new();
+        write_container(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_container(buf.as_slice()),
+            Err(ContainerError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn element_count_mismatch_detected() {
+        let mut buf = Vec::new();
+        write_container(&sample(), &mut buf).unwrap();
+        // Tamper with the element count field.
+        buf[8] = buf[8].wrapping_add(1);
+        assert!(matches!(
+            read_container(buf.as_slice()),
+            Err(ContainerError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_tensor_round_trips() {
+        let enc = encode_tensor(&[]);
+        let mut buf = Vec::new();
+        write_container(&enc, &mut buf).unwrap();
+        let back = read_container(buf.as_slice()).unwrap();
+        assert_eq!(back.elements, 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ContainerError::BadVersion(7).to_string().contains('7'));
+        assert!(ContainerError::BadMagic(*b"ABCD").to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Streaming model of the SPARK decoder (Fig 5, Fig 7, Eq 3).
+//!
+//! The hardware decoder reads one 4-bit beat per cycle plus an *enable*
+//! signal that remembers whether the previous beat was the first half of a
+//! long code. It is built from multiplexers, OR and NOT gates only; this
+//! module reproduces that finite-state machine faithfully, including the
+//! cycle accounting the simulator uses.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a nibble stream is malformed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeError {
+    /// The stream ended while the decoder was waiting for the second nibble
+    /// of a long code.
+    TruncatedLongCode,
+    /// A nibble outside `0..=15` was pushed (caller bug).
+    InvalidNibble(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TruncatedLongCode => {
+                write!(f, "stream ended inside a long code (enable still set)")
+            }
+            DecodeError::InvalidNibble(n) => write!(f, "invalid nibble value {n}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// One decoded output beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// prev nibble of a long code, waiting for post.
+    LongPrev(u8),
+}
+
+/// The streaming SPARK decoder of Fig 7.
+///
+/// Push nibbles with [`SparkDecoder::push_nibble`]; each push models one
+/// decoder cycle. Completed values come back as `Some(value)`.
+///
+/// ```
+/// use spark_codec::SparkDecoder;
+/// let mut dec = SparkDecoder::new();
+/// // Paper example: byte 0100 0011 carries two short values, 4 and 3.
+/// assert_eq!(dec.push_nibble(0b0100)?, Some(4));
+/// assert_eq!(dec.push_nibble(0b0011)?, Some(3));
+/// // Paper example: 1101 0010 is the single long value 210.
+/// assert_eq!(dec.push_nibble(0b1101)?, None);
+/// assert_eq!(dec.push_nibble(0b0010)?, Some(210));
+/// # Ok::<(), spark_codec::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparkDecoder {
+    pending: Option<Pending>,
+    cycles: u64,
+    values_out: u64,
+}
+
+impl SparkDecoder {
+    /// Creates a decoder with the enable signal cleared.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The enable signal: set while the decoder waits for the post nibble of
+    /// a long code.
+    pub fn enable(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Consumes one 4-bit beat; returns a completed value when one finishes
+    /// this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidNibble`] if `nibble > 15`.
+    pub fn push_nibble(&mut self, nibble: u8) -> Result<Option<u8>, DecodeError> {
+        if nibble > 0x0F {
+            return Err(DecodeError::InvalidNibble(nibble));
+        }
+        self.cycles += 1;
+        match self.pending.take() {
+            Some(Pending::LongPrev(prev)) => {
+                // EN = 1: this beat is the post part of a high-precision value.
+                let value = decode_pair(prev, nibble);
+                self.values_out += 1;
+                Ok(Some(value))
+            }
+            None => {
+                let c0 = (nibble >> 3) & 1; // identifier bit of this beat
+                if c0 == 0 {
+                    // Low-precision value: output directly.
+                    self.values_out += 1;
+                    Ok(Some(nibble & 0x07))
+                } else {
+                    // High-precision: remember prev, set enable.
+                    self.pending = Some(Pending::LongPrev(nibble));
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Declares the stream finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TruncatedLongCode`] when a long code was left
+    /// half-read.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.enable() {
+            Err(DecodeError::TruncatedLongCode)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Cycles consumed so far (one per pushed nibble — the decoder reads one
+    /// 4-bit beat per cycle).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Values emitted so far.
+    pub fn values_decoded(&self) -> u64 {
+        self.values_out
+    }
+
+    /// Clears all state and counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Combines a long code's two nibbles into the decoded byte (Eq 3).
+///
+/// `prev` is the identifier nibble `1 b1 b2 c3`; `c3` selects whether the
+/// identifier participates in the value.
+fn decode_pair(prev: u8, post: u8) -> u8 {
+    let c3 = prev & 1;
+    let high = ((prev >> 2) & 1) << 6 | ((prev >> 1) & 1) << 5;
+    if c3 == 0 {
+        high | (post & 0x0F)
+    } else {
+        0x80 | high | 0x10 | (post & 0x0F)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode_value, SparkCode};
+
+    #[test]
+    fn decoder_round_trips_every_byte() {
+        let mut dec = SparkDecoder::new();
+        for v in 0u16..=255 {
+            let v = v as u8;
+            let code = encode_value(v);
+            let mut out = None;
+            for nib in code.nibbles() {
+                out = dec.push_nibble(nib).unwrap();
+            }
+            assert_eq!(out, Some(code.decode()), "value {v}");
+        }
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn enable_signal_tracks_long_codes() {
+        let mut dec = SparkDecoder::new();
+        assert!(!dec.enable());
+        dec.push_nibble(0b1010).unwrap(); // long prev
+        assert!(dec.enable());
+        dec.push_nibble(0b0000).unwrap(); // post
+        assert!(!dec.enable());
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let mut dec = SparkDecoder::new();
+        dec.push_nibble(0b1000).unwrap();
+        assert_eq!(dec.finish(), Err(DecodeError::TruncatedLongCode));
+    }
+
+    #[test]
+    fn invalid_nibble_rejected() {
+        let mut dec = SparkDecoder::new();
+        assert_eq!(dec.push_nibble(16), Err(DecodeError::InvalidNibble(16)));
+    }
+
+    #[test]
+    fn cycle_accounting_one_per_nibble() {
+        let mut dec = SparkDecoder::new();
+        // one short (1 cycle) + one long (2 cycles)
+        dec.push_nibble(0b0001).unwrap();
+        for nib in SparkCode::encode(100).nibbles() {
+            dec.push_nibble(nib).unwrap();
+        }
+        assert_eq!(dec.cycles(), 3);
+        assert_eq!(dec.values_decoded(), 2);
+    }
+
+    #[test]
+    fn mixed_stream_paper_order() {
+        // Values interleave short and long codes without resynchronization.
+        let values = [5u8, 210, 3, 15, 176];
+        let mut nibbles = Vec::new();
+        for &v in &values {
+            nibbles.extend(encode_value(v).nibbles());
+        }
+        let mut dec = SparkDecoder::new();
+        let mut out = Vec::new();
+        for nib in nibbles {
+            if let Some(v) = dec.push_nibble(nib).unwrap() {
+                out.push(v);
+            }
+        }
+        dec.finish().unwrap();
+        assert_eq!(out, vec![5, 210, 3, 15, 176]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut dec = SparkDecoder::new();
+        dec.push_nibble(0b1000).unwrap();
+        dec.reset();
+        assert!(!dec.enable());
+        assert_eq!(dec.cycles(), 0);
+        assert_eq!(dec.values_decoded(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::TruncatedLongCode.to_string().contains("long code"));
+        assert!(DecodeError::InvalidNibble(20).to_string().contains("20"));
+    }
+}

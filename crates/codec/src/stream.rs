@@ -1,0 +1,280 @@
+//! Nibble-aligned packing of whole tensors.
+//!
+//! The paper stresses that SPARK keeps memory accesses *aligned*: the tensor
+//! is stored as a dense stream of 4-bit beats (the "basic bit length"), two
+//! per byte, with no side tables. [`NibbleStream`] is that storage format;
+//! [`encode_tensor`] / [`decode_stream`] convert between raw `u8` code words
+//! and the packed representation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::compensation::EncodeMode;
+use crate::decoder::{DecodeError, SparkDecoder};
+use crate::stats::CodeStats;
+
+/// A dense, aligned stream of 4-bit beats (high nibble first within each
+/// byte).
+///
+/// ```
+/// use spark_codec::NibbleStream;
+/// let mut s = NibbleStream::new();
+/// s.push(0xA);
+/// s.push(0xB);
+/// s.push(0xC);
+/// assert_eq!(s.as_bytes(), &[0xAB, 0xC0]);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![0xA, 0xB, 0xC]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NibbleStream {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl NibbleStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty stream with capacity for `n` nibbles.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(n.div_ceil(2)),
+            len: 0,
+        }
+    }
+
+    /// Appends one nibble (low 4 bits of `nibble`).
+    pub fn push(&mut self, nibble: u8) {
+        let nibble = nibble & 0x0F;
+        if self.len.is_multiple_of(2) {
+            self.bytes.push(nibble << 4);
+        } else {
+            *self.bytes.last_mut().expect("odd len implies a byte") |= nibble;
+        }
+        self.len += 1;
+    }
+
+    /// Number of nibbles stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no nibbles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes of the packed storage (the footprint DRAM sees).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The packed bytes (final byte zero-padded when `len` is odd).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Nibble at position `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<u8> {
+        if i >= self.len {
+            return None;
+        }
+        let byte = self.bytes[i / 2];
+        Some(if i.is_multiple_of(2) { byte >> 4 } else { byte & 0x0F })
+    }
+
+    /// Iterates the nibbles in order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len).map(move |i| self.get(i).expect("in range"))
+    }
+}
+
+impl FromIterator<u8> for NibbleStream {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut s = NibbleStream::new();
+        for n in iter {
+            s.push(n);
+        }
+        s
+    }
+}
+
+impl Extend<u8> for NibbleStream {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        for n in iter {
+            self.push(n);
+        }
+    }
+}
+
+/// A SPARK-encoded tensor: the aligned nibble stream plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedTensor {
+    /// The packed, aligned 4-bit stream.
+    pub stream: NibbleStream,
+    /// Number of source elements.
+    pub elements: usize,
+    /// Encoding statistics (short/lossless fractions, average bit-width).
+    pub stats: CodeStats,
+}
+
+impl EncodedTensor {
+    /// Compression ratio versus the 8-bit baseline
+    /// (`8 / average_bits`, > 1 when the encoding saves space).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.elements == 0 {
+            return 1.0;
+        }
+        8.0 / self.stats.avg_bits()
+    }
+}
+
+/// Encodes a slice of INT8 code words with the accuracy compensation
+/// mechanism enabled (the paper's default).
+pub fn encode_tensor(values: &[u8]) -> EncodedTensor {
+    encode_tensor_with(values, EncodeMode::Compensated)
+}
+
+/// Encodes a slice of INT8 code words under an explicit [`EncodeMode`]
+/// (used by the Fig 13 ablation).
+pub fn encode_tensor_with(values: &[u8], mode: EncodeMode) -> EncodedTensor {
+    let mut stream = NibbleStream::with_capacity(values.len() * 2);
+    let mut stats = CodeStats::default();
+    for &v in values {
+        let code = mode.encode(v);
+        stats.record(v, code);
+        stream.extend(code.nibbles());
+    }
+    EncodedTensor {
+        stream,
+        elements: values.len(),
+        stats,
+    }
+}
+
+/// Decodes a packed nibble stream back to code words.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::TruncatedLongCode`] when the stream ends half-way
+/// through a long code.
+pub fn decode_stream(stream: &NibbleStream) -> Result<Vec<u8>, DecodeError> {
+    let mut dec = SparkDecoder::new();
+    let mut out = Vec::new();
+    for nib in stream.iter() {
+        if let Some(v) = dec.push_nibble(nib)? {
+            out.push(v);
+        }
+    }
+    dec.finish()?;
+    Ok(out)
+}
+
+/// Encodes values and immediately decodes them — the reconstruction the
+/// accelerator computes with. Convenience for accuracy experiments.
+pub fn round_trip(values: &[u8], mode: EncodeMode) -> Vec<u8> {
+    values.iter().map(|&v| mode.encode(v).decode()).collect()
+}
+
+/// Per-value code kinds for a tensor, the operand-precision schedule the
+/// simulator consumes.
+pub fn code_kinds(values: &[u8]) -> Vec<crate::CodeKind> {
+    values.iter().map(|&v| crate::CodeKind::of(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode_value;
+
+    #[test]
+    fn push_and_get() {
+        let mut s = NibbleStream::new();
+        for n in 0..10u8 {
+            s.push(n);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.byte_len(), 5);
+        for n in 0..10u8 {
+            assert_eq!(s.get(n as usize), Some(n));
+        }
+        assert_eq!(s.get(10), None);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        let mut s = NibbleStream::new();
+        s.push(0xF);
+        assert_eq!(s.as_bytes(), &[0xF0]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let s: NibbleStream = [1u8, 2, 3].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let mut s2 = s.clone();
+        s2.extend([4u8]);
+        assert_eq!(s2.len(), 4);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_bytes() {
+        let values: Vec<u8> = (0u16..=255).map(|v| v as u8).collect();
+        let enc = encode_tensor(&values);
+        let dec = decode_stream(&enc.stream).unwrap();
+        assert_eq!(dec.len(), values.len());
+        for (&orig, &got) in values.iter().zip(&dec) {
+            assert_eq!(got, encode_value(orig).decode());
+        }
+    }
+
+    #[test]
+    fn all_short_values_halve_storage() {
+        let values = vec![3u8; 100];
+        let enc = encode_tensor(&values);
+        assert_eq!(enc.stream.len(), 100); // one nibble each
+        assert_eq!(enc.stream.byte_len(), 50);
+        assert!((enc.compression_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_long_values_keep_full_width() {
+        let values = vec![200u8; 50];
+        let enc = encode_tensor(&values);
+        assert_eq!(enc.stream.len(), 100);
+        assert!((enc.compression_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let enc = encode_tensor(&[]);
+        assert_eq!(enc.elements, 0);
+        assert_eq!(enc.compression_ratio(), 1.0);
+        assert_eq!(decode_stream(&enc.stream).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut s = NibbleStream::new();
+        s.push(0b1000); // first half of a long code
+        assert!(decode_stream(&s).is_err());
+    }
+
+    #[test]
+    fn round_trip_matches_per_value_decode() {
+        let values = [0u8, 7, 8, 18, 127, 128, 170, 255];
+        let rt = round_trip(&values, EncodeMode::Compensated);
+        for (&v, &r) in values.iter().zip(&rt) {
+            assert_eq!(r, encode_value(v).decode());
+        }
+    }
+
+    #[test]
+    fn code_kinds_split_at_8() {
+        let kinds = code_kinds(&[0, 7, 8, 255]);
+        use crate::CodeKind::*;
+        assert_eq!(kinds, vec![Short, Short, Long, Long]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Property-based tests over the SPARK codec invariants.
+
+use proptest::prelude::*;
+use spark_codec::{
+    bias_correction, decode_stream, decode_value, encode_tensor, encode_tensor_with,
+    encode_value, CodeKind, EncodeMode, SparkDecoder, SparkEncoder, MAX_ENCODING_ERROR,
+};
+
+proptest! {
+    /// Round-trip error never exceeds the paper's bound of 16.
+    #[test]
+    fn error_bounded(v in any::<u8>()) {
+        let d = decode_value(v);
+        prop_assert!((i16::from(v) - i16::from(d)).abs() <= i16::from(MAX_ENCODING_ERROR));
+    }
+
+    /// Short codes are exactly the values below 8 and are lossless.
+    #[test]
+    fn short_codes_lossless(v in 0u8..8) {
+        let c = encode_value(v);
+        prop_assert_eq!(c.kind(), CodeKind::Short);
+        prop_assert_eq!(c.decode(), v);
+    }
+
+    /// Values whose check bits agree (b0 == b3) are lossless.
+    #[test]
+    fn agreeing_check_bits_lossless(v in any::<u8>()) {
+        let b0 = (v >> 7) & 1;
+        let b3 = (v >> 4) & 1;
+        if b0 == b3 {
+            prop_assert_eq!(decode_value(v), v);
+        }
+    }
+
+    /// Decoding is a projection: decoded values are fixed points.
+    #[test]
+    fn decode_is_projection(v in any::<u8>()) {
+        let d = decode_value(v);
+        prop_assert_eq!(decode_value(d), d);
+    }
+
+    /// Encoding preserves order coarsely: reconstruction stays within one
+    /// rounding block, so values 32 apart can never invert.
+    #[test]
+    fn coarse_monotonicity(a in any::<u8>(), b in any::<u8>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if u16::from(hi) - u16::from(lo) > 32 {
+            prop_assert!(decode_value(lo) < decode_value(hi));
+        }
+    }
+
+    /// Tensor-level round trip through the packed nibble stream matches the
+    /// per-value reconstruction for arbitrary tensors.
+    #[test]
+    fn stream_round_trip(values in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let enc = encode_tensor(&values);
+        let dec = decode_stream(&enc.stream).unwrap();
+        prop_assert_eq!(dec.len(), values.len());
+        for (orig, got) in values.iter().zip(&dec) {
+            prop_assert_eq!(*got, decode_value(*orig));
+        }
+    }
+
+    /// The packed stream is never larger than the 8-bit original and never
+    /// smaller than half of it.
+    #[test]
+    fn stream_size_bounds(values in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let enc = encode_tensor(&values);
+        prop_assert!(enc.stream.byte_len() <= values.len());
+        prop_assert!(enc.stream.len() >= values.len());
+        prop_assert!(enc.stream.len() <= 2 * values.len());
+    }
+
+    /// Average bit-width always lies in [4, 8] and matches the short
+    /// fraction exactly.
+    #[test]
+    fn avg_bits_consistent(values in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let enc = encode_tensor(&values);
+        let avg = enc.stats.avg_bits();
+        prop_assert!((4.0..=8.0).contains(&avg));
+        let expect = 8.0 - 4.0 * enc.stats.short_fraction();
+        prop_assert!((avg - expect).abs() < 1e-9);
+    }
+
+    /// The hardware encoder datapath agrees with the spec function.
+    #[test]
+    fn hw_encoder_matches_spec(v in any::<u8>()) {
+        let mut enc = SparkEncoder::new();
+        prop_assert_eq!(enc.encode(v), encode_value(v));
+    }
+
+    /// The streaming decoder agrees with per-code decoding on arbitrary
+    /// concatenated streams.
+    #[test]
+    fn streaming_decoder_matches(values in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut dec = SparkDecoder::new();
+        let mut out = Vec::new();
+        for &v in &values {
+            for nib in encode_value(v).nibbles() {
+                if let Some(x) = dec.push_nibble(nib).unwrap() {
+                    out.push(x);
+                }
+            }
+        }
+        dec.finish().unwrap();
+        let expect: Vec<u8> = values.iter().map(|&v| decode_value(v)).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// Compensated mode dominates truncated mode pointwise in absolute error.
+    #[test]
+    fn cm_dominates_truncation(v in any::<u8>()) {
+        let ec = (i16::from(EncodeMode::Compensated.reconstruct(v)) - i16::from(v)).abs();
+        let et = (i16::from(EncodeMode::Truncated.reconstruct(v)) - i16::from(v)).abs();
+        prop_assert!(ec <= et);
+    }
+
+    /// Bias correction is bounded by the max error.
+    #[test]
+    fn bias_bounded(values in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let b = bias_correction(&values, EncodeMode::Compensated);
+        prop_assert!(b.abs() <= f64::from(MAX_ENCODING_ERROR));
+    }
+
+    /// Truncated-mode tensors still decode through the standard stream
+    /// decoder (the format on the wire is identical).
+    #[test]
+    fn truncated_streams_decode(values in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let enc = encode_tensor_with(&values, EncodeMode::Truncated);
+        let dec = decode_stream(&enc.stream).unwrap();
+        prop_assert_eq!(dec.len(), values.len());
+    }
+}
+
+mod general_format {
+    use proptest::prelude::*;
+    use spark_codec::SparkFormat;
+
+    fn formats() -> impl Strategy<Value = SparkFormat> {
+        (3u8..=15, 1u8..=8).prop_filter_map("valid format", |(short, extra)| {
+            let base = short + extra;
+            if base <= 16 {
+                SparkFormat::new(base, short).ok()
+            } else {
+                None
+            }
+        })
+    }
+
+    proptest! {
+        /// The generalized error bound holds for every (format, value).
+        #[test]
+        fn general_error_bounded(fmt in formats(), v in any::<u16>()) {
+            let v = v & fmt.max_value();
+            let r = fmt.reconstruct(v);
+            prop_assert!((i32::from(r) - i32::from(v)).abs() <= i32::from(fmt.max_error()));
+        }
+
+        /// Decoding is a projection in every format.
+        #[test]
+        fn general_projection(fmt in formats(), v in any::<u16>()) {
+            let v = v & fmt.max_value();
+            let r = fmt.reconstruct(v);
+            prop_assert_eq!(fmt.reconstruct(r), r);
+        }
+
+        /// Short-range values are always lossless.
+        #[test]
+        fn general_short_lossless(fmt in formats(), v in any::<u16>()) {
+            let v = v % fmt.short_range();
+            prop_assert_eq!(fmt.reconstruct(v), v);
+        }
+
+        /// Rounding direction: values below the sign-bit half round down,
+        /// values in the top half round up (matching Table II's rows).
+        #[test]
+        fn general_rounding_direction(fmt in formats(), v in any::<u16>()) {
+            let v = v & fmt.max_value();
+            let r = fmt.reconstruct(v);
+            let half = 1u32 << (fmt.base_bits() - 1);
+            if u32::from(v) < half {
+                prop_assert!(r <= v, "{v} rounded up to {r}");
+            } else {
+                prop_assert!(r >= v, "{v} rounded down to {r}");
+            }
+        }
+    }
+}
+
+mod fault_injection {
+    use proptest::prelude::*;
+    use spark_codec::{decode_stream, encode_tensor, NibbleStream, SparkDecoder};
+
+    proptest! {
+        /// Corrupting any nibble of a valid stream never panics: decoding
+        /// either yields values (possibly a different count) or reports a
+        /// truncated long code.
+        #[test]
+        fn corrupted_streams_never_panic(
+            values in proptest::collection::vec(any::<u8>(), 1..128),
+            flip_pos in any::<usize>(),
+            flip_bits in 1u8..16,
+        ) {
+            let enc = encode_tensor(&values);
+            let pos = flip_pos % enc.stream.len();
+            let corrupted: NibbleStream = enc
+                .stream
+                .iter()
+                .enumerate()
+                .map(|(i, n)| if i == pos { n ^ (flip_bits & 0x0F) } else { n })
+                .collect();
+            match decode_stream(&corrupted) {
+                Ok(decoded) => {
+                    // Every decoded value is a valid byte; count may differ
+                    // by at most the tail effect of one flipped identifier.
+                    prop_assert!(decoded.len() <= 2 * values.len());
+                }
+                Err(e) => {
+                    prop_assert_eq!(e, spark_codec::DecodeError::TruncatedLongCode);
+                }
+            }
+        }
+
+        /// Arbitrary nibble streams (not produced by the encoder) decode
+        /// without panicking.
+        #[test]
+        fn arbitrary_streams_never_panic(nibbles in proptest::collection::vec(0u8..16, 0..256)) {
+            let mut dec = SparkDecoder::new();
+            for &n in &nibbles {
+                let _ = dec.push_nibble(n).expect("nibbles are in range");
+            }
+            let _ = dec.finish();
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Synthetic classification datasets for the end-to-end accuracy
+//! experiments.
+//!
+//! The paper measures ImageNet / SST-2 accuracy on pretrained checkpoints.
+//! Offline we instead *train* small models (see `spark-nn`) on tasks that
+//! are hard enough for quantization error to show up in accuracy:
+//!
+//! - [`Dataset::blobs`] — Gaussian clusters in `d` dimensions (MLP-scale);
+//! - [`Dataset::bars`] — tiny images whose class is the orientation/position
+//!   of a bright bar (CNN-scale, spatial structure matters);
+//! - [`Dataset::token_patterns`] — token sequences whose class depends on a
+//!   long-range pairing (attention-scale).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, StandardNormal};
+use serde::{Deserialize, Serialize};
+use spark_tensor::Tensor;
+
+/// One labelled example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Input features (flattened).
+    pub input: Vec<f32>,
+    /// Class label in `0..classes`.
+    pub label: usize,
+}
+
+/// A synthetic, deterministic classification dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Labelled examples.
+    pub samples: Vec<Sample>,
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Gaussian blobs: `classes` cluster centres on a sphere, unit noise.
+    ///
+    /// The noise/separation ratio is chosen so a linear model reaches high
+    /// but not perfect accuracy — quantization damage is then visible.
+    pub fn blobs(n: usize, input_dim: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Deterministic unit-ish centres.
+        let centres: Vec<Vec<f32>> = (0..classes)
+            .map(|c| {
+                (0..input_dim)
+                    .map(|d| {
+                        let phase = (c * 31 + d * 17) % 97;
+                        (phase as f32 / 97.0 * std::f32::consts::TAU).sin() * 2.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let samples = (0..n)
+            .map(|_| {
+                let label = rng.gen_range(0..classes);
+                let input = centres[label]
+                    .iter()
+                    .map(|&c| {
+                        let z: f32 = StandardNormal.sample(&mut rng);
+                        c + z * 1.2
+                    })
+                    .collect();
+                Sample { input, label }
+            })
+            .collect();
+        Self {
+            samples,
+            input_dim,
+            classes,
+        }
+    }
+
+    /// Bar images: `side x side` grayscale images; the class is which of
+    /// `classes` row/column positions holds a bright bar. Exercises spatial
+    /// convolution structure.
+    pub fn bars(n: usize, side: usize, classes: usize, seed: u64) -> Self {
+        assert!(classes <= 2 * side, "class count exceeds bar positions");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..n)
+            .map(|_| {
+                let label = rng.gen_range(0..classes);
+                let mut img = vec![0.0f32; side * side];
+                // First `side` classes are rows, the rest columns.
+                if label < side {
+                    for x in 0..side {
+                        img[label * side + x] = 1.0;
+                    }
+                } else {
+                    let col = label - side;
+                    for y in 0..side {
+                        img[y * side + col] = 1.0;
+                    }
+                }
+                for v in &mut img {
+                    let z: f32 = StandardNormal.sample(&mut rng);
+                    *v += z * 0.25;
+                }
+                Sample { input: img, label }
+            })
+            .collect();
+        Self {
+            samples,
+            input_dim: side * side,
+            classes,
+        }
+    }
+
+    /// Bar images with adjustable pixel noise; at `noise` around 0.7 the
+    /// task stops being saturated and quantization damage becomes visible
+    /// (used by the accuracy experiments).
+    pub fn bars_noisy(n: usize, side: usize, classes: usize, noise: f32, seed: u64) -> Self {
+        let mut d = Self::bars(n, side, classes, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5EED));
+        for s in &mut d.samples {
+            for v in &mut s.input {
+                let z: f32 = StandardNormal.sample(&mut rng);
+                *v += z * noise;
+            }
+        }
+        d
+    }
+
+    /// Token-pattern sequences with additive input noise on the one-hot
+    /// encoding; see [`Dataset::token_patterns`].
+    pub fn token_patterns_noisy(
+        n: usize,
+        len: usize,
+        vocab: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Self {
+        let mut d = Self::token_patterns(n, len, vocab, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5EED));
+        for s in &mut d.samples {
+            for v in &mut s.input {
+                let z: f32 = StandardNormal.sample(&mut rng);
+                *v += z * noise;
+            }
+        }
+        d
+    }
+
+    /// Token-pattern sequences: each example is a length-`len` sequence of
+    /// one-hot tokens from a `vocab`-size alphabet; the class is the token
+    /// that appears at the position *pointed to* by the first token. Solving
+    /// it requires content-based addressing, i.e. attention.
+    pub fn token_patterns(n: usize, len: usize, vocab: usize, seed: u64) -> Self {
+        assert!(vocab >= len, "vocab must cover position pointers");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..n)
+            .map(|_| {
+                let pointer = rng.gen_range(1..len);
+                let mut tokens: Vec<usize> =
+                    (0..len).map(|_| rng.gen_range(0..vocab)).collect();
+                tokens[0] = pointer; // position pointer
+                let label = tokens[pointer] % vocab;
+                // One-hot encode.
+                let mut input = vec![0.0f32; len * vocab];
+                for (pos, &tok) in tokens.iter().enumerate() {
+                    input[pos * vocab + tok] = 1.0;
+                }
+                Sample { input, label }
+            })
+            .collect();
+        Self {
+            samples,
+            input_dim: len * vocab,
+            classes: vocab,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Splits into `(train, test)` at `train_fraction`.
+    pub fn split(&self, train_fraction: f32) -> (Dataset, Dataset) {
+        let cut = ((self.len() as f32) * train_fraction) as usize;
+        let (a, b) = self.samples.split_at(cut.min(self.len()));
+        (
+            Dataset {
+                samples: a.to_vec(),
+                input_dim: self.input_dim,
+                classes: self.classes,
+            },
+            Dataset {
+                samples: b.to_vec(),
+                input_dim: self.input_dim,
+                classes: self.classes,
+            },
+        )
+    }
+
+    /// Stacks a batch of inputs into a `(batch, input_dim)` tensor.
+    pub fn batch_inputs(&self, indices: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(indices.len() * self.input_dim);
+        for &i in indices {
+            data.extend_from_slice(&self.samples[i].input);
+        }
+        Tensor::from_vec(data, &[indices.len(), self.input_dim]).expect("consistent dims")
+    }
+
+    /// Labels for a batch.
+    pub fn batch_labels(&self, indices: &[usize]) -> Vec<usize> {
+        indices.iter().map(|&i| self.samples[i].label).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shape_and_determinism() {
+        let d = Dataset::blobs(100, 8, 4, 7);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.input_dim, 8);
+        assert!(d.samples.iter().all(|s| s.label < 4 && s.input.len() == 8));
+        let d2 = Dataset::blobs(100, 8, 4, 7);
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn blobs_classes_separable_by_centroid() {
+        // Nearest-centroid classification should beat chance easily.
+        let d = Dataset::blobs(2000, 16, 4, 8);
+        let mut centroids = vec![vec![0.0f32; 16]; 4];
+        let mut counts = [0usize; 4];
+        for s in &d.samples[..1000] {
+            counts[s.label] += 1;
+            for (c, &x) in centroids[s.label].iter_mut().zip(&s.input) {
+                *c += x;
+            }
+        }
+        for (c, &n) in centroids.iter_mut().zip(&counts) {
+            for v in c {
+                *v /= n.max(1) as f32;
+            }
+        }
+        let mut correct = 0;
+        for s in &d.samples[1000..] {
+            let pred = (0..4)
+                .min_by(|&a, &b| {
+                    let da: f32 = centroids[a]
+                        .iter()
+                        .zip(&s.input)
+                        .map(|(&c, &x)| (c - x) * (c - x))
+                        .sum();
+                    let db: f32 = centroids[b]
+                        .iter()
+                        .zip(&s.input)
+                        .map(|(&c, &x)| (c - x) * (c - x))
+                        .sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if pred == s.label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / 1000.0;
+        assert!(acc > 0.7, "centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn bars_have_bright_bar() {
+        let d = Dataset::bars(50, 8, 16, 9);
+        for s in &d.samples {
+            // The labelled bar's mean must exceed the image mean.
+            let side = 8;
+            let bar: Vec<f32> = if s.label < side {
+                (0..side).map(|x| s.input[s.label * side + x]).collect()
+            } else {
+                (0..side)
+                    .map(|y| s.input[y * side + (s.label - side)])
+                    .collect()
+            };
+            let bar_mean: f32 = bar.iter().sum::<f32>() / side as f32;
+            let img_mean: f32 = s.input.iter().sum::<f32>() / (side * side) as f32;
+            assert!(bar_mean > img_mean + 0.5);
+        }
+    }
+
+    #[test]
+    fn bars_class_bound_checked() {
+        let d = Dataset::bars(10, 4, 8, 1);
+        assert_eq!(d.classes, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "class count exceeds")]
+    fn bars_rejects_too_many_classes() {
+        let _ = Dataset::bars(10, 4, 9, 1);
+    }
+
+    #[test]
+    fn token_patterns_label_matches_pointer() {
+        let d = Dataset::token_patterns(100, 8, 16, 10);
+        for s in &d.samples {
+            // Decode the one-hot sequence and re-derive the label.
+            let vocab = 16;
+            let tokens: Vec<usize> = (0..8)
+                .map(|pos| {
+                    (0..vocab)
+                        .find(|&t| s.input[pos * vocab + t] == 1.0)
+                        .expect("one-hot")
+                })
+                .collect();
+            assert_eq!(s.label, tokens[tokens[0]] % vocab);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = Dataset::blobs(100, 4, 2, 11);
+        let (tr, te) = d.split(0.8);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+    }
+
+    #[test]
+    fn batch_helpers() {
+        let d = Dataset::blobs(10, 4, 2, 12);
+        let b = d.batch_inputs(&[0, 3, 5]);
+        assert_eq!(b.dims(), &[3, 4]);
+        assert_eq!(d.batch_labels(&[0, 3, 5]).len(), 3);
+    }
+}

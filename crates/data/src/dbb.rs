@@ -1,0 +1,184 @@
+//! Density-Bound Block (DBB) structured sparsity (S2TA, HPCA '22).
+//!
+//! DBB bounds the number of nonzeros per fixed-size block: within each block
+//! of `block_size` consecutive values, only the `max_nonzero` largest
+//! magnitudes survive. The paper's Fig 15 combines 50 % DBB sparsity with
+//! SPARK to show the two compressions compose.
+
+use serde::{Deserialize, Serialize};
+use spark_tensor::Tensor;
+
+/// DBB pruning configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbbConfig {
+    /// Elements per block.
+    pub block_size: usize,
+    /// Maximum nonzeros kept per block.
+    pub max_nonzero: usize,
+}
+
+impl DbbConfig {
+    /// The paper's Fig 15 setting: 50 % sparsity with 8-element blocks.
+    pub fn half_sparse() -> Self {
+        Self {
+            block_size: 8,
+            max_nonzero: 4,
+        }
+    }
+
+    /// Target density (`max_nonzero / block_size`).
+    pub fn density(&self) -> f64 {
+        self.max_nonzero as f64 / self.block_size as f64
+    }
+}
+
+impl Default for DbbConfig {
+    fn default() -> Self {
+        Self::half_sparse()
+    }
+}
+
+/// Applies DBB pruning, returning the pruned tensor and the achieved
+/// sparsity (fraction of zeros).
+///
+/// Within each block the `max_nonzero` largest-magnitude elements are kept
+/// and the rest zeroed. The trailing partial block is pruned
+/// proportionally.
+///
+/// # Panics
+///
+/// Panics when `block_size == 0` or `max_nonzero > block_size` (a
+/// configuration bug, not a data condition).
+pub fn dbb_prune(tensor: &Tensor, config: &DbbConfig) -> (Tensor, f64) {
+    assert!(config.block_size > 0, "block_size must be positive");
+    assert!(
+        config.max_nonzero <= config.block_size,
+        "max_nonzero exceeds block_size"
+    );
+    let src = tensor.as_slice();
+    let mut out = src.to_vec();
+    let mut zeros = 0usize;
+    for (block_idx, block) in out.chunks_mut(config.block_size).enumerate() {
+        // Keep-count proportional for the trailing partial block.
+        let keep = if block.len() == config.block_size {
+            config.max_nonzero
+        } else {
+            (block.len() * config.max_nonzero).div_ceil(config.block_size)
+        };
+        let base = block_idx * config.block_size;
+        let mut order: Vec<usize> = (0..block.len()).collect();
+        order.sort_by(|&a, &b| {
+            src[base + b]
+                .abs()
+                .partial_cmp(&src[base + a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &i in order.iter().skip(keep) {
+            if block[i] != 0.0 {
+                zeros += 1;
+            }
+            block[i] = 0.0;
+        }
+    }
+    let total_zeros = out.iter().filter(|&&x| x == 0.0).count();
+    let _ = zeros;
+    let sparsity = if out.is_empty() {
+        0.0
+    } else {
+        total_zeros as f64 / out.len() as f64
+    };
+    (
+        Tensor::from_vec(out, tensor.dims()).expect("same length"),
+        sparsity,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_sparse_keeps_half() {
+        let t = Tensor::from_fn(&[64], |i| (i as f32 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 });
+        let (pruned, sparsity) = dbb_prune(&t, &DbbConfig::half_sparse());
+        assert!((sparsity - 0.5).abs() < 1e-9);
+        let nz = pruned.as_slice().iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(nz, 32);
+    }
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let t = Tensor::from_vec(vec![0.1, -5.0, 0.2, 3.0, 0.0, 0.3, -0.4, 2.0], &[8]).unwrap();
+        let (pruned, _) = dbb_prune(&t, &DbbConfig::half_sparse());
+        let p = pruned.as_slice();
+        assert_eq!(p[1], -5.0);
+        assert_eq!(p[3], 3.0);
+        assert_eq!(p[7], 2.0);
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[4], 0.0);
+    }
+
+    #[test]
+    fn per_block_bound_enforced() {
+        // All mass in the first block: DBB still cannot keep more than
+        // max_nonzero there (unlike global top-k).
+        let mut data = vec![0.0f32; 16];
+        for (i, v) in data.iter_mut().enumerate().take(8) {
+            *v = 10.0 + i as f32;
+        }
+        let t = Tensor::from_vec(data, &[16]).unwrap();
+        let (pruned, _) = dbb_prune(&t, &DbbConfig::half_sparse());
+        let first_block_nz = pruned.as_slice()[..8].iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(first_block_nz, 4);
+    }
+
+    #[test]
+    fn partial_trailing_block() {
+        let t = Tensor::from_fn(&[10], |i| i as f32 + 1.0);
+        let (pruned, _) = dbb_prune(&t, &DbbConfig::half_sparse());
+        // Trailing block has 2 elements; keep ceil(2*4/8) = 1.
+        let tail_nz = pruned.as_slice()[8..].iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(tail_nz, 1);
+    }
+
+    #[test]
+    fn already_sparse_counts_existing_zeros() {
+        let t = Tensor::zeros(&[16]);
+        let (_, sparsity) = dbb_prune(&t, &DbbConfig::half_sparse());
+        assert_eq!(sparsity, 1.0);
+    }
+
+    #[test]
+    fn density_helper() {
+        assert_eq!(DbbConfig::half_sparse().density(), 0.5);
+        assert_eq!(
+            DbbConfig {
+                block_size: 4,
+                max_nonzero: 1
+            }
+            .density(),
+            0.25
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_nonzero exceeds")]
+    fn invalid_config_panics() {
+        let t = Tensor::zeros(&[8]);
+        let _ = dbb_prune(
+            &t,
+            &DbbConfig {
+                block_size: 4,
+                max_nonzero: 5,
+            },
+        );
+    }
+
+    #[test]
+    fn empty_tensor_ok() {
+        let t = Tensor::zeros(&[0]);
+        let (p, s) = dbb_prune(&t, &DbbConfig::half_sparse());
+        assert!(p.is_empty());
+        assert_eq!(s, 0.0);
+    }
+}

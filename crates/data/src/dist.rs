@@ -1,0 +1,178 @@
+//! Long-tailed parameter distributions.
+//!
+//! Quantized DNN tensors share one shape: a dense, roughly Gaussian body and
+//! a sparse tail of large-magnitude outliers that stretches the quantization
+//! range (this is the premise of OLAccel, GOBO, OliVe and SPARK alike). The
+//! variants here let experiments dial body width and tail weight
+//! independently.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, StandardNormal};
+use serde::{Deserialize, Serialize};
+use spark_tensor::Tensor;
+
+/// A synthetic parameter distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParamDistribution {
+    /// Pure Gaussian with the given standard deviation.
+    Gaussian {
+        /// Standard deviation of the body.
+        std: f32,
+    },
+    /// Laplace (double exponential) — heavier tail than Gaussian.
+    Laplace {
+        /// Scale parameter `b` (std = `b * sqrt(2)`).
+        scale: f32,
+    },
+    /// Gaussian body plus planted symmetric outliers: with probability
+    /// `outlier_prob` a sample is drawn at `outlier_ratio` standard
+    /// deviations (± 25 % jitter). This is the workhorse for matching the
+    /// per-model short-code fractions.
+    GaussianWithOutliers {
+        /// Standard deviation of the body.
+        std: f32,
+        /// Probability of drawing an outlier.
+        outlier_prob: f32,
+        /// Outlier magnitude in body standard deviations.
+        outlier_ratio: f32,
+    },
+    /// Student-t with `nu` degrees of freedom — a smooth heavy tail.
+    StudentT {
+        /// Degrees of freedom (smaller = heavier tail; must be > 2).
+        nu: f32,
+        /// Scale multiplier.
+        scale: f32,
+    },
+}
+
+impl ParamDistribution {
+    /// Draws `n` samples with a deterministic seed.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.draw(&mut rng)).collect()
+    }
+
+    /// Draws `n` samples into a rank-1 tensor.
+    pub fn sample_tensor(&self, n: usize, seed: u64) -> Tensor {
+        Tensor::from_vec(self.sample(n, seed), &[n]).expect("length matches")
+    }
+
+    /// Draws one sample from the provided RNG.
+    pub fn draw(&self, rng: &mut StdRng) -> f32 {
+        match *self {
+            ParamDistribution::Gaussian { std } => {
+                let z: f32 = StandardNormal.sample(rng);
+                z * std
+            }
+            ParamDistribution::Laplace { scale } => {
+                // Inverse-CDF sampling: u uniform in (-0.5, 0.5),
+                // x = -b * sgn(u) * ln(1 - 2|u|).
+                let u: f32 = rng.gen::<f32>() - 0.5;
+                let m = (1.0 - 2.0 * u.abs()).max(f32::MIN_POSITIVE);
+                -scale * u.signum() * m.ln()
+            }
+            ParamDistribution::GaussianWithOutliers {
+                std,
+                outlier_prob,
+                outlier_ratio,
+            } => {
+                if rng.gen::<f32>() < outlier_prob {
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    let jitter = 0.75 + 0.5 * rng.gen::<f32>();
+                    sign * outlier_ratio * std * jitter
+                } else {
+                    let z: f32 = StandardNormal.sample(rng);
+                    z * std
+                }
+            }
+            ParamDistribution::StudentT { nu, scale } => {
+                // t = z / sqrt(chi2_nu / nu); build chi2 from normals for
+                // small integer nu, otherwise use the gamma relation.
+                let z: f32 = StandardNormal.sample(rng);
+                let k = nu.max(2.1);
+                let chi2: f32 = {
+                    let g = rand_distr::Gamma::new(k as f64 / 2.0, 2.0).expect("valid gamma");
+                    g.sample(rng) as f32
+                };
+                scale * z / (chi2 / k).sqrt()
+            }
+        }
+    }
+
+    /// Typical DNN weight tensor: unit-free Gaussian body (`std = 0.02`)
+    /// with a 0.3 % tail at 25 sigma — close to published BERT statistics.
+    pub fn typical_weights() -> Self {
+        ParamDistribution::GaussianWithOutliers {
+            std: 0.02,
+            outlier_prob: 0.003,
+            outlier_ratio: 25.0,
+        }
+    }
+}
+
+/// A normal distribution helper re-exported for tests and calibration.
+pub fn normal(std: f32) -> Normal<f32> {
+    Normal::new(0.0, std).expect("positive std")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_tensor::stats;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = ParamDistribution::Gaussian { std: 1.0 };
+        assert_eq!(d.sample(100, 42), d.sample(100, 42));
+        assert_ne!(d.sample(100, 42), d.sample(100, 43));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let d = ParamDistribution::Gaussian { std: 2.0 };
+        let t = d.sample_tensor(50_000, 1);
+        let s = stats::summarize(&t);
+        assert!(s.mean.abs() < 0.05, "mean {}", s.mean);
+        assert!((s.std - 2.0).abs() < 0.05, "std {}", s.std);
+    }
+
+    #[test]
+    fn laplace_heavier_tail_than_gaussian() {
+        let g = ParamDistribution::Gaussian { std: 1.0 }.sample_tensor(50_000, 2);
+        let l = ParamDistribution::Laplace { scale: 1.0 / 2f32.sqrt() }.sample_tensor(50_000, 2);
+        // Same variance, but Laplace has a larger abs-max / std ratio.
+        let ratio = |t: &Tensor| stats::abs_max(t) / stats::summarize(t).std;
+        assert!(ratio(&l) > ratio(&g));
+    }
+
+    #[test]
+    fn outliers_stretch_the_range() {
+        let base = ParamDistribution::Gaussian { std: 0.02 }.sample_tensor(20_000, 3);
+        let tail = ParamDistribution::typical_weights().sample_tensor(20_000, 3);
+        assert!(stats::abs_max(&tail) > 3.0 * stats::abs_max(&base));
+    }
+
+    #[test]
+    fn outlier_probability_respected() {
+        let d = ParamDistribution::GaussianWithOutliers {
+            std: 1.0,
+            outlier_prob: 0.01,
+            outlier_ratio: 50.0,
+        };
+        let t = d.sample_tensor(100_000, 4);
+        let big = t.as_slice().iter().filter(|x| x.abs() > 20.0).count();
+        let frac = big as f64 / 100_000.0;
+        assert!((0.005..0.02).contains(&frac), "outlier frac {frac}");
+    }
+
+    #[test]
+    fn student_t_finite_and_heavy() {
+        let d = ParamDistribution::StudentT { nu: 4.0, scale: 1.0 };
+        let t = d.sample_tensor(50_000, 5);
+        assert!(t.as_slice().iter().all(|x| x.is_finite()));
+        let s = stats::summarize(&t);
+        // Excess kurtosis -> abs max well beyond 5 sigma-equivalents.
+        assert!(stats::abs_max(&t) > 5.0 * s.std.min(2.0));
+    }
+}

@@ -1,0 +1,42 @@
+//! # spark-data — synthetic data substrate for the SPARK reproduction
+//!
+//! The paper evaluates on pretrained ImageNet/GLUE models. Those weights are
+//! not available offline, so this crate provides the substitution documented
+//! in `DESIGN.md`:
+//!
+//! - [`dist`] — long-tailed parameter distributions (Gaussian body + planted
+//!   outliers, Laplace, Student-t) matching the shape the quantization
+//!   literature reports for DNN tensors;
+//! - [`profiles`] — per-model calibration: for each network in the paper's
+//!   evaluation (VGG16, ResNet18/50/152, BERT, ViT, GPT-2, BART) a
+//!   distribution parameterization whose INT8 magnitude codes land the
+//!   short-code fractions of Fig 2;
+//! - [`dataset`] — synthetic classification tasks (Gaussian blobs, oriented
+//!   bar images, token patterns) for the *real* accuracy experiments run on
+//!   the in-crate trained models;
+//! - [`dbb`] — Density-Bound Block structured pruning (the Fig 15 joint
+//!   optimization).
+//!
+//! Everything is seeded and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use spark_data::profiles::ModelProfile;
+//!
+//! let bert = ModelProfile::bert();
+//! let tensor = bert.sample_tensor(4096, 7);
+//! assert_eq!(tensor.len(), 4096);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dbb;
+pub mod dist;
+pub mod profiles;
+
+pub use dataset::{Dataset, Sample};
+pub use dbb::{dbb_prune, DbbConfig};
+pub use dist::ParamDistribution;
+pub use profiles::ModelProfile;

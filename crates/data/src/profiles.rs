@@ -1,0 +1,235 @@
+//! Per-model distribution profiles calibrated to the paper's Fig 2.
+//!
+//! Fig 2 reports, for each evaluated network, the fraction of INT8-quantized
+//! values that fit the `[0, 7]` short-code range: roughly 40–55 % for CNNs
+//! and 70–85 % for attention models (whose heavier outlier tails stretch the
+//! quantization range, pushing the body into small codes). Each
+//! [`ModelProfile`] picks a [`ParamDistribution`] whose magnitude-INT8 codes
+//! land in those bands, so every downstream experiment (Figs 2, 4, 11–15)
+//! sees per-model data of the right shape.
+
+use serde::{Deserialize, Serialize};
+use spark_tensor::Tensor;
+
+use crate::dist::ParamDistribution;
+
+/// Model family, used by experiments that treat CNNs and attention models
+/// differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Convolutional networks (VGG, ResNet).
+    Cnn,
+    /// Attention/Transformer models (BERT, ViT, GPT-2, BART).
+    Attention,
+}
+
+/// A calibrated synthetic stand-in for one of the paper's evaluated models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name as it appears in the paper.
+    pub name: String,
+    /// CNN or attention family.
+    pub family: ModelFamily,
+    /// Weight tensor distribution.
+    pub weights: ParamDistribution,
+    /// Activation tensor distribution (transformers have heavier activation
+    /// outliers than CNNs).
+    pub activations: ParamDistribution,
+    /// Parameter count in millions (drives the Fig 14 model-size sweep).
+    pub param_millions: f64,
+    /// FP32 reference accuracy from Table III / common checkpoints (%).
+    pub fp32_accuracy: f64,
+}
+
+impl ModelProfile {
+    fn new(
+        name: &str,
+        family: ModelFamily,
+        weight_ratio: f32,
+        act_ratio: f32,
+        param_millions: f64,
+        fp32_accuracy: f64,
+    ) -> Self {
+        let dist = |ratio: f32| ParamDistribution::GaussianWithOutliers {
+            std: 0.02,
+            outlier_prob: 0.003,
+            outlier_ratio: ratio,
+        };
+        Self {
+            name: name.to_string(),
+            family,
+            weights: dist(weight_ratio),
+            activations: dist(act_ratio),
+            param_millions,
+            fp32_accuracy,
+        }
+    }
+
+    /// VGG-16 on ImageNet (FP32 top-1 71.59 %).
+    pub fn vgg16() -> Self {
+        Self::new("VGG16", ModelFamily::Cnn, 25.0, 21.0, 138.0, 71.59)
+    }
+
+    /// ResNet-18 on ImageNet (FP32 top-1 69.76 %).
+    pub fn resnet18() -> Self {
+        Self::new("ResNet18", ModelFamily::Cnn, 23.0, 20.0, 11.7, 69.76)
+    }
+
+    /// ResNet-50 on ImageNet (FP32 top-1 76.15 %).
+    pub fn resnet50() -> Self {
+        Self::new("ResNet50", ModelFamily::Cnn, 26.0, 22.0, 25.6, 76.15)
+    }
+
+    /// ResNet-152 on ImageNet (used by Table IV).
+    pub fn resnet152() -> Self {
+        Self::new("ResNet152", ModelFamily::Cnn, 27.0, 22.0, 60.2, 78.31)
+    }
+
+    /// BERT-Base on SST-2 (FP32 accuracy 90.45 %).
+    pub fn bert() -> Self {
+        Self::new("BERT", ModelFamily::Attention, 36.0, 45.0, 110.0, 90.45)
+    }
+
+    /// ViT-Base on ImageNet (FP32 top-1 84.19 %).
+    pub fn vit() -> Self {
+        Self::new("ViT", ModelFamily::Attention, 31.0, 40.0, 86.0, 84.19)
+    }
+
+    /// GPT-2 (Fig 2 characterization workload).
+    pub fn gpt2() -> Self {
+        Self::new("GPT-2", ModelFamily::Attention, 38.0, 48.0, 124.0, 92.0)
+    }
+
+    /// BART (Fig 2/4 characterization workload).
+    pub fn bart() -> Self {
+        Self::new("BART", ModelFamily::Attention, 34.0, 42.0, 139.0, 94.0)
+    }
+
+    /// Every profile the paper's figures sweep, in Fig 2 order.
+    pub fn all() -> Vec<Self> {
+        vec![
+            Self::resnet18(),
+            Self::resnet50(),
+            Self::vgg16(),
+            Self::bert(),
+            Self::bart(),
+            Self::gpt2(),
+            Self::vit(),
+            Self::resnet152(),
+        ]
+    }
+
+    /// The six models of the performance figures (Figs 11/12/15).
+    pub fn performance_suite() -> Vec<Self> {
+        vec![
+            Self::vgg16(),
+            Self::resnet18(),
+            Self::resnet50(),
+            Self::vit(),
+            Self::bert(),
+            Self::gpt2(),
+        ]
+    }
+
+    /// Samples a weight tensor with this profile's distribution.
+    pub fn sample_tensor(&self, n: usize, seed: u64) -> Tensor {
+        self.weights.sample_tensor(n, seed)
+    }
+
+    /// Samples an activation tensor with this profile's distribution.
+    pub fn sample_activations(&self, n: usize, seed: u64) -> Tensor {
+        self.activations.sample_tensor(n, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_tensor::stats;
+
+    /// Short-code fraction of a tensor after magnitude-INT8 quantization:
+    /// the quantity Fig 2 plots.
+    fn short_fraction(t: &Tensor) -> f64 {
+        let alpha = stats::abs_max(t);
+        let codes: Vec<u8> = t
+            .as_slice()
+            .iter()
+            .map(|x| (x.abs() / alpha * 255.0).round() as u8)
+            .collect();
+        stats::fraction_in_range(&codes, 0, 7)
+    }
+
+    #[test]
+    fn cnn_profiles_land_in_fig2_band() {
+        for p in [
+            ModelProfile::vgg16(),
+            ModelProfile::resnet18(),
+            ModelProfile::resnet50(),
+        ] {
+            let t = p.sample_tensor(50_000, 11);
+            let f = short_fraction(&t);
+            assert!(
+                (0.45..0.80).contains(&f),
+                "{}: short fraction {f} outside CNN band",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn attention_profiles_land_in_fig2_band() {
+        for p in [
+            ModelProfile::bert(),
+            ModelProfile::vit(),
+            ModelProfile::gpt2(),
+            ModelProfile::bart(),
+        ] {
+            let t = p.sample_tensor(50_000, 12);
+            let f = short_fraction(&t);
+            assert!(
+                (0.60..0.92).contains(&f),
+                "{}: short fraction {f} outside attention band",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn attention_shorter_than_cnn() {
+        let cnn = short_fraction(&ModelProfile::resnet50().sample_tensor(50_000, 13));
+        let att = short_fraction(&ModelProfile::bert().sample_tensor(50_000, 13));
+        assert!(att > cnn);
+    }
+
+    #[test]
+    fn all_profiles_enumerated() {
+        let all = ModelProfile::all();
+        assert_eq!(all.len(), 8);
+        let names: Vec<_> = all.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"BERT"));
+        assert!(names.contains(&"VGG16"));
+    }
+
+    #[test]
+    fn performance_suite_is_the_fig11_set() {
+        assert_eq!(ModelProfile::performance_suite().len(), 6);
+    }
+
+    #[test]
+    fn activations_heavier_for_attention() {
+        let p = ModelProfile::bert();
+        let w = p.sample_tensor(50_000, 14);
+        let a = p.sample_activations(50_000, 14);
+        let ratio = |t: &Tensor| stats::abs_max(t) as f64 / stats::summarize(t).std as f64;
+        assert!(ratio(&a) > ratio(&w));
+    }
+
+    #[test]
+    fn sampling_deterministic_per_profile() {
+        let p = ModelProfile::vit();
+        assert_eq!(
+            p.sample_tensor(100, 5).as_slice(),
+            p.sample_tensor(100, 5).as_slice()
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Proxy model builders: the small trainable stand-ins for the paper's
+//! evaluated networks.
+//!
+//! | Paper model | Proxy | Task (`spark-data`) |
+//! |---|---|---|
+//! | VGG16 / ResNet-18/50/152 | [`tiny_cnn`] | `Dataset::bars` |
+//! | BERT / ViT / GPT-2 / BART | [`tiny_attention`] | `Dataset::token_patterns` |
+//! | generic / quickstart | [`tiny_mlp`] | `Dataset::blobs` |
+//!
+//! The proxies are deliberately small enough to train in seconds but deep
+//! enough that codec-injected weight error moves their test accuracy.
+
+use spark_tensor::im2col::Conv2dSpec;
+
+use crate::layers::{Conv2d, ConvFirst, Dense, Flatten, MeanPoolRows, PositionalEncoding, Relu, SelfAttention};
+use crate::model::Sequential;
+
+/// Two-layer MLP: `input -> hidden (ReLU) -> classes`.
+pub fn tiny_mlp(input: usize, hidden: usize, classes: usize, seed: u64) -> Sequential {
+    Sequential::new("TinyMLP")
+        .push(Dense::new(input, hidden, seed))
+        .push(Relu::new())
+        .push(Dense::new(hidden, classes, seed.wrapping_add(1)))
+}
+
+/// Small CNN for `side x side` single-channel images: conv (ReLU) → flatten
+/// → hidden dense (ReLU) → classes. Input is the flattened image row.
+pub fn tiny_cnn(side: usize, channels: usize, hidden: usize, classes: usize, seed: u64) -> Sequential {
+    let spec = Conv2dSpec {
+        in_channels: 1,
+        out_channels: channels,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let conv_out = side * side * channels;
+    Sequential::new("TinyCNN")
+        .push(ConvFirst::new(spec, side, side, seed))
+        .push(Relu::new())
+        .push(Flatten::new())
+        .push(Dense::new(conv_out, hidden, seed.wrapping_add(1)))
+        .push(Relu::new())
+        .push(Dense::new(hidden, classes, seed.wrapping_add(2)))
+}
+
+/// Deeper CNN with two stacked convolutions (ResNet-ish proxy): conv →
+/// ReLU → conv → ReLU → flatten → dense → classes. Exercises gradient flow
+/// through the `col2im` path.
+pub fn deep_cnn(
+    side: usize,
+    ch1: usize,
+    ch2: usize,
+    hidden: usize,
+    classes: usize,
+    seed: u64,
+) -> Sequential {
+    let spec1 = Conv2dSpec {
+        in_channels: 1,
+        out_channels: ch1,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let spec2 = Conv2dSpec {
+        in_channels: ch1,
+        out_channels: ch2,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    Sequential::new("DeepCNN")
+        .push(Conv2d::new(spec1, side, side, seed))
+        .push(Relu::new())
+        .push(Conv2d::new(spec2, side, side, seed.wrapping_add(1)))
+        .push(Relu::new())
+        .push(Flatten::new())
+        .push(Dense::new(side * side * ch2, hidden, seed.wrapping_add(2)))
+        .push(Relu::new())
+        .push(Dense::new(hidden, classes, seed.wrapping_add(3)))
+}
+
+/// Small attention classifier for token sequences: per-token embedding →
+/// self-attention → mean-pool → classes. Input is the flattened
+/// `(seq, vocab)` one-hot matrix.
+pub fn tiny_attention(seq: usize, vocab: usize, d: usize, classes: usize, seed: u64) -> Sequential {
+    Sequential::new("TinyAttention")
+        .push(ReshapeRows::new(seq, vocab))
+        .push(Dense::new(vocab, d, seed))
+        .push(PositionalEncoding::new(seq, d))
+        .push(SelfAttention::new(d, seed.wrapping_add(1)))
+        .push(Relu::new())
+        .push(MeanPoolRows::new())
+        .push(Dense::new(d, classes, seed.wrapping_add(5)))
+}
+
+/// Internal layer: reinterprets the flattened `(1, rows*cols)` input as a
+/// `(rows, cols)` matrix so row-wise layers (Dense over tokens) apply
+/// per-token.
+#[derive(Debug, Clone)]
+pub struct ReshapeRows {
+    rows: usize,
+    cols: usize,
+}
+
+impl ReshapeRows {
+    /// Creates the reshape layer.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+}
+
+impl crate::layers::Layer for ReshapeRows {
+    fn forward(&mut self, x: &spark_tensor::Tensor) -> spark_tensor::Tensor {
+        x.reshape(&[self.rows, self.cols]).expect("input matches")
+    }
+
+    fn backward(&mut self, grad_out: &spark_tensor::Tensor) -> spark_tensor::Tensor {
+        grad_out
+            .reshape(&[1, self.rows * self.cols])
+            .expect("same length")
+    }
+
+    fn step(&mut self, _lr: f32, _batch: usize) {}
+
+    fn weights_mut(&mut self) -> Vec<&mut spark_tensor::Tensor> {
+        Vec::new()
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_tensor::Tensor;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut m = tiny_mlp(16, 8, 4, 1);
+        let y = m.forward(&Tensor::zeros(&[1, 16]));
+        assert_eq!(y.dims(), &[1, 4]);
+        assert_eq!(m.param_count(), (16 * 8 + 8) + (8 * 4 + 4));
+    }
+
+    #[test]
+    fn cnn_shapes() {
+        let mut m = tiny_cnn(8, 4, 16, 10, 2);
+        let y = m.forward(&Tensor::zeros(&[1, 64]));
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn attention_shapes() {
+        let mut m = tiny_attention(6, 12, 8, 12, 3);
+        let y = m.forward(&Tensor::zeros(&[1, 72]));
+        assert_eq!(y.dims(), &[1, 12]);
+    }
+
+    #[test]
+    fn deep_cnn_shapes_and_gradient_flow() {
+        let mut m = deep_cnn(6, 4, 6, 24, 12, 5);
+        let y = m.forward(&Tensor::zeros(&[1, 36]));
+        assert_eq!(y.dims(), &[1, 12]);
+        // All four weight tensors (2 convs + 2 dense) must move on a step.
+        let before: Vec<Tensor> = m.weights_mut().into_iter().map(|w| w.clone()).collect();
+        assert_eq!(before.len(), 4);
+        let x = Tensor::from_fn(&[1, 36], |i| (i as f32 * 0.2).sin());
+        m.train_example(&x, 3);
+        m.step(0.5, 1);
+        for (b, w) in before.iter().zip(m.weights_mut()) {
+            assert_ne!(b, &*w, "a weight tensor received no gradient");
+        }
+    }
+
+    #[test]
+    fn proxies_are_trainable_end_to_end() {
+        // One SGD step must run without panicking and change the loss.
+        let mut m = tiny_attention(4, 8, 8, 8, 4);
+        let x = Tensor::from_fn(&[1, 32], |i| if i % 9 == 0 { 1.0 } else { 0.0 });
+        let l0 = m.train_example(&x, 3);
+        m.step(0.5, 1);
+        let l1 = m.train_example(&x, 3);
+        m.step(0.5, 1);
+        assert!(l1 < l0, "loss {l0} -> {l1}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Training loops, evaluation, and codec-in-the-loop compression.
+//!
+//! These drive the accuracy experiments: train a proxy in FP32, measure test
+//! accuracy, compress every weight tensor with a [`Codec`], re-measure, and
+//! (for the Fig 13 finetuning arm) keep training with compression applied
+//! after every optimizer step.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spark_data::Dataset;
+use spark_quant::{Codec, QuantError};
+use spark_tensor::Tensor;
+
+use crate::model::Sequential;
+
+/// Hyperparameters for [`train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Examples per SGD step.
+    pub batch: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// A fast configuration for tests and doc examples.
+    pub fn quick() -> Self {
+        Self {
+            epochs: 5,
+            lr: 0.2,
+            batch: 16,
+            seed: 0,
+        }
+    }
+
+    /// The configuration the accuracy experiments use.
+    pub fn standard() -> Self {
+        Self {
+            epochs: 20,
+            lr: 0.15,
+            batch: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains a model with minibatch SGD; returns the mean loss of the final
+/// epoch.
+pub fn train(model: &mut Sequential, data: &Dataset, config: &TrainConfig) -> f32 {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut last_epoch_loss = 0.0;
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for chunk in order.chunks(config.batch) {
+            for &i in chunk {
+                let s = &data.samples[i];
+                let x = Tensor::from_vec(s.input.clone(), &[1, data.input_dim])
+                    .expect("dataset dims are consistent");
+                epoch_loss += model.train_example(&x, s.label);
+            }
+            model.step(config.lr, chunk.len());
+        }
+        last_epoch_loss = epoch_loss / data.len().max(1) as f32;
+    }
+    last_epoch_loss
+}
+
+/// Classification accuracy on a dataset (0.0..=1.0).
+pub fn evaluate(model: &mut Sequential, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for s in &data.samples {
+        let x = Tensor::from_vec(s.input.clone(), &[1, data.input_dim])
+            .expect("dataset dims are consistent");
+        if model.predict(&x) == s.label {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+/// Classification accuracy with *both* weights already compressed and
+/// activations round-tripped through `codec` between layers — the full
+/// datapath the paper's accelerator implements (weights offline,
+/// activations dynamically on chip).
+pub fn evaluate_with_activation_codec(
+    model: &mut Sequential,
+    data: &Dataset,
+    codec: &dyn Codec,
+) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let hook = |t: &Tensor| -> Tensor {
+        codec
+            .compress(t)
+            .map(|r| r.reconstructed)
+            .unwrap_or_else(|_| t.clone())
+    };
+    let mut correct = 0usize;
+    for s in &data.samples {
+        let x = Tensor::from_vec(s.input.clone(), &[1, data.input_dim])
+            .expect("dataset dims are consistent");
+        if model.predict_with_activation_hook(&x, &hook) == s.label {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+/// Compresses every weight tensor in place with `codec`; returns the
+/// weighted average storage bits per weight element.
+///
+/// # Errors
+///
+/// Propagates the codec's [`QuantError`] (e.g. non-finite weights).
+pub fn compress_weights(model: &mut Sequential, codec: &dyn Codec) -> Result<f64, QuantError> {
+    let mut total_bits = 0.0f64;
+    let mut total_elems = 0usize;
+    for w in model.weights_mut() {
+        let r = codec.compress(w)?;
+        total_bits += r.avg_bits * w.len() as f64;
+        total_elems += w.len();
+        *w = r.reconstructed;
+    }
+    Ok(if total_elems == 0 {
+        0.0
+    } else {
+        total_bits / total_elems as f64
+    })
+}
+
+/// Codec-aware finetuning (the paper's "w/-FT" arm): after every optimizer
+/// step the weights are re-projected through the codec, so training adapts
+/// to the representable set.
+///
+/// # Errors
+///
+/// Propagates the codec's [`QuantError`].
+pub fn finetune_with_codec(
+    model: &mut Sequential,
+    data: &Dataset,
+    codec: &dyn Codec,
+    config: &TrainConfig,
+) -> Result<(), QuantError> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(99));
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(config.batch) {
+            for &i in chunk {
+                let s = &data.samples[i];
+                let x = Tensor::from_vec(s.input.clone(), &[1, data.input_dim])
+                    .expect("dataset dims are consistent");
+                model.train_example(&x, s.label);
+            }
+            model.step(config.lr, chunk.len());
+            for w in model.weights_mut() {
+                let r = codec.compress(w)?;
+                *w = r.reconstructed;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy;
+    use spark_quant::{SparkCodec, UniformQuantizer};
+
+    #[test]
+    fn mlp_learns_blobs() {
+        let data = Dataset::blobs(600, 12, 3, 21);
+        let (tr, te) = data.split(0.8);
+        let mut m = proxy::tiny_mlp(12, 24, 3, 5);
+        train(&mut m, &tr, &TrainConfig::quick());
+        let acc = evaluate(&mut m, &te);
+        assert!(acc > 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn cnn_learns_bars() {
+        let data = Dataset::bars(600, 6, 12, 22);
+        let (tr, te) = data.split(0.8);
+        let mut m = proxy::tiny_cnn(6, 6, 32, 12, 6);
+        train(
+            &mut m,
+            &tr,
+            &TrainConfig {
+                epochs: 12,
+                lr: 0.25,
+                batch: 16,
+                seed: 1,
+            },
+        );
+        let acc = evaluate(&mut m, &te);
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn attention_learns_token_patterns() {
+        let data = Dataset::token_patterns(800, 5, 8, 23);
+        let (tr, te) = data.split(0.85);
+        let mut m = proxy::tiny_attention(5, 8, 16, 8, 7);
+        train(
+            &mut m,
+            &tr,
+            &TrainConfig {
+                epochs: 30,
+                lr: 0.3,
+                batch: 8,
+                seed: 2,
+            },
+        );
+        let acc = evaluate(&mut m, &te);
+        // chance is 1/8 = 0.125; content addressing must emerge.
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn spark_compression_keeps_accuracy_close() {
+        let data = Dataset::blobs(600, 12, 3, 24);
+        let (tr, te) = data.split(0.8);
+        let mut m = proxy::tiny_mlp(12, 24, 3, 8);
+        train(&mut m, &tr, &TrainConfig::quick());
+        let fp32 = evaluate(&mut m, &te);
+        let bits = compress_weights(&mut m, &SparkCodec::default()).unwrap();
+        let spark = evaluate(&mut m, &te);
+        assert!(bits <= 8.0);
+        assert!(fp32 - spark < 0.08, "fp32 {fp32} vs spark {spark}");
+    }
+
+    #[test]
+    fn int2_compression_hurts_more_than_spark() {
+        let data = Dataset::blobs(600, 12, 3, 25);
+        let (tr, te) = data.split(0.8);
+        let mut base = proxy::tiny_mlp(12, 24, 3, 9);
+        train(&mut base, &tr, &TrainConfig::quick());
+
+        let mut spark_model = proxy::tiny_mlp(12, 24, 3, 9);
+        train(&mut spark_model, &tr, &TrainConfig::quick());
+        compress_weights(&mut spark_model, &SparkCodec::default()).unwrap();
+        let spark_acc = evaluate(&mut spark_model, &te);
+
+        let mut int2_model = proxy::tiny_mlp(12, 24, 3, 9);
+        train(&mut int2_model, &tr, &TrainConfig::quick());
+        compress_weights(&mut int2_model, &UniformQuantizer::symmetric(2)).unwrap();
+        let int2_acc = evaluate(&mut int2_model, &te);
+
+        assert!(spark_acc >= int2_acc, "spark {spark_acc} vs int2 {int2_acc}");
+    }
+
+    #[test]
+    fn finetuning_recovers_low_bit_accuracy() {
+        let data = Dataset::blobs(600, 12, 3, 26);
+        let (tr, te) = data.split(0.8);
+        let mut m = proxy::tiny_mlp(12, 24, 3, 10);
+        train(&mut m, &tr, &TrainConfig::quick());
+        let codec = UniformQuantizer::symmetric(3);
+        compress_weights(&mut m, &codec).unwrap();
+        let before = evaluate(&mut m, &te);
+        finetune_with_codec(&mut m, &tr, &codec, &TrainConfig::quick()).unwrap();
+        let after = evaluate(&mut m, &te);
+        assert!(after + 1e-9 >= before, "finetune {before} -> {after}");
+    }
+
+    #[test]
+    fn evaluate_empty_dataset_is_zero() {
+        let mut m = proxy::tiny_mlp(4, 4, 2, 11);
+        let d = Dataset::blobs(10, 4, 2, 27).split(1.0).1;
+        assert_eq!(evaluate(&mut m, &d), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod activation_tests {
+    use super::*;
+    use crate::proxy;
+    use spark_quant::{SparkCodec, UniformQuantizer};
+
+    #[test]
+    fn activation_codec_evaluation_close_to_plain() {
+        let data = Dataset::blobs(600, 12, 3, 31);
+        let (tr, te) = data.split(0.8);
+        let mut m = proxy::tiny_mlp(12, 24, 3, 13);
+        train(&mut m, &tr, &TrainConfig::quick());
+        let plain = evaluate(&mut m, &te);
+        // SPARK on both weights and activations.
+        compress_weights(&mut m, &SparkCodec::default()).unwrap();
+        let full = evaluate_with_activation_codec(&mut m, &te, &SparkCodec::default());
+        assert!(plain - full < 0.1, "plain {plain} vs w+a quantized {full}");
+    }
+
+    #[test]
+    fn coarse_activation_quantization_hurts_more() {
+        let data = Dataset::blobs(600, 12, 3, 32);
+        let (tr, te) = data.split(0.8);
+        let mut m = proxy::tiny_mlp(12, 24, 3, 14);
+        train(&mut m, &tr, &TrainConfig::quick());
+        let spark = evaluate_with_activation_codec(&mut m, &te, &SparkCodec::default());
+        let int2 = evaluate_with_activation_codec(&mut m, &te, &UniformQuantizer::symmetric(2));
+        assert!(spark >= int2, "spark {spark} vs int2 {int2}");
+    }
+
+    #[test]
+    fn empty_dataset_yields_zero() {
+        let mut m = proxy::tiny_mlp(4, 4, 2, 15);
+        let d = Dataset::blobs(10, 4, 2, 33).split(1.0).1;
+        assert_eq!(
+            evaluate_with_activation_codec(&mut m, &d, &SparkCodec::default()),
+            0.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod deep_cnn_tests {
+    use super::*;
+    use crate::proxy;
+
+    #[test]
+    fn deep_cnn_learns_bars() {
+        let data = Dataset::bars(500, 6, 12, 61);
+        let (tr, te) = data.split(0.8);
+        let mut m = proxy::deep_cnn(6, 4, 6, 32, 12, 9);
+        train(
+            &mut m,
+            &tr,
+            &TrainConfig {
+                epochs: 12,
+                lr: 0.2,
+                batch: 16,
+                seed: 61,
+            },
+        );
+        let acc = evaluate(&mut m, &te);
+        assert!(acc > 0.6, "deep CNN accuracy {acc}");
+    }
+
+    #[test]
+    fn deep_cnn_survives_spark_compression() {
+        use spark_quant::SparkCodec;
+        let data = Dataset::bars(500, 6, 12, 62);
+        let (tr, te) = data.split(0.8);
+        let mut m = proxy::deep_cnn(6, 4, 6, 32, 12, 10);
+        train(
+            &mut m,
+            &tr,
+            &TrainConfig {
+                epochs: 12,
+                lr: 0.2,
+                batch: 16,
+                seed: 62,
+            },
+        );
+        let fp32 = evaluate(&mut m, &te);
+        compress_weights(&mut m, &SparkCodec::default()).unwrap();
+        let spark = evaluate(&mut m, &te);
+        assert!(fp32 - spark < 0.1, "fp32 {fp32} vs spark {spark}");
+    }
+}

@@ -1,0 +1,381 @@
+//! The paper's evaluated networks as GEMM workloads.
+//!
+//! Systolic-array accelerators execute DNN inference as a sequence of matrix
+//! multiplications: convolutions through im2col, attention and MLP blocks
+//! directly. A [`ModelWorkload`] is that sequence, with enough metadata
+//! (layer names, repeat counts) for the simulator to attribute cycles and
+//! bytes. Layer lists follow the standard architectures (torchvision /
+//! HuggingFace configurations).
+
+use serde::{Deserialize, Serialize};
+use spark_tensor::im2col::Conv2dSpec;
+
+/// One GEMM: `(m x k) * (k x n)`, executed `repeats` times.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gemm {
+    /// Output rows (im2col patches or sequence length).
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Times this GEMM runs per inference (e.g. per transformer layer).
+    pub repeats: usize,
+    /// Human-readable layer label.
+    pub label: String,
+}
+
+impl Gemm {
+    /// Creates a single-occurrence GEMM.
+    pub fn new(label: &str, m: usize, k: usize, n: usize) -> Self {
+        Self {
+            m,
+            k,
+            n,
+            repeats: 1,
+            label: label.to_string(),
+        }
+    }
+
+    /// Sets the repeat count (builder style).
+    pub fn times(mut self, repeats: usize) -> Self {
+        self.repeats = repeats;
+        self
+    }
+
+    /// Multiply-accumulate operations for all repeats.
+    pub fn macs(&self) -> u64 {
+        (self.m as u64) * (self.k as u64) * (self.n as u64) * (self.repeats as u64)
+    }
+
+    /// Weight elements (the `k x n` operand), counted once per repeat —
+    /// transformer layers do not share weights across repeats.
+    pub fn weight_elements(&self) -> u64 {
+        (self.k as u64) * (self.n as u64) * (self.repeats as u64)
+    }
+
+    /// Activation elements streamed in (the `m x k` operand).
+    pub fn activation_elements(&self) -> u64 {
+        (self.m as u64) * (self.k as u64) * (self.repeats as u64)
+    }
+
+    /// Output elements produced.
+    pub fn output_elements(&self) -> u64 {
+        (self.m as u64) * (self.n as u64) * (self.repeats as u64)
+    }
+}
+
+/// A network expressed as its inference GEMM sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelWorkload {
+    /// Model name, matching `spark_data::ModelProfile` names.
+    pub name: String,
+    /// GEMMs in execution order.
+    pub gemms: Vec<Gemm>,
+}
+
+impl ModelWorkload {
+    /// Total MACs per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.gemms.iter().map(Gemm::macs).sum()
+    }
+
+    /// Total weight elements (≈ parameters in the GEMM layers).
+    pub fn total_weights(&self) -> u64 {
+        self.gemms.iter().map(Gemm::weight_elements).sum()
+    }
+
+    /// Total activation elements streamed.
+    pub fn total_activations(&self) -> u64 {
+        self.gemms.iter().map(Gemm::activation_elements).sum()
+    }
+
+    /// Helper: appends a conv layer lowered through im2col.
+    fn push_conv(
+        gemms: &mut Vec<Gemm>,
+        label: &str,
+        spec: Conv2dSpec,
+        h: usize,
+        w: usize,
+        repeats: usize,
+    ) {
+        let (m, k, n) = spec
+            .gemm_dims(h, w)
+            .expect("workload layer geometry is valid");
+        gemms.push(Gemm::new(label, m, k, n).times(repeats));
+    }
+
+    /// VGG-16 at 224x224 (13 convs + 3 FC).
+    pub fn vgg16() -> Self {
+        let mut g = Vec::new();
+        let conv = |cin, cout| Conv2dSpec {
+            in_channels: cin,
+            out_channels: cout,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        // (cin, cout, spatial, repeats) — 13 convolutions total.
+        let blocks: &[(usize, usize, usize, usize)] = &[
+            (3, 64, 224, 1),
+            (64, 64, 224, 1),
+            (64, 128, 112, 1),
+            (128, 128, 112, 1),
+            (128, 256, 56, 1),
+            (256, 256, 56, 2),
+            (256, 512, 28, 1),
+            (512, 512, 28, 2),
+            (512, 512, 14, 3),
+        ];
+        for (i, &(cin, cout, hw, rep)) in blocks.iter().enumerate() {
+            Self::push_conv(&mut g, &format!("conv{}", i + 1), conv(cin, cout), hw, hw, rep);
+        }
+        g.push(Gemm::new("fc1", 1, 25088, 4096));
+        g.push(Gemm::new("fc2", 1, 4096, 4096));
+        g.push(Gemm::new("fc3", 1, 4096, 1000));
+        Self {
+            name: "VGG16".to_string(),
+            gemms: g,
+        }
+    }
+
+    /// ResNet-18 at 224x224 (basic blocks 2-2-2-2).
+    pub fn resnet18() -> Self {
+        let mut g = Vec::new();
+        Self::push_conv(
+            &mut g,
+            "stem",
+            Conv2dSpec {
+                in_channels: 3,
+                out_channels: 64,
+                kernel: 7,
+                stride: 2,
+                padding: 3,
+            },
+            224,
+            224,
+            1,
+        );
+        // (channels, spatial, blocks)
+        for (ch, hw, blocks) in [(64usize, 56usize, 2usize), (128, 28, 2), (256, 14, 2), (512, 7, 2)] {
+            let spec = Conv2dSpec {
+                in_channels: ch,
+                out_channels: ch,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            };
+            Self::push_conv(&mut g, &format!("stage{ch}"), spec, hw, hw, blocks * 2);
+        }
+        g.push(Gemm::new("fc", 1, 512, 1000));
+        Self {
+            name: "ResNet18".to_string(),
+            gemms: g,
+        }
+    }
+
+    /// ResNet-50 at 224x224 (bottleneck blocks 3-4-6-3).
+    pub fn resnet50() -> Self {
+        Self::resnet_bottleneck("ResNet50", &[3, 4, 6, 3])
+    }
+
+    /// ResNet-152 at 224x224 (bottleneck blocks 3-8-36-3).
+    pub fn resnet152() -> Self {
+        Self::resnet_bottleneck("ResNet152", &[3, 8, 36, 3])
+    }
+
+    fn resnet_bottleneck(name: &str, blocks: &[usize; 4]) -> Self {
+        let mut g = Vec::new();
+        Self::push_conv(
+            &mut g,
+            "stem",
+            Conv2dSpec {
+                in_channels: 3,
+                out_channels: 64,
+                kernel: 7,
+                stride: 2,
+                padding: 3,
+            },
+            224,
+            224,
+            1,
+        );
+        let stages = [(64usize, 256usize, 56usize), (128, 512, 28), (256, 1024, 14), (512, 2048, 7)];
+        for (si, &(mid, out, hw)) in stages.iter().enumerate() {
+            let reps = blocks[si];
+            // 1x1 reduce (from `out` except the first block of the stage,
+            // approximated at `out` for all — within a few percent of MACs)
+            g.push(
+                Gemm::new(&format!("s{si}.reduce"), hw * hw, out, mid).times(reps),
+            );
+            Self::push_conv(
+                &mut g,
+                &format!("s{si}.conv3"),
+                Conv2dSpec {
+                    in_channels: mid,
+                    out_channels: mid,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                hw,
+                hw,
+                reps,
+            );
+            g.push(
+                Gemm::new(&format!("s{si}.expand"), hw * hw, mid, out).times(reps),
+            );
+        }
+        g.push(Gemm::new("fc", 1, 2048, 1000));
+        Self {
+            name: name.to_string(),
+            gemms: g,
+        }
+    }
+
+    /// Transformer encoder stack: `layers` layers at hidden size `d`, FFN
+    /// `4d`, sequence length `seq`.
+    fn transformer(name: &str, layers: usize, d: usize, seq: usize, classes: usize) -> Self {
+        // Attention scores and context are seq x d_head x seq per head,
+        // which summed over heads equals seq x d x seq.
+        let g = vec![
+            Gemm::new("qkv", seq, d, 3 * d).times(layers),
+            Gemm::new("scores", seq, d, seq).times(layers),
+            Gemm::new("context", seq, seq, d).times(layers),
+            Gemm::new("attn_out", seq, d, d).times(layers),
+            Gemm::new("ffn_up", seq, d, 4 * d).times(layers),
+            Gemm::new("ffn_down", seq, 4 * d, d).times(layers),
+            Gemm::new("head", 1, d, classes),
+        ];
+        Self {
+            name: name.to_string(),
+            gemms: g,
+        }
+    }
+
+    /// BERT-Base (12 layers, d=768) at sequence length 128.
+    pub fn bert() -> Self {
+        Self::transformer("BERT", 12, 768, 128, 2)
+    }
+
+    /// ViT-B/16 (12 layers, d=768) at sequence length 197.
+    pub fn vit() -> Self {
+        Self::transformer("ViT", 12, 768, 197, 1000)
+    }
+
+    /// GPT-2 small (12 layers, d=768) at sequence length 1024.
+    pub fn gpt2() -> Self {
+        Self::transformer("GPT-2", 12, 768, 1024, 50257)
+    }
+
+    /// BART-Base (6 encoder + 6 decoder layers, d=768) at sequence 128.
+    pub fn bart() -> Self {
+        Self::transformer("BART", 12, 768, 128, 50265)
+    }
+
+    /// The six models of the performance figures (Figs 11/12/15), in paper
+    /// order.
+    pub fn performance_suite() -> Vec<Self> {
+        vec![
+            Self::vgg16(),
+            Self::resnet18(),
+            Self::resnet50(),
+            Self::vit(),
+            Self::bert(),
+            Self::gpt2(),
+        ]
+    }
+
+    /// Looks a workload up by profile name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "VGG16" => Some(Self::vgg16()),
+            "ResNet18" => Some(Self::resnet18()),
+            "ResNet50" => Some(Self::resnet50()),
+            "ResNet152" => Some(Self::resnet152()),
+            "BERT" => Some(Self::bert()),
+            "ViT" => Some(Self::vit()),
+            "GPT-2" => Some(Self::gpt2()),
+            "BART" => Some(Self::bart()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_accounting() {
+        let g = Gemm::new("x", 2, 3, 4).times(5);
+        assert_eq!(g.macs(), 2 * 3 * 4 * 5);
+        assert_eq!(g.weight_elements(), 3 * 4 * 5);
+        assert_eq!(g.activation_elements(), 2 * 3 * 5);
+        assert_eq!(g.output_elements(), 2 * 4 * 5);
+    }
+
+    #[test]
+    fn vgg16_macs_in_published_ballpark() {
+        // VGG-16 is ~15.5 GMACs at 224x224.
+        let macs = ModelWorkload::vgg16().total_macs() as f64 / 1e9;
+        assert!((13.0..18.0).contains(&macs), "VGG16 {macs} GMACs");
+    }
+
+    #[test]
+    fn resnet50_macs_in_published_ballpark() {
+        // ResNet-50 is ~4.1 GMACs.
+        let macs = ModelWorkload::resnet50().total_macs() as f64 / 1e9;
+        assert!((3.0..5.5).contains(&macs), "ResNet50 {macs} GMACs");
+    }
+
+    #[test]
+    fn resnet18_macs_in_published_ballpark() {
+        // ResNet-18 is ~1.8 GMACs.
+        let macs = ModelWorkload::resnet18().total_macs() as f64 / 1e9;
+        assert!((1.2..2.5).contains(&macs), "ResNet18 {macs} GMACs");
+    }
+
+    #[test]
+    fn bert_weights_in_published_ballpark() {
+        // BERT-Base GEMM weights ≈ 85M (of 110M total incl. embeddings).
+        let w = ModelWorkload::bert().total_weights() as f64 / 1e6;
+        assert!((70.0..100.0).contains(&w), "BERT {w} M weights");
+    }
+
+    #[test]
+    fn resnet152_deeper_than_resnet50() {
+        assert!(
+            ModelWorkload::resnet152().total_macs() > 2 * ModelWorkload::resnet50().total_macs()
+        );
+    }
+
+    #[test]
+    fn gpt2_heaviest_attention_model() {
+        let gpt2 = ModelWorkload::gpt2().total_macs();
+        let bert = ModelWorkload::bert().total_macs();
+        assert!(gpt2 > 4 * bert);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        for name in ["VGG16", "ResNet50", "BERT", "ViT", "GPT-2", "BART", "ResNet152", "ResNet18"] {
+            let w = ModelWorkload::by_name(name).expect(name);
+            assert_eq!(w.name, name);
+            assert!(w.total_macs() > 0);
+        }
+        assert!(ModelWorkload::by_name("AlexNet").is_none());
+    }
+
+    #[test]
+    fn performance_suite_order() {
+        let names: Vec<_> = ModelWorkload::performance_suite()
+            .into_iter()
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["VGG16", "ResNet18", "ResNet50", "ViT", "BERT", "GPT-2"]
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! AdaptiveFloat (DAC '20): floating-point quantization with a per-tensor
+//! exponent bias chosen from the dynamic range.
+
+use serde::{Deserialize, Serialize};
+use spark_tensor::{stats, Tensor};
+
+use crate::codec::{check_finite, Codec, CodecResult, QuantError};
+
+/// AdaptiveFloat codec: `sign + exponent + mantissa` with the exponent bias
+/// fitted to the tensor's absolute maximum.
+///
+/// The paper's AdaFloat baseline uses 8 total bits to hold original model
+/// accuracy; [`AdaptiveFloatCodec::new(8, 3)`] reproduces that
+/// configuration (1 sign, 4 exponent, 3 mantissa bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveFloatCodec {
+    total_bits: u8,
+    mantissa_bits: u8,
+}
+
+impl AdaptiveFloatCodec {
+    /// Creates an AdaptiveFloat codec with `total_bits` overall and
+    /// `mantissa_bits` of mantissa (the rest, minus the sign, is exponent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadConfig`] when the split leaves no exponent
+    /// bits or exceeds 16 total.
+    pub fn new(total_bits: u8, mantissa_bits: u8) -> Result<Self, QuantError> {
+        if !(3..=16).contains(&total_bits) {
+            return Err(QuantError::UnsupportedBits(total_bits));
+        }
+        if mantissa_bits + 2 > total_bits {
+            return Err(QuantError::BadConfig(format!(
+                "{mantissa_bits} mantissa bits leave no exponent in {total_bits} total"
+            )));
+        }
+        Ok(Self {
+            total_bits,
+            mantissa_bits,
+        })
+    }
+
+    /// The paper's 8-bit AdaFloat configuration.
+    pub fn adafloat8() -> Self {
+        Self {
+            total_bits: 8,
+            mantissa_bits: 3,
+        }
+    }
+
+    fn exponent_bits(&self) -> u8 {
+        self.total_bits - 1 - self.mantissa_bits
+    }
+}
+
+impl Codec for AdaptiveFloatCodec {
+    fn name(&self) -> String {
+        format!("AdaFloat{}", self.total_bits)
+    }
+
+    fn compress(&self, tensor: &Tensor) -> Result<CodecResult, QuantError> {
+        check_finite(tensor)?;
+        let abs_max = stats::abs_max(tensor);
+        if abs_max == 0.0 {
+            return Ok(CodecResult {
+                reconstructed: tensor.clone(),
+                avg_bits: f64::from(self.total_bits),
+                low_precision_fraction: 1.0,
+            });
+        }
+        // Choose the exponent bias so the largest exponent exactly covers
+        // abs_max, as AdaptiveFloat does.
+        let e_max = abs_max.log2().floor() as i32;
+        let e_levels = 1i32 << self.exponent_bits();
+        let e_min = e_max - (e_levels - 1);
+        let m_levels = (1u32 << self.mantissa_bits) as f32;
+        let reconstructed = tensor.map(|x| {
+            if x == 0.0 {
+                return 0.0;
+            }
+            let sign = x.signum();
+            let mag = x.abs();
+            let mut e = mag.log2().floor() as i32;
+            if e < e_min {
+                // Below the representable range: flush toward zero or the
+                // smallest denormal step, whichever is nearer.
+                let min_val = (2.0f32).powi(e_min);
+                return if mag >= min_val / 2.0 { sign * min_val } else { 0.0 };
+            }
+            e = e.min(e_max);
+            let base = (2.0f32).powi(e);
+            let frac = (mag / base - 1.0).clamp(0.0, 1.0);
+            let m = (frac * m_levels).round().min(m_levels - 1.0);
+            sign * base * (1.0 + m / m_levels)
+        });
+        Ok(CodecResult {
+            reconstructed,
+            avg_bits: f64::from(self.total_bits),
+            low_precision_fraction: 1.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[data.len()]).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(AdaptiveFloatCodec::new(8, 3).is_ok());
+        assert!(AdaptiveFloatCodec::new(8, 7).is_err());
+        assert!(AdaptiveFloatCodec::new(2, 0).is_err());
+        assert!(AdaptiveFloatCodec::new(17, 3).is_err());
+    }
+
+    #[test]
+    fn exact_powers_of_two_lossless() {
+        let x = t(&[1.0, 0.5, -2.0, 4.0]);
+        let r = AdaptiveFloatCodec::adafloat8().compress(&x).unwrap();
+        assert_eq!(r.reconstructed.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn relative_error_bounded_by_mantissa() {
+        let x = t(&[0.9, -0.37, 1.7, 0.0003, -3.9]);
+        let r = AdaptiveFloatCodec::adafloat8().compress(&x).unwrap();
+        for (&a, &b) in x.as_slice().iter().zip(r.reconstructed.as_slice()) {
+            if a.abs() > 1e-3 {
+                // 3 mantissa bits -> relative step 1/8
+                assert!(((a - b) / a).abs() <= 1.0 / 8.0 + 1e-6, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_wide_dynamic_range_better_than_int() {
+        use crate::uniform::UniformQuantizer;
+        // Values spanning 5 orders of magnitude: float wins over int8.
+        let x = t(&[1e-3, 1e-2, 1e-1, 1.0, 10.0, -1e-3, -5.0]);
+        let af = AdaptiveFloatCodec::adafloat8().compress(&x).unwrap();
+        let i8 = UniformQuantizer::symmetric(8).compress(&x).unwrap();
+        // Compare relative fidelity on the small values.
+        let rel = |r: &CodecResult, i: usize| {
+            ((x.as_slice()[i] - r.reconstructed.as_slice()[i]) / x.as_slice()[i]).abs()
+        };
+        assert!(rel(&af, 0) < rel(&i8, 0));
+    }
+
+    #[test]
+    fn zero_tensor_short_circuit() {
+        let x = Tensor::zeros(&[4]);
+        let r = AdaptiveFloatCodec::adafloat8().compress(&x).unwrap();
+        assert_eq!(r.mse(&x), 0.0);
+    }
+
+    #[test]
+    fn name_and_bits() {
+        let c = AdaptiveFloatCodec::adafloat8();
+        assert_eq!(c.name(), "AdaFloat8");
+        let r = c.compress(&t(&[1.0])).unwrap();
+        assert_eq!(r.avg_bits, 8.0);
+    }
+}

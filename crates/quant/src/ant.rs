@@ -1,0 +1,274 @@
+//! ANT (MICRO '22): per-tensor adaptive numerical data type.
+//!
+//! ANT picks, per tensor, the fixed-width data type — plain integer,
+//! power-of-two, or the hybrid *flint* — that best fits the value
+//! distribution, then quantizes every element with it. We reproduce that
+//! selection by trying each type and keeping the one with the lowest MSE,
+//! exactly the adaptive step the original framework performs offline.
+
+use serde::{Deserialize, Serialize};
+use spark_tensor::{stats, Tensor};
+
+use crate::codec::{check_finite, Codec, CodecResult, QuantError};
+
+/// The data types ANT chooses between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AntType {
+    /// Plain two's-complement integer grid.
+    Int,
+    /// Power-of-two levels (`± alpha · 2^-k`), good for peaked
+    /// distributions.
+    PowerOfTwo,
+    /// Flint: float-int hybrid — power-of-two spacing for small magnitudes,
+    /// integer spacing near full scale.
+    Flint,
+}
+
+impl AntType {
+    /// All selectable types in evaluation order.
+    pub const ALL: [AntType; 3] = [AntType::Int, AntType::PowerOfTwo, AntType::Flint];
+}
+
+/// The ANT codec at a fixed bit-width.
+///
+/// The paper's Table IV uses 6-bit ANT, Table V 4-bit ANT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AntCodec {
+    bits: u8,
+}
+
+impl AntCodec {
+    /// Creates an ANT codec with `bits`-wide codes (3..=8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBits`] outside that range.
+    pub fn new(bits: u8) -> Result<Self, QuantError> {
+        if !(3..=8).contains(&bits) {
+            return Err(QuantError::UnsupportedBits(bits));
+        }
+        Ok(Self { bits })
+    }
+
+    /// The configured bit-width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Quantizes with a specific type (no adaptive selection); used by the
+    /// tests and the type-ratio analysis.
+    pub fn compress_as(&self, tensor: &Tensor, ty: AntType) -> Result<CodecResult, QuantError> {
+        check_finite(tensor)?;
+        let alpha = stats::abs_max(tensor);
+        let reconstructed = if alpha == 0.0 {
+            tensor.clone()
+        } else {
+            match ty {
+                AntType::Int => quantize_int(tensor, alpha, self.bits),
+                AntType::PowerOfTwo => quantize_po2(tensor, alpha, self.bits),
+                AntType::Flint => quantize_flint(tensor, alpha, self.bits),
+            }
+        };
+        Ok(CodecResult {
+            reconstructed,
+            avg_bits: f64::from(self.bits),
+            low_precision_fraction: 1.0,
+        })
+    }
+
+    /// Runs the adaptive selection and reports which type won.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::compress`].
+    pub fn compress_adaptive(
+        &self,
+        tensor: &Tensor,
+    ) -> Result<(CodecResult, AntType), QuantError> {
+        let mut best: Option<(CodecResult, AntType, f64)> = None;
+        for ty in AntType::ALL {
+            let r = self.compress_as(tensor, ty)?;
+            let e = r.mse(tensor);
+            match &best {
+                Some((_, _, be)) if *be <= e => {}
+                _ => best = Some((r, ty, e)),
+            }
+        }
+        let (r, ty, _) = best.expect("ALL is nonempty");
+        Ok((r, ty))
+    }
+}
+
+impl Codec for AntCodec {
+    fn name(&self) -> String {
+        format!("ANT{}", self.bits)
+    }
+
+    fn compress(&self, tensor: &Tensor) -> Result<CodecResult, QuantError> {
+        self.compress_adaptive(tensor).map(|(r, _)| r)
+    }
+}
+
+fn quantize_int(t: &Tensor, alpha: f32, bits: u8) -> Tensor {
+    let qmax = ((1u32 << (bits - 1)) - 1) as f32;
+    let step = alpha / qmax;
+    t.map(|x| (x / step).round().clamp(-qmax, qmax) * step)
+}
+
+fn quantize_po2(t: &Tensor, alpha: f32, bits: u8) -> Tensor {
+    // One sign bit; remaining bits select an exponent level alpha * 2^-k,
+    // k in 0 .. 2^(bits-1) - 1, plus an explicit zero level.
+    let levels = (1u32 << (bits - 1)) - 1;
+    t.map(|x| {
+        if x == 0.0 {
+            return 0.0;
+        }
+        let sign = x.signum();
+        let mag = x.abs().min(alpha);
+        // nearest exponent in log space
+        let k = (mag / alpha).log2();
+        let k_round = (-k).round().clamp(0.0, levels as f32);
+        let q = alpha * (2.0f32).powf(-k_round);
+        // values more than half a level below the smallest code flush to 0
+        let smallest = alpha * (2.0f32).powi(-(levels as i32));
+        if mag < smallest * 0.75 {
+            0.0
+        } else {
+            sign * q
+        }
+    })
+}
+
+fn quantize_flint(t: &Tensor, alpha: f32, bits: u8) -> Tensor {
+    // Flint splits the range at alpha/4: below it, power-of-two spacing
+    // (captures the dense body); above it, integer spacing (captures the
+    // tail without exponential gaps).
+    let threshold = alpha / 4.0;
+    let int_qmax = ((1u32 << (bits - 2)) - 1) as f32;
+    let step = (alpha - threshold) / int_qmax;
+    let levels = (1u32 << (bits - 2)) - 1;
+    t.map(|x| {
+        if x == 0.0 {
+            return 0.0;
+        }
+        let sign = x.signum();
+        let mag = x.abs().min(alpha);
+        if mag >= threshold {
+            let q = ((mag - threshold) / step).round().clamp(0.0, int_qmax);
+            sign * (threshold + q * step)
+        } else {
+            let k = (mag / threshold).log2();
+            let k_round = (-k).round().clamp(0.0, levels as f32);
+            let smallest = threshold * (2.0f32).powi(-(levels as i32));
+            if mag < smallest * 0.75 {
+                0.0
+            } else {
+                sign * threshold * (2.0f32).powf(-k_round)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[data.len()]).unwrap()
+    }
+
+    /// Peaked, Gaussian-like data (most mass near zero).
+    fn peaked(n: usize) -> Tensor {
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let u = ((i * 2654435761) % 10000) as f32 / 10000.0 - 0.5;
+                u * u * u * 8.0 // cubing concentrates mass near 0
+            })
+            .collect();
+        Tensor::from_vec(data, &[n]).unwrap()
+    }
+
+    #[test]
+    fn bits_validated() {
+        assert!(AntCodec::new(2).is_err());
+        assert!(AntCodec::new(9).is_err());
+        assert!(AntCodec::new(6).is_ok());
+    }
+
+    /// Log-uniform magnitudes spanning several octaves with alternating
+    /// signs — the wide-dynamic-range shape power-of-two levels fit best.
+    fn log_uniform(n: usize) -> Tensor {
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let u = ((i * 2654435761) % 1000) as f32 / 1000.0; // [0, 1)
+                let mag = (2.0f32).powf(-6.0 * u); // spans [2^-6, 1]
+                if i % 2 == 0 {
+                    mag
+                } else {
+                    -mag
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[n]).unwrap()
+    }
+
+    #[test]
+    fn po2_fits_wide_dynamic_range_better_than_int_at_low_bits() {
+        // At 3 bits the integer grid has only 3 positive levels and loses
+        // everything below alpha/6; power-of-two levels track the octaves.
+        let x = log_uniform(1000);
+        let ant = AntCodec::new(3).unwrap();
+        let int = ant.compress_as(&x, AntType::Int).unwrap().mse(&x);
+        let po2 = ant.compress_as(&x, AntType::PowerOfTwo).unwrap().mse(&x);
+        assert!(po2 < int, "po2 {po2} should beat int {int} on log-uniform data");
+    }
+
+    #[test]
+    fn int_fits_uniform_better_than_po2() {
+        let x = t(&(1..=100).map(|i| i as f32 / 100.0).collect::<Vec<_>>());
+        let ant = AntCodec::new(4).unwrap();
+        let int = ant.compress_as(&x, AntType::Int).unwrap().mse(&x);
+        let po2 = ant.compress_as(&x, AntType::PowerOfTwo).unwrap().mse(&x);
+        assert!(int < po2, "int {int} should beat po2 {po2} on uniform data");
+    }
+
+    #[test]
+    fn adaptive_selection_is_at_least_as_good_as_every_type() {
+        for x in [peaked(500), t(&(1..=64).map(|i| i as f32).collect::<Vec<_>>())] {
+            let ant = AntCodec::new(5).unwrap();
+            let (best, _) = ant.compress_adaptive(&x).unwrap();
+            for ty in AntType::ALL {
+                let r = ant.compress_as(&x, ty).unwrap();
+                assert!(best.mse(&x) <= r.mse(&x) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_help() {
+        let x = peaked(1000);
+        let e4 = AntCodec::new(4).unwrap().compress(&x).unwrap().mse(&x);
+        let e6 = AntCodec::new(6).unwrap().compress(&x).unwrap().mse(&x);
+        assert!(e6 <= e4);
+    }
+
+    #[test]
+    fn po2_represents_exact_levels() {
+        let x = t(&[1.0, 0.5, 0.25, -0.125]);
+        let ant = AntCodec::new(4).unwrap();
+        let r = ant.compress_as(&x, AntType::PowerOfTwo).unwrap();
+        assert_eq!(r.reconstructed.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn zero_tensor_ok() {
+        let x = Tensor::zeros(&[8]);
+        let r = AntCodec::new(4).unwrap().compress(&x).unwrap();
+        assert_eq!(r.mse(&x), 0.0);
+    }
+
+    #[test]
+    fn name_includes_bits() {
+        assert_eq!(AntCodec::new(6).unwrap().name(), "ANT6");
+    }
+}

@@ -1,0 +1,182 @@
+//! BiScaled-DNN (DAC '19): one bit-width, two scale factors.
+//!
+//! BiScaled quantizes every value with the same number of bits but chooses
+//! between a *fine* scale (covering the dense long-tail body) and a *coarse*
+//! scale (covering the rare large values). Which values use the coarse scale
+//! is recorded in a block-sparse index, whose storage cost we charge to
+//! `avg_bits`.
+
+use serde::{Deserialize, Serialize};
+use spark_tensor::{stats, Tensor};
+
+use crate::codec::{check_finite, Codec, CodecResult, QuantError};
+
+/// The BiScaled codec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiScaledCodec {
+    bits: u8,
+    /// Quantile of `|x|` that the fine scale covers (the paper tunes this
+    /// split offline; 0.99 reproduces their "few values are big" setting).
+    split_quantile: f32,
+    /// Block size of the sparse index.
+    block: usize,
+}
+
+impl BiScaledCodec {
+    /// Creates a BiScaled codec with `bits`-wide codes (3..=8), a 99 %
+    /// fine-range split and 8-element index blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBits`] outside `3..=8`.
+    pub fn new(bits: u8) -> Result<Self, QuantError> {
+        if !(3..=8).contains(&bits) {
+            return Err(QuantError::UnsupportedBits(bits));
+        }
+        Ok(Self {
+            bits,
+            split_quantile: 0.99,
+            block: 8,
+        })
+    }
+
+    /// Overrides the fine-range quantile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadConfig`] outside `(0, 1)`.
+    pub fn with_split_quantile(mut self, q: f32) -> Result<Self, QuantError> {
+        if !(q > 0.0 && q < 1.0) {
+            return Err(QuantError::BadConfig(format!(
+                "split quantile {q} outside (0, 1)"
+            )));
+        }
+        self.split_quantile = q;
+        Ok(self)
+    }
+
+    /// The configured bit-width (excluding index overhead).
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+}
+
+impl Codec for BiScaledCodec {
+    fn name(&self) -> String {
+        format!("BiScaled{}", self.bits)
+    }
+
+    fn compress(&self, tensor: &Tensor) -> Result<CodecResult, QuantError> {
+        check_finite(tensor)?;
+        let fine_alpha = stats::abs_quantile(tensor, self.split_quantile);
+        let coarse_alpha = stats::abs_max(tensor);
+        let qmax = ((1u32 << (self.bits - 1)) - 1) as f32;
+        let fine_alpha = if fine_alpha == 0.0 { 1.0 } else { fine_alpha };
+        let coarse_alpha = if coarse_alpha == 0.0 { 1.0 } else { coarse_alpha };
+        let fine_step = fine_alpha / qmax;
+        let coarse_step = coarse_alpha / qmax;
+        let mut coarse_count = 0usize;
+        let data: Vec<f32> = tensor
+            .as_slice()
+            .iter()
+            .map(|&x| {
+                if x.abs() <= fine_alpha {
+                    (x / fine_step).round().clamp(-qmax, qmax) * fine_step
+                } else {
+                    coarse_count += 1;
+                    (x / coarse_step).round().clamp(-qmax, qmax) * coarse_step
+                }
+            })
+            .collect();
+        let n = tensor.len().max(1);
+        // Block sparse index: per block a presence bit, plus per coarse
+        // value an offset within its block (log2(block) bits).
+        let blocks = n.div_ceil(self.block);
+        let index_bits =
+            blocks as f64 + coarse_count as f64 * (self.block as f64).log2().ceil();
+        let avg_bits = f64::from(self.bits) + index_bits / n as f64;
+        Ok(CodecResult {
+            reconstructed: Tensor::from_vec(data, tensor.dims())
+                .map_err(|e| QuantError::BadConfig(e.to_string()))?,
+            avg_bits,
+            low_precision_fraction: 1.0 - coarse_count as f64 / n as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformQuantizer;
+
+    fn long_tail(n: usize) -> Tensor {
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let u = ((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5;
+                if i % 101 == 0 {
+                    u * 20.0
+                } else {
+                    u * 0.2
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[n]).unwrap()
+    }
+
+    #[test]
+    fn two_scales_beat_one_on_long_tails() {
+        let x = long_tail(2000);
+        let bi = BiScaledCodec::new(6).unwrap().compress(&x).unwrap();
+        let uni = UniformQuantizer::symmetric(6).compress(&x).unwrap();
+        assert!(
+            bi.mse(&x) < uni.mse(&x),
+            "BiScaled {} should beat uniform {}",
+            bi.mse(&x),
+            uni.mse(&x)
+        );
+    }
+
+    #[test]
+    fn index_overhead_charged() {
+        let x = long_tail(2000);
+        let r = BiScaledCodec::new(6).unwrap().compress(&x).unwrap();
+        assert!(r.avg_bits > 6.0, "index overhead must appear: {}", r.avg_bits);
+        assert!(r.avg_bits < 7.5);
+    }
+
+    #[test]
+    fn low_precision_fraction_counts_fine_values() {
+        let x = long_tail(2000);
+        let r = BiScaledCodec::new(6).unwrap().compress(&x).unwrap();
+        assert!(r.low_precision_fraction > 0.95);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BiScaledCodec::new(2).is_err());
+        assert!(BiScaledCodec::new(6)
+            .unwrap()
+            .with_split_quantile(1.0)
+            .is_err());
+        assert!(BiScaledCodec::new(6)
+            .unwrap()
+            .with_split_quantile(0.9)
+            .is_ok());
+    }
+
+    #[test]
+    fn uniform_data_degenerates_gracefully() {
+        // No tail: almost everything fine-scaled, error close to uniform.
+        let x = Tensor::from_vec((1..=100).map(|i| i as f32 / 100.0).collect(), &[100]).unwrap();
+        let bi = BiScaledCodec::new(6).unwrap().compress(&x).unwrap();
+        let uni = UniformQuantizer::symmetric(6).compress(&x).unwrap();
+        assert!(bi.mse(&x) <= uni.mse(&x) * 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_tensor_ok() {
+        let x = Tensor::zeros(&[16]);
+        let r = BiScaledCodec::new(6).unwrap().compress(&x).unwrap();
+        assert_eq!(r.mse(&x), 0.0);
+    }
+}

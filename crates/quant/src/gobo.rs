@@ -1,0 +1,220 @@
+//! GOBO (MICRO '20): dictionary quantization for attention-model weights.
+//!
+//! GOBO splits a weight tensor into a Gaussian body, represented by a small
+//! centroid dictionary (3-bit indices), and the few outliers that do not fit
+//! the Gaussian, stored at full precision with their coordinates. Only
+//! weights are compressed (activations stay FP), which the paper's Table I
+//! notes as GOBO's limitation.
+
+use serde::{Deserialize, Serialize};
+use spark_tensor::{stats, Tensor};
+
+use crate::codec::{check_finite, Codec, CodecResult, QuantError};
+
+/// The GOBO codec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoboCodec {
+    /// Dictionary index width (paper: 3 bits, 8 centroids).
+    pub index_bits: u8,
+    /// Values beyond `outlier_sigma` standard deviations are outliers.
+    pub outlier_sigma: f32,
+    /// Bits to store one outlier (FP32 value + coordinate).
+    pub outlier_bits: u8,
+    /// K-means refinement iterations for the dictionary.
+    pub kmeans_iters: usize,
+}
+
+impl Default for GoboCodec {
+    fn default() -> Self {
+        Self {
+            index_bits: 3,
+            outlier_sigma: 3.0,
+            outlier_bits: 64,
+            kmeans_iters: 8,
+        }
+    }
+}
+
+impl GoboCodec {
+    /// The paper's configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Codec for GoboCodec {
+    fn name(&self) -> String {
+        "GOBO".to_string()
+    }
+
+    fn compress(&self, tensor: &Tensor) -> Result<CodecResult, QuantError> {
+        check_finite(tensor)?;
+        let n = tensor.len();
+        if n == 0 {
+            return Ok(CodecResult {
+                reconstructed: tensor.clone(),
+                avg_bits: f64::from(self.index_bits),
+                low_precision_fraction: 1.0,
+            });
+        }
+        let summary = stats::summarize(tensor);
+        let cut = self.outlier_sigma * summary.std;
+        let is_outlier =
+            |x: f32| summary.std > 0.0 && (x - summary.mean).abs() > cut;
+
+        // Collect the Gaussian body and fit centroids with 1-D k-means,
+        // deterministically seeded on evenly spaced quantiles.
+        let body: Vec<f32> = tensor
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&x| !is_outlier(x))
+            .collect();
+        let k = 1usize << self.index_bits;
+        let centroids = kmeans_1d(&body, k, self.kmeans_iters);
+        let mut outliers = 0usize;
+        let data: Vec<f32> = tensor
+            .as_slice()
+            .iter()
+            .map(|&x| {
+                if is_outlier(x) {
+                    outliers += 1;
+                    x // stored exactly
+                } else {
+                    nearest(&centroids, x)
+                }
+            })
+            .collect();
+        let of = outliers as f64 / n as f64;
+        let dict_bits = (k as f64 * 32.0) / n as f64; // the dictionary itself
+        let avg_bits =
+            f64::from(self.index_bits) + of * f64::from(self.outlier_bits) + dict_bits;
+        Ok(CodecResult {
+            reconstructed: Tensor::from_vec(data, tensor.dims())
+                .map_err(|e| QuantError::BadConfig(e.to_string()))?,
+            avg_bits,
+            low_precision_fraction: 1.0 - of,
+        })
+    }
+}
+
+/// Deterministic 1-D k-means: quantile init, `iters` Lloyd steps.
+fn kmeans_1d(values: &[f32], k: usize, iters: usize) -> Vec<f32> {
+    if values.is_empty() {
+        return vec![0.0; k.max(1)];
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut centroids: Vec<f32> = (0..k)
+        .map(|i| {
+            let idx = (i * (sorted.len() - 1)) / (k - 1).max(1);
+            sorted[idx]
+        })
+        .collect();
+    centroids.dedup();
+    for _ in 0..iters {
+        let mut sums = vec![0.0f64; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for &v in values {
+            let i = nearest_index(&centroids, v);
+            sums[i] += v as f64;
+            counts[i] += 1;
+        }
+        for i in 0..centroids.len() {
+            if counts[i] > 0 {
+                centroids[i] = (sums[i] / counts[i] as f64) as f32;
+            }
+        }
+    }
+    centroids
+}
+
+fn nearest_index(centroids: &[f32], x: f32) -> usize {
+    let mut best = 0;
+    let mut best_d = f32::INFINITY;
+    for (i, &c) in centroids.iter().enumerate() {
+        let d = (x - c).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn nearest(centroids: &[f32], x: f32) -> f32 {
+    centroids[nearest_index(centroids, x)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_with_outliers(n: usize) -> Tensor {
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                // sum of uniforms approximates a Gaussian
+                let a = ((i * 2654435761) % 1000) as f32 / 1000.0;
+                let b = ((i * 40503 + 17) % 1000) as f32 / 1000.0;
+                let c = ((i * 69069 + 5) % 1000) as f32 / 1000.0;
+                let g = (a + b + c - 1.5) * 0.2;
+                if i % 211 == 0 {
+                    g + 3.0
+                } else {
+                    g
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[n]).unwrap()
+    }
+
+    #[test]
+    fn outliers_exact_body_clustered() {
+        let x = gaussian_with_outliers(2000);
+        let r = GoboCodec::new().compress(&x).unwrap();
+        // Find an outlier and check exact reconstruction.
+        let s = stats::summarize(&x);
+        for (i, &v) in x.as_slice().iter().enumerate() {
+            if (v - s.mean).abs() > 3.0 * s.std {
+                assert_eq!(r.reconstructed.as_slice()[i], v);
+            }
+        }
+        assert!(r.low_precision_fraction > 0.98);
+    }
+
+    #[test]
+    fn dictionary_fits_gaussian_body_well() {
+        let x = gaussian_with_outliers(2000);
+        let r = GoboCodec::new().compress(&x).unwrap();
+        // 8 centroids on a near-Gaussian body: SQNR should be decent.
+        assert!(r.sqnr_db(&x) > 10.0, "sqnr {}", r.sqnr_db(&x));
+    }
+
+    #[test]
+    fn avg_bits_near_index_bits() {
+        let x = gaussian_with_outliers(2000);
+        let r = GoboCodec::new().compress(&x).unwrap();
+        assert!(r.avg_bits > 3.0);
+        assert!(r.avg_bits < 4.5, "avg_bits {}", r.avg_bits);
+    }
+
+    #[test]
+    fn kmeans_handles_degenerate_inputs() {
+        assert_eq!(kmeans_1d(&[], 8, 4), vec![0.0; 8]);
+        let c = kmeans_1d(&[1.0, 1.0, 1.0], 8, 4);
+        assert!(c.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn constant_tensor_reconstructs_exactly() {
+        let x = Tensor::full(&[64], 0.7);
+        let r = GoboCodec::new().compress(&x).unwrap();
+        assert_eq!(r.mse(&x), 0.0);
+    }
+
+    #[test]
+    fn empty_tensor_ok() {
+        let r = GoboCodec::new().compress(&Tensor::zeros(&[0])).unwrap();
+        assert_eq!(r.avg_bits, 3.0);
+    }
+}

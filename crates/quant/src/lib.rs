@@ -1,0 +1,68 @@
+//! # spark-quant — quantization substrate and baseline codecs
+//!
+//! Everything the SPARK paper compares against lives here, behind one
+//! [`Codec`] trait: give it an FP32 tensor, get back the reconstruction the
+//! scheme would compute with plus the storage cost in bits per element
+//! (including index/metadata overheads, which is where schemes like OLAccel
+//! and BiScaled pay).
+//!
+//! ## Implemented schemes
+//!
+//! | Module | Scheme | Paper baseline |
+//! |---|---|---|
+//! | [`uniform`] | uniform INT-m (symmetric/asymmetric, optional clipping) | Q8BERT, Eyeriss INT16, BitFusion |
+//! | [`spark`] | SPARK variable-length encoding on INT8 codes | the paper's contribution |
+//! | [`ant`] | per-tensor adaptive data type (int / power-of-two / flint) | ANT (MICRO '22) |
+//! | [`biscaled`] | two scale factors + block sparse index | BiScaled-DNN (DAC '19) |
+//! | [`olaccel`] | outlier-aware 4-bit with 16-bit outliers + coordinate list | OLAccel (ISCA '18) |
+//! | [`gobo`] | centroid dictionary (3-bit) + FP32 outliers, weights only | GOBO (MICRO '20) |
+//! | [`olive`] | outlier–victim pair encoding | OliVe (ISCA '23) |
+//! | [`outlier_suppression`] | quantile clipping before uniform quantization | Outlier Suppression (NeurIPS '22) |
+//! | [`adafloat`] | per-tensor exponent-bias floating point | AdaptiveFloat (DAC '20) |
+//!
+//! ## Example
+//!
+//! ```
+//! use spark_quant::{Codec, SparkCodec, UniformQuantizer};
+//! use spark_tensor::Tensor;
+//!
+//! let t = Tensor::from_vec(vec![0.01, -0.02, 0.5, -1.0, 0.003], &[5])?;
+//! let spark = SparkCodec::default();
+//! let int8 = UniformQuantizer::symmetric(8);
+//! let r_spark = spark.compress(&t)?;
+//! let r_int8 = int8.compress(&t)?;
+//! assert!(r_spark.avg_bits < r_int8.avg_bits); // SPARK stores the same tensor in fewer bits
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adafloat;
+pub mod ant;
+pub mod biscaled;
+pub mod calibration;
+pub mod codec;
+pub mod general_spark;
+pub mod gobo;
+pub mod olaccel;
+pub mod olive;
+pub mod outlier_suppression;
+pub mod params;
+pub mod per_channel;
+pub mod spark;
+pub mod uniform;
+
+pub use adafloat::AdaptiveFloatCodec;
+pub use ant::{AntCodec, AntType};
+pub use biscaled::BiScaledCodec;
+pub use calibration::{mse_calibrate, MseCalibratedQuantizer};
+pub use codec::{Codec, CodecResult, QuantError};
+pub use general_spark::GeneralSparkCodec;
+pub use gobo::GoboCodec;
+pub use olaccel::OlAccelCodec;
+pub use olive::OliveCodec;
+pub use outlier_suppression::OutlierSuppressionCodec;
+pub use params::{MagnitudeCodes, MagnitudeQuantizer, QuantParams};
+pub use per_channel::PerChannel;
+pub use spark::SparkCodec;
+pub use uniform::UniformQuantizer;

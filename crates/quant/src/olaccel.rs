@@ -1,0 +1,197 @@
+//! OLAccel (ISCA '18): outlier-aware low-precision computation.
+//!
+//! OLAccel keeps ~97 % of values at 4 bits and routes the top few percent by
+//! magnitude (the outliers) through 16-bit datapaths, recording their
+//! positions in a coordinate list. The coordinate list is the scheme's
+//! storage overhead; the accuracy cost is the 4-bit body.
+
+use serde::{Deserialize, Serialize};
+use spark_tensor::Tensor;
+
+use crate::codec::{check_finite, Codec, CodecResult, QuantError};
+
+/// The OLAccel codec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OlAccelCodec {
+    /// Bit-width of the dense body (the paper uses 4).
+    pub body_bits: u8,
+    /// Bit-width of outliers (the paper uses 16).
+    pub outlier_bits: u8,
+    /// Fraction of values treated as outliers (paper: ~3 %).
+    pub outlier_fraction: f32,
+    /// Bits per coordinate-list entry.
+    pub coord_bits: u8,
+}
+
+impl Default for OlAccelCodec {
+    fn default() -> Self {
+        Self {
+            body_bits: 4,
+            outlier_bits: 16,
+            outlier_fraction: 0.03,
+            coord_bits: 16,
+        }
+    }
+}
+
+impl OlAccelCodec {
+    /// The paper's configuration (4-bit body, 16-bit outliers, 3 %).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the outlier fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadConfig`] outside `[0, 0.5]`.
+    pub fn with_outlier_fraction(mut self, f: f32) -> Result<Self, QuantError> {
+        if !(0.0..=0.5).contains(&f) {
+            return Err(QuantError::BadConfig(format!(
+                "outlier fraction {f} outside [0, 0.5]"
+            )));
+        }
+        self.outlier_fraction = f;
+        Ok(self)
+    }
+}
+
+impl Codec for OlAccelCodec {
+    fn name(&self) -> String {
+        "OLAccel".to_string()
+    }
+
+    fn compress(&self, tensor: &Tensor) -> Result<CodecResult, QuantError> {
+        check_finite(tensor)?;
+        let n = tensor.len();
+        if n == 0 {
+            return Ok(CodecResult {
+                reconstructed: tensor.clone(),
+                avg_bits: f64::from(self.body_bits),
+                low_precision_fraction: 1.0,
+            });
+        }
+        // Threshold: the magnitude above which a value is an outlier.
+        let mut mags: Vec<f32> = tensor.as_slice().iter().map(|x| x.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let cutoff_idx = ((n as f32) * (1.0 - self.outlier_fraction)) as usize;
+        let threshold = mags[cutoff_idx.min(n - 1)];
+        let body_alpha = if threshold == 0.0 { 1.0 } else { threshold };
+        let full_alpha = *mags.last().expect("nonempty");
+        let full_alpha = if full_alpha == 0.0 { 1.0 } else { full_alpha };
+
+        let body_qmax = ((1u32 << (self.body_bits - 1)) - 1) as f32;
+        let out_qmax = ((1u32 << (self.outlier_bits - 1)) - 1) as f32;
+        let body_step = body_alpha / body_qmax;
+        let out_step = full_alpha / out_qmax;
+        let mut outliers = 0usize;
+        let data: Vec<f32> = tensor
+            .as_slice()
+            .iter()
+            .map(|&x| {
+                if x.abs() <= body_alpha {
+                    (x / body_step).round().clamp(-body_qmax, body_qmax) * body_step
+                } else {
+                    outliers += 1;
+                    (x / out_step).round().clamp(-out_qmax, out_qmax) * out_step
+                }
+            })
+            .collect();
+        let of = outliers as f64 / n as f64;
+        let avg_bits = f64::from(self.body_bits)
+            + of * f64::from(self.outlier_bits - self.body_bits).max(0.0)
+            + of * f64::from(self.coord_bits);
+        Ok(CodecResult {
+            reconstructed: Tensor::from_vec(data, tensor.dims())
+                .map_err(|e| QuantError::BadConfig(e.to_string()))?,
+            avg_bits,
+            low_precision_fraction: 1.0 - of,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformQuantizer;
+
+    fn long_tail(n: usize) -> Tensor {
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let u = ((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5;
+                if i % 53 == 0 {
+                    u * 30.0
+                } else {
+                    u * 0.3
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[n]).unwrap()
+    }
+
+    #[test]
+    fn beats_plain_int4_on_outlier_data() {
+        let x = long_tail(2000);
+        let ol = OlAccelCodec::new().compress(&x).unwrap();
+        let int4 = UniformQuantizer::symmetric(4).compress(&x).unwrap();
+        assert!(ol.mse(&x) < int4.mse(&x));
+    }
+
+    #[test]
+    fn coordinate_overhead_charged() {
+        let x = long_tail(2000);
+        let r = OlAccelCodec::new().compress(&x).unwrap();
+        assert!(r.avg_bits > 4.0);
+        // 3 % outliers with 12 extra data bits + 16 coord bits ≈ 0.84 extra.
+        assert!(r.avg_bits < 6.0, "avg_bits {}", r.avg_bits);
+    }
+
+    #[test]
+    fn outlier_fraction_tracked() {
+        let x = long_tail(2000);
+        let r = OlAccelCodec::new().compress(&x).unwrap();
+        assert!(r.low_precision_fraction >= 0.95);
+        assert!(r.low_precision_fraction < 1.0);
+    }
+
+    #[test]
+    fn zero_fraction_degenerates_to_int4() {
+        let x = long_tail(500);
+        let ol = OlAccelCodec::new()
+            .with_outlier_fraction(0.0)
+            .unwrap()
+            .compress(&x)
+            .unwrap();
+        // With no outliers everything is 4-bit over the max range... except
+        // threshold = max, so the body covers everything.
+        assert_eq!(ol.low_precision_fraction, 1.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(OlAccelCodec::new().with_outlier_fraction(0.6).is_err());
+        assert!(OlAccelCodec::new().with_outlier_fraction(-0.1).is_err());
+    }
+
+    #[test]
+    fn empty_tensor_ok() {
+        let x = Tensor::zeros(&[0]);
+        let r = OlAccelCodec::new().compress(&x).unwrap();
+        assert_eq!(r.avg_bits, 4.0);
+    }
+
+    #[test]
+    fn outliers_kept_at_high_precision() {
+        let x = long_tail(2000);
+        let r = OlAccelCodec::new().compress(&x).unwrap();
+        // The largest value must be reconstructed nearly exactly (16-bit).
+        let (idx, &max) = x
+            .as_slice()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        let rec = r.reconstructed.as_slice()[idx];
+        assert!(((max - rec) / max).abs() < 1e-3, "{max} vs {rec}");
+    }
+}

@@ -1,0 +1,195 @@
+//! OliVe (ISCA '23): outlier–victim pair quantization.
+//!
+//! OliVe keeps a uniform low bit-width everywhere but, wherever an outlier
+//! appears, sacrifices ("prunes") its adjacent value — the *victim* — and
+//! reuses the victim's bit budget to give the outlier extended range. The
+//! result stays perfectly aligned in memory (no index structures), at the
+//! accuracy cost of the zeroed victims.
+
+use serde::{Deserialize, Serialize};
+use spark_tensor::{stats, Tensor};
+
+use crate::codec::{check_finite, Codec, CodecResult, QuantError};
+
+/// The OliVe codec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OliveCodec {
+    /// Base bit-width (paper: 4).
+    pub bits: u8,
+    /// Quantile of `|x|` covered by the normal-value range; values above it
+    /// become outliers (paper: a small percentage).
+    pub normal_quantile: f32,
+}
+
+impl Default for OliveCodec {
+    fn default() -> Self {
+        Self {
+            bits: 4,
+            normal_quantile: 0.99,
+        }
+    }
+}
+
+impl OliveCodec {
+    /// The paper's 4-bit configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an OliVe codec at a custom base bit-width (3..=8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBits`] outside that range.
+    pub fn with_bits(bits: u8) -> Result<Self, QuantError> {
+        if !(3..=8).contains(&bits) {
+            return Err(QuantError::UnsupportedBits(bits));
+        }
+        Ok(Self {
+            bits,
+            normal_quantile: 0.99,
+        })
+    }
+}
+
+impl Codec for OliveCodec {
+    fn name(&self) -> String {
+        "OliVe".to_string()
+    }
+
+    fn compress(&self, tensor: &Tensor) -> Result<CodecResult, QuantError> {
+        check_finite(tensor)?;
+        let n = tensor.len();
+        if n == 0 {
+            return Ok(CodecResult {
+                reconstructed: tensor.clone(),
+                avg_bits: f64::from(self.bits),
+                low_precision_fraction: 1.0,
+            });
+        }
+        let normal_alpha = stats::abs_quantile(tensor, self.normal_quantile);
+        let normal_alpha = if normal_alpha == 0.0 { 1.0 } else { normal_alpha };
+        let full_alpha = stats::abs_max(tensor).max(normal_alpha);
+        let qmax = ((1u32 << (self.bits - 1)) - 1) as f32;
+        let normal_step = normal_alpha / qmax;
+        // Outliers get double the bit budget (their own + the victim's):
+        // a 2·bits-wide code covering the full range.
+        let out_qmax = ((1u32 << (2 * self.bits - 1)) - 1) as f32;
+        let out_step = full_alpha / out_qmax;
+
+        let src = tensor.as_slice();
+        let mut data = vec![0.0f32; n];
+        let mut outliers = 0usize;
+        let mut victims = 0usize;
+        let mut i = 0;
+        while i < n {
+            let x = src[i];
+            if x.abs() > normal_alpha {
+                outliers += 1;
+                data[i] = (x / out_step).round().clamp(-out_qmax, out_qmax) * out_step;
+                // The paired neighbour becomes the victim (pruned to zero) —
+                // pairs are (even, odd) lanes as in the OliVe memory layout.
+                let victim = if i % 2 == 0 { i + 1 } else { i - 1 };
+                if victim < n && src[victim].abs() <= normal_alpha {
+                    data[victim] = 0.0;
+                    victims += 1;
+                    if victim > i {
+                        i += 2;
+                        continue;
+                    }
+                }
+                i += 1;
+            } else {
+                // May already have been zeroed as a victim of the previous
+                // outlier; only write if untouched.
+                let victimized = i > 0
+                    && i % 2 == 1
+                    && src[i - 1].abs() > normal_alpha;
+                if !victimized {
+                    data[i] =
+                        (x / normal_step).round().clamp(-qmax, qmax) * normal_step;
+                }
+                i += 1;
+            }
+        }
+        let of = outliers as f64 / n as f64;
+        let _ = victims;
+        Ok(CodecResult {
+            reconstructed: Tensor::from_vec(data, tensor.dims())
+                .map_err(|e| QuantError::BadConfig(e.to_string()))?,
+            // Perfectly aligned: pairs reuse the victim's budget, so the
+            // footprint stays at the base width.
+            avg_bits: f64::from(self.bits),
+            low_precision_fraction: 1.0 - of,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformQuantizer;
+
+    fn long_tail(n: usize) -> Tensor {
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let u = ((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5;
+                if i % 67 == 0 {
+                    u * 40.0
+                } else {
+                    u * 0.4
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[n]).unwrap()
+    }
+
+    #[test]
+    fn beats_plain_int4_on_long_tails() {
+        let x = long_tail(2000);
+        let olive = OliveCodec::new().compress(&x).unwrap();
+        let int4 = UniformQuantizer::symmetric(4).compress(&x).unwrap();
+        assert!(olive.mse(&x) < int4.mse(&x));
+    }
+
+    #[test]
+    fn storage_stays_at_base_width() {
+        let x = long_tail(2000);
+        let r = OliveCodec::new().compress(&x).unwrap();
+        assert_eq!(r.avg_bits, 4.0);
+    }
+
+    #[test]
+    fn victims_are_zeroed() {
+        // Construct: index 0 outlier, index 1 small victim.
+        let x = Tensor::from_vec(
+            vec![100.0, 0.01, 0.02, -0.01, 0.03, 0.01, -0.02, 0.01],
+            &[8],
+        )
+        .unwrap();
+        let r = OliveCodec::new().compress(&x).unwrap();
+        assert_eq!(r.reconstructed.as_slice()[1], 0.0);
+        // The outlier is preserved with extended precision.
+        assert!((r.reconstructed.as_slice()[0] - 100.0).abs() / 100.0 < 0.01);
+    }
+
+    #[test]
+    fn no_outliers_means_plain_quantization() {
+        let x = Tensor::from_vec((1..=64).map(|i| i as f32 / 64.0).collect(), &[64]).unwrap();
+        let r = OliveCodec::new().compress(&x).unwrap();
+        assert!(r.low_precision_fraction > 0.98);
+    }
+
+    #[test]
+    fn bits_validated() {
+        assert!(OliveCodec::with_bits(2).is_err());
+        assert!(OliveCodec::with_bits(9).is_err());
+        assert!(OliveCodec::with_bits(4).is_ok());
+    }
+
+    #[test]
+    fn empty_tensor_ok() {
+        let r = OliveCodec::new().compress(&Tensor::zeros(&[0])).unwrap();
+        assert_eq!(r.avg_bits, 4.0);
+    }
+}

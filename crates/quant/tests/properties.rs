@@ -1,0 +1,114 @@
+//! Property-based tests across every codec: shared contract checks on
+//! arbitrary finite tensors.
+
+use proptest::prelude::*;
+use spark_quant::{
+    AdaptiveFloatCodec, AntCodec, BiScaledCodec, Codec, GeneralSparkCodec, GoboCodec,
+    MseCalibratedQuantizer, OlAccelCodec, OliveCodec, OutlierSuppressionCodec, PerChannel,
+    SparkCodec, UniformQuantizer,
+};
+use spark_tensor::{stats, Tensor};
+
+fn all_codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(SparkCodec::default()),
+        Box::new(SparkCodec::default().without_compensation()),
+        Box::new(GeneralSparkCodec::new(12, 6).expect("valid format")),
+        Box::new(UniformQuantizer::symmetric(8)),
+        Box::new(UniformQuantizer::asymmetric(8)),
+        Box::new(UniformQuantizer::symmetric(4)),
+        Box::new(MseCalibratedQuantizer::new(6).expect("valid bits")),
+        Box::new(AntCodec::new(4).expect("valid bits")),
+        Box::new(BiScaledCodec::new(6).expect("valid bits")),
+        Box::new(OlAccelCodec::new()),
+        Box::new(OliveCodec::new()),
+        Box::new(GoboCodec::new()),
+        Box::new(OutlierSuppressionCodec::new(6).expect("valid bits")),
+        Box::new(AdaptiveFloatCodec::adafloat8()),
+        Box::new(PerChannel::new(UniformQuantizer::symmetric(8))),
+    ]
+}
+
+fn tensor_strategy() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-50.0f32..50.0, 8..128)
+        .prop_map(|data| {
+            let n = data.len();
+            Tensor::from_vec(data, &[n]).expect("length matches")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every codec's contract: finite reconstruction, same shape, sane
+    /// storage accounting, bounded range expansion.
+    #[test]
+    fn codec_contract_holds(t in tensor_strategy()) {
+        let abs_max = stats::abs_max(&t);
+        for codec in all_codecs() {
+            let r = codec.compress(&t).unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+            prop_assert_eq!(r.reconstructed.dims(), t.dims(), "{}", codec.name());
+            prop_assert!(
+                r.reconstructed.as_slice().iter().all(|x| x.is_finite()),
+                "{} produced non-finite values",
+                codec.name()
+            );
+            // Reconstructions never exceed the input range by more than a
+            // rounding step of slack.
+            let r_max = stats::abs_max(&r.reconstructed);
+            prop_assert!(
+                r_max <= abs_max * 1.26 + 1e-6,
+                "{}: |recon| {} vs |input| {}",
+                codec.name(),
+                r_max,
+                abs_max
+            );
+            prop_assert!(
+                (1.0..=48.0).contains(&r.avg_bits),
+                "{}: avg_bits {}",
+                codec.name(),
+                r.avg_bits
+            );
+            prop_assert!(
+                (0.0..=1.0).contains(&r.low_precision_fraction),
+                "{}",
+                codec.name()
+            );
+        }
+    }
+
+    /// Codecs reject non-finite input rather than propagating it.
+    #[test]
+    fn non_finite_rejected(bad in prop_oneof![Just(f32::NAN), Just(f32::INFINITY)]) {
+        let t = Tensor::from_vec(vec![1.0, bad, 2.0], &[3]).expect("length matches");
+        for codec in all_codecs() {
+            prop_assert!(codec.compress(&t).is_err(), "{}", codec.name());
+        }
+    }
+
+    /// SQNR never decreases when a uniform quantizer gets more bits.
+    #[test]
+    fn uniform_monotone_in_bits(t in tensor_strategy()) {
+        prop_assume!(stats::abs_max(&t) > 0.0);
+        let mut last = f64::NEG_INFINITY;
+        for bits in [2u8, 4, 6, 8, 12] {
+            let r = UniformQuantizer::symmetric(bits).compress(&t).expect("finite");
+            let s = r.sqnr_db(&t);
+            prop_assert!(
+                s + 1e-6 >= last,
+                "bits {bits}: SQNR {s} < previous {last}"
+            );
+            last = s;
+        }
+    }
+
+    /// SPARK's avg bits always lie in [4, 8] and agree with its short
+    /// fraction.
+    #[test]
+    fn spark_bits_consistent(t in tensor_strategy()) {
+        let r = SparkCodec::default().compress(&t).expect("finite");
+        prop_assert!((4.0..=8.0).contains(&r.avg_bits));
+        let expect = 8.0 - 4.0 * r.low_precision_fraction;
+        prop_assert!((r.avg_bits - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,295 @@
+//! Accelerator configurations: SPARK and the paper's six baselines.
+//!
+//! Component counts and PE data widths come from Table VII (all designs
+//! scaled to 28 nm at iso-area). SPARK's throughput comes from the cycle
+//! simulator; each baseline's effective throughput is its PE count times a
+//! utilization factor calibrated so the relative performance the original
+//! papers report is reproduced (the SPARK paper likewise takes baseline
+//! results "as reported in their paper").
+
+use serde::{Deserialize, Serialize};
+
+use crate::perf::{PrecisionProfile, SimConfig, WorkloadReport};
+use spark_nn::ModelWorkload;
+
+/// How a design's compute cycles are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TimingModel {
+    /// SPARK: per-MAC costs from the operand code kinds, evaluated either
+    /// analytically (decoupled lanes) or on the cycle-accurate array
+    /// (lockstep), per [`SimConfig::spark_timing`](crate::perf::SimConfig).
+    SparkSimulated,
+    /// Mixed-precision baselines (ANT, OliVe): same multi-cycle cost model,
+    /// but their encodings leave fewer values at 4 bits
+    /// (`short_frac_penalty` is subtracted from the SPARK short fraction)
+    /// and their decoders add a pipeline utilization factor.
+    MixedPrecision {
+        /// How much smaller this design's 4-bit fraction is than SPARK's.
+        short_frac_penalty: f64,
+        /// Sustained fraction of peak after decode stalls.
+        pipeline_util: f64,
+    },
+    /// Fixed-width designs: peak MACs/cycle times `utilization`.
+    Flat,
+}
+
+/// Which accelerator design to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceleratorKind {
+    /// The paper's contribution: 4096 mixed-precision 4-bit PEs + SPARK
+    /// codecs.
+    Spark,
+    /// ANT (MICRO '22): 4096 4-bit PEs + adaptive-type decoders.
+    Ant,
+    /// OliVe (ISCA '23): 4096 4-bit PEs + outlier-victim decoders.
+    Olive,
+    /// OLAccel (ISCA '18): 1152 4/16-bit PEs + outlier controller.
+    OlAccel,
+    /// BitFusion (ISCA '18): 4096 fusible 4-bit PE units.
+    BitFusion,
+    /// BiScaled-DNN (DAC '19): 2560 6-bit block-scaled PEs.
+    BiScaled,
+    /// AdaptiveFloat (DAC '20): 896 8-bit float PEs.
+    AdaFloat,
+    /// Eyeriss (JSSC '16): 168 16-bit PEs.
+    Eyeriss,
+}
+
+impl AcceleratorKind {
+    /// All designs in the Fig 11/12 legend order.
+    pub const ALL: [AcceleratorKind; 8] = [
+        AcceleratorKind::Eyeriss,
+        AcceleratorKind::BitFusion,
+        AcceleratorKind::OlAccel,
+        AcceleratorKind::BiScaled,
+        AcceleratorKind::AdaFloat,
+        AcceleratorKind::Ant,
+        AcceleratorKind::Olive,
+        AcceleratorKind::Spark,
+    ];
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AcceleratorKind::Spark => "SPARK",
+            AcceleratorKind::Ant => "ANT",
+            AcceleratorKind::Olive => "OliVe",
+            AcceleratorKind::OlAccel => "OLAccel",
+            AcceleratorKind::BitFusion => "BitFusion",
+            AcceleratorKind::BiScaled => "BiScaled",
+            AcceleratorKind::AdaFloat => "AdaFloat",
+            AcceleratorKind::Eyeriss => "Eyeriss",
+        }
+    }
+}
+
+/// A configured accelerator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// The design being modelled.
+    pub kind: AcceleratorKind,
+    /// Number of PEs (Table VII).
+    pub pe_count: usize,
+    /// Systolic array rows (SPARK tile height; `rows * cols == pe_count`).
+    pub array_rows: usize,
+    /// Systolic array columns.
+    pub array_cols: usize,
+    /// Utilization factor applied to the peak MAC rate (captures decode
+    /// stalls, outlier serialization, fusion overheads). SPARK's is 1.0 —
+    /// its stalls are simulated, not factored.
+    pub utilization: f64,
+    /// Compute-timing model for this design.
+    pub timing: TimingModel,
+    /// Storage bits per weight/activation element this design moves through
+    /// DRAM and buffers (index and metadata overhead included). `None`
+    /// means "determined by the SPARK encoding of the tensor".
+    pub storage_bits: Option<f64>,
+    /// Bits of datapath precision for core-energy accounting.
+    pub mac_energy_bits: u8,
+    /// Multiplier on core MAC energy for control/datapath overheads the
+    /// width alone does not capture (outlier controllers, fusion networks,
+    /// type-conversion shifters). 1.0 = none.
+    pub core_energy_factor: f64,
+}
+
+impl Accelerator {
+    /// Creates the named design with its Table VII configuration.
+    pub fn new(kind: AcceleratorKind) -> Self {
+        match kind {
+            AcceleratorKind::Spark => Self {
+                kind,
+                pe_count: 4096,
+                array_rows: 64,
+                array_cols: 64,
+                utilization: 1.0,
+                timing: TimingModel::SparkSimulated,
+                storage_bits: None, // measured from the encoding
+                mac_energy_bits: 4,
+                core_energy_factor: 1.0,
+            },
+            // ANT: adaptive 4-bit types, but its exceptions leave ~7 % more
+            // values needing wide handling than SPARK, and its decoders add
+            // pipeline stalls (calibrated to the ~1.12x gap the paper
+            // reports).
+            AcceleratorKind::Ant => Self {
+                kind,
+                pe_count: 4096,
+                array_rows: 64,
+                array_cols: 64,
+                utilization: 1.0,
+                timing: TimingModel::MixedPrecision {
+                    short_frac_penalty: 0.07,
+                    pipeline_util: 0.93,
+                },
+                storage_bits: Some(4.8),
+                mac_energy_bits: 4,
+                core_energy_factor: 1.3,
+            },
+            // OliVe: outlier-victim pairs keep alignment but the outlier
+            // rate is bounded by the victim budget; heavier decoders.
+            AcceleratorKind::Olive => Self {
+                kind,
+                pe_count: 4096,
+                array_rows: 64,
+                array_cols: 64,
+                utilization: 1.0,
+                timing: TimingModel::MixedPrecision {
+                    short_frac_penalty: 0.10,
+                    pipeline_util: 0.90,
+                },
+                storage_bits: Some(4.4),
+                mac_energy_bits: 4,
+                core_energy_factor: 1.5,
+            },
+            // OLAccel: 1152 4-bit PEs; the outlier controller serializes
+            // ~3 % of MACs through a narrow 16-bit path.
+            AcceleratorKind::OlAccel => Self {
+                kind,
+                pe_count: 1152,
+                array_rows: 32,
+                array_cols: 36,
+                utilization: 0.70,
+                timing: TimingModel::Flat,
+                storage_bits: Some(4.9),
+                mac_energy_bits: 4,
+                core_energy_factor: 3.0,
+            },
+            // BitFusion at INT8 (accuracy-parity config): fusing 4 units
+            // per 8x8 MAC leaves 1024 effective MACs/cycle.
+            AcceleratorKind::BitFusion => Self {
+                kind,
+                pe_count: 1024,
+                array_rows: 32,
+                array_cols: 32,
+                utilization: 0.85,
+                timing: TimingModel::Flat,
+                storage_bits: Some(8.0),
+                mac_energy_bits: 8,
+                core_energy_factor: 1.3,
+            },
+            AcceleratorKind::BiScaled => Self {
+                kind,
+                pe_count: 2560,
+                array_rows: 40,
+                array_cols: 64,
+                utilization: 0.55,
+                timing: TimingModel::Flat,
+                storage_bits: Some(6.6),
+                mac_energy_bits: 6,
+                core_energy_factor: 1.4,
+            },
+            // AdaFloat: FP8 pipeline latency lowers sustained rate.
+            AcceleratorKind::AdaFloat => Self {
+                kind,
+                pe_count: 896,
+                array_rows: 28,
+                array_cols: 32,
+                utilization: 0.75,
+                timing: TimingModel::Flat,
+                storage_bits: Some(8.0),
+                mac_energy_bits: 8,
+                core_energy_factor: 1.0,
+            },
+            AcceleratorKind::Eyeriss => Self {
+                kind,
+                pe_count: 168,
+                array_rows: 12,
+                array_cols: 14,
+                utilization: 0.95,
+                timing: TimingModel::Flat,
+                storage_bits: Some(16.0),
+                mac_energy_bits: 16,
+                core_energy_factor: 1.0,
+            },
+        }
+    }
+
+    /// Builds every design.
+    pub fn all() -> Vec<Self> {
+        AcceleratorKind::ALL.into_iter().map(Self::new).collect()
+    }
+
+    /// Runs a workload through the performance/energy model (see
+    /// [`crate::perf::simulate`]).
+    pub fn run(
+        &self,
+        workload: &ModelWorkload,
+        profile: &PrecisionProfile,
+        config: &SimConfig,
+    ) -> WorkloadReport {
+        crate::perf::simulate(self, workload, profile, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vii_pe_counts() {
+        assert_eq!(Accelerator::new(AcceleratorKind::Spark).pe_count, 4096);
+        assert_eq!(Accelerator::new(AcceleratorKind::Ant).pe_count, 4096);
+        assert_eq!(Accelerator::new(AcceleratorKind::OlAccel).pe_count, 1152);
+        assert_eq!(Accelerator::new(AcceleratorKind::BiScaled).pe_count, 2560);
+        assert_eq!(Accelerator::new(AcceleratorKind::AdaFloat).pe_count, 896);
+        assert_eq!(Accelerator::new(AcceleratorKind::Eyeriss).pe_count, 168);
+    }
+
+    #[test]
+    fn spark_array_matches_pe_count() {
+        let a = Accelerator::new(AcceleratorKind::Spark);
+        assert_eq!(a.array_rows * a.array_cols, a.pe_count);
+    }
+
+    #[test]
+    fn all_designs_have_consistent_arrays() {
+        for a in Accelerator::all() {
+            assert_eq!(
+                a.array_rows * a.array_cols,
+                a.pe_count,
+                "{}",
+                a.kind.name()
+            );
+            assert!(a.utilization > 0.0 && a.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = AcceleratorKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn only_spark_measures_storage_from_encoding() {
+        for a in Accelerator::all() {
+            if a.kind == AcceleratorKind::Spark {
+                assert!(a.storage_bits.is_none());
+            } else {
+                assert!(a.storage_bits.is_some(), "{}", a.kind.name());
+            }
+        }
+    }
+}

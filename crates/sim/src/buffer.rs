@@ -1,0 +1,182 @@
+//! Global-buffer capacity model and tile planning.
+//!
+//! All designs share a 5 MB global buffer (Section V-A). For most layers
+//! the weight tile, an activation stripe and the partial sums fit; for the
+//! largest layers they do not, and the activations must be re-streamed from
+//! DRAM once per resident weight chunk. This module plans that tiling and
+//! quantifies the DRAM amplification, showing another place narrow SPARK
+//! storage pays: more of the layer fits, so fewer re-fetches happen.
+
+use serde::{Deserialize, Serialize};
+use spark_nn::Gemm;
+
+/// Global buffer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Capacity in bytes (paper: 5 MB).
+    pub capacity_bytes: f64,
+    /// Fraction reserved for activations/psum double buffering.
+    pub activation_share: f64,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 5.0 * 1024.0 * 1024.0,
+            activation_share: 0.4,
+        }
+    }
+}
+
+/// The tiling decision for one GEMM layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TilePlan {
+    /// Bytes of encoded weights for the full layer (one repeat).
+    pub weight_bytes: f64,
+    /// Bytes of encoded activations streamed per pass (one repeat).
+    pub activation_bytes: f64,
+    /// Number of weight chunks the layer is split into (1 = fully
+    /// resident).
+    pub weight_chunks: u32,
+    /// Multiplier on activation DRAM traffic caused by re-streaming.
+    pub activation_refetch: f64,
+    /// Peak buffer occupancy as a fraction of capacity.
+    pub occupancy: f64,
+}
+
+impl TilePlan {
+    /// Plans one layer: weights get the non-activation share of the buffer;
+    /// if they do not fit, the layer splits into chunks and the activations
+    /// are re-streamed once per chunk.
+    pub fn plan(gemm: &Gemm, bits_w: f64, bits_a: f64, config: &BufferConfig) -> TilePlan {
+        let weight_bytes = gemm.k as f64 * gemm.n as f64 * bits_w / 8.0;
+        let activation_bytes = gemm.m as f64 * gemm.k as f64 * bits_a / 8.0;
+        let weight_budget = config.capacity_bytes * (1.0 - config.activation_share);
+        let weight_chunks = (weight_bytes / weight_budget).ceil().max(1.0) as u32;
+        let resident = weight_bytes / f64::from(weight_chunks);
+        let act_stripe = (activation_bytes).min(config.capacity_bytes * config.activation_share);
+        TilePlan {
+            weight_bytes,
+            activation_bytes,
+            weight_chunks,
+            activation_refetch: f64::from(weight_chunks),
+            occupancy: ((resident + act_stripe) / config.capacity_bytes).min(1.0),
+        }
+    }
+
+    /// Total DRAM bytes for the layer under this plan (all repeats):
+    /// weights once, activations times the refetch factor.
+    pub fn dram_bytes(&self, repeats: usize) -> f64 {
+        (self.weight_bytes + self.activation_bytes * self.activation_refetch)
+            * repeats as f64
+    }
+}
+
+/// Summarizes the buffer behaviour of a whole workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferReport {
+    /// Per-layer plans with labels.
+    pub plans: Vec<(String, TilePlan)>,
+    /// Fraction of layers fully resident.
+    pub resident_fraction: f64,
+    /// Aggregate DRAM amplification vs the no-capacity-limit model.
+    pub dram_amplification: f64,
+}
+
+/// Plans every layer of a workload.
+pub fn plan_workload(
+    gemms: &[Gemm],
+    bits_w: f64,
+    bits_a: f64,
+    config: &BufferConfig,
+) -> BufferReport {
+    let plans: Vec<(String, TilePlan)> = gemms
+        .iter()
+        .map(|g| (g.label.clone(), TilePlan::plan(g, bits_w, bits_a, config)))
+        .collect();
+    let resident = plans.iter().filter(|(_, p)| p.weight_chunks == 1).count();
+    let ideal: f64 = plans
+        .iter()
+        .zip(gemms)
+        .map(|((_, p), g)| (p.weight_bytes + p.activation_bytes) * g.repeats as f64)
+        .sum();
+    let actual: f64 = plans
+        .iter()
+        .zip(gemms)
+        .map(|((_, p), g)| p.dram_bytes(g.repeats))
+        .sum();
+    BufferReport {
+        resident_fraction: if plans.is_empty() {
+            1.0
+        } else {
+            resident as f64 / plans.len() as f64
+        },
+        dram_amplification: if ideal == 0.0 { 1.0 } else { actual / ideal },
+        plans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_nn::ModelWorkload;
+
+    #[test]
+    fn small_layer_fully_resident() {
+        let g = Gemm::new("small", 64, 256, 256);
+        let p = TilePlan::plan(&g, 8.0, 8.0, &BufferConfig::default());
+        assert_eq!(p.weight_chunks, 1);
+        assert_eq!(p.activation_refetch, 1.0);
+        assert!(p.occupancy < 0.1);
+    }
+
+    #[test]
+    fn huge_layer_splits_and_refetches() {
+        // VGG16 fc1: 25088 x 4096 weights = 100 MB at 8 bits.
+        let g = Gemm::new("fc1", 1, 25088, 4096);
+        let p = TilePlan::plan(&g, 8.0, 8.0, &BufferConfig::default());
+        assert!(p.weight_chunks > 10, "chunks {}", p.weight_chunks);
+        assert_eq!(p.activation_refetch, f64::from(p.weight_chunks));
+    }
+
+    #[test]
+    fn narrower_storage_reduces_chunking() {
+        let g = Gemm::new("fc", 1, 8192, 4096);
+        let wide = TilePlan::plan(&g, 16.0, 16.0, &BufferConfig::default());
+        let narrow = TilePlan::plan(&g, 4.7, 4.7, &BufferConfig::default());
+        assert!(narrow.weight_chunks < wide.weight_chunks);
+    }
+
+    #[test]
+    fn workload_report_spark_vs_int16() {
+        let w = ModelWorkload::vgg16();
+        let cfg = BufferConfig::default();
+        let spark = plan_workload(&w.gemms, 5.4, 5.7, &cfg);
+        let int16 = plan_workload(&w.gemms, 16.0, 16.0, &cfg);
+        // SPARK keeps more layers resident and amplifies DRAM less.
+        assert!(spark.resident_fraction >= int16.resident_fraction);
+        assert!(spark.dram_amplification <= int16.dram_amplification);
+        assert!(spark.dram_amplification >= 1.0);
+    }
+
+    #[test]
+    fn bert_layers_mostly_resident_under_spark() {
+        let w = ModelWorkload::bert();
+        let r = plan_workload(&w.gemms, 4.7, 4.7, &BufferConfig::default());
+        assert!(r.resident_fraction > 0.5, "{}", r.resident_fraction);
+    }
+
+    #[test]
+    fn dram_bytes_scale_with_repeats() {
+        let g = Gemm::new("x", 128, 768, 768).times(12);
+        let p = TilePlan::plan(&g, 8.0, 8.0, &BufferConfig::default());
+        assert!((p.dram_bytes(12) / p.dram_bytes(1) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_neutral() {
+        let r = plan_workload(&[], 8.0, 8.0, &BufferConfig::default());
+        assert_eq!(r.resident_fraction, 1.0);
+        assert_eq!(r.dram_amplification, 1.0);
+    }
+}

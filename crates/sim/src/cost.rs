@@ -1,0 +1,97 @@
+//! Per-MAC cycle costs of the mixed-precision PE (Fig 8).
+//!
+//! The MPE is a 4-bit MAC with a shifter: a 4x4 product takes one cycle; a
+//! 4x8 product splits the 8-bit operand into two nibbles (2 cycles); an 8x8
+//! product needs all four nibble cross-products (4 cycles).
+
+use serde::{Deserialize, Serialize};
+use spark_codec::CodeKind;
+
+/// Operand precision as the PE sees it after decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandKind {
+    /// 4-bit (SPARK short code).
+    Int4,
+    /// 8-bit (SPARK long code).
+    Int8,
+}
+
+impl From<CodeKind> for OperandKind {
+    fn from(kind: CodeKind) -> Self {
+        match kind {
+            CodeKind::Short => OperandKind::Int4,
+            CodeKind::Long => OperandKind::Int8,
+        }
+    }
+}
+
+impl OperandKind {
+    /// Classifies a raw INT8 code word.
+    pub fn of_code(value: u8) -> Self {
+        CodeKind::of(value).into()
+    }
+
+    /// Operand width in nibbles.
+    pub fn nibbles(self) -> u32 {
+        match self {
+            OperandKind::Int4 => 1,
+            OperandKind::Int8 => 2,
+        }
+    }
+}
+
+/// Cycles one MPE spends on a MAC with the given operand kinds: the product
+/// of the operands' nibble counts (Fig 8: 1, 2 or 4).
+pub fn mac_cycles(a: OperandKind, w: OperandKind) -> u32 {
+    a.nibbles() * w.nibbles()
+}
+
+/// Expected cycles per MAC given independent short-code probabilities for
+/// the two operand streams — the analytic counterpart of the cycle
+/// simulator.
+pub fn expected_mac_cycles(p_short_a: f64, p_short_w: f64) -> f64 {
+    let pa = p_short_a.clamp(0.0, 1.0);
+    let pw = p_short_w.clamp(0.0, 1.0);
+    let ss = pa * pw;
+    let sl = pa * (1.0 - pw) + (1.0 - pa) * pw;
+    let ll = (1.0 - pa) * (1.0 - pw);
+    ss + 2.0 * sl + 4.0 * ll
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_table_matches_fig8() {
+        assert_eq!(mac_cycles(OperandKind::Int4, OperandKind::Int4), 1);
+        assert_eq!(mac_cycles(OperandKind::Int4, OperandKind::Int8), 2);
+        assert_eq!(mac_cycles(OperandKind::Int8, OperandKind::Int4), 2);
+        assert_eq!(mac_cycles(OperandKind::Int8, OperandKind::Int8), 4);
+    }
+
+    #[test]
+    fn kind_from_code_value() {
+        assert_eq!(OperandKind::of_code(7), OperandKind::Int4);
+        assert_eq!(OperandKind::of_code(8), OperandKind::Int8);
+    }
+
+    #[test]
+    fn expected_cycles_extremes() {
+        assert_eq!(expected_mac_cycles(1.0, 1.0), 1.0);
+        assert_eq!(expected_mac_cycles(0.0, 0.0), 4.0);
+        assert_eq!(expected_mac_cycles(1.0, 0.0), 2.0);
+    }
+
+    #[test]
+    fn expected_cycles_midpoint() {
+        // p=0.5 both: 0.25*1 + 0.5*2 + 0.25*4 = 2.25
+        assert!((expected_mac_cycles(0.5, 0.5) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_cycles_clamps_inputs() {
+        assert_eq!(expected_mac_cycles(2.0, 2.0), 1.0);
+        assert_eq!(expected_mac_cycles(-1.0, -1.0), 4.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! 28 nm energy model.
+//!
+//! Per-operation constants follow the standard scaling used throughout the
+//! accelerator literature (Horowitz ISSCC '14 numbers scaled to 28 nm):
+//! MAC energy grows roughly quadratically with operand width, SRAM access
+//! energy is per bit for a multi-megabyte buffer, DRAM is two orders of
+//! magnitude above SRAM. The decomposition (DRAM / global buffer / core)
+//! matches Fig 12's stacking.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One INT4 x INT4 MAC (pJ). Wider MACs scale quadratically from this.
+    pub int4_mac_pj: f64,
+    /// Extra factor for floating-point MACs at the same width.
+    pub float_mac_factor: f64,
+    /// Global-buffer (5 MB SRAM) access energy per bit (pJ).
+    pub sram_pj_per_bit: f64,
+    /// DRAM access energy per bit (pJ).
+    pub dram_pj_per_bit: f64,
+    /// SPARK decoder energy per decoded value (pJ) — MUX/OR/NOT datapath.
+    pub spark_decode_pj: f64,
+    /// SPARK encoder energy per encoded value (pJ) — LZD + XOR datapath.
+    pub spark_encode_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            int4_mac_pj: 0.08,
+            float_mac_factor: 1.6,
+            sram_pj_per_bit: 0.012,
+            dram_pj_per_bit: 3.9,
+            spark_decode_pj: 0.004,
+            spark_encode_pj: 0.005,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// MAC energy at `bits` operand width (integer datapath): quadratic
+    /// scaling from the INT4 baseline.
+    pub fn int_mac_pj(&self, bits: u8) -> f64 {
+        let ratio = f64::from(bits) / 4.0;
+        self.int4_mac_pj * ratio * ratio
+    }
+
+    /// MAC energy for a floating-point datapath of the given width.
+    pub fn float_mac_pj(&self, bits: u8) -> f64 {
+        self.int_mac_pj(bits) * self.float_mac_factor
+    }
+}
+
+/// Energy for one inference, decomposed as in Fig 12.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// DRAM traffic energy (pJ).
+    pub dram_pj: f64,
+    /// Global-buffer traffic energy (pJ).
+    pub buffer_pj: f64,
+    /// Processing-core energy: MACs plus codecs (pJ).
+    pub core_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (pJ).
+    pub fn total(&self) -> f64 {
+        self.dram_pj + self.buffer_pj + self.core_pj
+    }
+
+    /// Adds another breakdown component-wise.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.dram_pj += other.dram_pj;
+        self.buffer_pj += other.buffer_pj;
+        self.core_pj += other.core_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_energy_scales_quadratically() {
+        let m = EnergyModel::default();
+        assert!((m.int_mac_pj(8) / m.int_mac_pj(4) - 4.0).abs() < 1e-12);
+        assert!((m.int_mac_pj(16) / m.int_mac_pj(4) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_costs_more_than_int() {
+        let m = EnergyModel::default();
+        assert!(m.float_mac_pj(8) > m.int_mac_pj(8));
+    }
+
+    #[test]
+    fn dram_dominates_sram_per_bit() {
+        let m = EnergyModel::default();
+        assert!(m.dram_pj_per_bit > 100.0 * m.sram_pj_per_bit);
+    }
+
+    #[test]
+    fn breakdown_total_and_accumulate() {
+        let mut a = EnergyBreakdown {
+            dram_pj: 1.0,
+            buffer_pj: 2.0,
+            core_pj: 3.0,
+        };
+        assert_eq!(a.total(), 6.0);
+        a.accumulate(&EnergyBreakdown {
+            dram_pj: 0.5,
+            buffer_pj: 0.5,
+            core_pj: 0.5,
+        });
+        assert_eq!(a.total(), 7.5);
+    }
+
+    #[test]
+    fn codec_energy_negligible_vs_mac() {
+        // The paper's claim: codec overhead is tiny relative to compute.
+        let m = EnergyModel::default();
+        assert!(m.spark_decode_pj < m.int4_mac_pj / 10.0);
+        assert!(m.spark_encode_pj < m.int4_mac_pj / 10.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Instruction-set-level model of the SPARK integration (Section IV-E).
+//!
+//! The paper's point is that SPARK needs *no new load/store instructions*:
+//! encoded tensors are fixed-bit-length streams, so the existing DMA/GEMM
+//! instruction set drives the accelerator unchanged, and only the PE page
+//! interprets the nibbles. This module makes that concrete: a tiny
+//! instruction set ([`Instruction`]), a compiler from [`ModelWorkload`]s
+//! ([`Program::compile`]), and an executor whose timing agrees with the
+//! analytic performance model (pinned by a cross-check test).
+
+use serde::{Deserialize, Serialize};
+use spark_nn::ModelWorkload;
+
+use crate::arch::Accelerator;
+use crate::perf::{simulate, PrecisionProfile, SimConfig, WorkloadReport};
+
+/// One accelerator instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// DMA a weight tile region from DRAM into the global buffer.
+    /// `bytes` already reflects the encoded (variable-length) footprint —
+    /// the load instruction itself is unchanged from the base ISA.
+    LoadWeights {
+        /// Source layer label.
+        layer: String,
+        /// Encoded bytes moved.
+        bytes: u64,
+    },
+    /// DMA an activation region from DRAM / previous layer.
+    LoadActivations {
+        /// Source layer label.
+        layer: String,
+        /// Encoded bytes moved.
+        bytes: u64,
+    },
+    /// Run a GEMM tile pass on the PE array (operands are decoded at the
+    /// array borders as they stream in).
+    Gemm {
+        /// Layer label.
+        layer: String,
+        /// Output rows.
+        m: usize,
+        /// Reduction depth.
+        k: usize,
+        /// Output columns.
+        n: usize,
+        /// Repetition count.
+        repeats: usize,
+    },
+    /// Encode and store the output region.
+    StoreOutputs {
+        /// Layer label.
+        layer: String,
+        /// Encoded bytes written.
+        bytes: u64,
+    },
+}
+
+impl Instruction {
+    /// The layer this instruction belongs to.
+    pub fn layer(&self) -> &str {
+        match self {
+            Instruction::LoadWeights { layer, .. }
+            | Instruction::LoadActivations { layer, .. }
+            | Instruction::Gemm { layer, .. }
+            | Instruction::StoreOutputs { layer, .. } => layer,
+        }
+    }
+}
+
+/// A compiled instruction stream for one inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Model name.
+    pub model: String,
+    /// Instructions in issue order.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Compiles a workload into the four-instruction-per-layer pattern
+    /// (load weights, load activations, GEMM, store outputs), with byte
+    /// counts taken from the design's storage width (or the SPARK encoding
+    /// for the SPARK design).
+    pub fn compile(
+        workload: &ModelWorkload,
+        acc: &Accelerator,
+        profile: &PrecisionProfile,
+    ) -> Self {
+        let (bits_w, bits_a) = match acc.storage_bits {
+            Some(b) => (b, b),
+            None => (profile.spark_bits_w, profile.spark_bits_a),
+        };
+        let mut instructions = Vec::with_capacity(workload.gemms.len() * 4);
+        for gemm in &workload.gemms {
+            let layer = gemm.label.clone();
+            instructions.push(Instruction::LoadWeights {
+                layer: layer.clone(),
+                bytes: (gemm.weight_elements() as f64 * bits_w / 8.0) as u64,
+            });
+            instructions.push(Instruction::LoadActivations {
+                layer: layer.clone(),
+                bytes: (gemm.activation_elements() as f64 * bits_a / 8.0) as u64,
+            });
+            instructions.push(Instruction::Gemm {
+                layer: layer.clone(),
+                m: gemm.m,
+                k: gemm.k,
+                n: gemm.n,
+                repeats: gemm.repeats,
+            });
+            instructions.push(Instruction::StoreOutputs {
+                layer,
+                bytes: (gemm.output_elements() as f64 * bits_a / 8.0) as u64,
+            });
+        }
+        Self {
+            model: workload.name.clone(),
+            instructions,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True when the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Total DMA bytes the program moves (loads + stores).
+    pub fn total_dma_bytes(&self) -> u64 {
+        self.instructions
+            .iter()
+            .map(|i| match i {
+                Instruction::LoadWeights { bytes, .. }
+                | Instruction::LoadActivations { bytes, .. }
+                | Instruction::StoreOutputs { bytes, .. } => *bytes,
+                Instruction::Gemm { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Total MACs the program issues.
+    pub fn total_macs(&self) -> u64 {
+        self.instructions
+            .iter()
+            .map(|i| match i {
+                Instruction::Gemm { m, k, n, repeats, .. } => {
+                    (*m as u64) * (*k as u64) * (*n as u64) * (*repeats as u64)
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Executes the program on the performance model (the timing semantics
+    /// of each instruction are exactly those `perf::simulate` attributes to
+    /// the corresponding layer phases).
+    pub fn execute(
+        &self,
+        workload: &ModelWorkload,
+        acc: &Accelerator,
+        profile: &PrecisionProfile,
+        config: &SimConfig,
+    ) -> WorkloadReport {
+        simulate(acc, workload, profile, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::AcceleratorKind;
+
+    fn setup() -> (ModelWorkload, Accelerator, PrecisionProfile) {
+        (
+            ModelWorkload::resnet18(),
+            Accelerator::new(AcceleratorKind::Spark),
+            PrecisionProfile::from_short_fractions(0.6, 0.6),
+        )
+    }
+
+    #[test]
+    fn four_instructions_per_layer() {
+        let (w, acc, p) = setup();
+        let prog = Program::compile(&w, &acc, &p);
+        assert_eq!(prog.len(), w.gemms.len() * 4);
+        // Pattern check on the first layer.
+        assert!(matches!(prog.instructions[0], Instruction::LoadWeights { .. }));
+        assert!(matches!(prog.instructions[1], Instruction::LoadActivations { .. }));
+        assert!(matches!(prog.instructions[2], Instruction::Gemm { .. }));
+        assert!(matches!(prog.instructions[3], Instruction::StoreOutputs { .. }));
+    }
+
+    #[test]
+    fn macs_match_workload() {
+        let (w, acc, p) = setup();
+        let prog = Program::compile(&w, &acc, &p);
+        assert_eq!(prog.total_macs(), w.total_macs());
+    }
+
+    #[test]
+    fn dma_bytes_match_perf_model() {
+        let (w, acc, p) = setup();
+        let prog = Program::compile(&w, &acc, &p);
+        let report = prog.execute(&w, &acc, &p, &SimConfig::default());
+        let perf_bytes: f64 = report.layers.iter().map(|l| l.dram_bytes).sum();
+        let ratio = prog.total_dma_bytes() as f64 / perf_bytes;
+        // Integer truncation per instruction only.
+        assert!((0.999..=1.001).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn spark_program_moves_fewer_bytes_than_int8_designs() {
+        let (w, _, p) = setup();
+        let spark = Program::compile(&w, &Accelerator::new(AcceleratorKind::Spark), &p);
+        let bitfusion = Program::compile(&w, &Accelerator::new(AcceleratorKind::BitFusion), &p);
+        assert!(spark.total_dma_bytes() < bitfusion.total_dma_bytes());
+    }
+
+    #[test]
+    fn same_instruction_set_for_all_designs() {
+        // Section IV-E: no new opcodes for SPARK — the programs differ only
+        // in operand byte counts, never in instruction kinds.
+        let (w, _, p) = setup();
+        let kinds = |acc: AcceleratorKind| -> Vec<std::mem::Discriminant<Instruction>> {
+            Program::compile(&w, &Accelerator::new(acc), &p)
+                .instructions
+                .iter()
+                .map(std::mem::discriminant)
+                .collect()
+        };
+        let spark = kinds(AcceleratorKind::Spark);
+        for other in [
+            AcceleratorKind::Eyeriss,
+            AcceleratorKind::Ant,
+            AcceleratorKind::BitFusion,
+        ] {
+            assert_eq!(spark, kinds(other));
+        }
+    }
+
+    #[test]
+    fn layer_labels_propagate() {
+        let (w, acc, p) = setup();
+        let prog = Program::compile(&w, &acc, &p);
+        assert_eq!(prog.instructions[0].layer(), w.gemms[0].label);
+        assert!(!prog.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Multi-page scaling (Fig 6: "multiple PE pages, communicating with memory
+//! through a global buffer").
+//!
+//! Each PE page is an independent array with its own decoders and buffers;
+//! a layer's output columns are partitioned across pages. Scaling is
+//! near-linear until either the column partition starves (layers with few
+//! output columns leave pages idle) or the shared DRAM interface saturates.
+//! The paper notes "the SPARK architecture can be extended to a larger
+//! number of PEs under the same area budget"; this module quantifies that
+//! extension.
+
+use serde::{Deserialize, Serialize};
+use spark_nn::{Gemm, ModelWorkload};
+
+use crate::arch::Accelerator;
+use crate::perf::{PrecisionProfile, SimConfig};
+
+/// Result of running a workload across `pages` PE pages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageReport {
+    /// Page count.
+    pub pages: usize,
+    /// Total cycles (the slowest page per layer, layers summed).
+    pub total_cycles: f64,
+    /// Average page utilization across layers (1.0 = perfectly balanced).
+    pub utilization: f64,
+    /// Fraction of layers limited by DRAM rather than compute.
+    pub memory_bound_fraction: f64,
+}
+
+/// Per-layer cycle split across pages: page `p` gets the columns
+/// `n_p = ceil(n / pages)` (last page gets the remainder); the layer takes
+/// as long as the fullest page.
+fn layer_cycles_on_pages(
+    gemm: &Gemm,
+    pages: usize,
+    cycles_per_mac_one_page: f64,
+    dram_bytes: f64,
+    dram_bw: f64,
+) -> (f64, f64, bool) {
+    let cols_per_page = gemm.n.div_ceil(pages);
+    let busiest_macs =
+        (gemm.m as u64 * gemm.k as u64 * cols_per_page as u64 * gemm.repeats as u64) as f64;
+    let compute = busiest_macs * cycles_per_mac_one_page;
+    let memory = dram_bytes / dram_bw;
+    let cycles = compute.max(memory);
+    // Utilization: total work / (pages * busiest page's work).
+    let total_macs = gemm.macs() as f64;
+    let util = if busiest_macs == 0.0 {
+        1.0
+    } else {
+        total_macs / (pages as f64 * busiest_macs)
+    };
+    (cycles, util, memory > compute)
+}
+
+/// Runs a workload on `pages` identical pages of the given accelerator.
+///
+/// `cycles_per_mac` must be the single-page effective cycles/MAC (e.g.
+/// `expected_mac_cycles(...) / pe_count` for SPARK), exactly what
+/// `perf::simulate` uses internally.
+pub fn simulate_pages(
+    acc: &Accelerator,
+    workload: &ModelWorkload,
+    profile: &PrecisionProfile,
+    config: &SimConfig,
+    pages: usize,
+) -> PageReport {
+    assert!(pages > 0, "page count must be positive");
+    let single = crate::perf::simulate(acc, workload, profile, config);
+    // Recover the per-MAC cost the perf model used (identical math).
+    let total_macs: f64 = workload.total_macs() as f64;
+    let compute_cycles: f64 = single.layers.iter().map(|l| l.compute_cycles).sum();
+    let cycles_per_mac = if total_macs == 0.0 {
+        0.0
+    } else {
+        compute_cycles / total_macs
+    };
+
+    let mut total_cycles = 0.0;
+    let mut util_sum = 0.0;
+    let mut memory_bound = 0usize;
+    for (gemm, layer) in workload.gemms.iter().zip(&single.layers) {
+        let (cycles, util, mem_bound) = layer_cycles_on_pages(
+            gemm,
+            pages,
+            cycles_per_mac,
+            layer.dram_bytes,
+            config.dram_bytes_per_cycle,
+        );
+        total_cycles += cycles;
+        util_sum += util;
+        if mem_bound {
+            memory_bound += 1;
+        }
+    }
+    let layers = workload.gemms.len().max(1);
+    PageReport {
+        pages,
+        total_cycles,
+        utilization: util_sum / layers as f64,
+        memory_bound_fraction: memory_bound as f64 / layers as f64,
+    }
+}
+
+/// Sweeps page counts, returning one report per count.
+pub fn scaling_sweep(
+    acc: &Accelerator,
+    workload: &ModelWorkload,
+    profile: &PrecisionProfile,
+    config: &SimConfig,
+    page_counts: &[usize],
+) -> Vec<PageReport> {
+    page_counts
+        .iter()
+        .map(|&p| simulate_pages(acc, workload, profile, config, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::AcceleratorKind;
+
+    fn setup() -> (Accelerator, ModelWorkload, PrecisionProfile, SimConfig) {
+        (
+            Accelerator::new(AcceleratorKind::Spark),
+            ModelWorkload::bert(),
+            PrecisionProfile::from_short_fractions(0.8, 0.8),
+            SimConfig::default(),
+        )
+    }
+
+    #[test]
+    fn one_page_matches_perf_model() {
+        let (acc, w, p, cfg) = setup();
+        let single = crate::perf::simulate(&acc, &w, &p, &cfg);
+        let paged = simulate_pages(&acc, &w, &p, &cfg, 1);
+        let ratio = paged.total_cycles / single.total_cycles;
+        assert!((0.99..=1.01).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaling_is_monotone_and_sublinear() {
+        let (acc, w, p, cfg) = setup();
+        let sweep = scaling_sweep(&acc, &w, &p, &cfg, &[1, 2, 4, 8]);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].total_cycles <= pair[0].total_cycles,
+                "more pages slower: {pair:?}"
+            );
+        }
+        // Speedup at 8 pages is positive but below ideal 8x (imbalance +
+        // memory bound).
+        let speedup = sweep[0].total_cycles / sweep[3].total_cycles;
+        assert!(speedup > 2.0, "8-page speedup {speedup}");
+        assert!(speedup <= 8.0, "8-page speedup {speedup}");
+    }
+
+    #[test]
+    fn utilization_degrades_with_pages() {
+        let (acc, w, p, cfg) = setup();
+        let one = simulate_pages(&acc, &w, &p, &cfg, 1);
+        let many = simulate_pages(&acc, &w, &p, &cfg, 16);
+        assert!((one.utilization - 1.0).abs() < 1e-9);
+        assert!(many.utilization <= one.utilization);
+    }
+
+    #[test]
+    fn memory_bound_fraction_grows_with_pages() {
+        // More compute per cycle, same DRAM: more layers become
+        // memory-limited.
+        let (acc, w, p, cfg) = setup();
+        let one = simulate_pages(&acc, &w, &p, &cfg, 1);
+        let many = simulate_pages(&acc, &w, &p, &cfg, 32);
+        assert!(many.memory_bound_fraction >= one.memory_bound_fraction);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pages_rejected() {
+        let (acc, w, p, cfg) = setup();
+        let _ = simulate_pages(&acc, &w, &p, &cfg, 0);
+    }
+}

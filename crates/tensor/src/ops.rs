@@ -1,0 +1,310 @@
+//! Elementwise and linear-algebra operations on [`Tensor`].
+
+use crate::{Tensor, ShapeError};
+
+/// Matrix multiplication `A (m x k) * B (k x n) -> C (m x n)`.
+///
+/// Higher-rank inputs are interpreted as matrices by collapsing leading
+/// dimensions (see [`crate::Shape::as_matrix`]).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when the inner dimensions differ or either input is
+/// a scalar.
+///
+/// ```
+/// use spark_tensor::{Tensor, ops};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = ops::matmul(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok::<(), spark_tensor::ShapeError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, ka) = a.shape().as_matrix()?;
+    let (kb, n) = b.shape().as_matrix()?;
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "matmul inner dims differ: {ka} vs {kb}"
+        )));
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    // ikj loop order: streams B rows, vectorizes the inner j loop.
+    for i in 0..m {
+        for k in 0..ka {
+            let aik = av[i * ka + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[k * n..(k + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bkj) in crow.iter_mut().zip(brow) {
+                *c += aik * bkj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes a matrix (rank-2 interpretation).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] for scalars.
+pub fn transpose(a: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, n) = a.shape().as_matrix()?;
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Elementwise addition.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    zip_with(a, b, |x, y| x + y)
+}
+
+/// Elementwise subtraction `a - b`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    zip_with(a, b, |x, y| x - y)
+}
+
+/// Elementwise multiplication.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    zip_with(a, b, |x, y| x * y)
+}
+
+/// Combines two same-shaped tensors elementwise with `f`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when shapes differ.
+pub fn zip_with(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, ShapeError> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError::new(format!(
+            "elementwise op on mismatched shapes {} vs {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// Scales every element by a constant.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// Adds a row vector `bias` (length n) to every row of an `m x n` matrix.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `bias.len()` differs from the column count.
+pub fn add_bias(a: &Tensor, bias: &[f32]) -> Result<Tensor, ShapeError> {
+    let (m, n) = a.shape().as_matrix()?;
+    if bias.len() != n {
+        return Err(ShapeError::element_count(n, bias.len()));
+    }
+    let av = a.as_slice();
+    let mut out = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            out.push(av[i * n + j] + bias[j]);
+        }
+    }
+    Tensor::from_vec(out, a.dims())
+}
+
+/// ReLU activation.
+pub fn relu(a: &Tensor) -> Tensor {
+    a.map(|x| x.max(0.0))
+}
+
+/// Row-wise softmax over the last dimension (matrix interpretation).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] for scalars.
+pub fn softmax_rows(a: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, n) = a.shape().as_matrix()?;
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = &av[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &x) in out[i * n..(i + 1) * n].iter_mut().zip(row) {
+            let e = (x - max).exp();
+            *o = e;
+            sum += e;
+        }
+        for o in &mut out[i * n..(i + 1) * n] {
+            *o /= sum;
+        }
+    }
+    Tensor::from_vec(out, a.dims())
+}
+
+/// Row-wise layer normalization (zero mean, unit variance, then affine).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] for scalars or when `gamma`/`beta` lengths differ
+/// from the column count.
+pub fn layer_norm_rows(
+    a: &Tensor,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Result<Tensor, ShapeError> {
+    let (m, n) = a.shape().as_matrix()?;
+    if gamma.len() != n || beta.len() != n {
+        return Err(ShapeError::new("layer_norm affine params wrong length"));
+    }
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = &av[i * n..(i + 1) * n];
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for j in 0..n {
+            out[i * n + j] = (row[j] - mean) * inv * gamma[j] + beta[j];
+        }
+    }
+    Tensor::from_vec(out, a.dims())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = matmul(&a, &Tensor::eye(2)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_vector_as_row() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = Tensor::eye(2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[1, 2]);
+        assert_eq!(c.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let at = transpose(&a).unwrap();
+        assert_eq!(at.dims(), &[3, 2]);
+        assert_eq!(transpose(&at).unwrap(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 5.0], &[2]);
+        assert_eq!(add(&a, &b).unwrap().as_slice(), &[4.0, 7.0]);
+        assert_eq!(sub(&b, &a).unwrap().as_slice(), &[2.0, 3.0]);
+        assert_eq!(mul(&a, &b).unwrap().as_slice(), &[3.0, 10.0]);
+        assert!(add(&a, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn add_bias_per_column() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = add_bias(&a, &[10.0, 20.0]).unwrap();
+        assert_eq!(c.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        assert!(add_bias(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let a = t(&[-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&a).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t(&[1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = softmax_rows(&a).unwrap();
+        for i in 0..2 {
+            let sum: f32 = s.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // uniform row softmaxes to uniform
+        assert!((s.get(&[1, 0]).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = t(&[1000.0, 1001.0], &[1, 2]);
+        let s = softmax_rows(&a).unwrap();
+        assert!(s.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let g = vec![1.0; 4];
+        let b = vec![0.0; 4];
+        let n = layer_norm_rows(&a, &g, &b, 1e-5).unwrap();
+        let mean: f32 = n.as_slice().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        let var: f32 = n.as_slice().iter().map(|x| x * x).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let a = t(&[1.0, -2.0], &[2]);
+        assert_eq!(scale(&a, 3.0).as_slice(), &[3.0, -6.0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Shape arithmetic for row-major dense tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::ShapeError;
+
+/// The dimensions of a dense, row-major tensor.
+///
+/// A `Shape` owns its dimension list and provides the index arithmetic shared
+/// by all tensor operations.
+///
+/// ```
+/// use spark_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3]), Some(23));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list. A scalar is `&[]`.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index, or `None` when any
+    /// coordinate is out of bounds or the rank differs.
+    pub fn offset(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+            if i >= d {
+                return None;
+            }
+            off += i * s;
+        }
+        Some(off)
+    }
+
+    /// Checks that `self` can be reinterpreted as `other` (same element
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the element counts differ.
+    pub fn check_reshape(&self, other: &Shape) -> Result<(), ShapeError> {
+        if self.len() == other.len() {
+            Ok(())
+        } else {
+            Err(ShapeError::element_count(self.len(), other.len()))
+        }
+    }
+
+    /// Interprets the shape as a matrix `(rows, cols)`.
+    ///
+    /// Rank-1 shapes are treated as a single row; higher ranks collapse all
+    /// leading dimensions into rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] for scalars (rank 0).
+    pub fn as_matrix(&self) -> Result<(usize, usize), ShapeError> {
+        match self.dims.len() {
+            0 => Err(ShapeError::new("scalar has no matrix interpretation")),
+            1 => Ok((1, self.dims[0])),
+            n => {
+                let cols = self.dims[n - 1];
+                let rows = self.dims[..n - 1].iter().product();
+                Ok((rows, cols))
+            }
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        let s = Shape::new(&[3, 0, 2]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_bounds_checked() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[0, 0]), Some(0));
+        assert_eq!(s.offset(&[1, 2]), Some(5));
+        assert_eq!(s.offset(&[2, 0]), None);
+        assert_eq!(s.offset(&[0, 3]), None);
+        assert_eq!(s.offset(&[0]), None);
+    }
+
+    #[test]
+    fn reshape_check() {
+        let a = Shape::new(&[2, 6]);
+        assert!(a.check_reshape(&Shape::new(&[3, 4])).is_ok());
+        assert!(a.check_reshape(&Shape::new(&[5])).is_err());
+    }
+
+    #[test]
+    fn matrix_interpretation() {
+        assert_eq!(Shape::new(&[3, 4]).as_matrix().unwrap(), (3, 4));
+        assert_eq!(Shape::new(&[2, 3, 4]).as_matrix().unwrap(), (6, 4));
+        assert_eq!(Shape::new(&[7]).as_matrix().unwrap(), (1, 7));
+        assert!(Shape::new(&[]).as_matrix().is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+}

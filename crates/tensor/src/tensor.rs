@@ -1,0 +1,299 @@
+//! Dense row-major tensor types.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Shape, ShapeError};
+
+/// A dense, row-major `f32` tensor.
+///
+/// All floating-point data in the reproduction flows through this type:
+/// weights and activations before quantization, decoded values after.
+///
+/// ```
+/// use spark_tensor::Tensor;
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(t.get(&[1, 2]), Some(6.0));
+/// # Ok::<(), spark_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `data.len()` does not match the shape's
+    /// element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, ShapeError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(ShapeError::element_count(shape.len(), data.len()));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.len()];
+        Self { shape, data }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.len()];
+        Self { shape, data }
+    }
+
+    /// Creates an `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a tensor by evaluating `f` at every linear index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(&mut f).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension list, shorthand for `self.shape().dims()`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index, or `None` out of bounds.
+    pub fn get(&self, index: &[usize]) -> Option<f32> {
+        self.shape.offset(index).map(|o| self.data[o])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the index is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), ShapeError> {
+        match self.shape.offset(index) {
+            Some(o) => {
+                self.data[o] = value;
+                Ok(())
+            }
+            None => Err(ShapeError::new(format!(
+                "index {index:?} out of bounds for shape {}",
+                self.shape
+            ))),
+        }
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self, ShapeError> {
+        let new_shape = Shape::new(dims);
+        self.shape.check_reshape(&new_shape)?;
+        Ok(Self {
+            shape: new_shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+/// A dense, row-major tensor of quantized `u8` code words.
+///
+/// This is the storage format every codec in the reproduction consumes and
+/// produces: per-layer scaled, unsigned 8-bit values exactly as the paper
+/// assumes ("unsigned values that have been scaled with the per-layer
+/// granularity").
+///
+/// ```
+/// use spark_tensor::QuantTensor;
+/// let q = QuantTensor::from_vec(vec![0, 7, 8, 255], &[4])?;
+/// assert_eq!(q.as_slice(), &[0, 7, 8, 255]);
+/// # Ok::<(), spark_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantTensor {
+    shape: Shape,
+    data: Vec<u8>,
+}
+
+impl QuantTensor {
+    /// Creates a quantized tensor from raw code words and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `data.len()` does not match the shape.
+    pub fn from_vec(data: Vec<u8>, dims: &[usize]) -> Result<Self, ShapeError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(ShapeError::element_count(shape.len(), data.len()));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a zero-filled quantized tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0; shape.len()];
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying code words.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying code words.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl Default for QuantTensor {
+    fn default() -> Self {
+        QuantTensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.get(&[0, 0]), Some(1.0));
+        assert_eq!(t.get(&[1, 1]), Some(1.0));
+        assert_eq!(t.get(&[0, 1]), Some(0.0));
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 0], 5.5).unwrap();
+        assert_eq!(t.get(&[1, 0]), Some(5.5));
+        assert!(t.set(&[2, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let r = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(r.get(&[1, 1]), Some(4.0));
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let m = t.map(f32::abs);
+        assert_eq!(m.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_fn_uses_linear_index() {
+        let t = Tensor::from_fn(&[2, 2], |i| i as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn quant_tensor_round_trip() {
+        let q = QuantTensor::from_vec(vec![1, 2, 3], &[3]).unwrap();
+        assert_eq!(q.clone().into_vec(), vec![1, 2, 3]);
+        assert!(QuantTensor::from_vec(vec![1], &[2]).is_err());
+    }
+
+    #[test]
+    fn default_tensors_are_empty() {
+        assert!(Tensor::default().is_empty());
+        assert!(QuantTensor::default().is_empty());
+    }
+}

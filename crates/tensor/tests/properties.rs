@@ -1,0 +1,130 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use spark_tensor::im2col::{col2im, im2col, Conv2dSpec};
+use spark_tensor::{ops, Tensor};
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim)
+        .prop_flat_map(|(m, n)| {
+            (
+                Just((m, n)),
+                proptest::collection::vec(-100.0f32..100.0, m * n..=m * n),
+            )
+        })
+        .prop_map(|((m, n), data)| Tensor::from_vec(data, &[m, n]).expect("length matches"))
+}
+
+proptest! {
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_involution(t in tensor_strategy(7)) {
+        let tt = ops::transpose(&ops::transpose(&t).unwrap()).unwrap();
+        prop_assert_eq!(tt, t);
+    }
+
+    /// (A B)^T == B^T A^T.
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_strategy(7),
+        b_data in proptest::collection::vec(-10.0f32..10.0, 7 * 3),
+    ) {
+        let (m, k) = a.shape().as_matrix().unwrap();
+        let _ = m;
+        let n = 3usize;
+        let b = Tensor::from_vec(b_data[..k * n].to_vec(), &[k, n]).unwrap();
+        let ab_t = ops::transpose(&ops::matmul(&a, &b).unwrap()).unwrap();
+        let bt_at = ops::matmul(
+            &ops::transpose(&b).unwrap(),
+            &ops::transpose(&a).unwrap(),
+        )
+        .unwrap();
+        for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
+        }
+    }
+
+    /// Identity is a two-sided unit for matmul.
+    #[test]
+    fn matmul_identity_unit(t in tensor_strategy(7)) {
+        let (m, n) = t.shape().as_matrix().unwrap();
+        let left = ops::matmul(&Tensor::eye(m), &t).unwrap();
+        let right = ops::matmul(&t, &Tensor::eye(n)).unwrap();
+        prop_assert_eq!(left.as_slice(), t.as_slice());
+        prop_assert_eq!(right.as_slice(), t.as_slice());
+    }
+
+    /// Matmul distributes over addition: A(B + C) == AB + AC.
+    #[test]
+    fn matmul_distributive(
+        a in tensor_strategy(5),
+        extra in proptest::collection::vec(-10.0f32..10.0, 2 * 5 * 3),
+    ) {
+        let (_, k) = a.shape().as_matrix().unwrap();
+        let n = 3usize;
+        let b = Tensor::from_vec(extra[..k * n].to_vec(), &[k, n]).unwrap();
+        let c = Tensor::from_vec(extra[k * n..2 * k * n].to_vec(), &[k, n]).unwrap();
+        let lhs = ops::matmul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+        let rhs = ops::add(
+            &ops::matmul(&a, &b).unwrap(),
+            &ops::matmul(&a, &c).unwrap(),
+        )
+        .unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0));
+        }
+    }
+
+    /// Softmax rows are probability distributions.
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_strategy(7)) {
+        let s = ops::softmax_rows(&t).unwrap();
+        let (m, n) = s.shape().as_matrix().unwrap();
+        for i in 0..m {
+            let row = &s.as_slice()[i * n..(i + 1) * n];
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// im2col/col2im satisfy the adjoint identity <im2col(x), g> == <x, col2im(g)>.
+    #[test]
+    fn im2col_adjoint(
+        h in 3usize..7,
+        w in 3usize..7,
+        kernel in 1usize..4,
+        padding in 0usize..2,
+        seed in any::<u32>(),
+    ) {
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel,
+            stride: 1,
+            padding,
+        };
+        prop_assume!(spec.output_hw(h, w).is_ok());
+        let x = Tensor::from_fn(&[2, h, w], |i| {
+            (((i as u32).wrapping_mul(seed | 1) >> 16) % 17) as f32 - 8.0
+        });
+        let patches = im2col(&x, &spec).unwrap();
+        let g = Tensor::from_fn(patches.dims(), |i| {
+            (((i as u32).wrapping_mul(seed.rotate_left(7) | 1) >> 16) % 13) as f32 - 6.0
+        });
+        let lhs: f64 = patches
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let back = col2im(&g, &spec, h, w).unwrap();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0));
+    }
+}

@@ -1,0 +1,64 @@
+//! Run the ResNet-50 workload through the SPARK accelerator and the
+//! baselines, printing speedups and the energy decomposition — a one-model
+//! slice of Figs 11 and 12.
+//!
+//! ```sh
+//! cargo run --release --example accelerate_resnet
+//! ```
+
+use spark::data::ModelProfile;
+use spark::nn::ModelWorkload;
+use spark::sim::{Accelerator, AcceleratorKind, PrecisionProfile, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = ModelProfile::resnet50();
+    let workload = ModelWorkload::resnet50();
+    println!(
+        "{}: {:.2} GMACs, {:.1}M GEMM weights",
+        workload.name,
+        workload.total_macs() as f64 / 1e9,
+        workload.total_weights() as f64 / 1e6
+    );
+
+    // Measure the SPARK precision statistics on calibrated tensors.
+    let weights = profile.sample_tensor(40_000, 1);
+    let acts = profile.sample_activations(40_000, 2);
+    let precision = PrecisionProfile::from_tensors(&weights, &acts)?;
+    println!(
+        "measured: {:.1}% short weights, {:.1}% short activations, {:.2}/{:.2} bits",
+        precision.short_frac_w * 100.0,
+        precision.short_frac_a * 100.0,
+        precision.spark_bits_w,
+        precision.spark_bits_a
+    );
+
+    let config = SimConfig::default();
+    let spark = Accelerator::new(AcceleratorKind::Spark).run(&workload, &precision, &config);
+    println!("\n{:<10} {:>12} {:>9} {:>10} {:>22}", "design", "cycles", "ms", "speedup", "energy dram/buf/core %");
+    for kind in AcceleratorKind::ALL {
+        let acc = Accelerator::new(kind);
+        let r = acc.run(&workload, &precision, &config);
+        let e = &r.energy;
+        let total = e.total();
+        println!(
+            "{:<10} {:>12.3e} {:>9.2} {:>9.2}x {:>7.1}/{:>4.1}/{:>5.1}",
+            kind.name(),
+            r.total_cycles,
+            r.latency_ms(&config),
+            spark.speedup_vs(&r),
+            e.dram_pj / total * 100.0,
+            e.buffer_pj / total * 100.0,
+            e.core_pj / total * 100.0
+        );
+    }
+    println!(
+        "\nSPARK vs Eyeriss: {:.2}x faster, {:.1}% less energy",
+        spark.speedup_vs(
+            &Accelerator::new(AcceleratorKind::Eyeriss).run(&workload, &precision, &config)
+        ),
+        spark.energy_reduction_vs(
+            &Accelerator::new(AcceleratorKind::Eyeriss).run(&workload, &precision, &config)
+        ) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Codec shoot-out on a BERT-style tensor profile: SPARK vs every baseline
+//! the paper compares against, on reconstruction fidelity and storage bits —
+//! the per-tensor view behind Tables IV and V.
+//!
+//! ```sh
+//! cargo run --release --example encode_transformer
+//! ```
+
+use spark::data::ModelProfile;
+use spark::quant::{
+    AdaptiveFloatCodec, AntCodec, BiScaledCodec, Codec, GoboCodec, OlAccelCodec, OliveCodec,
+    OutlierSuppressionCodec, SparkCodec, UniformQuantizer,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = ModelProfile::bert();
+    let tensor = profile.sample_tensor(100_000, 42);
+    println!(
+        "BERT-calibrated tensor: {} values (Gaussian body + outlier tail)\n",
+        tensor.len()
+    );
+
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::new(SparkCodec::default()),
+        Box::new(SparkCodec::default().without_compensation()),
+        Box::new(AntCodec::new(4)?),
+        Box::new(AntCodec::new(6)?),
+        Box::new(BiScaledCodec::new(6)?),
+        Box::new(OliveCodec::new()),
+        Box::new(OlAccelCodec::new()),
+        Box::new(GoboCodec::new()),
+        Box::new(OutlierSuppressionCodec::new(6)?),
+        Box::new(AdaptiveFloatCodec::adafloat8()),
+        Box::new(UniformQuantizer::symmetric(8)),
+        Box::new(UniformQuantizer::symmetric(4)),
+    ];
+
+    println!(
+        "{:<14} {:>9} {:>11} {:>12}",
+        "codec", "bits/val", "SQNR (dB)", "low-prec %"
+    );
+    let mut results: Vec<(String, f64, f64, f64)> = codecs
+        .iter()
+        .map(|c| {
+            let r = c.compress(&tensor).expect("finite tensor");
+            (
+                c.name(),
+                r.avg_bits,
+                r.sqnr_db(&tensor),
+                r.low_precision_fraction * 100.0,
+            )
+        })
+        .collect();
+    // Sort by fidelity-per-bit story: ascending bits, then descending SQNR.
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.2.partial_cmp(&a.2).unwrap()));
+    for (name, bits, sqnr, lp) in &results {
+        println!("{name:<14} {bits:>9.2} {sqnr:>11.1} {lp:>12.1}");
+    }
+
+    let spark = results.iter().find(|r| r.0 == "SPARK").expect("SPARK ran");
+    let ant4 = results.iter().find(|r| r.0 == "ANT4").expect("ANT4 ran");
+    println!(
+        "\nSPARK at {:.2} bits reaches {:.1} dB; ANT at 4 bits reaches {:.1} dB — \
+         the bit-level adaptivity buys {:.1} dB at +{:.2} bits.",
+        spark.1,
+        spark.2,
+        ant4.2,
+        spark.2 - ant4.2,
+        spark.1 - 4.0
+    );
+    Ok(())
+}

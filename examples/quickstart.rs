@@ -1,0 +1,64 @@
+//! Quickstart: quantize a tensor, SPARK-encode it, decode it back, and look
+//! at the error bound, compression ratio and code statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use spark::codec::{decode_stream, encode_tensor, MAX_ENCODING_ERROR};
+use spark::quant::{Codec, MagnitudeQuantizer, SparkCodec};
+use spark::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A long-tailed tensor: the weight-like shape SPARK is designed for —
+    // dense body near zero, a few large outliers stretching the range.
+    let data: Vec<f32> = (0..4096)
+        .map(|i| {
+            let body = (((i * 2654435761usize) % 1000) as f32 / 1000.0 - 0.5) * 0.1;
+            if i % 128 == 0 {
+                body * 40.0
+            } else {
+                body
+            }
+        })
+        .collect();
+    let tensor = Tensor::from_vec(data, &[64, 64])?;
+
+    // 1) Quantize to per-tensor INT8 magnitudes (the paper's front-end).
+    let quantizer = MagnitudeQuantizer::new(8)?;
+    let codes = quantizer.quantize(&tensor)?;
+    println!("quantized {} values, scale = {:.4}", codes.codes.len(), codes.scale);
+
+    // 2) SPARK-encode into the aligned nibble stream.
+    let encoded = encode_tensor(&codes.codes);
+    println!(
+        "encoded: {} values -> {} bytes ({:.2} bits/value, {:.2}x compression)",
+        encoded.elements,
+        encoded.stream.byte_len(),
+        encoded.stats.avg_bits(),
+        encoded.compression_ratio()
+    );
+    println!(
+        "short codes: {:.1}%, lossless: {:.1}%, max error: {}",
+        encoded.stats.short_fraction() * 100.0,
+        encoded.stats.lossless_fraction() * 100.0,
+        encoded.stats.max_error()
+    );
+
+    // 3) Decode and verify the paper's error bound (<= 16 code units).
+    let decoded = decode_stream(&encoded.stream)?;
+    assert_eq!(decoded.len(), codes.codes.len());
+    for (orig, dec) in codes.codes.iter().zip(&decoded) {
+        assert!((i16::from(*orig) - i16::from(*dec)).unsigned_abs() <= u16::from(MAX_ENCODING_ERROR));
+    }
+    println!("round trip OK: every value within the paper's error bound");
+
+    // 4) Or do all of it in one call through the Codec interface.
+    let result = SparkCodec::default().compress(&tensor)?;
+    println!(
+        "end-to-end: {:.2} bits/value, SQNR {:.1} dB vs FP32",
+        result.avg_bits,
+        result.sqnr_db(&tensor)
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # SPARK — Scalable and Precision-Aware Acceleration of Neural Networks
+//!
+//! Umbrella crate for the SPARK reproduction (HPCA 2024). It re-exports the
+//! workspace crates so downstream users can depend on a single package:
+//!
+//! - [`codec`] — the SPARK variable-length encoding (the paper's core
+//!   contribution): encoder, decoder, nibble streams, compensation mechanism.
+//! - [`quant`] — quantization substrate plus every baseline codec the paper
+//!   compares against (ANT, BiScaled, OLAccel, GOBO, Olive, outlier
+//!   suppression, AdaptiveFloat).
+//! - [`tensor`] — dense tensor substrate (matmul, im2col, statistics).
+//! - [`nn`] — layers, model workloads (VGG/ResNet/BERT/ViT/GPT-2/BART) and
+//!   tiny trainable models for accuracy experiments.
+//! - [`data`] — calibrated synthetic parameter distributions, datasets and
+//!   DBB structured pruning.
+//! - [`sim`] — the cycle-accurate systolic-array simulator with energy and
+//!   area models and iso-area baseline accelerator configurations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spark::codec::{encode_tensor, decode_stream};
+//!
+//! let codes: Vec<u8> = (0u16..=255).map(|v| v as u8).collect();
+//! let encoded = encode_tensor(&codes);
+//! let decoded = decode_stream(&encoded.stream).expect("well-formed stream");
+//! for (orig, dec) in codes.iter().zip(&decoded) {
+//!     assert!((*orig as i16 - *dec as i16).abs() <= 16);
+//! }
+//! ```
+
+pub use spark_codec as codec;
+pub use spark_data as data;
+pub use spark_nn as nn;
+pub use spark_quant as quant;
+pub use spark_sim as sim;
+pub use spark_tensor as tensor;
+
+/// Commonly used items, importable with `use spark::prelude::*;`.
+pub mod prelude {
+    pub use spark_codec::{
+        decode_stream, encode_tensor, SparkCode, SparkDecoder, SparkEncoder, SparkFormat,
+    };
+    pub use spark_data::{Dataset, ModelProfile};
+    pub use spark_nn::{ModelWorkload, Sequential};
+    pub use spark_quant::{Codec, QuantParams, SparkCodec, UniformQuantizer};
+    pub use spark_sim::{
+        Accelerator, AcceleratorKind, FunctionalArray, PrecisionProfile, SimConfig,
+    };
+    pub use spark_tensor::{QuantTensor, Shape, Tensor};
+}

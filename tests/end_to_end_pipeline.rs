@@ -1,0 +1,84 @@
+//! Cross-crate integration: calibrated distribution -> quantization ->
+//! SPARK encoding -> packed stream -> precision profile -> accelerator
+//! simulation, with invariants checked at every hand-off.
+
+use spark::codec::{decode_stream, encode_tensor, MAX_ENCODING_ERROR};
+use spark::data::ModelProfile;
+use spark::nn::ModelWorkload;
+use spark::quant::{Codec, MagnitudeQuantizer, SparkCodec};
+use spark::sim::{Accelerator, AcceleratorKind, PrecisionProfile, SimConfig};
+use spark::tensor::stats;
+
+#[test]
+fn profile_to_accelerator_pipeline() {
+    let profile = ModelProfile::bert();
+    let tensor = profile.sample_tensor(20_000, 9);
+
+    // Quantize.
+    let quantizer = MagnitudeQuantizer::new(8).unwrap();
+    let codes = quantizer.quantize(&tensor).unwrap();
+    assert_eq!(codes.codes.len(), tensor.len());
+
+    // Encode into the aligned stream; verify round trip and error bound.
+    let encoded = encode_tensor(&codes.codes);
+    let decoded = decode_stream(&encoded.stream).unwrap();
+    assert_eq!(decoded.len(), codes.codes.len());
+    for (o, d) in codes.codes.iter().zip(&decoded) {
+        assert!((i16::from(*o) - i16::from(*d)).unsigned_abs() <= u16::from(MAX_ENCODING_ERROR));
+    }
+
+    // The stream's storage matches the statistics' claim.
+    let bits_from_stream = encoded.stream.len() as f64 * 4.0 / encoded.elements as f64;
+    assert!((bits_from_stream - encoded.stats.avg_bits()).abs() < 1e-9);
+
+    // Precision profile feeds the simulator.
+    let acts = profile.sample_activations(20_000, 10);
+    let precision = PrecisionProfile::from_tensors(&tensor, &acts).unwrap();
+    assert!((precision.short_frac_w - encoded.stats.short_fraction()).abs() < 0.05);
+
+    let workload = ModelWorkload::bert();
+    let cfg = SimConfig::default();
+    let spark = Accelerator::new(AcceleratorKind::Spark).run(&workload, &precision, &cfg);
+    let eyeriss = Accelerator::new(AcceleratorKind::Eyeriss).run(&workload, &precision, &cfg);
+    assert!(spark.total_cycles < eyeriss.total_cycles);
+    assert!(spark.energy.total() < eyeriss.energy.total());
+    assert_eq!(spark.layers.len(), workload.gemms.len());
+}
+
+#[test]
+fn codec_bits_consistent_between_quant_and_codec_layers() {
+    let profile = ModelProfile::resnet50();
+    let tensor = profile.sample_tensor(20_000, 11);
+    let (result, code_stats) = SparkCodec::default().compress_with_stats(&tensor).unwrap();
+    assert!((result.avg_bits - code_stats.avg_bits()).abs() < 1e-12);
+    assert!((result.low_precision_fraction - code_stats.short_fraction()).abs() < 1e-12);
+    // SQNR through the whole pipeline remains usable.
+    assert!(result.sqnr_db(&tensor) > 15.0);
+}
+
+#[test]
+fn reconstruction_distribution_matches_original() {
+    // Encoding must not shift the tensor's distribution: mean and std of
+    // the reconstruction stay close to the original's.
+    let profile = ModelProfile::vit();
+    let tensor = profile.sample_tensor(30_000, 12);
+    let result = SparkCodec::default().compress(&tensor).unwrap();
+    let a = stats::summarize(&tensor);
+    let b = stats::summarize(&result.reconstructed);
+    assert!((a.mean - b.mean).abs() < 0.01 * a.std.max(1e-6));
+    assert!((a.std - b.std).abs() / a.std < 0.05);
+}
+
+#[test]
+fn every_accelerator_runs_every_performance_workload() {
+    let cfg = SimConfig::default();
+    for workload in ModelWorkload::performance_suite() {
+        let profile = PrecisionProfile::from_short_fractions(0.6, 0.6);
+        for acc in Accelerator::all() {
+            let r = acc.run(&workload, &profile, &cfg);
+            assert!(r.total_cycles > 0.0, "{} on {}", acc.kind.name(), workload.name);
+            assert!(r.energy.total() > 0.0);
+            assert!(r.total_cycles.is_finite());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Smoke tests over the experiment harness: every table/figure function
+//! runs end to end (quick mode) and produces well-formed, paper-shaped
+//! output. This is the check that "the code that regenerates the paper"
+//! stays runnable.
+
+use spark_bench::context::ExperimentContext;
+use spark_bench::{fig11, fig12, fig14, fig15, fig4, table2, table6, table7};
+
+#[test]
+fn cheap_experiments_produce_well_formed_output() {
+    let t2 = table2::run();
+    assert_eq!(t2.rows.len(), 5);
+    assert!(!table2::render(&t2).is_empty());
+
+    let t6 = table6::run();
+    assert!(t6.breakdown.total_mm2() > 0.3);
+
+    let t7 = table7::run();
+    assert_eq!(t7.designs.len(), 8);
+}
+
+#[test]
+fn characterization_and_performance_figures_hold_shape() {
+    let ctx = ExperimentContext::new();
+
+    let f4 = fig4::run(&ctx);
+    assert!(f4.rows.iter().all(|r| r.lossless_pct > 85.0));
+
+    let f11 = fig11::run(&ctx);
+    let spark_col: Vec<f64> = f11
+        .rows
+        .iter()
+        .flat_map(|r| {
+            r.normalized
+                .iter()
+                .filter(|(n, _)| n == "SPARK")
+                .map(|(_, v)| *v)
+        })
+        .collect();
+    assert!(spark_col.iter().all(|&v| (v - 1.0).abs() < 1e-9));
+
+    let f12 = fig12::run(&ctx);
+    for row in &f12.rows {
+        let spark = row.bars.iter().find(|b| b.accelerator == "SPARK").unwrap();
+        let eyeriss = row.bars.iter().find(|b| b.accelerator == "Eyeriss").unwrap();
+        assert!(spark.total() < 0.5 * eyeriss.total(), "{}", row.model);
+    }
+
+    let f14 = fig14::run(&ctx);
+    assert!(f14.points.windows(2).all(|w| w[1].param_millions > w[0].param_millions));
+
+    let f15 = fig15::run(&ctx);
+    assert!(f15
+        .rows
+        .iter()
+        .all(|r| r.dense_cycles > r.dbb_cycles));
+}

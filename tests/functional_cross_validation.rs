@@ -1,0 +1,116 @@
+//! Cross-validation of the functional accelerator against the software NN
+//! stack: the dense layers of a trained model, executed on the functional
+//! mixed-precision PE array through the full quantize→encode→decode→MAC
+//! pipeline, must predict (almost) like the software model whose weights
+//! went through the same codec.
+
+use spark::data::Dataset;
+use spark::nn::{proxy, train};
+use spark::quant::{Codec, SparkCodec};
+use spark::sim::functional::{run_layer, FunctionalArray};
+use spark::tensor::{ops, Tensor};
+
+/// Runs a 2-layer MLP forward pass entirely on the functional array.
+fn mlp_forward_on_accelerator(
+    array: &FunctionalArray,
+    x: &Tensor,
+    w1: &Tensor,
+    b1: &[f32],
+    w2: &Tensor,
+    b2: &[f32],
+) -> Tensor {
+    let h = run_layer(array, x, w1).expect("layer 1 shapes valid").output;
+    let h = ops::add_bias(&h, b1).expect("bias dims");
+    let h = ops::relu(&h);
+    let y = run_layer(array, &h, w2).expect("layer 2 shapes valid").output;
+    ops::add_bias(&y, b2).expect("bias dims")
+}
+
+#[test]
+fn functional_array_predictions_match_software_codec_model() {
+    // Train a small MLP on blobs.
+    let data = Dataset::blobs(600, 12, 3, 41);
+    let (tr, te) = data.split(0.8);
+    let mut model = proxy::tiny_mlp(12, 16, 3, 17);
+    train::train(&mut model, &tr, &train::TrainConfig::quick());
+    let fp32_acc = train::evaluate(&mut model, &te);
+    assert!(fp32_acc > 0.7, "undertrained: {fp32_acc}");
+
+    // Pull out the trained weights (tiny_mlp: Dense -> Relu -> Dense).
+    let weights: Vec<Tensor> = model.weights_mut().into_iter().map(|w| w.clone()).collect();
+    assert_eq!(weights.len(), 2);
+    let (w1, w2) = (&weights[0], &weights[1]);
+    // Biases are not exposed; evaluate both paths with zero bias to keep
+    // the comparison apples-to-apples.
+    let b1 = vec![0.0f32; w1.dims()[1]];
+    let b2 = vec![0.0f32; w2.dims()[1]];
+
+    // Software reference with codec-compressed weights (no bias).
+    let codec = SparkCodec::default().without_bias_correction();
+    let w1c = codec.compress(w1).unwrap().reconstructed;
+    let w2c = codec.compress(w2).unwrap().reconstructed;
+
+    let array = FunctionalArray::new(16, 16);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for s in te.samples.iter().take(60) {
+        let x = Tensor::from_vec(s.input.clone(), &[1, 12]).unwrap();
+        // Software path: FP32 matmul with codec-reconstructed weights.
+        let h = ops::relu(&ops::add_bias(&ops::matmul(&x, &w1c).unwrap(), &b1).unwrap());
+        let y_sw = ops::add_bias(&ops::matmul(&h, &w2c).unwrap(), &b2).unwrap();
+        // Hardware path: functional pipeline (quantizes activations too).
+        let y_hw = mlp_forward_on_accelerator(&array, &x, w1, &b1, w2, &b2);
+        let argmax = |t: &Tensor| {
+            t.as_slice()
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        if argmax(&y_sw) == argmax(&y_hw) {
+            agree += 1;
+        }
+        total += 1;
+    }
+    // Activation quantization adds noise the software path does not have,
+    // so demand strong but not perfect agreement.
+    let rate = agree as f64 / total as f64;
+    assert!(rate > 0.85, "prediction agreement {rate}");
+}
+
+#[test]
+fn functional_array_accuracy_close_to_software() {
+    let data = Dataset::blobs(600, 12, 3, 42);
+    let (tr, te) = data.split(0.8);
+    let mut model = proxy::tiny_mlp(12, 16, 3, 18);
+    train::train(&mut model, &tr, &train::TrainConfig::quick());
+    let fp32_acc = train::evaluate(&mut model, &te);
+
+    let weights: Vec<Tensor> = model.weights_mut().into_iter().map(|w| w.clone()).collect();
+    let b1 = vec![0.0f32; weights[0].dims()[1]];
+    let b2 = vec![0.0f32; weights[1].dims()[1]];
+    let array = FunctionalArray::new(16, 16);
+    let mut correct = 0usize;
+    for s in &te.samples {
+        let x = Tensor::from_vec(s.input.clone(), &[1, 12]).unwrap();
+        let y = mlp_forward_on_accelerator(&array, &x, &weights[0], &b1, &weights[1], &b2);
+        let pred = y
+            .as_slice()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if pred == s.label {
+            correct += 1;
+        }
+    }
+    let hw_acc = correct as f64 / te.len() as f64;
+    // The accelerator (weights + activations quantized, biases dropped)
+    // stays within a few points of the FP32 software model.
+    assert!(
+        fp32_acc - hw_acc < 0.15,
+        "fp32 {fp32_acc} vs accelerator {hw_acc}"
+    );
+}

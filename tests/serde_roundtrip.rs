@@ -1,0 +1,86 @@
+//! Serialization round trips for the public data types: experiment results
+//! are dumped as JSON, so every type that crosses that boundary must
+//! round-trip losslessly.
+
+use spark::codec::{encode_tensor, CodeStats, EncodedTensor, NibbleStream, SparkFormat};
+use spark::data::{DbbConfig, ModelProfile, ParamDistribution};
+use spark::nn::{Gemm, ModelWorkload};
+use spark::quant::CodecResult;
+use spark::sim::{Accelerator, AcceleratorKind, PrecisionProfile, Program, SimConfig};
+use spark::tensor::{QuantTensor, Shape, Tensor};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializable");
+    serde_json::from_str(&json).expect("deserializable")
+}
+
+#[test]
+fn tensor_types_round_trip() {
+    let t = Tensor::from_vec(vec![1.5, -2.25, 0.0], &[3]).unwrap();
+    assert_eq!(round_trip(&t), t);
+    let q = QuantTensor::from_vec(vec![0, 7, 255], &[3]).unwrap();
+    assert_eq!(round_trip(&q), q);
+    let s = Shape::new(&[2, 3, 4]);
+    assert_eq!(round_trip(&s), s);
+}
+
+#[test]
+fn codec_types_round_trip() {
+    let enc: EncodedTensor = encode_tensor(&[0, 7, 18, 170, 255]);
+    let back: EncodedTensor = round_trip(&enc);
+    assert_eq!(back, enc);
+    let stream: NibbleStream = enc.stream.clone();
+    assert_eq!(round_trip(&stream), stream);
+    let stats: CodeStats = enc.stats;
+    assert_eq!(round_trip(&stats), stats);
+    let fmt = SparkFormat::new(12, 6).unwrap();
+    assert_eq!(round_trip(&fmt), fmt);
+}
+
+#[test]
+fn data_types_round_trip() {
+    let p = ModelProfile::bert();
+    assert_eq!(round_trip(&p), p);
+    let d = ParamDistribution::typical_weights();
+    assert_eq!(round_trip(&d), d);
+    let c = DbbConfig::half_sparse();
+    assert_eq!(round_trip(&c), c);
+}
+
+#[test]
+fn workload_and_sim_types_round_trip() {
+    let w = ModelWorkload::resnet18();
+    assert_eq!(round_trip(&w), w);
+    let g = Gemm::new("x", 2, 3, 4).times(5);
+    assert_eq!(round_trip(&g), g);
+    let acc = Accelerator::new(AcceleratorKind::Spark);
+    assert_eq!(round_trip(&acc), acc);
+    let prof = PrecisionProfile::from_short_fractions(0.7, 0.6);
+    assert_eq!(round_trip(&prof), prof);
+    let cfg = SimConfig::default();
+    assert_eq!(round_trip(&cfg), cfg);
+}
+
+#[test]
+fn programs_and_reports_round_trip() {
+    let acc = Accelerator::new(AcceleratorKind::Spark);
+    let w = ModelWorkload::resnet18();
+    let prof = PrecisionProfile::from_short_fractions(0.6, 0.6);
+    let prog = Program::compile(&w, &acc, &prof);
+    assert_eq!(round_trip(&prog), prog);
+    let report = acc.run(&w, &prof, &SimConfig::default());
+    let back = round_trip(&report);
+    assert_eq!(back, report);
+}
+
+#[test]
+fn codec_result_round_trips() {
+    use spark::quant::{Codec, SparkCodec};
+    let t = Tensor::from_vec(vec![0.1, -0.5, 2.0, 0.02], &[4]).unwrap();
+    let r: CodecResult = SparkCodec::default().compress(&t).unwrap();
+    let back: CodecResult = round_trip(&r);
+    assert_eq!(back, r);
+}

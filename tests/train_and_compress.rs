@@ -1,0 +1,76 @@
+//! Cross-crate integration: train proxies (spark-nn + spark-data), compress
+//! with every codec (spark-quant), and check the accuracy ordering the
+//! paper's Tables III-V rest on.
+
+use spark::data::Dataset;
+use spark::nn::{proxy, train};
+use spark::quant::{AntCodec, Codec, OliveCodec, SparkCodec, UniformQuantizer};
+
+fn trained_cnn(seed: u64) -> (spark::nn::Sequential, Dataset) {
+    let data = Dataset::bars_noisy(800, 8, 16, 0.7, seed);
+    let (tr, te) = data.split(0.8);
+    let mut m = proxy::tiny_cnn(8, 6, 48, 16, seed.wrapping_add(31));
+    let cfg = train::TrainConfig {
+        epochs: 10,
+        lr: 0.25,
+        batch: 16,
+        seed,
+    };
+    train::train(&mut m, &tr, &cfg);
+    (m, te)
+}
+
+#[test]
+fn spark_preserves_trained_accuracy_within_noise() {
+    let (mut m, te) = trained_cnn(21);
+    let fp32 = train::evaluate(&mut m, &te);
+    assert!(fp32 > 0.7, "undertrained: {fp32}");
+    train::compress_weights(&mut m, &SparkCodec::default()).unwrap();
+    let spark = train::evaluate(&mut m, &te);
+    assert!(fp32 - spark < 0.06, "fp32 {fp32} vs spark {spark}");
+}
+
+#[test]
+fn extreme_quantization_destroys_accuracy_but_spark_does_not() {
+    let (mut a, te) = trained_cnn(22);
+    let fp32 = train::evaluate(&mut a, &te);
+    train::compress_weights(&mut a, &UniformQuantizer::symmetric(2)).unwrap();
+    let int2 = train::evaluate(&mut a, &te);
+
+    let (mut b, te2) = trained_cnn(22);
+    train::compress_weights(&mut b, &SparkCodec::default()).unwrap();
+    let spark = train::evaluate(&mut b, &te2);
+
+    assert!(spark > int2, "spark {spark} vs int2 {int2}");
+    assert!(fp32 - spark < fp32 - int2 + 1e-9);
+}
+
+#[test]
+fn codec_sweep_runs_on_attention_proxy() {
+    let data = Dataset::token_patterns_noisy(800, 5, 8, 0.25, 23);
+    let (tr, te) = data.split(0.8);
+    let mut m = proxy::tiny_attention(5, 8, 16, 8, 77);
+    let cfg = train::TrainConfig {
+        epochs: 40,
+        lr: 0.1,
+        batch: 8,
+        seed: 23,
+    };
+    train::train(&mut m, &tr, &cfg);
+    let fp32 = train::evaluate(&mut m, &te);
+    assert!(fp32 > 0.4, "undertrained: {fp32}");
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::new(SparkCodec::default()),
+        Box::new(AntCodec::new(4).unwrap()),
+        Box::new(OliveCodec::new()),
+    ];
+    for codec in codecs {
+        // Each codec applies to a freshly trained identical model.
+        let mut m2 = proxy::tiny_attention(5, 8, 16, 8, 77);
+        train::train(&mut m2, &tr, &cfg);
+        let bits = train::compress_weights(&mut m2, codec.as_ref()).unwrap();
+        let acc = train::evaluate(&mut m2, &te);
+        assert!(bits <= 8.0, "{}", codec.name());
+        assert!(acc > 0.2, "{} collapsed to {acc}", codec.name());
+    }
+}
