@@ -1,45 +1,41 @@
-//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! Ablation benchmarks for the design choices DESIGN.md calls out, on the
+//! in-tree `spark_util::bench` timer:
 //!
 //! - compensation mechanism (check-bit rounding) vs naive truncation —
-//!   measures both the cost and, via Criterion's output, documents that CM
+//!   measures both the cost and, via the printed output, documents that CM
 //!   adds no per-value overhead;
 //! - decoupled vs strict-lockstep SPARK array timing (the fidelity gap the
 //!   cycle-accurate simulator exposes);
 //! - dense vs DBB-pruned execution (Fig 15's mechanism).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use spark_codec::EncodeMode;
 use spark_nn::ModelWorkload;
 use spark_sim::perf::SparkTiming;
 use spark_sim::{Accelerator, AcceleratorKind, PrecisionProfile, SimConfig};
+use spark_util::bench::{bench, black_box};
 
-fn bench_compensation_modes(c: &mut Criterion) {
+fn bench_compensation_modes() {
     let values: Vec<u8> = (0..65_536u32)
         .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
         .collect();
-    let mut group = c.benchmark_group("ablation/encode_mode");
     for (name, mode) in [
         ("compensated", EncodeMode::Compensated),
         ("truncated", EncodeMode::Truncated),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &v in &values {
-                    acc = acc.wrapping_add(u64::from(mode.encode(v).decode()));
-                }
-                black_box(acc)
-            })
+        bench(&format!("ablation/encode_mode/{name}"), || {
+            let mut acc = 0u64;
+            for &v in &values {
+                acc = acc.wrapping_add(u64::from(mode.encode(v).decode()));
+            }
+            black_box(acc);
         });
     }
-    group.finish();
 }
 
-fn bench_timing_models(c: &mut Criterion) {
+fn bench_timing_models() {
     let workload = ModelWorkload::bert();
     let profile = PrecisionProfile::from_short_fractions(0.8, 0.8);
     let spark = Accelerator::new(AcceleratorKind::Spark);
-    let mut group = c.benchmark_group("ablation/spark_timing");
     for (name, timing) in [
         ("decoupled", SparkTiming::Decoupled),
         ("lockstep", SparkTiming::Lockstep),
@@ -48,29 +44,29 @@ fn bench_timing_models(c: &mut Criterion) {
             spark_timing: timing,
             ..SimConfig::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| black_box(spark.run(&workload, &profile, cfg)))
+        bench(&format!("ablation/spark_timing/{name}"), || {
+            black_box(spark.run(&workload, &profile, &cfg));
         });
     }
-    group.finish();
 }
 
-fn bench_dbb_density(c: &mut Criterion) {
+fn bench_dbb_density() {
     let workload = ModelWorkload::resnet50();
     let profile = PrecisionProfile::from_short_fractions(0.65, 0.6);
     let spark = Accelerator::new(AcceleratorKind::Spark);
-    let mut group = c.benchmark_group("ablation/dbb");
     for (name, density) in [("dense", None), ("dbb50", Some(0.5))] {
         let cfg = SimConfig {
             dbb_density: density,
             ..SimConfig::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| black_box(spark.run(&workload, &profile, cfg)))
+        bench(&format!("ablation/dbb/{name}"), || {
+            black_box(spark.run(&workload, &profile, &cfg));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_compensation_modes, bench_timing_models, bench_dbb_density);
-criterion_main!(benches);
+fn main() {
+    bench_compensation_modes();
+    bench_timing_models();
+    bench_dbb_density();
+}

@@ -1,12 +1,13 @@
-//! Criterion benchmarks for the SPARK codec datapath: the encoder (Fig 10),
-//! the streaming decoder (Fig 7), and whole-tensor stream packing.
+//! Micro-benchmarks for the SPARK codec datapath: the encoder (Fig 10),
+//! the streaming decoder (Fig 7), and whole-tensor stream packing, on the
+//! in-tree `spark_util::bench` timer.
 //!
 //! The paper's Section V-A verifies the codec sustains ~50 GB/s at 200 MHz
 //! in hardware; these benches measure the software model's throughput so
 //! regressions in the bit-twiddling hot path are visible.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use spark_codec::{decode_stream, encode_tensor, encode_value, SparkDecoder, SparkEncoder};
+use spark_util::bench::{bench_throughput, black_box};
 
 fn test_tensor(n: usize) -> Vec<u8> {
     // ~65% short codes, like a CNN tensor.
@@ -22,93 +23,75 @@ fn test_tensor(n: usize) -> Vec<u8> {
         .collect()
 }
 
-fn bench_encode_value(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codec/encode_value");
-    group.throughput(Throughput::Elements(256));
-    group.bench_function("all_bytes", |b| {
-        b.iter(|| {
-            for v in 0u16..=255 {
-                black_box(encode_value(v as u8));
-            }
-        })
+fn bench_encode_value() {
+    bench_throughput("codec/encode_value/all_bytes", 256, || {
+        for v in 0u16..=255 {
+            black_box(encode_value(v as u8));
+        }
     });
-    group.finish();
 }
 
-fn bench_hw_encoder(c: &mut Criterion) {
+fn bench_hw_encoder() {
     let values = test_tensor(4096);
-    let mut group = c.benchmark_group("codec/hw_encoder");
-    group.throughput(Throughput::Elements(values.len() as u64));
-    group.bench_function("4k_tensor", |b| {
-        b.iter(|| {
-            let mut enc = SparkEncoder::new();
-            for &v in &values {
-                black_box(enc.encode(v));
-            }
-        })
+    bench_throughput("codec/hw_encoder/4k_tensor", values.len() as u64, || {
+        let mut enc = SparkEncoder::new();
+        for &v in &values {
+            black_box(enc.encode(v));
+        }
     });
-    group.finish();
 }
 
-fn bench_stream_round_trip(c: &mut Criterion) {
+fn bench_stream_round_trip() {
     let values = test_tensor(65_536);
     let encoded = encode_tensor(&values);
-    let mut group = c.benchmark_group("codec/stream");
-    group.throughput(Throughput::Elements(values.len() as u64));
-    group.bench_function("encode_64k", |b| b.iter(|| black_box(encode_tensor(&values))));
-    group.bench_function("decode_64k", |b| {
-        b.iter(|| black_box(decode_stream(&encoded.stream).expect("valid stream")))
+    let elems = values.len() as u64;
+    bench_throughput("codec/stream/encode_64k", elems, || {
+        black_box(encode_tensor(&values));
     });
-    group.finish();
+    bench_throughput("codec/stream/decode_64k", elems, || {
+        black_box(decode_stream(&encoded.stream).expect("valid stream"));
+    });
 }
 
-fn bench_streaming_decoder(c: &mut Criterion) {
+fn bench_streaming_decoder() {
     let values = test_tensor(16_384);
     let encoded = encode_tensor(&values);
     let nibbles: Vec<u8> = encoded.stream.iter().collect();
-    let mut group = c.benchmark_group("codec/decoder_fsm");
-    group.throughput(Throughput::Elements(nibbles.len() as u64));
-    group.bench_function("nibble_fsm", |b| {
-        b.iter(|| {
-            let mut dec = SparkDecoder::new();
-            let mut out = 0u64;
-            for &n in &nibbles {
-                if let Some(v) = dec.push_nibble(n).expect("valid") {
-                    out = out.wrapping_add(u64::from(v));
-                }
+    bench_throughput("codec/decoder_fsm/nibble_fsm", nibbles.len() as u64, || {
+        let mut dec = SparkDecoder::new();
+        let mut out = 0u64;
+        for &n in &nibbles {
+            if let Some(v) = dec.push_nibble(n).expect("valid") {
+                out = out.wrapping_add(u64::from(v));
             }
-            black_box(out)
-        })
+        }
+        black_box(out);
     });
-    group.finish();
 }
 
-fn bench_general_formats(c: &mut Criterion) {
+fn bench_general_formats() {
     use spark_codec::{decode_general, encode_general, SparkFormat};
     let values: Vec<u16> = (0..16_384u32)
         .map(|i| (i.wrapping_mul(2654435761) % 65536) as u16 >> 4)
         .collect();
-    let mut group = c.benchmark_group("codec/general_formats");
-    group.throughput(Throughput::Elements(values.len() as u64));
     for (base, short) in [(8u8, 4u8), (12, 6), (16, 8)] {
         let fmt = SparkFormat::new(base, short).expect("valid format");
         let masked: Vec<u16> = values.iter().map(|&v| v & fmt.max_value()).collect();
-        group.bench_function(format!("round_trip_{base}_{short}"), |b| {
-            b.iter(|| {
+        bench_throughput(
+            &format!("codec/general_formats/round_trip_{base}_{short}"),
+            values.len() as u64,
+            || {
                 let stream = encode_general(&fmt, &masked);
-                black_box(decode_general(&fmt, &stream).expect("valid stream"))
-            })
-        });
+                black_box(decode_general(&fmt, &stream).expect("valid stream"));
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_encode_value,
-    bench_hw_encoder,
-    bench_stream_round_trip,
-    bench_streaming_decoder,
-    bench_general_formats
-);
-criterion_main!(benches);
+fn main() {
+    bench_encode_value();
+    bench_hw_encoder();
+    bench_stream_round_trip();
+    bench_streaming_decoder();
+    bench_general_formats();
+}

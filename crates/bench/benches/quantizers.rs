@@ -1,14 +1,15 @@
-//! Criterion benchmarks over every codec the accuracy experiments sweep
-//! (Tables IV/V): compression throughput on a calibrated 64k-value tensor.
+//! Micro-benchmarks over every codec the accuracy experiments sweep
+//! (Tables IV/V): compression throughput on a calibrated 64k-value tensor,
+//! on the in-tree `spark_util::bench` timer.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spark_data::ModelProfile;
 use spark_quant::{
     AdaptiveFloatCodec, AntCodec, BiScaledCodec, Codec, GoboCodec, OlAccelCodec, OliveCodec,
     OutlierSuppressionCodec, SparkCodec, UniformQuantizer,
 };
+use spark_util::bench::{bench_throughput, black_box};
 
-fn bench_codecs(c: &mut Criterion) {
+fn main() {
     let tensor = ModelProfile::bert().sample_tensor(65_536, 3);
     let codecs: Vec<Box<dyn Codec>> = vec![
         Box::new(SparkCodec::default()),
@@ -21,17 +22,13 @@ fn bench_codecs(c: &mut Criterion) {
         Box::new(OutlierSuppressionCodec::new(6).expect("valid bits")),
         Box::new(AdaptiveFloatCodec::adafloat8()),
     ];
-    let mut group = c.benchmark_group("quantizers/compress_64k");
-    group.throughput(Throughput::Elements(tensor.len() as u64));
     for codec in &codecs {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(codec.name()),
-            codec,
-            |b, codec| b.iter(|| black_box(codec.compress(&tensor).expect("finite tensor"))),
+        bench_throughput(
+            &format!("quantizers/compress_64k/{}", codec.name()),
+            tensor.len() as u64,
+            || {
+                black_box(codec.compress(&tensor).expect("finite tensor"));
+            },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_codecs);
-criterion_main!(benches);

@@ -1,42 +1,38 @@
-//! Criterion benchmarks for the accelerator simulator: the cycle-accurate
+//! Micro-benchmarks for the accelerator simulator: the cycle-accurate
 //! systolic tile (Fig 9(c) protocol) and the workload-level model behind
-//! Figs 11/12.
+//! Figs 11/12, on the in-tree `spark_util::bench` timer.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use spark_nn::ModelWorkload;
 use spark_sim::perf::spark_cycles_per_wave;
 use spark_sim::{Accelerator, AcceleratorKind, PrecisionProfile, SimConfig};
+use spark_util::bench::{bench, black_box};
 
-fn bench_cycle_accurate_tile(c: &mut Criterion) {
+fn bench_cycle_accurate_tile() {
     let profile = PrecisionProfile::from_short_fractions(0.8, 0.8);
-    let mut group = c.benchmark_group("sim/cycle_accurate_tile");
     for waves in [64usize, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(waves), &waves, |b, &waves| {
-            b.iter(|| black_box(spark_cycles_per_wave(64, 64, &profile, waves, 5)))
+        bench(&format!("sim/cycle_accurate_tile/{waves}"), || {
+            black_box(spark_cycles_per_wave(64, 64, &profile, waves, 5));
         });
     }
-    group.finish();
 }
 
-fn bench_workload_simulation(c: &mut Criterion) {
+fn bench_workload_simulation() {
     let workload = ModelWorkload::resnet50();
     let profile = PrecisionProfile::from_short_fractions(0.65, 0.6);
     let cfg = SimConfig::default();
-    let mut group = c.benchmark_group("sim/resnet50_workload");
     for kind in [
         AcceleratorKind::Spark,
         AcceleratorKind::Ant,
         AcceleratorKind::Eyeriss,
     ] {
         let acc = Accelerator::new(kind);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &acc, |b, acc| {
-            b.iter(|| black_box(acc.run(&workload, &profile, &cfg)))
+        bench(&format!("sim/resnet50_workload/{}", kind.name()), || {
+            black_box(acc.run(&workload, &profile, &cfg));
         });
     }
-    group.finish();
 }
 
-fn bench_functional_array(c: &mut Criterion) {
+fn bench_functional_array() {
     use spark_sim::pe::SignMag;
     use spark_sim::FunctionalArray;
     let (m, k, n) = (16usize, 64usize, 32usize);
@@ -47,17 +43,13 @@ fn bench_functional_array(c: &mut Criterion) {
         .map(|i| SignMag::from_i16(((i * 91) % 511) as i16 - 255))
         .collect();
     let array = FunctionalArray::new(64, 64);
-    let mut group = c.benchmark_group("sim/functional_array");
-    group.bench_function("16x64x32_gemm", |b| {
-        b.iter(|| black_box(array.gemm(&a, &w, m, k, n)))
+    bench("sim/functional_array/16x64x32_gemm", || {
+        black_box(array.gemm(&a, &w, m, k, n));
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cycle_accurate_tile,
-    bench_workload_simulation,
-    bench_functional_array
-);
-criterion_main!(benches);
+fn main() {
+    bench_cycle_accurate_tile();
+    bench_workload_simulation();
+    bench_functional_array();
+}

@@ -6,12 +6,14 @@
 //! experiments fig2 table4 ...  # selected experiments
 //! experiments --quick all      # reduced training, for smoke tests
 //! experiments --json DIR all   # additionally dump JSON per experiment
+//! experiments --smoke          # CI smoke: the cheap experiments, quick mode
 //! ```
 
 use std::fs;
 use std::path::PathBuf;
 
 use spark_bench::context::ExperimentContext;
+use spark_util::ToJson;
 use spark_bench::{
     entropy, fig11, fig12, fig13, fig14, fig15, fig2, fig4, formats, scaling, table2, table3,
     table4, table5, table6, table7, timing,
@@ -43,6 +45,12 @@ fn parse_args() -> Options {
                 std::process::exit(0);
             }
             "--quick" => quick = true,
+            "--smoke" => {
+                // The CI smoke path: the experiments cheap enough to run on
+                // every commit (mirrors tests/experiments_smoke.rs).
+                quick = true;
+                selected.extend(["table2", "table6", "table7"].map(String::from));
+            }
             "--json" => {
                 json_dir = args.next().map(PathBuf::from);
             }
@@ -63,13 +71,12 @@ fn wants(opts: &Options, name: &str) -> bool {
     opts.selected.iter().any(|s| s == name || s == "all")
 }
 
-fn emit(opts: &Options, name: &str, rendered: String, json: serde_json::Value) {
+fn emit(opts: &Options, name: &str, rendered: String, json: spark_util::Value) {
     println!("{rendered}");
     if let Some(dir) = &opts.json_dir {
         fs::create_dir_all(dir).expect("create json dir");
         let path = dir.join(format!("{name}.json"));
-        fs::write(&path, serde_json::to_string_pretty(&json).expect("serializable"))
-            .expect("write json");
+        fs::write(&path, json.to_string_pretty()).expect("write json");
         eprintln!("[wrote {}]", path.display());
     }
 }
@@ -89,70 +96,70 @@ fn main() {
 
     if wants(&opts, "table2") {
         let t = table2::run();
-        emit(&opts, "table2", table2::render(&t), serde_json::to_value(&t).expect("json"));
+        emit(&opts, "table2", table2::render(&t), t.to_json());
     }
     if wants(&opts, "fig2") {
         let f = fig2::run(ctx_ref.expect("ctx"), opts.quick);
-        emit(&opts, "fig2", fig2::render(&f), serde_json::to_value(&f).expect("json"));
+        emit(&opts, "fig2", fig2::render(&f), f.to_json());
     }
     if wants(&opts, "fig4") {
         let f = fig4::run(ctx_ref.expect("ctx"));
-        emit(&opts, "fig4", fig4::render(&f), serde_json::to_value(&f).expect("json"));
+        emit(&opts, "fig4", fig4::render(&f), f.to_json());
     }
     if wants(&opts, "table3") {
         let t = table3::run(ctx_ref.expect("ctx"), opts.quick);
-        emit(&opts, "table3", table3::render(&t), serde_json::to_value(&t).expect("json"));
+        emit(&opts, "table3", table3::render(&t), t.to_json());
     }
     if wants(&opts, "table4") {
         let t = table4::run(ctx_ref.expect("ctx"), opts.quick);
-        emit(&opts, "table4", table4::render(&t), serde_json::to_value(&t).expect("json"));
+        emit(&opts, "table4", table4::render(&t), t.to_json());
     }
     if wants(&opts, "table5") {
         let t = table5::run(ctx_ref.expect("ctx"), opts.quick);
-        emit(&opts, "table5", table5::render(&t), serde_json::to_value(&t).expect("json"));
+        emit(&opts, "table5", table5::render(&t), t.to_json());
     }
     if wants(&opts, "fig11") {
         let f = fig11::run(ctx_ref.expect("ctx"));
-        emit(&opts, "fig11", fig11::render(&f), serde_json::to_value(&f).expect("json"));
+        emit(&opts, "fig11", fig11::render(&f), f.to_json());
     }
     if wants(&opts, "fig12") {
         let f = fig12::run(ctx_ref.expect("ctx"));
-        emit(&opts, "fig12", fig12::render(&f), serde_json::to_value(&f).expect("json"));
+        emit(&opts, "fig12", fig12::render(&f), f.to_json());
     }
     if wants(&opts, "table6") {
         let t = table6::run();
-        emit(&opts, "table6", table6::render(&t), serde_json::to_value(&t).expect("json"));
+        emit(&opts, "table6", table6::render(&t), t.to_json());
     }
     if wants(&opts, "table7") {
         let t = table7::run();
-        emit(&opts, "table7", table7::render(&t), serde_json::to_value(&t).expect("json"));
+        emit(&opts, "table7", table7::render(&t), t.to_json());
     }
     if wants(&opts, "fig13") {
         let f = fig13::run(opts.quick);
-        emit(&opts, "fig13", fig13::render(&f), serde_json::to_value(&f).expect("json"));
+        emit(&opts, "fig13", fig13::render(&f), f.to_json());
     }
     if wants(&opts, "fig14") {
         let f = fig14::run(ctx_ref.expect("ctx"));
-        emit(&opts, "fig14", fig14::render(&f), serde_json::to_value(&f).expect("json"));
+        emit(&opts, "fig14", fig14::render(&f), f.to_json());
     }
     if wants(&opts, "fig15") {
         let f = fig15::run(ctx_ref.expect("ctx"));
-        emit(&opts, "fig15", fig15::render(&f), serde_json::to_value(&f).expect("json"));
+        emit(&opts, "fig15", fig15::render(&f), f.to_json());
     }
     if wants(&opts, "formats") {
         let f = formats::run(ctx_ref.expect("ctx"));
-        emit(&opts, "formats", formats::render(&f), serde_json::to_value(&f).expect("json"));
+        emit(&opts, "formats", formats::render(&f), f.to_json());
     }
     if wants(&opts, "timing") {
         let t = timing::run(ctx_ref.expect("ctx"));
-        emit(&opts, "timing", timing::render(&t), serde_json::to_value(&t).expect("json"));
+        emit(&opts, "timing", timing::render(&t), t.to_json());
     }
     if wants(&opts, "scaling") {
         let s = scaling::run(ctx_ref.expect("ctx"));
-        emit(&opts, "scaling", scaling::render(&s), serde_json::to_value(&s).expect("json"));
+        emit(&opts, "scaling", scaling::render(&s), s.to_json());
     }
     if wants(&opts, "entropy") {
         let e = entropy::run(ctx_ref.expect("ctx"));
-        emit(&opts, "entropy", entropy::render(&e), serde_json::to_value(&e).expect("json"));
+        emit(&opts, "entropy", entropy::render(&e), e.to_json());
     }
 }

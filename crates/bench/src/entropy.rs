@@ -6,14 +6,13 @@
 //! the price of memory alignment, the property Table I credits SPARK with
 //! over the coordinate-list and sparse-index schemes.
 
-use serde::{Deserialize, Serialize};
 use spark_codec::analysis::{analyze, CodeAnalysis};
 use spark_quant::MagnitudeQuantizer;
 
 use crate::context::ExperimentContext;
 
 /// One model's rate analysis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EntropyRow {
     /// Model name.
     pub model: String,
@@ -22,7 +21,7 @@ pub struct EntropyRow {
 }
 
 /// The full experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Entropy {
     /// One row per model, Fig 2 order.
     pub rows: Vec<EntropyRow>,
@@ -98,3 +97,6 @@ mod tests {
         }
     }
 }
+
+spark_util::to_json_struct!(EntropyRow { model, analysis });
+spark_util::to_json_struct!(Entropy { rows });

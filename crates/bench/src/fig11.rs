@@ -1,14 +1,13 @@
 //! Fig 11 — normalized total execution cycles across accelerators for the
 //! six performance-suite networks (normalized to SPARK = 1).
 
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use spark_util::par_map;
 use spark_sim::{Accelerator, AcceleratorKind};
 
 use crate::context::ExperimentContext;
 
 /// One model's latency bars.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Row {
     /// Model name.
     pub model: String,
@@ -17,7 +16,7 @@ pub struct Fig11Row {
 }
 
 /// The full figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11 {
     /// One row per performance-suite model.
     pub rows: Vec<Fig11Row>,
@@ -29,9 +28,7 @@ pub struct Fig11 {
 pub fn run(ctx: &ExperimentContext) -> Fig11 {
     let designs = Accelerator::all();
     let models = ctx.performance_models();
-    let rows: Vec<Fig11Row> = models
-        .par_iter()
-        .map(|m| {
+    let rows: Vec<Fig11Row> = par_map(&models, |m| {
             let workload = m.workload.as_ref().expect("performance models have workloads");
             let reports: Vec<(String, f64)> = designs
                 .iter()
@@ -52,8 +49,7 @@ pub fn run(ctx: &ExperimentContext) -> Fig11 {
                     .map(|(n, c)| (n, c / spark))
                     .collect(),
             }
-        })
-        .collect();
+        });
     // Geomean speedup of SPARK over each design across models.
     let mut mean_speedup = Vec::new();
     for kind in AcceleratorKind::ALL {
@@ -129,3 +125,6 @@ mod tests {
         assert!(geo("Eyeriss") > geo("AdaFloat"));
     }
 }
+
+spark_util::to_json_struct!(Fig11Row { model, normalized });
+spark_util::to_json_struct!(Fig11 { rows, mean_speedup });

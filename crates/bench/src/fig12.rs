@@ -1,14 +1,13 @@
 //! Fig 12 — normalized energy across designs, decomposed into DRAM,
 //! global buffer and core.
 
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use spark_util::par_map;
 use spark_sim::Accelerator;
 
 use crate::context::ExperimentContext;
 
 /// One design's stacked energy bar for one model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnergyBar {
     /// Design name.
     pub accelerator: String,
@@ -28,7 +27,7 @@ impl EnergyBar {
 }
 
 /// One model's bar group.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Row {
     /// Model name.
     pub model: String,
@@ -37,7 +36,7 @@ pub struct Fig12Row {
 }
 
 /// The full figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12 {
     /// One row per performance-suite model.
     pub rows: Vec<Fig12Row>,
@@ -46,10 +45,7 @@ pub struct Fig12 {
 /// Runs the energy sweep.
 pub fn run(ctx: &ExperimentContext) -> Fig12 {
     let designs = Accelerator::all();
-    let rows = ctx
-        .performance_models()
-        .par_iter()
-        .map(|m| {
+    let rows = par_map(&ctx.performance_models(), |m| {
             let workload = m.workload.as_ref().expect("workload exists");
             let raw: Vec<EnergyBar> = designs
                 .iter()
@@ -79,8 +75,7 @@ pub fn run(ctx: &ExperimentContext) -> Fig12 {
                     })
                     .collect(),
             }
-        })
-        .collect();
+        });
     Fig12 { rows }
 }
 
@@ -142,3 +137,7 @@ mod tests {
         assert!((40.0..90.0).contains(&vit_ada), "ViT vs AdaFloat {vit_ada}");
     }
 }
+
+spark_util::to_json_struct!(EnergyBar { accelerator, dram, buffer, core });
+spark_util::to_json_struct!(Fig12Row { model, bars });
+spark_util::to_json_struct!(Fig12 { rows });

@@ -2,13 +2,12 @@
 //! without the compensation mechanism (w/o CM), with CM but no finetuning
 //! (CM w/o-FT), and with CM plus codec-aware finetuning (CM w/-FT).
 
-use serde::{Deserialize, Serialize};
 use spark_quant::SparkCodec;
 
 use crate::accuracy::{ProxyFamily, TrainedProxy};
 
 /// One model's three bars.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Row {
     /// Model name.
     pub model: String,
@@ -21,7 +20,7 @@ pub struct Fig13Row {
 }
 
 /// The full figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13 {
     /// One row per representative model.
     pub rows: Vec<Fig13Row>,
@@ -99,3 +98,6 @@ mod tests {
         }
     }
 }
+
+spark_util::to_json_struct!(Fig13Row { model, no_cm, cm_no_ft, cm_ft });
+spark_util::to_json_struct!(Fig13 { rows });

@@ -6,7 +6,6 @@
 //! the outlier ratio — and hence the short-code fraction — grow mildly with
 //! size, matching that observation.
 
-use serde::{Deserialize, Serialize};
 use spark_data::dist::ParamDistribution;
 use spark_nn::{Gemm, ModelWorkload};
 use spark_sim::{Accelerator, AcceleratorKind, PrecisionProfile};
@@ -14,7 +13,7 @@ use spark_sim::{Accelerator, AcceleratorKind, PrecisionProfile};
 use crate::context::ExperimentContext;
 
 /// One point of the sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Point {
     /// Transformer depth.
     pub layers: usize,
@@ -31,7 +30,7 @@ pub struct Fig14Point {
 }
 
 /// The full sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14 {
     /// Points in increasing model size.
     pub points: Vec<Fig14Point>,
@@ -140,3 +139,6 @@ mod tests {
         }
     }
 }
+
+spark_util::to_json_struct!(Fig14Point { layers, param_millions, short_frac, spark_gmacs_per_j, baseline_gmacs_per_j, lossless_pct });
+spark_util::to_json_struct!(Fig14 { points });

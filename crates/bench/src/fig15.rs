@@ -1,15 +1,14 @@
 //! Fig 15 — joint optimization: Density-Bound Block (50 %) sparsity
 //! combined with SPARK.
 
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use spark_util::par_map;
 use spark_data::{dbb_prune, DbbConfig};
 use spark_sim::{Accelerator, AcceleratorKind, SimConfig};
 
 use crate::context::ExperimentContext;
 
 /// One model's dense-vs-DBB comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15Row {
     /// Model name.
     pub model: String,
@@ -25,7 +24,7 @@ pub struct Fig15Row {
 }
 
 /// The full figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15 {
     /// One row per performance model (the paper shows five networks).
     pub rows: Vec<Fig15Row>,
@@ -35,10 +34,7 @@ pub struct Fig15 {
 pub fn run(ctx: &ExperimentContext) -> Fig15 {
     let spark = Accelerator::new(AcceleratorKind::Spark);
     let dbb_cfg = DbbConfig::half_sparse();
-    let rows = ctx
-        .performance_models()
-        .par_iter()
-        .map(|m| {
+    let rows = par_map(&ctx.performance_models(), |m| {
             let workload = m.workload.as_ref().expect("workload exists");
             let dense = spark.run(workload, &m.precision, &ctx.sim);
             let sparse_sim = SimConfig {
@@ -58,8 +54,7 @@ pub fn run(ctx: &ExperimentContext) -> Fig15 {
                 achieved_sparsity: sparsity,
                 short_frac_after_dbb: precision_after.short_frac_w,
             }
-        })
-        .collect();
+        });
     Fig15 { rows }
 }
 
@@ -112,3 +107,6 @@ mod tests {
         assert!(after > dense_short);
     }
 }
+
+spark_util::to_json_struct!(Fig15Row { model, dense_cycles, dbb_cycles, achieved_sparsity, short_frac_after_dbb });
+spark_util::to_json_struct!(Fig15 { rows });

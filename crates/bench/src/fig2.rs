@@ -2,7 +2,6 @@
 //! of INT8 values that fit the `[0, 7]` short-code range, and the INT8
 //! quantization accuracy loss.
 
-use serde::{Deserialize, Serialize};
 use spark_quant::{MagnitudeQuantizer, UniformQuantizer};
 use spark_tensor::stats;
 
@@ -10,7 +9,7 @@ use crate::accuracy::{ProxyFamily, TrainedProxy};
 use crate::context::ExperimentContext;
 
 /// One bar group of Fig 2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Row {
     /// Model name.
     pub model: String,
@@ -24,7 +23,7 @@ pub struct Fig2Row {
 }
 
 /// The full figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2 {
     /// One row per model, paper order.
     pub rows: Vec<Fig2Row>,
@@ -109,3 +108,6 @@ mod tests {
         assert!(rendered.contains("BERT"));
     }
 }
+
+spark_util::to_json_struct!(Fig2Row { model, short_pct, long_pct, int8_acc_loss_pct });
+spark_util::to_json_struct!(Fig2 { rows });

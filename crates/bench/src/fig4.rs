@@ -1,12 +1,11 @@
 //! Fig 4 — lossless vs lossy fraction after SPARK encoding, per model.
 
-use serde::{Deserialize, Serialize};
 use spark_quant::SparkCodec;
 
 use crate::context::ExperimentContext;
 
 /// One bar of Fig 4.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Row {
     /// Model name.
     pub model: String,
@@ -19,7 +18,7 @@ pub struct Fig4Row {
 }
 
 /// The full figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4 {
     /// One row per model.
     pub rows: Vec<Fig4Row>,
@@ -78,3 +77,6 @@ mod tests {
         }
     }
 }
+
+spark_util::to_json_struct!(Fig4Row { model, lossless_pct, lossy_pct, avg_bits });
+spark_util::to_json_struct!(Fig4 { rows });

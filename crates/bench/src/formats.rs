@@ -6,13 +6,12 @@
 //! choice sits on the frontier and demonstrating the format-selection rule
 //! documented in `spark-quant::general_spark`.
 
-use serde::{Deserialize, Serialize};
 use spark_quant::{Codec, GeneralSparkCodec};
 
 use crate::context::ExperimentContext;
 
 /// One format's measurement on one model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FormatPoint {
     /// Format name (e.g. "SPARK-8/4").
     pub format: String,
@@ -25,7 +24,7 @@ pub struct FormatPoint {
 }
 
 /// The sweep for one model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FormatsRow {
     /// Model name.
     pub model: String,
@@ -34,7 +33,7 @@ pub struct FormatsRow {
 }
 
 /// The full sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Formats {
     /// One row per representative model.
     pub rows: Vec<FormatsRow>,
@@ -121,3 +120,7 @@ mod tests {
         }
     }
 }
+
+spark_util::to_json_struct!(FormatPoint { format, avg_bits, sqnr_db, short_fraction });
+spark_util::to_json_struct!(FormatsRow { model, points });
+spark_util::to_json_struct!(Formats { rows });

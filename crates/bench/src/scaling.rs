@@ -5,14 +5,13 @@
 //! quantifies that, and the batch sweep shows how weight-traffic
 //! amortization moves the compute/memory balance.
 
-use serde::{Deserialize, Serialize};
 use spark_nn::{Gemm, ModelWorkload};
 use spark_sim::{scaling_sweep, Accelerator, AcceleratorKind, PageReport};
 
 use crate::context::ExperimentContext;
 
 /// The page-scaling sweep for one model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingRow {
     /// Model name.
     pub model: String,
@@ -21,7 +20,7 @@ pub struct ScalingRow {
 }
 
 /// One batch point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BatchPoint {
     /// Batch size.
     pub batch: usize,
@@ -32,7 +31,7 @@ pub struct BatchPoint {
 }
 
 /// The combined extension experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scaling {
     /// Page sweeps (BERT and ResNet50).
     pub pages: Vec<ScalingRow>,
@@ -164,3 +163,7 @@ mod tests {
         assert!(last.memory_bound_fraction <= first.memory_bound_fraction);
     }
 }
+
+spark_util::to_json_struct!(ScalingRow { model, reports });
+spark_util::to_json_struct!(BatchPoint { batch, cycles_per_inference, memory_bound_fraction });
+spark_util::to_json_struct!(Scaling { pages, batch });

@@ -1,12 +1,11 @@
 //! Table II — the SPARK value table, regenerated from the implementation
 //! and checked exhaustively.
 
-use serde::{Deserialize, Serialize};
 use spark_codec::table::{classify, TABLE_II};
 use spark_codec::{decode_value, encode_value};
 
 /// One regenerated row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Bit pattern of the original value.
     pub bits: String,
@@ -23,7 +22,7 @@ pub struct Table2Row {
 }
 
 /// The regenerated table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table2 {
     /// Five rows in paper order.
     pub rows: Vec<Table2Row>,
@@ -105,3 +104,6 @@ mod tests {
         }
     }
 }
+
+spark_util::to_json_struct!(Table2Row { bits, spark_code, values, lossy, population, max_error });
+spark_util::to_json_struct!(Table2 { rows });

@@ -1,14 +1,13 @@
 //! Table III — FP32 vs SPARK accuracy for the five evaluated models,
 //! measured end to end on the trained proxies.
 
-use serde::{Deserialize, Serialize};
 use spark_quant::SparkCodec;
 
 use crate::accuracy::{ProxyFamily, TrainedProxy};
 use crate::context::ExperimentContext;
 
 /// One model row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Paper model the proxy stands in for.
     pub model: String,
@@ -21,7 +20,7 @@ pub struct Table3Row {
 }
 
 /// The regenerated table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// Rows in paper order (VGG16, ResNet18, ResNet50, ViT, BERT).
     pub rows: Vec<Table3Row>,
@@ -100,3 +99,6 @@ mod tests {
         }
     }
 }
+
+spark_util::to_json_struct!(Table3Row { model, fp32_acc, spark_acc, avg_bits });
+spark_util::to_json_struct!(Table3 { rows });

@@ -1,14 +1,13 @@
 //! Table IV — accuracy loss and bit-width without finetuning: SPARK vs
 //! 6-bit ANT vs 6-bit BiScaled on the CNN models.
 
-use serde::{Deserialize, Serialize};
 use spark_quant::{AntCodec, BiScaledCodec, SparkCodec};
 
 use crate::accuracy::{ProxyFamily, TrainedProxy};
 use crate::context::ExperimentContext;
 
 /// One model row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Model name.
     pub model: String,
@@ -21,7 +20,7 @@ pub struct Table4Row {
 }
 
 /// The regenerated table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table4 {
     /// Rows for VGG16 / ResNet50 / ResNet152.
     pub rows: Vec<Table4Row>,
@@ -101,3 +100,6 @@ mod tests {
         }
     }
 }
+
+spark_util::to_json_struct!(Table4Row { model, spark, ant, biscaled });
+spark_util::to_json_struct!(Table4 { rows });

@@ -1,7 +1,6 @@
 //! Table V — accuracy loss and bit-width for the attention model (BERT /
 //! SST-2 in the paper): Q8BERT, Outlier Suppression, OliVe, ANT, SPARK.
 
-use serde::{Deserialize, Serialize};
 use spark_quant::{
     AntCodec, Codec, OliveCodec, OutlierSuppressionCodec, SparkCodec, UniformQuantizer,
 };
@@ -10,7 +9,7 @@ use crate::accuracy::{ProxyFamily, TrainedProxy};
 use crate::context::ExperimentContext;
 
 /// One codec column.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table5Col {
     /// Scheme name.
     pub scheme: String,
@@ -21,7 +20,7 @@ pub struct Table5Col {
 }
 
 /// The regenerated table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table5 {
     /// Columns in paper order.
     pub cols: Vec<Table5Col>,
@@ -116,3 +115,6 @@ mod tests {
         assert!(col("SPARK-W+A").acc_loss < 15.0);
     }
 }
+
+spark_util::to_json_struct!(Table5Col { scheme, acc_loss, avg_bits });
+spark_util::to_json_struct!(Table5 { cols });

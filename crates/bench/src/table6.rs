@@ -1,10 +1,9 @@
 //! Table VI — area breakdown of the SPARK core.
 
-use serde::{Deserialize, Serialize};
 use spark_sim::area::{spark_breakdown, AreaBreakdown};
 
 /// The regenerated table (the area crate's breakdown plus shares).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table6 {
     /// The breakdown.
     pub breakdown: AreaBreakdown,
@@ -49,3 +48,5 @@ mod tests {
         assert!(render(&t).contains("4-bit PE"));
     }
 }
+
+spark_util::to_json_struct!(Table6 { breakdown });

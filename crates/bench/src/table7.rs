@@ -1,11 +1,10 @@
 //! Table VII — iso-area core configurations across all designs.
 
-use serde::{Deserialize, Serialize};
 use spark_sim::area::{breakdown, AreaBreakdown};
 use spark_sim::AcceleratorKind;
 
 /// The regenerated table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table7 {
     /// One breakdown per design.
     pub designs: Vec<AreaBreakdown>,
@@ -66,3 +65,5 @@ mod tests {
         assert!(render(&t).contains("SPARK"));
     }
 }
+
+spark_util::to_json_struct!(Table7 { designs });

@@ -6,14 +6,13 @@
 //! line buffers (the Fig 6 microarchitecture) the sustained rate is the
 //! expected per-MAC cost. This experiment quantifies both, per model.
 
-use serde::{Deserialize, Serialize};
 use spark_sim::perf::{spark_cycles_per_wave, SparkTiming};
 use spark_sim::{cost::expected_mac_cycles, Accelerator, AcceleratorKind, SimConfig};
 
 use crate::context::ExperimentContext;
 
 /// One model's timing comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimingRow {
     /// Model name.
     pub model: String,
@@ -27,7 +26,7 @@ pub struct TimingRow {
 }
 
 /// The full comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Timing {
     /// One row per performance-suite model.
     pub rows: Vec<TimingRow>,
@@ -111,3 +110,6 @@ mod tests {
         }
     }
 }
+
+spark_util::to_json_struct!(TimingRow { model, expected_cycles, lockstep_cycles, slowdown });
+spark_util::to_json_struct!(Timing { rows });

@@ -1,0 +1,67 @@
+//! JSON round trips for every experiment result type: results are dumped
+//! as JSON by the `experiments` binary, so everything that crosses that
+//! boundary must serialize to text that parses back to the identical value.
+
+use spark_bench::context::ExperimentContext;
+use spark_bench::{
+    entropy, fig11, fig12, fig13, fig14, fig15, fig2, fig4, formats, scaling, table2, table3,
+    table4, table5, table6, table7, timing,
+};
+use spark_util::{json, ToJson, Value};
+
+/// Serializes pretty and compact, parses both back, and demands equality
+/// with the original tree.
+fn round_trip(v: &impl ToJson) -> Value {
+    let tree = v.to_json();
+    let pretty = json::parse(&tree.to_string_pretty()).expect("pretty output parses");
+    assert_eq!(pretty, tree, "pretty round trip diverged");
+    let compact = json::parse(&tree.to_string_compact()).expect("compact output parses");
+    assert_eq!(compact, tree, "compact round trip diverged");
+    tree
+}
+
+fn field<'a>(tree: &'a Value, name: &str) -> &'a Value {
+    tree.get(name).unwrap_or_else(|| panic!("missing field `{name}` in {tree:?}"))
+}
+
+#[test]
+fn standalone_tables_round_trip() {
+    let t2 = round_trip(&table2::run());
+    assert!(field(&t2, "rows").as_array().is_some_and(|r| !r.is_empty()));
+    round_trip(&table6::run());
+    round_trip(&table7::run());
+    round_trip(&fig13::run(true));
+}
+
+#[test]
+fn codec_figures_round_trip() {
+    let ctx = ExperimentContext::new();
+    let f2 = round_trip(&fig2::run(&ctx, true));
+    assert!(field(&f2, "rows").as_array().is_some());
+    round_trip(&fig4::run(&ctx));
+    round_trip(&entropy::run(&ctx));
+    round_trip(&formats::run(&ctx));
+}
+
+#[test]
+fn accuracy_tables_round_trip() {
+    let ctx = ExperimentContext::new();
+    round_trip(&table3::run(&ctx, true));
+    round_trip(&table4::run(&ctx, true));
+    round_trip(&table5::run(&ctx, true));
+}
+
+#[test]
+fn performance_figures_round_trip() {
+    let ctx = ExperimentContext::new();
+    let f11 = round_trip(&fig11::run(&ctx));
+    // Spot-check nesting: rows -> normalized -> [name, value] pairs.
+    let rows = field(&f11, "rows").as_array().expect("rows is an array");
+    let first = field(&rows[0], "normalized").as_array().expect("pairs");
+    assert!(first[0].as_array().is_some_and(|p| p.len() == 2));
+    round_trip(&fig12::run(&ctx));
+    round_trip(&fig14::run(&ctx));
+    round_trip(&fig15::run(&ctx));
+    round_trip(&timing::run(&ctx));
+    round_trip(&scaling::run(&ctx));
+}

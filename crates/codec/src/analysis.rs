@@ -16,12 +16,11 @@
 //!    compared against the entropy of the *reconstructed* distribution,
 //!    which the analysis also reports.
 
-use serde::{Deserialize, Serialize};
 
 use crate::code::{decode_value, encode_value, CodeKind};
 
 /// Full analysis of a code-word stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CodeAnalysis {
     /// Number of values analysed.
     pub count: usize,
@@ -39,6 +38,16 @@ pub struct CodeAnalysis {
     /// Histogram of absolute errors 0..=16.
     pub error_histogram: Vec<u64>,
 }
+
+spark_util::to_json_struct!(CodeAnalysis {
+    count,
+    spark_bits,
+    source_entropy,
+    reconstructed_entropy,
+    mean_error,
+    rms_error,
+    error_histogram,
+});
 
 impl CodeAnalysis {
     /// Gap between SPARK's rate and the reconstructed-distribution entropy

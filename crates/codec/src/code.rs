@@ -4,7 +4,6 @@
 //! the original 8-bit value and `b7` the least. Code bits `c0…c7` follow the
 //! same convention; for short codes only `c4…c7` exist.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Largest possible absolute error the SPARK code introduces for any byte
@@ -12,7 +11,7 @@ use std::fmt;
 pub const MAX_ENCODING_ERROR: u8 = 16;
 
 /// Whether a value takes a short (4-bit) or long (8-bit) SPARK code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodeKind {
     /// 4-bit code: original value in `[0, 7]`.
     Short,
@@ -65,7 +64,7 @@ impl fmt::Display for CodeKind {
 /// assert_eq!(code, SparkCode::Long { prev: 0b1000, post: 0b1111 });
 /// assert_eq!(code.decode(), 15);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SparkCode {
     /// 4-bit code `0 b5 b6 b7`; the stored nibble (identifier bit is its MSB
     /// and always 0, so the nibble is in `0..=7`).

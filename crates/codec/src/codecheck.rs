@@ -1,12 +1,11 @@
 //! Error type for invalid generalized-format parameters.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// Returned when a `(base_bits, short_bits)` pair is not a valid SPARK
 /// format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FormatError {
     base_bits: u8,
     short_bits: u8,

@@ -9,12 +9,11 @@
 //! layer's output distribution — the "hardware-friendly accuracy recovery
 //! without finetuning" the paper claims.
 
-use serde::{Deserialize, Serialize};
 
 use crate::code::{bit, encode_value, SparkCode};
 
 /// How a raw byte is turned into a SPARK code word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EncodeMode {
     /// The paper's encoding: check-bit (`b0 XOR b3`) rounding to the nearest
     /// representable boundary. Expected absolute error ≈ half the truncation

@@ -6,12 +6,11 @@
 //! module reproduces that finite-state machine faithfully, including the
 //! cycle accounting the simulator uses.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// Error returned when a nibble stream is malformed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
     /// The stream ended while the decoder was waiting for the second nibble
     /// of a long code.

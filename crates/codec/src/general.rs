@@ -16,14 +16,13 @@
 //! - `SparkFormat::new(16, 8)` — INT16 models (error ≤ 256 of 65535);
 //! - `SparkFormat::new(6, 3)` — aggressive 6-bit quantization.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::code::SparkCode;
 use crate::codecheck::FormatError;
 
 /// A generalized SPARK code word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GeneralCode {
     /// Short code: `short_bits` wide, identifier 0.
     Short(u16),
@@ -48,7 +47,7 @@ impl GeneralCode {
 }
 
 /// A `(base_bits, short_bits)` SPARK format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SparkFormat {
     base_bits: u8,
     short_bits: u8,

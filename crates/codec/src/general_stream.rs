@@ -8,7 +8,6 @@
 //! (the analogue of [`crate::SparkDecoder`]). A cross-check test pins the
 //! 8/4 instance to the specialized nibble machinery bit for bit.
 
-use serde::{Deserialize, Serialize};
 
 use crate::decoder::DecodeError;
 use crate::general::{GeneralCode, SparkFormat};
@@ -19,7 +18,7 @@ pub fn is_aligned(format: &SparkFormat) -> bool {
 }
 
 /// A bit-packed stream of fixed-width beats.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BeatStream {
     bits: Vec<u8>,
     beat_bits: u8,

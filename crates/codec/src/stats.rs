@@ -2,7 +2,6 @@
 //! percentage) and Fig 4 (lossless vs lossy fraction), plus the average
 //! bit-width reported in Tables IV and V.
 
-use serde::{Deserialize, Serialize};
 
 use crate::code::SparkCode;
 
@@ -18,7 +17,7 @@ use crate::code::SparkCode;
 /// assert_eq!(stats.lossless_fraction(), 0.5);
 /// assert_eq!(stats.avg_bits(), 6.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CodeStats {
     short: u64,
     long: u64,

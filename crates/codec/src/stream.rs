@@ -6,7 +6,6 @@
 //! [`encode_tensor`] / [`decode_stream`] convert between raw `u8` code words
 //! and the packed representation.
 
-use serde::{Deserialize, Serialize};
 
 use crate::compensation::EncodeMode;
 use crate::decoder::{DecodeError, SparkDecoder};
@@ -24,7 +23,7 @@ use crate::stats::CodeStats;
 /// assert_eq!(s.as_bytes(), &[0xAB, 0xC0]);
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![0xA, 0xB, 0xC]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NibbleStream {
     bytes: Vec<u8>,
     len: usize,
@@ -109,7 +108,7 @@ impl Extend<u8> for NibbleStream {
 }
 
 /// A SPARK-encoded tensor: the aligned nibble stream plus bookkeeping.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedTensor {
     /// The packed, aligned 4-bit stream.
     pub stream: NibbleStream,

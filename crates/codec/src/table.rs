@@ -6,12 +6,11 @@
 //! tests verify every byte lands in exactly one row with the documented
 //! behaviour.
 
-use serde::{Deserialize, Serialize};
 
 use crate::code::{bit, decode_value, CodeKind};
 
 /// One row of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TableRow {
     /// Human-readable bit pattern of the original value ("x" = don't care).
     pub bits: &'static str,

@@ -1,0 +1,70 @@
+//! Golden-vector test for the streaming decoder (Fig 5 / Eq 3): a fixed,
+//! hand-assembled bit-stream of mixed short and long codes is fed to the
+//! decoder 4 bits per enable-cycle, and every intermediate output is
+//! checked against hand-computed values.
+
+use spark_codec::{decode_stream, encode_tensor, NibbleStream, SparkCode, SparkDecoder};
+
+/// The worked example: [5, 18, 170, 210, 3].
+///
+/// Hand encoding (paper bit convention, `b0` = MSB):
+/// - 5   (0000 0101): short code `0101`.
+/// - 18  (0001 0010): b0=0 b3=1 disagree, b3=1 -> round to 1111;
+///   prev = `1 b1 b2 b0` = `1000`; decodes to 0001111 = 15.
+/// - 170 (1010 1010): b0=1 b3=0 disagree, b3=0 -> round to 0000;
+///   prev = `1011`; decodes to 1011 0000 = 176.
+/// - 210 (1101 0010): b0=1 b3=1 agree -> post verbatim `0010`;
+///   prev = `1101`; decodes losslessly to 210.
+/// - 3   (0000 0011): short code `0011`.
+const VALUES: [u8; 5] = [5, 18, 170, 210, 3];
+const GOLDEN_NIBBLES: [u8; 8] = [0b0101, 0b1000, 0b1111, 0b1011, 0b0000, 0b1101, 0b0010, 0b0011];
+const GOLDEN_DECODED: [u8; 5] = [5, 15, 176, 210, 3];
+
+#[test]
+fn encoder_emits_the_golden_nibble_sequence() {
+    let nibbles: Vec<u8> = VALUES.iter().flat_map(|&v| SparkCode::encode(v).nibbles()).collect();
+    assert_eq!(nibbles, GOLDEN_NIBBLES);
+}
+
+#[test]
+fn decoder_consumes_4_bits_per_enable_cycle() {
+    // One nibble per enable-cycle: short codes complete in one cycle, long
+    // codes in two (output only on the post nibble) — Fig 5's timing.
+    let mut dec = SparkDecoder::new();
+    let expected_per_cycle: [Option<u8>; 8] = [
+        Some(5),    // cycle 1: short 0101
+        None,       // cycle 2: long prev 1000 buffered
+        Some(15),   // cycle 3: post 1111 completes 18 -> 15
+        None,       // cycle 4: long prev 1011 buffered
+        Some(176),  // cycle 5: post 0000 completes 170 -> 176
+        None,       // cycle 6: long prev 1101 buffered
+        Some(210),  // cycle 7: post 0010 completes 210 losslessly
+        Some(3),    // cycle 8: short 0011
+    ];
+    for (cycle, (&nib, &expect)) in
+        GOLDEN_NIBBLES.iter().zip(&expected_per_cycle).enumerate()
+    {
+        let got = dec.push_nibble(nib).expect("well-formed stream");
+        assert_eq!(got, expect, "enable-cycle {}", cycle + 1);
+    }
+    dec.finish().expect("no dangling long code");
+}
+
+#[test]
+fn packed_stream_matches_the_golden_vector() {
+    let enc = encode_tensor(&VALUES);
+    let nibbles: Vec<u8> = enc.stream.iter().collect();
+    assert_eq!(nibbles, GOLDEN_NIBBLES);
+    assert_eq!(decode_stream(&enc.stream).expect("valid"), GOLDEN_DECODED);
+    // 2 short (4b) + 3 long (8b) codes = 32 bits in 4 bytes, vs 5 raw bytes.
+    assert_eq!(enc.stream.len(), 8);
+    assert_eq!(enc.stream.byte_len(), 4);
+}
+
+#[test]
+fn hand_built_stream_decodes_to_golden_values() {
+    // Build the stream from raw nibbles (not via the encoder) to pin the
+    // wire format itself, then decode.
+    let stream: NibbleStream = GOLDEN_NIBBLES.iter().copied().collect();
+    assert_eq!(decode_stream(&stream).expect("valid"), GOLDEN_DECODED);
+}

@@ -1,235 +1,407 @@
-//! Property-based tests over the SPARK codec invariants.
+//! Property-based tests over the SPARK codec invariants, on the in-tree
+//! `spark_util::prop` harness.
+//!
+//! The paper's headline guarantees are checked *exhaustively* (all 256 INT8
+//! values), not just sampled: the Table II compensation-mechanism error
+//! bound of ≤ 16, losslessness of the short range, and the 4-bit length of
+//! every short code. Randomized properties cover tensor-level streams.
 
-use proptest::prelude::*;
 use spark_codec::{
     bias_correction, decode_stream, decode_value, encode_tensor, encode_tensor_with,
     encode_value, CodeKind, EncodeMode, SparkDecoder, SparkEncoder, MAX_ENCODING_ERROR,
 };
+use spark_util::prop::check;
+use spark_util::{prop_assert, prop_assert_eq, Rng};
 
-proptest! {
-    /// Round-trip error never exceeds the paper's bound of 16.
-    #[test]
-    fn error_bounded(v in any::<u8>()) {
+fn any_u8(rng: &mut Rng) -> u8 {
+    rng.next_u32() as u8
+}
+
+fn byte_vec(rng: &mut Rng, lo: usize, hi: usize) -> Vec<u8> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| rng.next_u32() as u8).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive per-value invariants (Table II): all 256 inputs, every run.
+// ---------------------------------------------------------------------------
+
+/// Round-trip error never exceeds the paper's bound of 16, for every value.
+#[test]
+fn error_bounded_exhaustive() {
+    for v in 0..=255u8 {
         let d = decode_value(v);
-        prop_assert!((i16::from(v) - i16::from(d)).abs() <= i16::from(MAX_ENCODING_ERROR));
-    }
-
-    /// Short codes are exactly the values below 8 and are lossless.
-    #[test]
-    fn short_codes_lossless(v in 0u8..8) {
-        let c = encode_value(v);
-        prop_assert_eq!(c.kind(), CodeKind::Short);
-        prop_assert_eq!(c.decode(), v);
-    }
-
-    /// Values whose check bits agree (b0 == b3) are lossless.
-    #[test]
-    fn agreeing_check_bits_lossless(v in any::<u8>()) {
-        let b0 = (v >> 7) & 1;
-        let b3 = (v >> 4) & 1;
-        if b0 == b3 {
-            prop_assert_eq!(decode_value(v), v);
-        }
-    }
-
-    /// Decoding is a projection: decoded values are fixed points.
-    #[test]
-    fn decode_is_projection(v in any::<u8>()) {
-        let d = decode_value(v);
-        prop_assert_eq!(decode_value(d), d);
-    }
-
-    /// Encoding preserves order coarsely: reconstruction stays within one
-    /// rounding block, so values 32 apart can never invert.
-    #[test]
-    fn coarse_monotonicity(a in any::<u8>(), b in any::<u8>()) {
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        if u16::from(hi) - u16::from(lo) > 32 {
-            prop_assert!(decode_value(lo) < decode_value(hi));
-        }
-    }
-
-    /// Tensor-level round trip through the packed nibble stream matches the
-    /// per-value reconstruction for arbitrary tensors.
-    #[test]
-    fn stream_round_trip(values in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let enc = encode_tensor(&values);
-        let dec = decode_stream(&enc.stream).unwrap();
-        prop_assert_eq!(dec.len(), values.len());
-        for (orig, got) in values.iter().zip(&dec) {
-            prop_assert_eq!(*got, decode_value(*orig));
-        }
-    }
-
-    /// The packed stream is never larger than the 8-bit original and never
-    /// smaller than half of it.
-    #[test]
-    fn stream_size_bounds(values in proptest::collection::vec(any::<u8>(), 1..512)) {
-        let enc = encode_tensor(&values);
-        prop_assert!(enc.stream.byte_len() <= values.len());
-        prop_assert!(enc.stream.len() >= values.len());
-        prop_assert!(enc.stream.len() <= 2 * values.len());
-    }
-
-    /// Average bit-width always lies in [4, 8] and matches the short
-    /// fraction exactly.
-    #[test]
-    fn avg_bits_consistent(values in proptest::collection::vec(any::<u8>(), 1..512)) {
-        let enc = encode_tensor(&values);
-        let avg = enc.stats.avg_bits();
-        prop_assert!((4.0..=8.0).contains(&avg));
-        let expect = 8.0 - 4.0 * enc.stats.short_fraction();
-        prop_assert!((avg - expect).abs() < 1e-9);
-    }
-
-    /// The hardware encoder datapath agrees with the spec function.
-    #[test]
-    fn hw_encoder_matches_spec(v in any::<u8>()) {
-        let mut enc = SparkEncoder::new();
-        prop_assert_eq!(enc.encode(v), encode_value(v));
-    }
-
-    /// The streaming decoder agrees with per-code decoding on arbitrary
-    /// concatenated streams.
-    #[test]
-    fn streaming_decoder_matches(values in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let mut dec = SparkDecoder::new();
-        let mut out = Vec::new();
-        for &v in &values {
-            for nib in encode_value(v).nibbles() {
-                if let Some(x) = dec.push_nibble(nib).unwrap() {
-                    out.push(x);
-                }
-            }
-        }
-        dec.finish().unwrap();
-        let expect: Vec<u8> = values.iter().map(|&v| decode_value(v)).collect();
-        prop_assert_eq!(out, expect);
-    }
-
-    /// Compensated mode dominates truncated mode pointwise in absolute error.
-    #[test]
-    fn cm_dominates_truncation(v in any::<u8>()) {
-        let ec = (i16::from(EncodeMode::Compensated.reconstruct(v)) - i16::from(v)).abs();
-        let et = (i16::from(EncodeMode::Truncated.reconstruct(v)) - i16::from(v)).abs();
-        prop_assert!(ec <= et);
-    }
-
-    /// Bias correction is bounded by the max error.
-    #[test]
-    fn bias_bounded(values in proptest::collection::vec(any::<u8>(), 1..512)) {
-        let b = bias_correction(&values, EncodeMode::Compensated);
-        prop_assert!(b.abs() <= f64::from(MAX_ENCODING_ERROR));
-    }
-
-    /// Truncated-mode tensors still decode through the standard stream
-    /// decoder (the format on the wire is identical).
-    #[test]
-    fn truncated_streams_decode(values in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let enc = encode_tensor_with(&values, EncodeMode::Truncated);
-        let dec = decode_stream(&enc.stream).unwrap();
-        prop_assert_eq!(dec.len(), values.len());
+        let err = (i16::from(v) - i16::from(d)).abs();
+        assert!(err <= i16::from(MAX_ENCODING_ERROR), "value {v}: error {err}");
     }
 }
 
-mod general_format {
-    use proptest::prelude::*;
-    use spark_codec::SparkFormat;
+/// Re-encoding a decoded value is lossless for every value:
+/// `encode(decode(x)).decode() == decode(x)`, i.e. decoding is a projection
+/// onto the representable set.
+#[test]
+fn round_trip_projection_exhaustive() {
+    for v in 0..=255u8 {
+        let d = decode_value(v);
+        assert_eq!(decode_value(d), d, "decoded value {d} is not a fixed point");
+        assert_eq!(encode_value(d).decode(), d, "re-encoding {d} lost information");
+    }
+}
 
-    fn formats() -> impl Strategy<Value = SparkFormat> {
-        (3u8..=15, 1u8..=8).prop_filter_map("valid format", |(short, extra)| {
-            let base = short + extra;
-            if base <= 16 {
-                SparkFormat::new(base, short).ok()
-            } else {
-                None
+/// Short-code values `[0, 7]` always emit exactly 4 bits (one nibble) and
+/// are lossless; everything else is long.
+#[test]
+fn short_codes_are_4_bits_exhaustive() {
+    for v in 0..=255u8 {
+        let c = encode_value(v);
+        if v < 8 {
+            assert_eq!(c.kind(), CodeKind::Short, "value {v}");
+            assert_eq!(c.bits(), 4, "value {v}");
+            assert_eq!(c.nibbles().count(), 1, "value {v}");
+            assert_eq!(c.decode(), v, "short code for {v} must be lossless");
+        } else {
+            assert_eq!(c.kind(), CodeKind::Long, "value {v}");
+            assert_eq!(c.bits(), 8, "value {v}");
+            assert_eq!(c.nibbles().count(), 2, "value {v}");
+        }
+    }
+}
+
+/// Values whose check bits agree (b0 == b3) are lossless, and only those
+/// (plus the short range).
+#[test]
+fn agreeing_check_bits_lossless_exhaustive() {
+    for v in 0..=255u8 {
+        let b0 = (v >> 7) & 1;
+        let b3 = (v >> 4) & 1;
+        let lossless = decode_value(v) == v;
+        assert_eq!(lossless, v < 8 || b0 == b3, "value {v}");
+    }
+}
+
+/// The compensated mode dominates truncation pointwise, for every value.
+#[test]
+fn cm_dominates_truncation_exhaustive() {
+    for v in 0..=255u8 {
+        let ec = (i16::from(EncodeMode::Compensated.reconstruct(v)) - i16::from(v)).abs();
+        let et = (i16::from(EncodeMode::Truncated.reconstruct(v)) - i16::from(v)).abs();
+        assert!(ec <= et, "value {v}: CM error {ec} > truncation error {et}");
+    }
+}
+
+/// The hardware encoder datapath agrees with the spec function everywhere.
+#[test]
+fn hw_encoder_matches_spec_exhaustive() {
+    let mut enc = SparkEncoder::new();
+    for v in 0..=255u8 {
+        assert_eq!(enc.encode(v), encode_value(v), "value {v}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized tensor/stream properties.
+// ---------------------------------------------------------------------------
+
+/// Encoding preserves order coarsely: reconstruction stays within one
+/// rounding block, so values more than 32 apart can never invert.
+#[test]
+fn coarse_monotonicity() {
+    check(
+        "coarse_monotonicity",
+        |rng| (any_u8(rng), any_u8(rng)),
+        |&(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            if u16::from(hi) - u16::from(lo) > 32 {
+                prop_assert!(
+                    decode_value(lo) < decode_value(hi),
+                    "{lo} -> {} but {hi} -> {}",
+                    decode_value(lo),
+                    decode_value(hi)
+                );
             }
-        })
+            Ok(())
+        },
+    );
+}
+
+/// Tensor-level round trip through the packed nibble stream matches the
+/// per-value reconstruction for arbitrary tensors.
+#[test]
+fn stream_round_trip() {
+    check(
+        "stream_round_trip",
+        |rng| byte_vec(rng, 0, 512),
+        |values| {
+            let enc = encode_tensor(values);
+            let dec = decode_stream(&enc.stream).map_err(|e| e.to_string())?;
+            prop_assert_eq!(dec.len(), values.len());
+            for (orig, got) in values.iter().zip(&dec) {
+                prop_assert_eq!(*got, decode_value(*orig));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The packed stream is never larger than the 8-bit original and never
+/// smaller than half of it.
+#[test]
+fn stream_size_bounds() {
+    check(
+        "stream_size_bounds",
+        |rng| byte_vec(rng, 1, 512),
+        |values| {
+            let enc = encode_tensor(values);
+            prop_assert!(enc.stream.byte_len() <= values.len());
+            prop_assert!(enc.stream.len() >= values.len());
+            prop_assert!(enc.stream.len() <= 2 * values.len());
+            Ok(())
+        },
+    );
+}
+
+/// Average bit-width always lies in [4, 8] and matches the short fraction
+/// exactly.
+#[test]
+fn avg_bits_consistent() {
+    check(
+        "avg_bits_consistent",
+        |rng| byte_vec(rng, 1, 512),
+        |values| {
+            let enc = encode_tensor(values);
+            let avg = enc.stats.avg_bits();
+            prop_assert!((4.0..=8.0).contains(&avg), "avg {avg}");
+            let expect = 8.0 - 4.0 * enc.stats.short_fraction();
+            prop_assert!((avg - expect).abs() < 1e-9, "avg {avg} vs {expect}");
+            Ok(())
+        },
+    );
+}
+
+/// The streaming decoder agrees with per-code decoding on arbitrary
+/// concatenated streams.
+#[test]
+fn streaming_decoder_matches() {
+    check(
+        "streaming_decoder_matches",
+        |rng| byte_vec(rng, 0, 256),
+        |values| {
+            let mut dec = SparkDecoder::new();
+            let mut out = Vec::new();
+            for &v in values {
+                for nib in encode_value(v).nibbles() {
+                    if let Some(x) = dec.push_nibble(nib).map_err(|e| e.to_string())? {
+                        out.push(x);
+                    }
+                }
+            }
+            dec.finish().map_err(|e| e.to_string())?;
+            let expect: Vec<u8> = values.iter().map(|&v| decode_value(v)).collect();
+            prop_assert_eq!(out, expect);
+            Ok(())
+        },
+    );
+}
+
+/// Bias correction is bounded by the max error.
+#[test]
+fn bias_bounded() {
+    check(
+        "bias_bounded",
+        |rng| byte_vec(rng, 1, 512),
+        |values| {
+            let b = bias_correction(values, EncodeMode::Compensated);
+            prop_assert!(b.abs() <= f64::from(MAX_ENCODING_ERROR), "bias {b}");
+            Ok(())
+        },
+    );
+}
+
+/// Truncated-mode tensors still decode through the standard stream decoder
+/// (the format on the wire is identical).
+#[test]
+fn truncated_streams_decode() {
+    check(
+        "truncated_streams_decode",
+        |rng| byte_vec(rng, 0, 256),
+        |values| {
+            let enc = encode_tensor_with(values, EncodeMode::Truncated);
+            let dec = decode_stream(&enc.stream).map_err(|e| e.to_string())?;
+            prop_assert_eq!(dec.len(), values.len());
+            Ok(())
+        },
+    );
+}
+
+mod general_format {
+    use spark_codec::SparkFormat;
+    use spark_util::prop::check;
+    use spark_util::{prop_assert, prop_assert_eq, Rng};
+
+    /// Generates `(base_bits, short_bits)` pairs, mostly valid; properties
+    /// skip combinations `SparkFormat::new` rejects (this keeps shrinking
+    /// closed over the generated space).
+    fn format_params(rng: &mut Rng) -> (u8, u8) {
+        loop {
+            let short = rng.gen_range(3..16) as u8;
+            let extra = rng.gen_range(1..9) as u8;
+            if short + extra <= 16 {
+                return (short + extra, short);
+            }
+        }
     }
 
-    proptest! {
-        /// The generalized error bound holds for every (format, value).
-        #[test]
-        fn general_error_bounded(fmt in formats(), v in any::<u16>()) {
-            let v = v & fmt.max_value();
-            let r = fmt.reconstruct(v);
-            prop_assert!((i32::from(r) - i32::from(v)).abs() <= i32::from(fmt.max_error()));
-        }
+    /// The generalized error bound holds for every (format, value).
+    #[test]
+    fn general_error_bounded() {
+        check(
+            "general_error_bounded",
+            |rng| (format_params(rng), rng.next_u32() as u16),
+            |&((base, short), v)| {
+                let Ok(fmt) = SparkFormat::new(base, short) else {
+                    return Ok(());
+                };
+                let v = v & fmt.max_value();
+                let r = fmt.reconstruct(v);
+                prop_assert!(
+                    (i32::from(r) - i32::from(v)).abs() <= i32::from(fmt.max_error()),
+                    "format {base}/{short}: {v} -> {r}"
+                );
+                Ok(())
+            },
+        );
+    }
 
-        /// Decoding is a projection in every format.
-        #[test]
-        fn general_projection(fmt in formats(), v in any::<u16>()) {
-            let v = v & fmt.max_value();
-            let r = fmt.reconstruct(v);
-            prop_assert_eq!(fmt.reconstruct(r), r);
-        }
+    /// Decoding is a projection in every format.
+    #[test]
+    fn general_projection() {
+        check(
+            "general_projection",
+            |rng| (format_params(rng), rng.next_u32() as u16),
+            |&((base, short), v)| {
+                let Ok(fmt) = SparkFormat::new(base, short) else {
+                    return Ok(());
+                };
+                let r = fmt.reconstruct(v & fmt.max_value());
+                prop_assert_eq!(fmt.reconstruct(r), r);
+                Ok(())
+            },
+        );
+    }
 
-        /// Short-range values are always lossless.
-        #[test]
-        fn general_short_lossless(fmt in formats(), v in any::<u16>()) {
-            let v = v % fmt.short_range();
-            prop_assert_eq!(fmt.reconstruct(v), v);
-        }
+    /// Short-range values are always lossless.
+    #[test]
+    fn general_short_lossless() {
+        check(
+            "general_short_lossless",
+            |rng| (format_params(rng), rng.next_u32() as u16),
+            |&((base, short), v)| {
+                let Ok(fmt) = SparkFormat::new(base, short) else {
+                    return Ok(());
+                };
+                let v = v % fmt.short_range();
+                prop_assert_eq!(fmt.reconstruct(v), v);
+                Ok(())
+            },
+        );
+    }
 
-        /// Rounding direction: values below the sign-bit half round down,
-        /// values in the top half round up (matching Table II's rows).
-        #[test]
-        fn general_rounding_direction(fmt in formats(), v in any::<u16>()) {
-            let v = v & fmt.max_value();
-            let r = fmt.reconstruct(v);
-            let half = 1u32 << (fmt.base_bits() - 1);
-            if u32::from(v) < half {
-                prop_assert!(r <= v, "{v} rounded up to {r}");
-            } else {
-                prop_assert!(r >= v, "{v} rounded down to {r}");
-            }
-        }
+    /// Rounding direction: values below the sign-bit half round down,
+    /// values in the top half round up (matching Table II's rows).
+    #[test]
+    fn general_rounding_direction() {
+        check(
+            "general_rounding_direction",
+            |rng| (format_params(rng), rng.next_u32() as u16),
+            |&((base, short), v)| {
+                let Ok(fmt) = SparkFormat::new(base, short) else {
+                    return Ok(());
+                };
+                let v = v & fmt.max_value();
+                let r = fmt.reconstruct(v);
+                let half = 1u32 << (fmt.base_bits() - 1);
+                if u32::from(v) < half {
+                    prop_assert!(r <= v, "{v} rounded up to {r}");
+                } else {
+                    prop_assert!(r >= v, "{v} rounded down to {r}");
+                }
+                Ok(())
+            },
+        );
     }
 }
 
 mod fault_injection {
-    use proptest::prelude::*;
+    use super::byte_vec;
     use spark_codec::{decode_stream, encode_tensor, NibbleStream, SparkDecoder};
+    use spark_util::prop::{check_with, Config};
+    use spark_util::{prop_assert, prop_assert_eq};
 
-    proptest! {
-        /// Corrupting any nibble of a valid stream never panics: decoding
-        /// either yields values (possibly a different count) or reports a
-        /// truncated long code.
-        #[test]
-        fn corrupted_streams_never_panic(
-            values in proptest::collection::vec(any::<u8>(), 1..128),
-            flip_pos in any::<usize>(),
-            flip_bits in 1u8..16,
-        ) {
-            let enc = encode_tensor(&values);
-            let pos = flip_pos % enc.stream.len();
-            let corrupted: NibbleStream = enc
-                .stream
-                .iter()
-                .enumerate()
-                .map(|(i, n)| if i == pos { n ^ (flip_bits & 0x0F) } else { n })
-                .collect();
-            match decode_stream(&corrupted) {
-                Ok(decoded) => {
-                    // Every decoded value is a valid byte; count may differ
-                    // by at most the tail effect of one flipped identifier.
-                    prop_assert!(decoded.len() <= 2 * values.len());
+    /// Corrupting any nibble of a valid stream never panics: decoding
+    /// either yields values (possibly a different count) or reports a
+    /// truncated long code.
+    #[test]
+    fn corrupted_streams_never_panic() {
+        check_with(
+            &Config::with_cases(512),
+            "corrupted_streams_never_panic",
+            |rng| {
+                (
+                    byte_vec(rng, 1, 128),
+                    rng.next_u64() as usize,
+                    rng.gen_range(1..16) as u8,
+                )
+            },
+            |&(ref values, flip_pos, flip_bits)| {
+                if values.is_empty() || flip_bits & 0x0F == 0 {
+                    return Ok(()); // shrinking can leave the interesting space
                 }
-                Err(e) => {
-                    prop_assert_eq!(e, spark_codec::DecodeError::TruncatedLongCode);
+                let enc = encode_tensor(values);
+                let pos = flip_pos % enc.stream.len();
+                let corrupted: NibbleStream = enc
+                    .stream
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| if i == pos { n ^ (flip_bits & 0x0F) } else { n })
+                    .collect();
+                match decode_stream(&corrupted) {
+                    Ok(decoded) => {
+                        // Every decoded value is a valid byte; count may
+                        // differ by at most the tail effect of one flipped
+                        // identifier.
+                        prop_assert!(decoded.len() <= 2 * values.len());
+                    }
+                    Err(e) => {
+                        prop_assert_eq!(e, spark_codec::DecodeError::TruncatedLongCode);
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
+    }
 
-        /// Arbitrary nibble streams (not produced by the encoder) decode
-        /// without panicking.
-        #[test]
-        fn arbitrary_streams_never_panic(nibbles in proptest::collection::vec(0u8..16, 0..256)) {
-            let mut dec = SparkDecoder::new();
-            for &n in &nibbles {
-                let _ = dec.push_nibble(n).expect("nibbles are in range");
-            }
-            let _ = dec.finish();
-        }
+    /// Arbitrary nibble streams (not produced by the encoder) decode
+    /// without panicking.
+    #[test]
+    fn arbitrary_streams_never_panic() {
+        check_with(
+            &Config::with_cases(512),
+            "arbitrary_streams_never_panic",
+            |rng| {
+                let n = rng.gen_range(0..256);
+                (0..n).map(|_| rng.gen_range(0..16) as u8).collect::<Vec<u8>>()
+            },
+            |nibbles| {
+                let mut dec = SparkDecoder::new();
+                for &n in nibbles {
+                    if n >= 16 {
+                        return Ok(()); // shrunk outside the nibble domain
+                    }
+                    let _ = dec.push_nibble(n).map_err(|e| e.to_string())?;
+                }
+                let _ = dec.finish();
+                Ok(())
+            },
+        );
     }
 }

@@ -11,14 +11,12 @@
 //! - [`Dataset::token_patterns`] — token sequences whose class depends on a
 //!   long-range pairing (attention-scale).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, StandardNormal};
-use serde::{Deserialize, Serialize};
 use spark_tensor::Tensor;
+use spark_util::dist::StandardNormal;
+use spark_util::Rng;
 
 /// One labelled example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Input features (flattened).
     pub input: Vec<f32>,
@@ -27,7 +25,7 @@ pub struct Sample {
 }
 
 /// A synthetic, deterministic classification dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Labelled examples.
     pub samples: Vec<Sample>,
@@ -43,7 +41,7 @@ impl Dataset {
     /// The noise/separation ratio is chosen so a linear model reaches high
     /// but not perfect accuracy — quantization damage is then visible.
     pub fn blobs(n: usize, input_dim: usize, classes: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         // Deterministic unit-ish centres.
         let centres: Vec<Vec<f32>> = (0..classes)
             .map(|c| {
@@ -61,7 +59,7 @@ impl Dataset {
                 let input = centres[label]
                     .iter()
                     .map(|&c| {
-                        let z: f32 = StandardNormal.sample(&mut rng);
+                        let z = StandardNormal.sample_f32(&mut rng);
                         c + z * 1.2
                     })
                     .collect();
@@ -80,7 +78,7 @@ impl Dataset {
     /// convolution structure.
     pub fn bars(n: usize, side: usize, classes: usize, seed: u64) -> Self {
         assert!(classes <= 2 * side, "class count exceeds bar positions");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let samples = (0..n)
             .map(|_| {
                 let label = rng.gen_range(0..classes);
@@ -97,7 +95,7 @@ impl Dataset {
                     }
                 }
                 for v in &mut img {
-                    let z: f32 = StandardNormal.sample(&mut rng);
+                    let z = StandardNormal.sample_f32(&mut rng);
                     *v += z * 0.25;
                 }
                 Sample { input: img, label }
@@ -115,10 +113,10 @@ impl Dataset {
     /// (used by the accuracy experiments).
     pub fn bars_noisy(n: usize, side: usize, classes: usize, noise: f32, seed: u64) -> Self {
         let mut d = Self::bars(n, side, classes, seed);
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5EED));
+        let mut rng = Rng::seed_from_u64(seed.wrapping_add(0x5EED));
         for s in &mut d.samples {
             for v in &mut s.input {
-                let z: f32 = StandardNormal.sample(&mut rng);
+                let z = StandardNormal.sample_f32(&mut rng);
                 *v += z * noise;
             }
         }
@@ -135,10 +133,10 @@ impl Dataset {
         seed: u64,
     ) -> Self {
         let mut d = Self::token_patterns(n, len, vocab, seed);
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5EED));
+        let mut rng = Rng::seed_from_u64(seed.wrapping_add(0x5EED));
         for s in &mut d.samples {
             for v in &mut s.input {
-                let z: f32 = StandardNormal.sample(&mut rng);
+                let z = StandardNormal.sample_f32(&mut rng);
                 *v += z * noise;
             }
         }
@@ -151,7 +149,7 @@ impl Dataset {
     /// it requires content-based addressing, i.e. attention.
     pub fn token_patterns(n: usize, len: usize, vocab: usize, seed: u64) -> Self {
         assert!(vocab >= len, "vocab must cover position pointers");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let samples = (0..n)
             .map(|_| {
                 let pointer = rng.gen_range(1..len);

@@ -5,11 +5,10 @@
 //! magnitudes survive. The paper's Fig 15 combines 50 % DBB sparsity with
 //! SPARK to show the two compressions compose.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::Tensor;
 
 /// DBB pruning configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DbbConfig {
     /// Elements per block.
     pub block_size: usize,

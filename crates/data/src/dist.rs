@@ -6,14 +6,12 @@
 //! variants here let experiments dial body width and tail weight
 //! independently.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Normal, StandardNormal};
-use serde::{Deserialize, Serialize};
 use spark_tensor::Tensor;
+use spark_util::dist::{Gamma, Normal, StandardNormal};
+use spark_util::Rng;
 
 /// A synthetic parameter distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ParamDistribution {
     /// Pure Gaussian with the given standard deviation.
     Gaussian {
@@ -49,7 +47,7 @@ pub enum ParamDistribution {
 impl ParamDistribution {
     /// Draws `n` samples with a deterministic seed.
     pub fn sample(&self, n: usize, seed: u64) -> Vec<f32> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n).map(|_| self.draw(&mut rng)).collect()
     }
 
@@ -59,16 +57,13 @@ impl ParamDistribution {
     }
 
     /// Draws one sample from the provided RNG.
-    pub fn draw(&self, rng: &mut StdRng) -> f32 {
+    pub fn draw(&self, rng: &mut Rng) -> f32 {
         match *self {
-            ParamDistribution::Gaussian { std } => {
-                let z: f32 = StandardNormal.sample(rng);
-                z * std
-            }
+            ParamDistribution::Gaussian { std } => StandardNormal.sample_f32(rng) * std,
             ParamDistribution::Laplace { scale } => {
                 // Inverse-CDF sampling: u uniform in (-0.5, 0.5),
                 // x = -b * sgn(u) * ln(1 - 2|u|).
-                let u: f32 = rng.gen::<f32>() - 0.5;
+                let u = rng.gen_f32() - 0.5;
                 let m = (1.0 - 2.0 * u.abs()).max(f32::MIN_POSITIVE);
                 -scale * u.signum() * m.ln()
             }
@@ -77,24 +72,21 @@ impl ParamDistribution {
                 outlier_prob,
                 outlier_ratio,
             } => {
-                if rng.gen::<f32>() < outlier_prob {
-                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-                    let jitter = 0.75 + 0.5 * rng.gen::<f32>();
+                if rng.gen_f32() < outlier_prob {
+                    let sign = if rng.gen_bool() { 1.0 } else { -1.0 };
+                    let jitter = 0.75 + 0.5 * rng.gen_f32();
                     sign * outlier_ratio * std * jitter
                 } else {
-                    let z: f32 = StandardNormal.sample(rng);
-                    z * std
+                    StandardNormal.sample_f32(rng) * std
                 }
             }
             ParamDistribution::StudentT { nu, scale } => {
-                // t = z / sqrt(chi2_nu / nu); build chi2 from normals for
-                // small integer nu, otherwise use the gamma relation.
-                let z: f32 = StandardNormal.sample(rng);
+                // t = z / sqrt(chi2_nu / nu), with chi2_nu ~ Gamma(nu/2, 2).
+                let z = StandardNormal.sample_f32(rng);
                 let k = nu.max(2.1);
-                let chi2: f32 = {
-                    let g = rand_distr::Gamma::new(k as f64 / 2.0, 2.0).expect("valid gamma");
-                    g.sample(rng) as f32
-                };
+                let chi2 = Gamma::new(f64::from(k) / 2.0, 2.0)
+                    .expect("valid gamma")
+                    .sample_f32(rng);
                 scale * z / (chi2 / k).sqrt()
             }
         }
@@ -112,8 +104,8 @@ impl ParamDistribution {
 }
 
 /// A normal distribution helper re-exported for tests and calibration.
-pub fn normal(std: f32) -> Normal<f32> {
-    Normal::new(0.0, std).expect("positive std")
+pub fn normal(std: f32) -> Normal {
+    Normal::new(0.0, f64::from(std)).expect("positive std")
 }
 
 #[cfg(test)]
@@ -164,6 +156,21 @@ mod tests {
         let big = t.as_slice().iter().filter(|x| x.abs() > 20.0).count();
         let frac = big as f64 / 100_000.0;
         assert!((0.005..0.02).contains(&frac), "outlier frac {frac}");
+    }
+
+    #[test]
+    fn student_t_chi2_gamma_moments_match() {
+        // The Student-t arm draws chi2_nu as Gamma(nu/2, 2): sample mean
+        // must match k·θ = nu and variance k·θ² = 2·nu.
+        let nu = 6.0f64;
+        let g = Gamma::new(nu / 2.0, 2.0).unwrap();
+        let mut rng = Rng::seed_from_u64(99);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - nu).abs() < 0.05 * nu, "mean {mean} vs {nu}");
+        assert!((var - 2.0 * nu).abs() < 0.1 * 2.0 * nu, "var {var} vs {}", 2.0 * nu);
     }
 
     #[test]

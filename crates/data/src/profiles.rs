@@ -8,14 +8,13 @@
 //! land in those bands, so every downstream experiment (Figs 2, 4, 11–15)
 //! sees per-model data of the right shape.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::Tensor;
 
 use crate::dist::ParamDistribution;
 
 /// Model family, used by experiments that treat CNNs and attention models
 /// differently.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelFamily {
     /// Convolutional networks (VGG, ResNet).
     Cnn,
@@ -24,7 +23,7 @@ pub enum ModelFamily {
 }
 
 /// A calibrated synthetic stand-in for one of the paper's evaluated models.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelProfile {
     /// Model name as it appears in the paper.
     pub name: String,

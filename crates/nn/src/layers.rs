@@ -6,9 +6,8 @@
 //! them. Small and explicit beats general here: these layers exist to give
 //! the accuracy experiments a real trained network, not to be a framework.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rand_distr::{Distribution, Normal};
+use spark_util::dist::Normal;
+use spark_util::Rng;
 use spark_tensor::im2col::{col2im, im2col, Conv2dSpec};
 use spark_tensor::{ops, Tensor};
 
@@ -35,9 +34,9 @@ pub trait Layer {
 
 fn glorot(rows: usize, cols: usize, seed: u64) -> Tensor {
     let std = (2.0 / (rows + cols) as f32).sqrt();
-    let normal = Normal::new(0.0f32, std).expect("positive std");
-    let mut rng = StdRng::seed_from_u64(seed);
-    Tensor::from_fn(&[rows, cols], |_| normal.sample(&mut rng))
+    let normal = Normal::new(0.0, f64::from(std)).expect("positive std");
+    let mut rng = Rng::seed_from_u64(seed);
+    Tensor::from_fn(&[rows, cols], |_| normal.sample_f32(&mut rng))
 }
 
 /// Fully connected layer `y = x W + b` over row-vectors.

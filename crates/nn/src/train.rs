@@ -5,10 +5,8 @@
 //! (for the Fig 13 finetuning arm) keep training with compression applied
 //! after every optimizer step.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use spark_data::Dataset;
+use spark_util::Rng;
 use spark_quant::{Codec, QuantError};
 use spark_tensor::Tensor;
 
@@ -52,11 +50,11 @@ impl TrainConfig {
 /// Trains a model with minibatch SGD; returns the mean loss of the final
 /// epoch.
 pub fn train(model: &mut Sequential, data: &Dataset, config: &TrainConfig) -> f32 {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut last_epoch_loss = 0.0;
     for _ in 0..config.epochs {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         for chunk in order.chunks(config.batch) {
             for &i in chunk {
@@ -152,10 +150,10 @@ pub fn finetune_with_codec(
     codec: &dyn Codec,
     config: &TrainConfig,
 ) -> Result<(), QuantError> {
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(99));
+    let mut rng = Rng::seed_from_u64(config.seed.wrapping_add(99));
     let mut order: Vec<usize> = (0..data.len()).collect();
     for _ in 0..config.epochs {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         for chunk in order.chunks(config.batch) {
             for &i in chunk {
                 let s = &data.samples[i];
@@ -217,8 +215,8 @@ mod tests {
             &mut m,
             &tr,
             &TrainConfig {
-                epochs: 30,
-                lr: 0.3,
+                epochs: 60,
+                lr: 0.2,
                 batch: 8,
                 seed: 2,
             },

@@ -7,11 +7,10 @@
 //! bytes. Layer lists follow the standard architectures (torchvision /
 //! HuggingFace configurations).
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::im2col::Conv2dSpec;
 
 /// One GEMM: `(m x k) * (k x n)`, executed `repeats` times.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Gemm {
     /// Output rows (im2col patches or sequence length).
     pub m: usize,
@@ -66,7 +65,7 @@ impl Gemm {
 }
 
 /// A network expressed as its inference GEMM sequence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelWorkload {
     /// Model name, matching `spark_data::ModelProfile` names.
     pub name: String,

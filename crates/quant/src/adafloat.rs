@@ -1,7 +1,6 @@
 //! AdaptiveFloat (DAC '20): floating-point quantization with a per-tensor
 //! exponent bias chosen from the dynamic range.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::{stats, Tensor};
 
 use crate::codec::{check_finite, Codec, CodecResult, QuantError};
@@ -12,7 +11,7 @@ use crate::codec::{check_finite, Codec, CodecResult, QuantError};
 /// The paper's AdaFloat baseline uses 8 total bits to hold original model
 /// accuracy; [`AdaptiveFloatCodec::new(8, 3)`] reproduces that
 /// configuration (1 sign, 4 exponent, 3 mantissa bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdaptiveFloatCodec {
     total_bits: u8,
     mantissa_bits: u8,

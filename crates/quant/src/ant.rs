@@ -6,13 +6,12 @@
 //! selection by trying each type and keeping the one with the lowest MSE,
 //! exactly the adaptive step the original framework performs offline.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::{stats, Tensor};
 
 use crate::codec::{check_finite, Codec, CodecResult, QuantError};
 
 /// The data types ANT chooses between.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AntType {
     /// Plain two's-complement integer grid.
     Int,
@@ -32,7 +31,7 @@ impl AntType {
 /// The ANT codec at a fixed bit-width.
 ///
 /// The paper's Table IV uses 6-bit ANT, Table V 4-bit ANT.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AntCodec {
     bits: u8,
 }

@@ -6,13 +6,12 @@
 //! is recorded in a block-sparse index, whose storage cost we charge to
 //! `avg_bits`.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::{stats, Tensor};
 
 use crate::codec::{check_finite, Codec, CodecResult, QuantError};
 
 /// The BiScaled codec.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BiScaledCodec {
     bits: u8,
     /// Quantile of `|x|` that the fine scale covers (the paper tunes this

@@ -11,7 +11,6 @@
 //! minimizing the reconstruction error, accounting for both the saturation
 //! error of clipped values and the rounding error of retained ones.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::{stats, Tensor};
 
 use crate::codec::{check_finite, Codec, CodecResult, QuantError};
@@ -75,7 +74,7 @@ pub fn mse_calibrate(tensor: &Tensor, bits: u8) -> f32 {
 }
 
 /// Uniform symmetric quantizer with MSE-calibrated clipping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MseCalibratedQuantizer {
     bits: u8,
 }

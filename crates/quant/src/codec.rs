@@ -1,7 +1,6 @@
 //! The [`Codec`] trait every compression scheme implements, and the shared
 //! error type.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::{stats, Tensor};
 use std::error::Error;
 use std::fmt;
@@ -30,7 +29,7 @@ impl fmt::Display for QuantError {
 impl Error for QuantError {}
 
 /// Output of compressing a tensor with a [`Codec`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CodecResult {
     /// The values the accelerator would actually compute with.
     pub reconstructed: Tensor,

@@ -15,14 +15,13 @@
 //! tensors concentrate their body in `[0, 7]`; the tests below pin this
 //! behaviour.
 
-use serde::{Deserialize, Serialize};
 use spark_codec::SparkFormat;
 use spark_tensor::{stats, Tensor};
 
 use crate::codec::{check_finite, Codec, CodecResult, QuantError};
 
 /// Generalized SPARK codec at an arbitrary `(base, short)` format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GeneralSparkCodec {
     format: SparkFormat,
 }

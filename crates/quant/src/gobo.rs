@@ -6,13 +6,12 @@
 //! weights are compressed (activations stay FP), which the paper's Table I
 //! notes as GOBO's limitation.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::{stats, Tensor};
 
 use crate::codec::{check_finite, Codec, CodecResult, QuantError};
 
 /// The GOBO codec.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GoboCodec {
     /// Dictionary index width (paper: 3 bits, 8 centroids).
     pub index_bits: u8,

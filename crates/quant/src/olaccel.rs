@@ -5,13 +5,12 @@
 //! positions in a coordinate list. The coordinate list is the scheme's
 //! storage overhead; the accuracy cost is the 4-bit body.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::Tensor;
 
 use crate::codec::{check_finite, Codec, CodecResult, QuantError};
 
 /// The OLAccel codec.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OlAccelCodec {
     /// Bit-width of the dense body (the paper uses 4).
     pub body_bits: u8,

@@ -6,13 +6,12 @@
 //! result stays perfectly aligned in memory (no index structures), at the
 //! accuracy cost of the zeroed victims.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::{stats, Tensor};
 
 use crate::codec::{check_finite, Codec, CodecResult, QuantError};
 
 /// The OliVe codec.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OliveCodec {
     /// Base bit-width (paper: 4).
     pub bits: u8,

@@ -6,14 +6,13 @@
 //! quantile clipping followed by uniform quantization, which is what this
 //! codec implements (the "OS" column of the paper's Table V).
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::Tensor;
 
 use crate::codec::{Codec, CodecResult, QuantError};
 use crate::uniform::UniformQuantizer;
 
 /// The Outlier Suppression codec.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OutlierSuppressionCodec {
     bits: u8,
     clip_quantile: f32,

@@ -9,13 +9,12 @@
 //! maximum (optionally a clipping quantile), magnitudes in `0..=2^bits - 1`,
 //! signs kept as a separate bit vector.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::{stats, Tensor};
 
 use crate::codec::{check_finite, QuantError};
 
 /// Affine quantization parameters: `value ≈ scale * (code - zero_point)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantParams {
     /// Step size between adjacent quantization levels.
     pub scale: f32,
@@ -57,7 +56,7 @@ impl QuantParams {
 }
 
 /// Sign-magnitude quantization of an FP32 tensor to unsigned codes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MagnitudeCodes {
     /// Unsigned magnitudes, one per element, in `0..=2^bits - 1`.
     pub codes: Vec<u8>,
@@ -132,7 +131,7 @@ impl MagnitudeCodes {
 /// assert_eq!(codes.signs, vec![false, true, false]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MagnitudeQuantizer {
     bits: u8,
     clip_quantile: Option<f32>,

@@ -1,7 +1,6 @@
 //! SPARK as a [`Codec`]: the INT8 sign-magnitude front-end followed by the
 //! variable-length encoding from `spark-codec`.
 
-use serde::{Deserialize, Serialize};
 use spark_codec::{CodeStats, EncodeMode};
 use spark_tensor::Tensor;
 
@@ -22,7 +21,7 @@ use crate::params::MagnitudeQuantizer;
 /// assert!(r.avg_bits < 6.0); // the body takes 4-bit short codes
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparkCodec {
     /// Encoding mode (compensated = the paper's default; truncated = the
     /// Fig 13 "w/o CM" ablation arm).

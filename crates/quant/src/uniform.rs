@@ -1,6 +1,5 @@
 //! Uniform INT-m quantization (Eq 1/2 of the paper), the workhorse baseline.
 
-use serde::{Deserialize, Serialize};
 use spark_tensor::{stats, Tensor};
 
 use crate::codec::{check_finite, Codec, CodecResult, QuantError};
@@ -21,7 +20,7 @@ use crate::params::QuantParams;
 /// assert!(r.mse(&t) < 1e-4);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UniformQuantizer {
     bits: u8,
     symmetric: bool,

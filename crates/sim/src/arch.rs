@@ -7,13 +7,12 @@
 //! papers report is reproduced (the SPARK paper likewise takes baseline
 //! results "as reported in their paper").
 
-use serde::{Deserialize, Serialize};
 
 use crate::perf::{PrecisionProfile, SimConfig, WorkloadReport};
 use spark_nn::ModelWorkload;
 
 /// How a design's compute cycles are derived.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TimingModel {
     /// SPARK: per-MAC costs from the operand code kinds, evaluated either
     /// analytically (decoupled lanes) or on the cycle-accurate array
@@ -34,7 +33,7 @@ pub enum TimingModel {
 }
 
 /// Which accelerator design to model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcceleratorKind {
     /// The paper's contribution: 4096 mixed-precision 4-bit PEs + SPARK
     /// codecs.
@@ -83,8 +82,14 @@ impl AcceleratorKind {
     }
 }
 
+impl spark_util::ToJson for AcceleratorKind {
+    fn to_json(&self) -> spark_util::Value {
+        spark_util::Value::Str(self.name().to_string())
+    }
+}
+
 /// A configured accelerator instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Accelerator {
     /// The design being modelled.
     pub kind: AcceleratorKind,

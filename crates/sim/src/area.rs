@@ -5,7 +5,6 @@
 //! OliVe's 4-/8-bit decoders 60.29 / 80.18 um^2. Everything here is
 //! exposed as data so the area tables can be regenerated and asserted.
 
-use serde::{Deserialize, Serialize};
 
 use crate::arch::AcceleratorKind;
 
@@ -24,7 +23,7 @@ pub const OLIVE_DECODER4_UM2: f64 = 60.29;
 pub const OLIVE_DECODER8_UM2: f64 = 80.18;
 
 /// One line of an area breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AreaComponent {
     /// Component name.
     pub component: String,
@@ -35,13 +34,16 @@ pub struct AreaComponent {
 }
 
 /// Area breakdown of a core.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AreaBreakdown {
     /// The design.
     pub kind: AcceleratorKind,
     /// Component lines.
     pub components: Vec<AreaComponent>,
 }
+
+spark_util::to_json_struct!(AreaComponent { component, count, area_mm2 });
+spark_util::to_json_struct!(AreaBreakdown { kind, components });
 
 impl AreaBreakdown {
     /// Total core area (mm^2).

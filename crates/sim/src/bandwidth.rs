@@ -7,14 +7,13 @@
 //! border decoders consuming one 4-bit beat per cycle each, array demand
 //! from the operand rate the PE grid consumes at its effective speed.
 
-use serde::{Deserialize, Serialize};
 
 use crate::arch::Accelerator;
 use crate::cost::expected_mac_cycles;
 use crate::perf::PrecisionProfile;
 
 /// Result of the codec-bandwidth check.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BandwidthReport {
     /// Number of border decoders (`rows + cols`).
     pub decoders: usize,

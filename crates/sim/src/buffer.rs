@@ -7,11 +7,10 @@
 //! quantifies the DRAM amplification, showing another place narrow SPARK
 //! storage pays: more of the layer fits, so fewer re-fetches happen.
 
-use serde::{Deserialize, Serialize};
 use spark_nn::Gemm;
 
 /// Global buffer configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BufferConfig {
     /// Capacity in bytes (paper: 5 MB).
     pub capacity_bytes: f64,
@@ -29,7 +28,7 @@ impl Default for BufferConfig {
 }
 
 /// The tiling decision for one GEMM layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TilePlan {
     /// Bytes of encoded weights for the full layer (one repeat).
     pub weight_bytes: f64,
@@ -73,7 +72,7 @@ impl TilePlan {
 }
 
 /// Summarizes the buffer behaviour of a whole workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BufferReport {
     /// Per-layer plans with labels.
     pub plans: Vec<(String, TilePlan)>,

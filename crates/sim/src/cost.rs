@@ -4,11 +4,10 @@
 //! 4x8 product splits the 8-bit operand into two nibbles (2 cycles); an 8x8
 //! product needs all four nibble cross-products (4 cycles).
 
-use serde::{Deserialize, Serialize};
 use spark_codec::CodeKind;
 
 /// Operand precision as the PE sees it after decoding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperandKind {
     /// 4-bit (SPARK short code).
     Int4,

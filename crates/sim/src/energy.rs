@@ -7,10 +7,9 @@
 //! magnitude above SRAM. The decomposition (DRAM / global buffer / core)
 //! matches Fig 12's stacking.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-operation energy constants in picojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// One INT4 x INT4 MAC (pJ). Wider MACs scale quadratically from this.
     pub int4_mac_pj: f64,
@@ -54,7 +53,7 @@ impl EnergyModel {
 }
 
 /// Energy for one inference, decomposed as in Fig 12.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// DRAM traffic energy (pJ).
     pub dram_pj: f64,

@@ -8,7 +8,6 @@
 //! numbers, so the datapath can be verified end to end against a software
 //! GEMM.
 
-use serde::{Deserialize, Serialize};
 use spark_codec::{decode_stream, encode_tensor, DecodeError, EncodedTensor};
 use spark_quant::{MagnitudeQuantizer, QuantError};
 use spark_tensor::Tensor;
@@ -16,7 +15,7 @@ use spark_tensor::Tensor;
 use crate::pe::{Mpe, SignMag};
 
 /// Execution statistics of a functional GEMM.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FunctionalStats {
     /// MAC operations executed.
     pub macs: u64,

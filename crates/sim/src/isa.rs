@@ -8,14 +8,13 @@
 //! ([`Program::compile`]), and an executor whose timing agrees with the
 //! analytic performance model (pinned by a cross-check test).
 
-use serde::{Deserialize, Serialize};
 use spark_nn::ModelWorkload;
 
 use crate::arch::Accelerator;
 use crate::perf::{simulate, PrecisionProfile, SimConfig, WorkloadReport};
 
 /// One accelerator instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instruction {
     /// DMA a weight tile region from DRAM into the global buffer.
     /// `bytes` already reflects the encoded (variable-length) footprint —
@@ -69,7 +68,7 @@ impl Instruction {
 }
 
 /// A compiled instruction stream for one inference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Model name.
     pub model: String,

@@ -9,14 +9,13 @@
 //! number of PEs under the same area budget"; this module quantifies that
 //! extension.
 
-use serde::{Deserialize, Serialize};
 use spark_nn::{Gemm, ModelWorkload};
 
 use crate::arch::Accelerator;
 use crate::perf::{PrecisionProfile, SimConfig};
 
 /// Result of running a workload across `pages` PE pages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageReport {
     /// Page count.
     pub pages: usize,
@@ -27,6 +26,13 @@ pub struct PageReport {
     /// Fraction of layers limited by DRAM rather than compute.
     pub memory_bound_fraction: f64,
 }
+
+spark_util::to_json_struct!(PageReport {
+    pages,
+    total_cycles,
+    utilization,
+    memory_bound_fraction,
+});
 
 /// Per-layer cycle split across pages: page `p` gets the columns
 /// `n_p = ceil(n / pages)` (last page gets the remainder); the layer takes

@@ -7,12 +7,11 @@
 //! tests prove the multi-cycle nibble datapath computes the same product as
 //! a direct multiplication for every operand combination.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cost::OperandKind;
 
 /// A sign-magnitude operand as the decoder hands it to the array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SignMag {
     /// Magnitude in `0..=255` (short codes use only `0..=7`).
     pub magnitude: u8,
@@ -71,7 +70,7 @@ impl SignMag {
 }
 
 /// One cycle of the MPE datapath: a 4x4 multiply plus shift-accumulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MacStep {
     /// Nibble from the weight register.
     pub w_nibble: u8,
@@ -93,7 +92,7 @@ impl MacStep {
 /// Holds the W/A operand registers and the P accumulator; `mac` runs the
 /// full nibble schedule for one operand pair and returns the cycle count
 /// (matching [`crate::cost::mac_cycles`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Mpe {
     accumulator: i64,
     cycles: u64,

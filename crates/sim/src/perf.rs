@@ -6,7 +6,6 @@
 //! storage width, and the Fig 12 energy decomposition. Layer time is
 //! `max(compute, memory)` under double buffering.
 
-use serde::{Deserialize, Serialize};
 use spark_nn::{Gemm, ModelWorkload};
 use spark_quant::SparkCodec;
 use spark_tensor::Tensor;
@@ -17,7 +16,7 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::systolic::SystolicSim;
 
 /// Precision statistics of a model's tensors under SPARK encoding.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrecisionProfile {
     /// Fraction of weight values taking the 4-bit short code.
     pub short_frac_w: f64,
@@ -65,7 +64,7 @@ impl PrecisionProfile {
 }
 
 /// How SPARK's array timing is evaluated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SparkTiming {
     /// Decoupled lanes: per-PE line buffers absorb stall jitter, so the
     /// sustained rate is the expected per-MAC cost (the assumption behind
@@ -79,7 +78,7 @@ pub enum SparkTiming {
 
 /// Global simulation parameters shared by every design (the paper: same
 /// buffer capacity and memory bandwidth for all accelerators).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Clock frequency in MHz (paper: 200 MHz).
     pub frequency_mhz: f64,
@@ -110,7 +109,7 @@ impl Default for SimConfig {
 }
 
 /// Per-layer simulation result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerReport {
     /// Layer label from the workload.
     pub label: String,
@@ -127,7 +126,7 @@ pub struct LayerReport {
 }
 
 /// Whole-workload simulation result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadReport {
     /// Model name.
     pub model: String,

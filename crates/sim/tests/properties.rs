@@ -1,112 +1,161 @@
 //! Property-based tests for the simulator: throughput bounds of the
-//! cycle-accurate array and exactness of the functional MAC grid.
+//! cycle-accurate array and exactness of the functional MAC grid, on the
+//! in-tree `spark_util::prop` harness.
 
-use proptest::prelude::*;
 use spark_sim::cost::expected_mac_cycles;
 use spark_sim::pe::SignMag;
 use spark_sim::{FunctionalArray, Mpe, OperandKind, SystolicSim};
+use spark_util::prop::{check_with, Config};
+use spark_util::{prop_assert, prop_assert_eq};
 
-fn kind_strategy() -> impl Strategy<Value = OperandKind> {
-    prop_oneof![Just(OperandKind::Int4), Just(OperandKind::Int8)]
+/// The cycle-accurate array's completion time is bounded below by the
+/// busiest PE's own work and above by full serialization.
+#[test]
+fn systolic_cycles_bounded() {
+    check_with(
+        &Config::with_cases(32),
+        "systolic_cycles_bounded",
+        |rng| {
+            (
+                rng.gen_range(1..5),
+                rng.gen_range(1..5),
+                rng.gen_range(1..12),
+                rng.next_u64(),
+            )
+        },
+        |&(rows, cols, waves, seed)| {
+            if rows == 0 || cols == 0 || waves == 0 {
+                return Ok(()); // shrunk outside the tile domain
+            }
+            let sim = SystolicSim::new(rows, cols);
+            let mut state = seed | 1;
+            let mut next_kind = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state >> 33 & 1 == 0 {
+                    OperandKind::Int4
+                } else {
+                    OperandKind::Int8
+                }
+            };
+            let weights: Vec<Vec<OperandKind>> =
+                (0..rows).map(|_| (0..cols).map(|_| next_kind()).collect()).collect();
+            let acts: Vec<Vec<OperandKind>> =
+                (0..waves).map(|_| (0..rows).map(|_| next_kind()).collect()).collect();
+            let r = sim.run_tile(&weights, &acts);
+            // Lower bound: the busiest single PE's total cost.
+            let mut busiest = 0u64;
+            for (k, wrow) in weights.iter().enumerate() {
+                for w in wrow {
+                    let cost: u64 = acts
+                        .iter()
+                        .map(|wave| u64::from(spark_sim::mac_cycles(wave[k], *w)))
+                        .sum();
+                    busiest = busiest.max(cost);
+                }
+            }
+            prop_assert!(r.cycles >= busiest, "cycles {} < busiest PE {}", r.cycles, busiest);
+            // Upper bound: complete serialization of all MACs plus skew.
+            prop_assert!(
+                r.cycles <= r.busy_cycles + (rows + cols) as u64,
+                "cycles {} vs busy {}",
+                r.cycles,
+                r.busy_cycles
+            );
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The cycle-accurate array's completion time is bounded below by the
-    /// busiest PE's own work and above by full serialization.
-    #[test]
-    fn systolic_cycles_bounded(
-        rows in 1usize..5,
-        cols in 1usize..5,
-        waves in 1usize..12,
-        seed in any::<u64>(),
-    ) {
-        let sim = SystolicSim::new(rows, cols);
-        let mut state = seed | 1;
-        let mut next_kind = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if state >> 33 & 1 == 0 {
-                OperandKind::Int4
-            } else {
-                OperandKind::Int8
+/// The functional MAC grid equals the integer reference for arbitrary
+/// sign-magnitude operand matrices and tile shapes.
+#[test]
+fn functional_gemm_exact() {
+    check_with(
+        &Config::with_cases(32),
+        "functional_gemm_exact",
+        |rng| {
+            (
+                rng.gen_range(1..5),
+                rng.gen_range(1..6),
+                rng.gen_range(1..5),
+                rng.gen_range(1..4),
+                rng.gen_range(1..4),
+                rng.next_u32(),
+            )
+        },
+        |&(m, k, n, tile_r, tile_c, seed)| {
+            if [m, k, n, tile_r, tile_c].contains(&0) {
+                return Ok(()); // shrunk outside the tile domain
             }
-        };
-        let weights: Vec<Vec<OperandKind>> =
-            (0..rows).map(|_| (0..cols).map(|_| next_kind()).collect()).collect();
-        let acts: Vec<Vec<OperandKind>> =
-            (0..waves).map(|_| (0..rows).map(|_| next_kind()).collect()).collect();
-        let r = sim.run_tile(&weights, &acts);
-        // Lower bound: the busiest single PE's total cost.
-        let mut busiest = 0u64;
-        for (k, wrow) in weights.iter().enumerate() {
-            for w in wrow {
-                let cost: u64 = acts
-                    .iter()
-                    .map(|wave| u64::from(spark_sim::mac_cycles(wave[k], *w)))
-                    .sum();
-                busiest = busiest.max(cost);
+            let val = |i: usize, salt: u32| -> SignMag {
+                let x = (i as u32).wrapping_mul(seed | 1).wrapping_add(salt);
+                SignMag::from_i16(((x >> 8) % 511) as i16 - 255)
+            };
+            let a: Vec<SignMag> = (0..m * k).map(|i| val(i, 17)).collect();
+            let w: Vec<SignMag> = (0..k * n).map(|i| val(i, 91)).collect();
+            let array = FunctionalArray::new(tile_r, tile_c);
+            let (out, stats) = array.gemm(&a, &w, m, k, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let expect: i64 = (0..k)
+                        .map(|kk| {
+                            i64::from(a[i * k + kk].to_i16())
+                                * i64::from(w[kk * n + j].to_i16())
+                        })
+                        .sum();
+                    prop_assert_eq!(out[i * n + j], expect);
+                }
             }
-        }
-        prop_assert!(r.cycles >= busiest, "cycles {} < busiest PE {}", r.cycles, busiest);
-        // Upper bound: complete serialization of all MACs plus skew.
-        prop_assert!(
-            r.cycles <= r.busy_cycles + (rows + cols) as u64,
-            "cycles {} vs busy {}",
-            r.cycles,
-            r.busy_cycles
-        );
-    }
+            prop_assert_eq!(stats.macs, (m * k * n) as u64);
+            Ok(())
+        },
+    );
+}
 
-    /// The functional MAC grid equals the integer reference for arbitrary
-    /// sign-magnitude operand matrices and tile shapes.
-    #[test]
-    fn functional_gemm_exact(
-        m in 1usize..5,
-        k in 1usize..6,
-        n in 1usize..5,
-        tile_r in 1usize..4,
-        tile_c in 1usize..4,
-        seed in any::<u32>(),
-    ) {
-        let val = |i: usize, salt: u32| -> SignMag {
-            let x = (i as u32).wrapping_mul(seed | 1).wrapping_add(salt);
-            SignMag::from_i16(((x >> 8) % 511) as i16 - 255)
-        };
-        let a: Vec<SignMag> = (0..m * k).map(|i| val(i, 17)).collect();
-        let w: Vec<SignMag> = (0..k * n).map(|i| val(i, 91)).collect();
-        let array = FunctionalArray::new(tile_r, tile_c);
-        let (out, stats) = array.gemm(&a, &w, m, k, n);
-        for i in 0..m {
-            for j in 0..n {
-                let expect: i64 = (0..k)
-                    .map(|kk| {
-                        i64::from(a[i * k + kk].to_i16()) * i64::from(w[kk * n + j].to_i16())
-                    })
-                    .sum();
-                prop_assert_eq!(out[i * n + j], expect);
-            }
-        }
-        prop_assert_eq!(stats.macs, (m * k * n) as u64);
-    }
+/// A single MPE's nibble schedule computes exact products for any signed
+/// operand pair, in exactly the cost-model cycles.
+#[test]
+fn mpe_exact_and_costed() {
+    check_with(
+        &Config::with_cases(256),
+        "mpe_exact_and_costed",
+        |rng| {
+            (
+                rng.gen_range(0..511) as i16 - 255,
+                rng.gen_range(0..511) as i16 - 255,
+            )
+        },
+        |&(wv, av)| {
+            let w = SignMag::from_i16(wv);
+            let a = SignMag::from_i16(av);
+            let mut pe = Mpe::new();
+            let cycles = pe.mac(w, a);
+            prop_assert_eq!(pe.accumulator(), i64::from(wv) * i64::from(av));
+            prop_assert_eq!(cycles, spark_sim::mac_cycles(a.kind(), w.kind()));
+            Ok(())
+        },
+    );
+}
 
-    /// A single MPE's nibble schedule computes exact products for any
-    /// signed operand pair, in exactly the cost-model cycles.
-    #[test]
-    fn mpe_exact_and_costed(wv in -255i16..=255, av in -255i16..=255) {
-        let w = SignMag::from_i16(wv);
-        let a = SignMag::from_i16(av);
-        let mut pe = Mpe::new();
-        let cycles = pe.mac(w, a);
-        prop_assert_eq!(pe.accumulator(), i64::from(wv) * i64::from(av));
-        prop_assert_eq!(cycles, spark_sim::mac_cycles(a.kind(), w.kind()));
-    }
-
-    /// Expected MAC cycles is monotone: more short codes never cost more.
-    #[test]
-    fn expected_cycles_monotone(pa in 0.0f64..1.0, pw in 0.0f64..1.0, d in 0.0f64..0.3) {
-        let base = expected_mac_cycles(pa, pw);
-        let better = expected_mac_cycles((pa + d).min(1.0), pw);
-        prop_assert!(better <= base + 1e-12);
-    }
+/// Expected MAC cycles is monotone: more short codes never cost more.
+#[test]
+fn expected_cycles_monotone() {
+    check_with(
+        &Config::with_cases(256),
+        "expected_cycles_monotone",
+        |rng| {
+            (
+                rng.gen_range_f64(0.0, 1.0),
+                rng.gen_range_f64(0.0, 1.0),
+                rng.gen_range_f64(0.0, 0.3),
+            )
+        },
+        |&(pa, pw, d)| {
+            let (pa, pw, d) = (pa.clamp(0.0, 1.0), pw.clamp(0.0, 1.0), d.clamp(0.0, 0.3));
+            let base = expected_mac_cycles(pa, pw);
+            let better = expected_mac_cycles((pa + d).min(1.0), pw);
+            prop_assert!(better <= base + 1e-12, "{better} > {base}");
+            Ok(())
+        },
+    );
 }

@@ -1,6 +1,5 @@
 //! Shape arithmetic for row-major dense tensors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::ShapeError;
@@ -17,7 +16,7 @@ use crate::ShapeError;
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// assert_eq!(s.offset(&[1, 2, 3]), Some(23));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
 }

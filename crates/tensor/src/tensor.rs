@@ -1,6 +1,5 @@
 //! Dense row-major tensor types.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Shape, ShapeError};
 
@@ -15,7 +14,7 @@ use crate::{Shape, ShapeError};
 /// assert_eq!(t.get(&[1, 2]), Some(6.0));
 /// # Ok::<(), spark_tensor::ShapeError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
@@ -173,7 +172,7 @@ impl Default for Tensor {
 /// assert_eq!(q.as_slice(), &[0, 7, 8, 255]);
 /// # Ok::<(), spark_tensor::ShapeError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuantTensor {
     shape: Shape,
     data: Vec<u8>,

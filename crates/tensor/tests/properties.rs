@@ -1,130 +1,196 @@
-//! Property-based tests for the tensor substrate.
+//! Property-based tests for the tensor substrate, on the in-tree
+//! `spark_util::prop` harness.
 
-use proptest::prelude::*;
 use spark_tensor::im2col::{col2im, im2col, Conv2dSpec};
 use spark_tensor::{ops, Tensor};
+use spark_util::prop::check;
+use spark_util::{prop_assert, prop_assert_eq, Rng};
 
-fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max_dim, 1..=max_dim)
-        .prop_flat_map(|(m, n)| {
-            (
-                Just((m, n)),
-                proptest::collection::vec(-100.0f32..100.0, m * n..=m * n),
-            )
-        })
-        .prop_map(|((m, n), data)| Tensor::from_vec(data, &[m, n]).expect("length matches"))
+/// Generates an (m, n, data) triple with `data.len() == m * n`. Tensors are
+/// built inside properties so shrinking operates on plain data; shrunk
+/// triples whose length no longer matches are skipped via [`as_matrix`].
+fn matrix_data(rng: &mut Rng, max_dim: usize) -> (usize, usize, Vec<f32>) {
+    let m = rng.gen_range(1..max_dim + 1);
+    let n = rng.gen_range(1..max_dim + 1);
+    let data = (0..m * n).map(|_| rng.gen_range_f32(-100.0, 100.0)).collect();
+    (m, n, data)
 }
 
-proptest! {
-    /// Transposing twice is the identity.
-    #[test]
-    fn transpose_involution(t in tensor_strategy(7)) {
-        let tt = ops::transpose(&ops::transpose(&t).unwrap()).unwrap();
-        prop_assert_eq!(tt, t);
+fn as_matrix(m: usize, n: usize, data: &[f32]) -> Option<Tensor> {
+    if m == 0 || n == 0 || data.len() != m * n {
+        return None;
     }
+    Some(Tensor::from_vec(data.to_vec(), &[m, n]).expect("length matches"))
+}
 
-    /// (A B)^T == B^T A^T.
-    #[test]
-    fn matmul_transpose_identity(
-        a in tensor_strategy(7),
-        b_data in proptest::collection::vec(-10.0f32..10.0, 7 * 3),
-    ) {
-        let (m, k) = a.shape().as_matrix().unwrap();
-        let _ = m;
-        let n = 3usize;
-        let b = Tensor::from_vec(b_data[..k * n].to_vec(), &[k, n]).unwrap();
-        let ab_t = ops::transpose(&ops::matmul(&a, &b).unwrap()).unwrap();
-        let bt_at = ops::matmul(
-            &ops::transpose(&b).unwrap(),
-            &ops::transpose(&a).unwrap(),
-        )
-        .unwrap();
-        for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
-            prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
-        }
-    }
+/// Transposing twice is the identity.
+#[test]
+fn transpose_involution() {
+    check(
+        "transpose_involution",
+        |rng| matrix_data(rng, 7),
+        |&(m, n, ref data)| {
+            let Some(t) = as_matrix(m, n, data) else { return Ok(()) };
+            let tt = ops::transpose(&ops::transpose(&t).unwrap()).unwrap();
+            prop_assert_eq!(tt, t);
+            Ok(())
+        },
+    );
+}
 
-    /// Identity is a two-sided unit for matmul.
-    #[test]
-    fn matmul_identity_unit(t in tensor_strategy(7)) {
-        let (m, n) = t.shape().as_matrix().unwrap();
-        let left = ops::matmul(&Tensor::eye(m), &t).unwrap();
-        let right = ops::matmul(&t, &Tensor::eye(n)).unwrap();
-        prop_assert_eq!(left.as_slice(), t.as_slice());
-        prop_assert_eq!(right.as_slice(), t.as_slice());
-    }
+/// (A B)^T == B^T A^T.
+#[test]
+fn matmul_transpose_identity() {
+    check(
+        "matmul_transpose_identity",
+        |rng| {
+            let a = matrix_data(rng, 7);
+            let b: Vec<f32> = (0..7 * 3).map(|_| rng.gen_range_f32(-10.0, 10.0)).collect();
+            (a, b)
+        },
+        |&((m, k, ref a_data), ref b_data)| {
+            let Some(a) = as_matrix(m, k, a_data) else { return Ok(()) };
+            let n = 3usize;
+            if b_data.len() < k * n {
+                return Ok(());
+            }
+            let b = Tensor::from_vec(b_data[..k * n].to_vec(), &[k, n]).unwrap();
+            let ab_t = ops::transpose(&ops::matmul(&a, &b).unwrap()).unwrap();
+            let bt_at = ops::matmul(
+                &ops::transpose(&b).unwrap(),
+                &ops::transpose(&a).unwrap(),
+            )
+            .unwrap();
+            for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
+                prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0), "{x} vs {y}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Matmul distributes over addition: A(B + C) == AB + AC.
-    #[test]
-    fn matmul_distributive(
-        a in tensor_strategy(5),
-        extra in proptest::collection::vec(-10.0f32..10.0, 2 * 5 * 3),
-    ) {
-        let (_, k) = a.shape().as_matrix().unwrap();
-        let n = 3usize;
-        let b = Tensor::from_vec(extra[..k * n].to_vec(), &[k, n]).unwrap();
-        let c = Tensor::from_vec(extra[k * n..2 * k * n].to_vec(), &[k, n]).unwrap();
-        let lhs = ops::matmul(&a, &ops::add(&b, &c).unwrap()).unwrap();
-        let rhs = ops::add(
-            &ops::matmul(&a, &b).unwrap(),
-            &ops::matmul(&a, &c).unwrap(),
-        )
-        .unwrap();
-        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0));
-        }
-    }
+/// Identity is a two-sided unit for matmul.
+#[test]
+fn matmul_identity_unit() {
+    check(
+        "matmul_identity_unit",
+        |rng| matrix_data(rng, 7),
+        |&(m, n, ref data)| {
+            let Some(t) = as_matrix(m, n, data) else { return Ok(()) };
+            let left = ops::matmul(&Tensor::eye(m), &t).unwrap();
+            let right = ops::matmul(&t, &Tensor::eye(n)).unwrap();
+            prop_assert_eq!(left.as_slice(), t.as_slice());
+            prop_assert_eq!(right.as_slice(), t.as_slice());
+            Ok(())
+        },
+    );
+}
 
-    /// Softmax rows are probability distributions.
-    #[test]
-    fn softmax_rows_are_distributions(t in tensor_strategy(7)) {
-        let s = ops::softmax_rows(&t).unwrap();
-        let (m, n) = s.shape().as_matrix().unwrap();
-        for i in 0..m {
-            let row = &s.as_slice()[i * n..(i + 1) * n];
-            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
-            let sum: f32 = row.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-        }
-    }
+/// Matmul distributes over addition: A(B + C) == AB + AC.
+#[test]
+fn matmul_distributive() {
+    check(
+        "matmul_distributive",
+        |rng| {
+            let a = matrix_data(rng, 5);
+            let extra: Vec<f32> =
+                (0..2 * 5 * 3).map(|_| rng.gen_range_f32(-10.0, 10.0)).collect();
+            (a, extra)
+        },
+        |&((m, k, ref a_data), ref extra)| {
+            let Some(a) = as_matrix(m, k, a_data) else { return Ok(()) };
+            let n = 3usize;
+            if extra.len() < 2 * k * n {
+                return Ok(());
+            }
+            let b = Tensor::from_vec(extra[..k * n].to_vec(), &[k, n]).unwrap();
+            let c = Tensor::from_vec(extra[k * n..2 * k * n].to_vec(), &[k, n]).unwrap();
+            let lhs = ops::matmul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+            let rhs = ops::add(
+                &ops::matmul(&a, &b).unwrap(),
+                &ops::matmul(&a, &c).unwrap(),
+            )
+            .unwrap();
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0), "{x} vs {y}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// im2col/col2im satisfy the adjoint identity <im2col(x), g> == <x, col2im(g)>.
-    #[test]
-    fn im2col_adjoint(
-        h in 3usize..7,
-        w in 3usize..7,
-        kernel in 1usize..4,
-        padding in 0usize..2,
-        seed in any::<u32>(),
-    ) {
-        let spec = Conv2dSpec {
-            in_channels: 2,
-            out_channels: 1,
-            kernel,
-            stride: 1,
-            padding,
-        };
-        prop_assume!(spec.output_hw(h, w).is_ok());
-        let x = Tensor::from_fn(&[2, h, w], |i| {
-            (((i as u32).wrapping_mul(seed | 1) >> 16) % 17) as f32 - 8.0
-        });
-        let patches = im2col(&x, &spec).unwrap();
-        let g = Tensor::from_fn(patches.dims(), |i| {
-            (((i as u32).wrapping_mul(seed.rotate_left(7) | 1) >> 16) % 13) as f32 - 6.0
-        });
-        let lhs: f64 = patches
-            .as_slice()
-            .iter()
-            .zip(g.as_slice())
-            .map(|(&a, &b)| (a * b) as f64)
-            .sum();
-        let back = col2im(&g, &spec, h, w).unwrap();
-        let rhs: f64 = x
-            .as_slice()
-            .iter()
-            .zip(back.as_slice())
-            .map(|(&a, &b)| (a * b) as f64)
-            .sum();
-        prop_assert!((lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0));
-    }
+/// Softmax rows are probability distributions.
+#[test]
+fn softmax_rows_are_distributions() {
+    check(
+        "softmax_rows_are_distributions",
+        |rng| matrix_data(rng, 7),
+        |&(m, n, ref data)| {
+            let Some(t) = as_matrix(m, n, data) else { return Ok(()) };
+            let s = ops::softmax_rows(&t).unwrap();
+            let (m, n) = s.shape().as_matrix().unwrap();
+            for i in 0..m {
+                let row = &s.as_slice()[i * n..(i + 1) * n];
+                prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)), "row {i}");
+                let sum: f32 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4, "row {i} sums to {sum}");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// im2col/col2im satisfy the adjoint identity
+/// `<im2col(x), g> == <x, col2im(g)>`.
+#[test]
+fn im2col_adjoint() {
+    check(
+        "im2col_adjoint",
+        |rng| {
+            (
+                rng.gen_range(3..7),
+                rng.gen_range(3..7),
+                rng.gen_range(1..4),
+                rng.gen_range(0..2),
+                rng.next_u32(),
+            )
+        },
+        |&(h, w, kernel, padding, seed)| {
+            if h == 0 || w == 0 || kernel == 0 {
+                return Ok(()); // shrunk outside the conv domain
+            }
+            let spec = Conv2dSpec {
+                in_channels: 2,
+                out_channels: 1,
+                kernel,
+                stride: 1,
+                padding,
+            };
+            if spec.output_hw(h, w).is_err() {
+                return Ok(());
+            }
+            let x = Tensor::from_fn(&[2, h, w], |i| {
+                (((i as u32).wrapping_mul(seed | 1) >> 16) % 17) as f32 - 8.0
+            });
+            let patches = im2col(&x, &spec).unwrap();
+            let g = Tensor::from_fn(patches.dims(), |i| {
+                (((i as u32).wrapping_mul(seed.rotate_left(7) | 1) >> 16) % 13) as f32 - 6.0
+            });
+            let lhs: f64 = patches
+                .as_slice()
+                .iter()
+                .zip(g.as_slice())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum();
+            let back = col2im(&g, &spec, h, w).unwrap();
+            let rhs: f64 = x
+                .as_slice()
+                .iter()
+                .zip(back.as_slice())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum();
+            prop_assert!((lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,159 @@
+//! Micro-benchmark timing, replacing `criterion` for the `spark-bench`
+//! benches.
+//!
+//! Each benchmark is a closure timed over an adaptively chosen iteration
+//! count: warm up briefly, estimate the per-iteration cost, then run enough
+//! iterations to fill the measurement window and report mean/best time and
+//! optional element throughput. Set `SPARK_BENCH_QUICK=1` to shrink the
+//! windows (used by CI smoke runs).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchResult {
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Best (minimum) batch mean observed, in nanoseconds.
+    pub best_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Elements per second at `elems` elements processed per iteration.
+    pub fn throughput(&self, elems: u64) -> f64 {
+        elems as f64 / (self.mean_ns * 1e-9)
+    }
+}
+
+fn windows() -> (Duration, Duration) {
+    if std::env::var_os("SPARK_BENCH_QUICK").is_some() {
+        (Duration::from_millis(10), Duration::from_millis(50))
+    } else {
+        (Duration::from_millis(150), Duration::from_millis(500))
+    }
+}
+
+/// Times `f`, prints a criterion-style line, and returns the measurements.
+pub fn bench(name: &str, f: impl FnMut()) -> BenchResult {
+    bench_impl(name, None, f)
+}
+
+/// Like [`bench`], additionally reporting throughput for `elems` elements
+/// processed per iteration.
+pub fn bench_throughput(name: &str, elems: u64, f: impl FnMut()) -> BenchResult {
+    bench_impl(name, Some(elems), f)
+}
+
+fn bench_impl(name: &str, elems: Option<u64>, mut f: impl FnMut()) -> BenchResult {
+    let (warmup_window, measure_window) = windows();
+
+    // Warmup + cost estimate: run until the warmup window elapses.
+    let mut warm_iters = 0u64;
+    let warm_start = Instant::now();
+    loop {
+        f();
+        warm_iters += 1;
+        if warm_start.elapsed() >= warmup_window {
+            break;
+        }
+    }
+    let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+    // Measure in ~10 batches sized to fill the window.
+    let batches = 10u64;
+    let batch_iters = ((measure_window.as_nanos() as f64 / est_ns / batches as f64).ceil() as u64).max(1);
+    let mut total = Duration::ZERO;
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..batch_iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        total += elapsed;
+        best_ns = best_ns.min(elapsed.as_nanos() as f64 / batch_iters as f64);
+    }
+    let iters = batches * batch_iters;
+    let result = BenchResult {
+        mean_ns: total.as_nanos() as f64 / iters as f64,
+        best_ns,
+        iters,
+    };
+
+    match elems {
+        Some(n) => println!(
+            "{name:<44} {:>12}/iter (best {:>12})  {:>14}",
+            format_ns(result.mean_ns),
+            format_ns(result.best_ns),
+            format_throughput(result.throughput(n)),
+        ),
+        None => println!(
+            "{name:<44} {:>12}/iter (best {:>12})",
+            format_ns(result.mean_ns),
+            format_ns(result.best_ns),
+        ),
+    }
+    result
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_throughput(eps: f64) -> String {
+    if eps >= 1e9 {
+        format!("{:.2} Gelem/s", eps / 1e9)
+    } else if eps >= 1e6 {
+        format!("{:.2} Melem/s", eps / 1e6)
+    } else if eps >= 1e3 {
+        format!("{:.2} Kelem/s", eps / 1e3)
+    } else {
+        format!("{eps:.1} elem/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        std::env::set_var("SPARK_BENCH_QUICK", "1");
+        let mut acc = 0u64;
+        let r = bench("util/self_test", || {
+            acc = black_box(acc.wrapping_add(1));
+        });
+        assert!(r.iters > 0);
+        assert!(r.mean_ns > 0.0);
+        assert!(r.best_ns <= r.mean_ns * 1.5 + 1.0);
+    }
+
+    #[test]
+    fn throughput_scales_with_elems() {
+        std::env::set_var("SPARK_BENCH_QUICK", "1");
+        let r = bench_throughput("util/throughput_test", 1000, || {
+            black_box((0..100u32).sum::<u32>());
+        });
+        assert!((r.throughput(2000) / r.throughput(1000) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert!(format_throughput(2.5e9).contains("Gelem"));
+        assert!(format_throughput(2.5e6).contains("Melem"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Continuous sampling distributions over [`Rng`], replacing `rand_distr`.
+//!
+//! Only what the reproduction actually draws from is implemented: the
+//! standard normal (weight init, dataset noise), a scaled/shifted normal,
+//! and the gamma distribution (Student-t tails in
+//! `spark-data::dist`). All samplers are deterministic functions of the
+//! generator stream.
+
+use crate::rng::Rng;
+
+/// The standard normal distribution `N(0, 1)`.
+///
+/// Sampling uses the Box–Muller transform: two uniforms per variate, no
+/// state carried between calls, so draws stay reproducible regardless of
+/// interleaving with other samplers on the same generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StandardNormal;
+
+impl StandardNormal {
+    /// Draws one standard-normal variate.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        // u1 in (0, 1]: avoids ln(0) without biasing the tail.
+        let u1 = 1.0 - rng.gen_f64();
+        let u2 = rng.gen_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws one standard-normal variate as `f32`.
+    pub fn sample_f32(&self, rng: &mut Rng) -> f32 {
+        self.sample(rng) as f32
+    }
+}
+
+/// A normal distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when `std` is negative or non-finite.
+    pub fn new(mean: f64, std: f64) -> Result<Self, DistError> {
+        if !(std.is_finite() && mean.is_finite()) || std < 0.0 {
+            return Err(DistError::InvalidParameter("normal std must be finite and >= 0"));
+        }
+        Ok(Self { mean, std })
+    }
+
+    /// Draws one variate.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mean + self.std * StandardNormal.sample(rng)
+    }
+
+    /// Draws one variate as `f32`.
+    pub fn sample_f32(&self, rng: &mut Rng) -> f32 {
+        self.sample(rng) as f32
+    }
+}
+
+/// A gamma distribution with shape `k` and scale `θ` (mean `kθ`, variance
+/// `kθ²`), sampled with the Marsaglia–Tsang squeeze method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` unless both `shape` and `scale` are finite and
+    /// strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        if !(shape.is_finite() && scale.is_finite()) || shape <= 0.0 || scale <= 0.0 {
+            return Err(DistError::InvalidParameter("gamma shape and scale must be > 0"));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Draws one variate.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: Gamma(k) = Gamma(k + 1) · U^(1/k).
+            let boosted = Gamma { shape: self.shape + 1.0, scale: self.scale };
+            let u = 1.0 - rng.gen_f64();
+            return boosted.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        // Marsaglia & Tsang (2000), "A simple method for generating gamma
+        // variables": d = k − 1/3, c = 1/√(9d); accept x when
+        // ln u < x²/2 + d − dv + d ln v with v = (1 + cx)³.
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = StandardNormal.sample(rng);
+            let t = 1.0 + c * x;
+            if t <= 0.0 {
+                continue;
+            }
+            let v = t * t * t;
+            let u = 1.0 - rng.gen_f64();
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * self.scale;
+            }
+        }
+    }
+
+    /// Draws one variate as `f32`.
+    pub fn sample_f32(&self, rng: &mut Rng) -> f32 {
+        self.sample(rng) as f32
+    }
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistError {
+    /// A parameter was out of the distribution's domain.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Rng::seed_from_u64(100);
+        let xs: Vec<f64> = (0..200_000).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = Rng::seed_from_u64(101);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn normal_tail_mass_is_gaussian() {
+        // ~4.55% of standard-normal mass lies beyond |2σ|.
+        let mut rng = Rng::seed_from_u64(102);
+        let n = 200_000;
+        let beyond = (0..n)
+            .filter(|_| StandardNormal.sample(&mut rng).abs() > 2.0)
+            .count();
+        let frac = beyond as f64 / n as f64;
+        assert!((0.04..0.051).contains(&frac), "2-sigma tail {frac}");
+    }
+
+    #[test]
+    fn gamma_moments_match_k_theta() {
+        // Mean kθ and variance kθ² for a shape both above and below 1.
+        for (k, theta) in [(2.5, 2.0), (7.0, 0.5), (0.5, 1.5)] {
+            let mut rng = Rng::seed_from_u64(103);
+            let d = Gamma::new(k, theta).unwrap();
+            let xs: Vec<f64> = (0..300_000).map(|_| d.sample(&mut rng)).collect();
+            let (mean, var) = moments(&xs);
+            assert!(
+                (mean - k * theta).abs() < 0.05 * k * theta,
+                "k={k} θ={theta}: mean {mean}"
+            );
+            assert!(
+                (var - k * theta * theta).abs() < 0.1 * k * theta * theta,
+                "k={k} θ={theta}: var {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_always_positive() {
+        let mut rng = Rng::seed_from_u64(104);
+        let d = Gamma::new(0.3, 1.0).unwrap();
+        for _ in 0..20_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(f64::INFINITY, 1.0).is_err());
+    }
+}

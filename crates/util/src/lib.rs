@@ -1,0 +1,35 @@
+//! # spark-util — zero-dependency substrate for the SPARK workspace
+//!
+//! The reproduction builds hermetically: no crates.io access, `cargo build
+//! --offline` from a clean checkout. Everything the workspace used to pull
+//! from external crates lives here instead:
+//!
+//! - [`rng`] — seedable SplitMix64 / xoshiro256++ PRNG with shuffling
+//!   (replaces `rand`);
+//! - [`dist`] — Normal / StandardNormal / Gamma samplers (replaces
+//!   `rand_distr`);
+//! - [`par`] — scoped-thread [`par::par_map`] for coarse data-parallel
+//!   sweeps (replaces `rayon`);
+//! - [`json`] — a minimal JSON [`json::Value`] with serializer, parser and
+//!   the [`json::ToJson`] trait (replaces `serde` + `serde_json`);
+//! - [`prop`] — seeded property-test runner with shrinking and seed
+//!   reporting (replaces `proptest`);
+//! - [`bench`] — adaptive micro-bench timer (replaces `criterion`).
+//!
+//! Keeping this layer small and fully tested is the point: every invariant
+//! the paper specifies is pinned by tests that must run anywhere, with no
+//! network and no version drift.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod dist;
+pub mod json;
+pub mod par;
+pub mod prop;
+pub mod rng;
+
+pub use dist::{Gamma, Normal, StandardNormal};
+pub use json::{ToJson, Value};
+pub use par::par_map;
+pub use rng::Rng;

@@ -1,0 +1,91 @@
+//! Scoped-thread data parallelism, replacing `rayon::par_iter` for the
+//! embarrassingly parallel sweeps in `spark-bench`.
+//!
+//! The experiment fan-outs are a handful of coarse work items (one model or
+//! one design point each), so a static contiguous-chunk split over
+//! `std::thread::scope` captures all the available speedup without a work
+//! stealing runtime. Results come back in input order.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads [`par_map`] will use: the machine's available
+/// parallelism, overridable (e.g. for deterministic timing runs) with the
+/// `SPARK_THREADS` environment variable.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("SPARK_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to [`thread_count`] scoped threads,
+/// preserving input order in the output.
+///
+/// Items are split into contiguous chunks, one per worker; each worker maps
+/// its chunk independently. `f` must be `Sync` (shared by reference across
+/// workers) and the item/result types must cross thread boundaries.
+///
+/// ```
+/// use spark_util::par::par_map;
+/// let squares = par_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("par_map worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out = par_map(&input, |&x| x * 2);
+        assert_eq!(out, input.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u8> = vec![];
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uses_shared_state_immutably() {
+        let table: Vec<u64> = (0..64).map(|i| i * i).collect();
+        let out = par_map(&(0..64).collect::<Vec<usize>>(), |&i| table[i]);
+        assert_eq!(out[5], 25);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

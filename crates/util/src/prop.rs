@@ -1,0 +1,458 @@
+//! In-tree property-based testing, replacing `proptest`.
+//!
+//! A property is an ordinary function from a generated input to
+//! `Result<(), String>`. [`check`] drives it: generate `cases` inputs from a
+//! seeded [`Rng`], and on the first failure greedily shrink the input via
+//! [`Shrink`] to a minimal counterexample, then panic with the shrunk input,
+//! the error, and the seed that reproduces the run.
+//!
+//! ```
+//! use spark_util::prop::{check, Config};
+//!
+//! check("addition commutes", |rng| (rng.next_u32(), rng.next_u32()), |&(a, b)| {
+//!     if a.wrapping_add(b) == b.wrapping_add(a) {
+//!         Ok(())
+//!     } else {
+//!         Err(format!("{a} + {b} differs"))
+//!     }
+//! });
+//! ```
+//!
+//! Environment overrides:
+//!
+//! - `SPARK_PROP_SEED` — base seed (failure messages tell you what to set);
+//! - `SPARK_PROP_CASES` — number of cases per property.
+
+use crate::rng::{splitmix64, Rng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Inputs generated per property.
+    pub cases: u32,
+    /// Base seed; each property derives its own stream from this and its
+    /// name, so properties stay independent.
+    pub seed: u64,
+    /// Cap on accepted shrink steps (each step tries many candidates).
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let seed = std::env::var("SPARK_PROP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED_5EED_5EED_5EED);
+        let cases = std::env::var("SPARK_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self { cases, seed, max_shrink_steps: 2048 }
+    }
+}
+
+impl Config {
+    /// Default config with a different case count (for expensive
+    /// properties, like proptest's `with_cases`).
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+/// Types that can propose strictly simpler versions of themselves.
+///
+/// `shrink` returns candidate replacements, most aggressive first; the
+/// runner keeps any candidate that still fails the property and repeats.
+/// The default (no candidates) is valid for types with no useful notion of
+/// "smaller".
+pub trait Shrink: Sized {
+    /// Candidate simplifications of `self`, most aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! shrink_unsigned {
+    ($($ty:ty),*) => {
+        $(impl Shrink for $ty {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    if *self > 1 {
+                        out.push(self / 2);
+                    }
+                    out.push(self - 1);
+                }
+                out
+            }
+        })*
+    };
+}
+
+shrink_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! shrink_signed {
+    ($($ty:ty),*) => {
+        $(impl Shrink for $ty {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    if self.abs() > 1 {
+                        out.push(self / 2);
+                    }
+                    if *self < 0 {
+                        out.push(-self);
+                    }
+                    out.push(self - self.signum());
+                }
+                out
+            }
+        })*
+    };
+}
+
+shrink_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! shrink_float {
+    ($($ty:ty),*) => {
+        $(impl Shrink for $ty {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0.0 && self.is_finite() {
+                    out.push(0.0);
+                    out.push(self / 2.0);
+                    if *self < 0.0 {
+                        out.push(-self);
+                    }
+                    out.push(self.trunc());
+                }
+                out.retain(|c| c != self);
+                out
+            }
+        })*
+    };
+}
+
+shrink_float!(f32, f64);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self { vec![false] } else { Vec::new() }
+    }
+}
+
+impl Shrink for char {}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = Vec::new();
+        if !chars.is_empty() {
+            out.push(String::new());
+            out.push(chars[..chars.len() / 2].iter().collect());
+            out.push(chars[1..].iter().collect());
+            out.push(chars[..chars.len() - 1].iter().collect());
+        }
+        out.retain(|c| c != self);
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n > 0 {
+            out.push(Vec::new());
+            // Drop the back or front half, then single elements.
+            if n > 1 {
+                out.push(self[..n / 2].to_vec());
+                out.push(self[n / 2..].to_vec());
+            }
+            for i in 0..n.min(16) {
+                let mut v = self.clone();
+                v.remove(i);
+                out.push(v);
+            }
+            // Shrink individual elements (first few positions).
+            for i in 0..n.min(8) {
+                for cand in self[i].shrink() {
+                    let mut v = self.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(for cand in self.$idx.shrink() {
+                    let mut t = self.clone();
+                    t.$idx = cand;
+                    out.push(t);
+                })+
+                out
+            }
+        })*
+    };
+}
+
+shrink_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Derives the per-property seed [`check`] uses, from the base seed and the
+/// property name (so failure messages can tell users exactly what to set).
+pub fn derive_seed(base: u64, name: &str) -> u64 {
+    let mut h = base;
+    for b in name.bytes() {
+        h = splitmix64(&mut h) ^ u64::from(b);
+    }
+    splitmix64(&mut h)
+}
+
+/// Runs `prop` against `cases` inputs drawn by `gen` with the default
+/// [`Config`]; see the module docs for the failure protocol.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when any case fails, after
+/// shrinking to a minimal input; the message includes the reproducing seed.
+pub fn check<T, G, P>(name: &str, gen: G, prop: P)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    check_with(&Config::default(), name, gen, prop);
+}
+
+/// [`check`] with an explicit configuration.
+///
+/// # Panics
+///
+/// Same contract as [`check`].
+pub fn check_with<T, G, P>(config: &Config, name: &str, gen: G, prop: P)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let seed = derive_seed(config.seed, name);
+    let mut rng = Rng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let input = gen(&mut rng);
+        if let Err(error) = run_case(&prop, &input) {
+            let (minimal, minimal_error, steps) =
+                shrink_failure(&prop, input.clone(), error, config.max_shrink_steps);
+            panic!(
+                "property `{name}` failed on case {case_no}/{cases}\n\
+                 \x20 minimal input ({steps} shrink steps): {minimal:?}\n\
+                 \x20 error: {minimal_error}\n\
+                 \x20 original input: {input:?}\n\
+                 \x20 reproduce with: SPARK_PROP_SEED={base} cargo test",
+                case_no = case + 1,
+                cases = config.cases,
+                base = config.seed,
+            );
+        }
+    }
+}
+
+/// Runs one case, converting panics inside the property into `Err` so they
+/// shrink and report like ordinary failures.
+fn run_case<T, P>(prop: &P, input: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(input))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+fn shrink_failure<T, P>(prop: &P, start: T, start_error: String, max_steps: u32) -> (T, String, u32)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut current = start;
+    let mut error = start_error;
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in current.shrink() {
+            if let Err(e) = run_case(prop, &candidate) {
+                current = candidate;
+                error = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, error, steps)
+}
+
+/// Returns an error unless `cond` holds — property-style `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Returns an error unless the two expressions are equal — property-style
+/// `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n  left: {l:?}\n right: {r:?}",
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check("u64 halving", |rng| rng.next_u64(), |&x| {
+            prop_assert!(x / 2 <= x, "{x}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failure_shrinks_to_minimal_and_reports_seed() {
+        // Property: all u32 < 1000. Minimal counterexample is exactly 1000.
+        let result = catch_unwind(|| {
+            check_with(
+                &Config { cases: 512, seed: 99, max_shrink_steps: 4096 },
+                "all u32 below 1000",
+                |rng| rng.next_u32(),
+                |&x| {
+                    prop_assert!(x < 1000, "{x} >= 1000");
+                    Ok(())
+                },
+            );
+        });
+        let msg = match result {
+            Err(payload) => payload.downcast_ref::<String>().expect("string panic").clone(),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(msg.contains("1000"), "{msg}");
+        assert!(msg.contains("SPARK_PROP_SEED=99"), "{msg}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_small() {
+        // Property: no vec contains a value >= 200. Minimal failure: [200].
+        let result = catch_unwind(|| {
+            check_with(
+                &Config { cases: 256, seed: 7, max_shrink_steps: 4096 },
+                "no element >= 200",
+                |rng| {
+                    let n = rng.gen_range(0..64);
+                    (0..n).map(|_| rng.next_u32() as u8).collect::<Vec<u8>>()
+                },
+                |v| {
+                    prop_assert!(v.iter().all(|&x| x < 200), "{v:?}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = match result {
+            Err(payload) => payload.downcast_ref::<String>().expect("string panic").clone(),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        assert!(msg.contains("minimal input"), "{msg}");
+        // Shrinking must reach the one-element vector [200].
+        assert!(msg.contains("[200]"), "{msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        let result = catch_unwind(|| {
+            check_with(
+                &Config { cases: 64, seed: 3, max_shrink_steps: 512 },
+                "division by anything",
+                |rng| rng.next_u32() % 8,
+                |&x| {
+                    let _ = 100 / x; // panics when x == 0
+                    Ok(())
+                },
+            );
+        });
+        let msg = match result {
+            Err(payload) => payload.downcast_ref::<String>().expect("string panic").clone(),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(msg.contains("minimal input"), "{msg}");
+    }
+
+    #[test]
+    fn same_seed_same_inputs() {
+        let collect = |seed: u64| {
+            let mut rng = Rng::seed_from_u64(derive_seed(seed, "p"));
+            (0..32).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn shrink_primitives_move_toward_zero() {
+        assert!(100u32.shrink().contains(&0));
+        assert!(100u32.shrink().contains(&50));
+        assert!((-8i16).shrink().contains(&0));
+        assert!(0u8.shrink().is_empty());
+        assert!((0.0f64).shrink().is_empty());
+        assert!(true.shrink().contains(&false));
+    }
+}

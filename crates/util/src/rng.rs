@@ -1,0 +1,245 @@
+//! Seedable pseudo-random number generation.
+//!
+//! The workspace builds with zero external crates, so `rand` is replaced by
+//! this module: a SplitMix64 seed expander feeding a xoshiro256++ generator
+//! (Blackman & Vigna, 2019). Both are tiny, fast, and pass BigCrush-scale
+//! batteries — more than adequate for synthetic datasets, weight init, and
+//! property-test input generation.
+//!
+//! Determinism is a contract: the same seed always yields the same stream,
+//! on every platform, forever. The accuracy experiments and the
+//! reproducibility tests (`tests/determinism.rs`) rely on it.
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used to expand a single `u64` seed into the 256-bit xoshiro state and as
+/// a standalone mixer for deriving per-test seeds from names.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+///
+/// ```
+/// use spark_util::rng::Rng;
+/// let mut a = Rng::seed_from_u64(42);
+/// let mut b = Rng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose 256-bit state is expanded from `seed` with
+    /// SplitMix64 (the seeding procedure the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Fair coin flip.
+    #[inline]
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire's multiply-shift with
+    /// rejection (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound == 0`.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below bound must be positive");
+        // Rejection threshold for the widening-multiply method.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + self.gen_below((range.end - range.start) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn gen_range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.gen_f32()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_below((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Splits off an independent generator (seeded from this stream), useful
+    /// for handing deterministic sub-streams to parallel workers.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 0 from the public-domain splitmix64.c
+        // reference implementation. These pin the algorithm so refactors
+        // can't silently change every downstream experiment.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        let mut c = Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.gen_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_below_unbiased_small_bound() {
+        let mut r = Rng::seed_from_u64(2);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[r.gen_below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_range_endpoints() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.gen_range(3..7);
+            assert!((3..7).contains(&x));
+        }
+        assert_eq!(r.gen_range(5..6), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        let _ = Rng::seed_from_u64(0).gen_range(4..4);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut r1 = Rng::seed_from_u64(9);
+        let mut r2 = Rng::seed_from_u64(9);
+        let mut a: Vec<usize> = (0..100).collect();
+        let mut b: Vec<usize> = (0..100).collect();
+        r1.shuffle(&mut a);
+        r2.shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut f1 = r.fork();
+        let mut f2 = r.fork();
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut r = Rng::seed_from_u64(12);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Offline verify pipeline. The workspace is hermetic (zero external
+# dependencies, see DESIGN.md "Hermetic build policy"), so every step runs
+# with --offline: a network dependency creeping into any Cargo.toml fails
+# this script at the first build.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --workspace --offline
+
+echo "==> experiments --smoke"
+SPARK_BENCH_QUICK=1 cargo run --release --offline -p spark-bench --bin experiments -- --smoke
+
+echo "==> ci.sh OK"
