@@ -1,11 +1,20 @@
 //! Micro-benchmarks for the accelerator simulator: the cycle-accurate
 //! systolic tile (Fig 9(c) protocol) and the workload-level model behind
 //! Figs 11/12, on the in-tree `spark_util::bench` timer.
+//!
+//! The engine-variant section times the flat-buffer `run_tile` kernel
+//! against the retained nested-`Vec` `run_tile_reference` on the same
+//! mixed-precision tile and reports simulated cycles per wall-second for
+//! each. Set `SPARK_BENCH_JSON=<path>` to also write the numbers as JSON
+//! (CI writes `BENCH_sim.json` and fails if no throughput number appears).
 
 use spark_nn::ModelWorkload;
 use spark_sim::perf::spark_cycles_per_wave;
-use spark_sim::{Accelerator, AcceleratorKind, PrecisionProfile, SimConfig};
+use spark_sim::{
+    Accelerator, AcceleratorKind, OperandKind, PrecisionProfile, SimConfig, SystolicSim,
+};
 use spark_util::bench::{bench, black_box};
+use spark_util::{Rng, Value};
 
 fn bench_cycle_accurate_tile() {
     let profile = PrecisionProfile::from_short_fractions(0.8, 0.8);
@@ -14,6 +23,91 @@ fn bench_cycle_accurate_tile() {
             black_box(spark_cycles_per_wave(64, 64, &profile, waves, 5));
         });
     }
+}
+
+/// A fixed mixed-precision 64x64 tile with `waves` activation rows, drawn
+/// from the workspace RNG so both engine variants time identical work.
+fn mixed_tile(waves: usize) -> (Vec<Vec<OperandKind>>, Vec<Vec<OperandKind>>) {
+    let mut rng = Rng::seed_from_u64(0x5AA5_C0DE);
+    let mut kind = |p: f64| {
+        if rng.gen_f64() < p {
+            OperandKind::Int4
+        } else {
+            OperandKind::Int8
+        }
+    };
+    let weights = (0..64)
+        .map(|_| (0..64).map(|_| kind(0.8)).collect())
+        .collect();
+    let activations = (0..waves)
+        .map(|_| (0..64).map(|_| kind(0.8)).collect())
+        .collect();
+    (weights, activations)
+}
+
+/// Times both systolic engines on the same tile and returns
+/// `(name, cycles_per_sec, mean_ns)` per variant.
+fn bench_engine_variants() -> Vec<(String, f64, f64)> {
+    let sim = SystolicSim::new(64, 64);
+    let (weights, activations) = mixed_tile(256);
+    let cycles = sim.run_tile(&weights, &activations).cycles as f64;
+    assert_eq!(
+        cycles,
+        sim.run_tile_reference(&weights, &activations).cycles as f64,
+        "engines must agree on the benchmarked tile"
+    );
+
+    let mut rows = Vec::new();
+    let flat = bench("sim/engine/flat_64x64x256", || {
+        black_box(sim.run_tile(&weights, &activations));
+    });
+    rows.push((
+        "flat".to_string(),
+        cycles / (flat.mean_ns * 1e-9),
+        flat.mean_ns,
+    ));
+    let reference = bench("sim/engine/reference_64x64x256", || {
+        black_box(sim.run_tile_reference(&weights, &activations));
+    });
+    rows.push((
+        "reference".to_string(),
+        cycles / (reference.mean_ns * 1e-9),
+        reference.mean_ns,
+    ));
+    println!(
+        "sim/engine/speedup_flat_over_reference       {:>11.2}x",
+        reference.mean_ns / flat.mean_ns
+    );
+    rows
+}
+
+/// Writes the engine-variant results to `$SPARK_BENCH_JSON` if set.
+fn write_bench_json(variants: &[(String, f64, f64)]) {
+    let Some(path) = std::env::var_os("SPARK_BENCH_JSON") else {
+        return;
+    };
+    let per_engine: Vec<Value> = variants
+        .iter()
+        .map(|(name, cps, mean_ns)| {
+            Value::object([
+                ("engine", Value::Str(name.clone())),
+                ("cycles_per_sec", Value::Num(*cps)),
+                ("mean_ns_per_tile", Value::Num(*mean_ns)),
+            ])
+        })
+        .collect();
+    let speedup = match variants {
+        [(_, _, flat_ns), (_, _, ref_ns), ..] => ref_ns / flat_ns,
+        _ => f64::NAN,
+    };
+    let doc = Value::object([
+        ("bench", Value::Str("simulator/engine_variants".into())),
+        ("tile", Value::Str("64x64, 256 waves, p_short=0.8".into())),
+        ("engines", Value::Array(per_engine)),
+        ("speedup_flat_over_reference", Value::Num(speedup)),
+    ]);
+    std::fs::write(&path, doc.to_string_pretty() + "\n").expect("write SPARK_BENCH_JSON");
+    println!("wrote {}", path.to_string_lossy());
 }
 
 fn bench_workload_simulation() {
@@ -49,6 +143,8 @@ fn bench_functional_array() {
 }
 
 fn main() {
+    let variants = bench_engine_variants();
+    write_bench_json(&variants);
     bench_cycle_accurate_tile();
     bench_workload_simulation();
     bench_functional_array();

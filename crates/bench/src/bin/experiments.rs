@@ -47,9 +47,10 @@ fn parse_args() -> Options {
             "--quick" => quick = true,
             "--smoke" => {
                 // The CI smoke path: the experiments cheap enough to run on
-                // every commit (mirrors tests/experiments_smoke.rs).
+                // every commit (mirrors tests/experiments_smoke.rs). `timing`
+                // joined once the flat-buffer engine made Lockstep cheap.
                 quick = true;
-                selected.extend(["table2", "table6", "table7"].map(String::from));
+                selected.extend(["table2", "table6", "table7", "timing"].map(String::from));
             }
             "--json" => {
                 json_dir = args.next().map(PathBuf::from);

@@ -7,6 +7,7 @@
 
 use spark_nn::{Gemm, ModelWorkload};
 use spark_sim::{scaling_sweep, Accelerator, AcceleratorKind, PageReport};
+use spark_util::par_map;
 
 use crate::context::ExperimentContext;
 
@@ -54,23 +55,23 @@ fn with_batch(workload: &ModelWorkload, batch: usize) -> ModelWorkload {
 /// Runs both sweeps.
 pub fn run(ctx: &ExperimentContext) -> Scaling {
     let spark = Accelerator::new(AcceleratorKind::Spark);
-    let pages = ["BERT", "ResNet50"]
+    let page_models: Vec<_> = ["BERT", "ResNet50"]
         .iter()
         .filter_map(|n| ctx.model(n))
-        .map(|m| {
-            let workload = m.workload.as_ref().expect("workload exists");
-            ScalingRow {
-                model: m.profile.name.clone(),
-                reports: scaling_sweep(
-                    &spark,
-                    workload,
-                    &m.precision,
-                    &ctx.sim,
-                    &[1, 2, 4, 8, 16],
-                ),
-            }
-        })
         .collect();
+    let pages = par_map(&page_models, |m| {
+        let workload = m.workload.as_ref().expect("workload exists");
+        ScalingRow {
+            model: m.profile.name.clone(),
+            reports: scaling_sweep(
+                &spark,
+                workload,
+                &m.precision,
+                &ctx.sim,
+                &[1, 2, 4, 8, 16],
+            ),
+        }
+    });
 
     let bert = ctx.model("BERT").expect("BERT in context");
     let base = bert.workload.as_ref().expect("workload exists");

@@ -202,6 +202,28 @@ impl MagnitudeQuantizer {
             bits: self.bits,
         })
     }
+
+    /// Streams the unsigned magnitude codes of `t` to `f` without
+    /// materializing a [`MagnitudeCodes`] — the zero-allocation pass behind
+    /// stats-only consumers such as `SparkCodec::code_stats`. Produces
+    /// exactly the code stream [`Self::quantize`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::NonFiniteInput`] for NaN/infinite input.
+    pub fn for_each_code(&self, t: &Tensor, mut f: impl FnMut(u8)) -> Result<(), QuantError> {
+        check_finite(t)?;
+        let alpha = match self.clip_quantile {
+            Some(q) => stats::abs_quantile(t, q),
+            None => stats::abs_max(t),
+        };
+        let alpha = if alpha == 0.0 { 1.0 } else { alpha };
+        let qmax = ((1u64 << self.bits) - 1) as f32;
+        for &x in t.as_slice() {
+            f((x.abs() / alpha * qmax).round().min(qmax) as u8);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,22 @@ impl SparkCodec {
         };
         Ok((result, stats))
     }
+
+    /// Computes the code statistics alone — same counts as
+    /// [`Self::compress_with_stats`], but without materializing the code
+    /// words, the decoded stream, or the reconstructed tensor. This is the
+    /// pass the perf model uses to measure precision profiles, where only
+    /// the short/long fractions matter.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::compress`].
+    pub fn code_stats(&self, tensor: &Tensor) -> Result<CodeStats, QuantError> {
+        let quantizer = MagnitudeQuantizer::new(self.base_bits)?;
+        let mut stats = CodeStats::new();
+        quantizer.for_each_code(tensor, |c| stats.record(c, self.mode.encode(c)))?;
+        Ok(stats)
+    }
 }
 
 impl Codec for SparkCodec {
@@ -225,6 +241,31 @@ mod tests {
             (diff / t.len() as f32).abs()
         };
         assert!(mean_err(&with_bc) <= mean_err(&without) + 1e-6);
+    }
+
+    #[test]
+    fn code_stats_matches_full_compression_pass() {
+        // The stats-only pass must count exactly what compress_with_stats
+        // counts, for every codec variant.
+        let t = long_tail_tensor(3000);
+        for codec in [
+            SparkCodec::default(),
+            SparkCodec::default().without_compensation(),
+        ] {
+            let (_, full) = codec.compress_with_stats(&t).unwrap();
+            let only = codec.code_stats(&t).unwrap();
+            assert_eq!(only, full, "{}", codec.name());
+        }
+        // Degenerate inputs agree too.
+        let zero = Tensor::zeros(&[32]);
+        let (_, full) = SparkCodec::default().compress_with_stats(&zero).unwrap();
+        assert_eq!(SparkCodec::default().code_stats(&zero).unwrap(), full);
+    }
+
+    #[test]
+    fn code_stats_rejects_non_finite() {
+        let t = Tensor::from_vec(vec![f32::NAN], &[1]).unwrap();
+        assert!(SparkCodec::default().code_stats(&t).is_err());
     }
 
     #[test]

@@ -45,6 +45,47 @@ pub fn mac_cycles(a: OperandKind, w: OperandKind) -> u32 {
     a.nibbles() * w.nibbles()
 }
 
+/// Precomputed per-tile MAC costs for a weight-stationary tile.
+///
+/// The weight precision of every PE is fixed for the lifetime of a tile
+/// pass, so the per-MAC cost only varies with the incoming activation's
+/// precision. This table folds the [`mac_cycles`] dispatch into two
+/// row-major `u8` planes — one per activation kind — turning the per-MAC
+/// enum match in the simulator hot loop into a single indexed byte load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileCosts {
+    /// Costs when the row's activation is a short code (`Int4`).
+    short: Vec<u8>,
+    /// Costs when the row's activation is a long code (`Int8`).
+    long: Vec<u8>,
+    cols: usize,
+}
+
+impl TileCosts {
+    /// Builds the cost planes from a `rows x cols` weight-precision matrix.
+    pub fn from_weights(weights: &[Vec<OperandKind>]) -> Self {
+        let cols = weights.first().map_or(0, Vec::len);
+        let mut short = Vec::with_capacity(weights.len() * cols);
+        let mut long = Vec::with_capacity(weights.len() * cols);
+        for row in weights {
+            for &w in row {
+                short.push(mac_cycles(OperandKind::Int4, w) as u8);
+                long.push(mac_cycles(OperandKind::Int8, w) as u8);
+            }
+        }
+        Self { short, long, cols }
+    }
+
+    /// The cost row for array row `k` under activation kind `a`.
+    pub fn row(&self, a: OperandKind, k: usize) -> &[u8] {
+        let plane = match a {
+            OperandKind::Int4 => &self.short,
+            OperandKind::Int8 => &self.long,
+        };
+        &plane[k * self.cols..(k + 1) * self.cols]
+    }
+}
+
 /// Expected cycles per MAC given independent short-code probabilities for
 /// the two operand streams — the analytic counterpart of the cycle
 /// simulator.
@@ -92,5 +133,22 @@ mod tests {
     fn expected_cycles_clamps_inputs() {
         assert_eq!(expected_mac_cycles(2.0, 2.0), 1.0);
         assert_eq!(expected_mac_cycles(-1.0, -1.0), 4.0);
+    }
+
+    #[test]
+    fn tile_costs_match_mac_cycles_dispatch() {
+        let weights = vec![
+            vec![OperandKind::Int4, OperandKind::Int8, OperandKind::Int4],
+            vec![OperandKind::Int8, OperandKind::Int8, OperandKind::Int4],
+        ];
+        let costs = TileCosts::from_weights(&weights);
+        for (k, row) in weights.iter().enumerate() {
+            for a in [OperandKind::Int4, OperandKind::Int8] {
+                let plane_row = costs.row(a, k);
+                for (j, &w) in row.iter().enumerate() {
+                    assert_eq!(u32::from(plane_row[j]), mac_cycles(a, w), "({k},{j})");
+                }
+            }
+        }
     }
 }

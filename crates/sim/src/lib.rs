@@ -54,13 +54,13 @@ pub mod perf;
 pub mod systolic;
 
 pub use arch::{Accelerator, AcceleratorKind};
-pub use cost::{mac_cycles, OperandKind};
+pub use cost::{mac_cycles, OperandKind, TileCosts};
 pub use bandwidth::{analyze as analyze_bandwidth, BandwidthReport};
 pub use buffer::{plan_workload, BufferConfig, BufferReport, TilePlan};
 pub use functional::{run_layer, FunctionalArray};
 pub use isa::{Instruction, Program};
 pub use pages::{scaling_sweep, simulate_pages, PageReport};
-pub use pe::{Mpe, SignMag};
+pub use pe::{MacSchedule, Mpe, SignMag};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use perf::{LayerReport, PrecisionProfile, SimConfig, WorkloadReport};
-pub use systolic::SystolicSim;
+pub use systolic::{StallBreakdown, SystolicSim, TileResult};

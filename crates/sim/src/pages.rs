@@ -109,7 +109,8 @@ pub fn simulate_pages(
     }
 }
 
-/// Sweeps page counts, returning one report per count.
+/// Sweeps page counts in parallel, returning one report per count (input
+/// order preserved).
 pub fn scaling_sweep(
     acc: &Accelerator,
     workload: &ModelWorkload,
@@ -117,10 +118,9 @@ pub fn scaling_sweep(
     config: &SimConfig,
     page_counts: &[usize],
 ) -> Vec<PageReport> {
-    page_counts
-        .iter()
-        .map(|&p| simulate_pages(acc, workload, profile, config, p))
-        .collect()
+    spark_util::par_map(page_counts, |&p| {
+        simulate_pages(acc, workload, profile, config, p)
+    })
 }
 
 #[cfg(test)]

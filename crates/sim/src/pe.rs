@@ -85,6 +85,51 @@ impl MacStep {
     pub fn partial(&self) -> u32 {
         (u32::from(self.w_nibble) * u32::from(self.a_nibble)) << self.shift
     }
+
+    const ZERO: MacStep = MacStep {
+        w_nibble: 0,
+        a_nibble: 0,
+        shift: 0,
+    };
+}
+
+/// The nibble schedule of one MAC: at most four [`MacStep`]s, held inline
+/// so the per-MAC hot path of the functional array allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacSchedule {
+    steps: [MacStep; 4],
+    len: u8,
+}
+
+impl MacSchedule {
+    fn new(steps: &[MacStep]) -> Self {
+        debug_assert!(steps.len() <= 4);
+        let mut buf = [MacStep::ZERO; 4];
+        buf[..steps.len()].copy_from_slice(steps);
+        Self {
+            steps: buf,
+            len: steps.len() as u8,
+        }
+    }
+
+    /// Number of cycles (steps) in the schedule: 1, 2 or 4.
+    #[allow(clippy::len_without_is_empty)] // a schedule is never empty
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// The populated steps.
+    pub fn as_slice(&self) -> &[MacStep] {
+        &self.steps[..self.len()]
+    }
+}
+
+impl std::ops::Deref for MacSchedule {
+    type Target = [MacStep];
+
+    fn deref(&self) -> &[MacStep] {
+        self.as_slice()
+    }
 }
 
 /// The mixed-precision processing element.
@@ -106,15 +151,16 @@ impl Mpe {
     }
 
     /// The nibble schedule for an operand pair: 1 step for 4x4, 2 for 4x8,
-    /// 4 for 8x8 (Fig 8's cycle walk-through).
-    pub fn schedule(w: SignMag, a: SignMag) -> Vec<MacStep> {
+    /// 4 for 8x8 (Fig 8's cycle walk-through). Returned inline
+    /// ([`MacSchedule`]) so the hot MAC path allocates nothing.
+    pub fn schedule(w: SignMag, a: SignMag) -> MacSchedule {
         match (w.kind(), a.kind()) {
-            (OperandKind::Int4, OperandKind::Int4) => vec![MacStep {
+            (OperandKind::Int4, OperandKind::Int4) => MacSchedule::new(&[MacStep {
                 w_nibble: w.low_nibble(),
                 a_nibble: a.low_nibble(),
                 shift: 0,
-            }],
-            (OperandKind::Int8, OperandKind::Int4) => vec![
+            }]),
+            (OperandKind::Int8, OperandKind::Int4) => MacSchedule::new(&[
                 // cycle t: high nibble of the wide operand, shifted left 4
                 MacStep {
                     w_nibble: w.high_nibble(),
@@ -127,8 +173,8 @@ impl Mpe {
                     a_nibble: a.low_nibble(),
                     shift: 0,
                 },
-            ],
-            (OperandKind::Int4, OperandKind::Int8) => vec![
+            ]),
+            (OperandKind::Int4, OperandKind::Int8) => MacSchedule::new(&[
                 MacStep {
                     w_nibble: w.low_nibble(),
                     a_nibble: a.high_nibble(),
@@ -139,8 +185,8 @@ impl Mpe {
                     a_nibble: a.low_nibble(),
                     shift: 0,
                 },
-            ],
-            (OperandKind::Int8, OperandKind::Int8) => vec![
+            ]),
+            (OperandKind::Int8, OperandKind::Int8) => MacSchedule::new(&[
                 MacStep {
                     w_nibble: w.high_nibble(),
                     a_nibble: a.high_nibble(),
@@ -161,7 +207,7 @@ impl Mpe {
                     a_nibble: a.low_nibble(),
                     shift: 0,
                 },
-            ],
+            ]),
         }
     }
 
@@ -170,7 +216,7 @@ impl Mpe {
     pub fn mac(&mut self, w: SignMag, a: SignMag) -> u32 {
         let steps = Self::schedule(w, a);
         let mut product = 0u32;
-        for step in &steps {
+        for step in steps.as_slice() {
             product += step.partial();
         }
         let signed = if w.negative ^ a.negative {

@@ -15,14 +15,56 @@
 //! `finish(k,j,t) = max(finish(k,j,t-1), finish(k,j-1,t), finish(k-1,j,t)) + cost`
 //! gives exactly the completion time a lockstep array with these stalls
 //! exhibits; the paper's Fig 9(c) walk-through is one instance of it.
+//!
+//! ## Engine
+//!
+//! [`SystolicSim::run_tile`] evaluates the recurrence with a flat-buffer
+//! kernel: one reusable row-major `u32` finish-time plane updated in place
+//! wave by wave, per-row cost prefix sums precomputed from a per-tile
+//! [`TileCosts`] byte table instead of per-MAC [`mac_cycles`] dispatch,
+//! and the per-wave recurrence recast as a prefix-sum scan so it
+//! vectorizes (AVX-512/AVX2 when the host has them, detected at runtime).
+//! It also attributes every MAC's start-time gate to a
+//! [`StallBreakdown`]. The nested-`Vec` reference evaluation of the same
+//! recurrence is kept as [`SystolicSim::run_tile_reference`] for
+//! differential testing and the engine-variant benchmark; the two are
+//! bit-identical (randomized property test, see DESIGN.md for the
+//! equivalence argument).
 
-use crate::cost::{mac_cycles, OperandKind};
+use crate::cost::{mac_cycles, OperandKind, TileCosts};
 
 /// The cycle-accurate array simulator.
 #[derive(Debug, Clone)]
 pub struct SystolicSim {
     rows: usize,
     cols: usize,
+}
+
+/// Which dependency gated each MAC's start time — the observability layer
+/// over the Fig 9(c) recurrence.
+///
+/// Each MAC is attributed to exactly one gate: the largest of the four
+/// start-time lower bounds, with ties resolved in the order self, left,
+/// above, skew (a later gate takes the attribution only when it strictly
+/// exceeds all earlier ones). The four counters therefore partition the
+/// tile's MACs: `total() == TileResult::macs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// MACs gated by the PE's own previous wave (the PE was still busy).
+    pub self_busy: u64,
+    /// MACs gated by the activation forwarded from the left neighbour.
+    pub left: u64,
+    /// MACs gated by the partial sum arriving from the PE above.
+    pub above: u64,
+    /// MACs gated by the initial `k + j` data-skew of the systolic fill.
+    pub skew: u64,
+}
+
+impl StallBreakdown {
+    /// Total attributed MACs (equals the tile's MAC count).
+    pub fn total(&self) -> u64 {
+        self.self_busy + self.left + self.above + self.skew
+    }
 }
 
 /// Result of simulating one tile.
@@ -34,6 +76,9 @@ pub struct TileResult {
     pub macs: u64,
     /// Sum of per-MAC busy cycles (energy-relevant).
     pub busy_cycles: u64,
+    /// Which dependency gated each MAC (all zero for
+    /// [`SystolicSim::run_tile_reference`], which does not attribute).
+    pub stalls: StallBreakdown,
 }
 
 impl TileResult {
@@ -81,13 +126,45 @@ impl SystolicSim {
         weights: &[Vec<OperandKind>],
         activations: &[Vec<OperandKind>],
     ) -> TileResult {
-        assert_eq!(weights.len(), self.rows, "weight rows must match array");
-        for row in weights {
-            assert_eq!(row.len(), self.cols, "weight cols must match array");
+        self.check_dims(weights, activations);
+        let waves = activations.len();
+        // The engine tracks finish times in `u32` (16 SIMD lanes instead of
+        // 8): every finish is bounded by 4 cycles per wave plus the fill
+        // skew. A tile deep enough to overflow would need an activation
+        // matrix of billions of waves — unrepresentable in memory long
+        // before the bound is reached — so reject it outright.
+        assert!(
+            4 * (waves as u64) + (self.rows + self.cols) as u64 <= i32::MAX as u64,
+            "tile depth would overflow u32 finish times"
+        );
+        let costs = TileCosts::from_weights(weights);
+        let mut eng = Engine::new(self.rows, self.cols, &costs);
+        if waves > 0 {
+            eng.wave_fill(&activations[0]);
         }
-        for wave in activations {
-            assert_eq!(wave.len(), self.rows, "activation width must match rows");
+        // Steady-state waves (t >= 1) drop the skew term entirely: the PE's
+        // own previous finish already exceeds it (finish(0) >= skew + cost),
+        // so skew can neither move a start time nor win attribution.
+        for wave in &activations[waves.min(1)..] {
+            eng.wave_steady(wave);
         }
+        eng.finish(waves)
+    }
+
+    /// The original nested-`Vec` evaluation of the Fig 9(c) recurrence,
+    /// kept as the differential-testing baseline for [`Self::run_tile`] and
+    /// as the "reference" variant of the engine benchmark. Identical
+    /// `cycles` / `macs` / `busy_cycles`; does not attribute stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operand matrices do not match the array dimensions.
+    pub fn run_tile_reference(
+        &self,
+        weights: &[Vec<OperandKind>],
+        activations: &[Vec<OperandKind>],
+    ) -> TileResult {
+        self.check_dims(weights, activations);
         let waves = activations.len();
         let mut prev = vec![vec![0u64; self.cols]; self.rows]; // finish at t-1
         let mut busy = 0u64;
@@ -121,6 +198,17 @@ impl SystolicSim {
             cycles,
             macs: (self.rows * self.cols * waves) as u64,
             busy_cycles: busy,
+            stalls: StallBreakdown::default(),
+        }
+    }
+
+    fn check_dims(&self, weights: &[Vec<OperandKind>], activations: &[Vec<OperandKind>]) {
+        assert_eq!(weights.len(), self.rows, "weight rows must match array");
+        for row in weights {
+            assert_eq!(row.len(), self.cols, "weight cols must match array");
+        }
+        for wave in activations {
+            assert_eq!(wave.len(), self.rows, "activation width must match rows");
         }
     }
 
@@ -136,6 +224,434 @@ impl SystolicSim {
         let weights = vec![vec![w_kind; self.cols]; self.rows];
         let activations = vec![vec![a_kind; self.rows]; waves];
         self.run_tile(&weights, &activations)
+    }
+}
+
+/// Working state of the flat-buffer engine: the cost tables, the in-place
+/// finish-time plane, and the busy/stall accumulators.
+///
+/// The plane is updated in place, one wave at a time: reading a PE's slot
+/// before overwriting it yields the previous wave's finish (the self
+/// bound), and row `k-1`'s slots already hold the current wave (the above
+/// bound). `zeros` stands in for the row above row 0. All gate tests are
+/// branchless selects — the data-dependent pattern makes real branches
+/// mispredict constantly. The binding gate is the max of the start-time
+/// bounds; a later-priority gate wins attribution only on strict excess.
+/// Self-gating is derived at the end (the four gates partition the MACs),
+/// so the hot loops count with independent 0/1 adds instead of a serial
+/// read-modify-write chain on one shared counter.
+///
+/// Steady-state waves are evaluated as a prefix-sum scan rather than the
+/// literal left-to-right recurrence (see [`steady_row_core`]), which keeps
+/// the only serial dependence to a one-instruction running max and lets
+/// the rest of the per-MAC work vectorize.
+struct Engine<'a> {
+    rows: usize,
+    cols: usize,
+    costs: &'a TileCosts,
+    /// Per-kind exclusive prefix sums of each cost row, `rows x (cols+1)`:
+    /// `psum[a][k*(cols+1) + j]` is the total cost of columns `< j` of row
+    /// `k` under activation kind `a` (so the last entry of a row is its
+    /// busy-cycle total).
+    psum: [Vec<u32>; 2],
+    plane: Vec<u32>,
+    zeros: Vec<u32>,
+    /// Scratch for the steady-wave scan: `g[j] - E[j]` terms.
+    hbuf: Vec<i32>,
+    /// Scratch for the steady-wave scan: the row's new finish times.
+    finbuf: Vec<u32>,
+    simd: SimdLevel,
+    busy: u64,
+    left_c: u64,
+    above_c: u64,
+    skew_c: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(rows: usize, cols: usize, costs: &'a TileCosts) -> Self {
+        let psum = [OperandKind::Int4, OperandKind::Int8].map(|a| {
+            let mut table = Vec::with_capacity(rows * (cols + 1));
+            for k in 0..rows {
+                let mut acc = 0u32;
+                table.push(0);
+                for &c in costs.row(a, k) {
+                    acc += u32::from(c);
+                    table.push(acc);
+                }
+            }
+            table
+        });
+        Self {
+            rows,
+            cols,
+            costs,
+            psum,
+            plane: vec![0u32; rows * cols],
+            zeros: vec![0u32; cols],
+            hbuf: vec![0i32; cols],
+            finbuf: vec![0u32; cols],
+            simd: SimdLevel::detect(),
+            busy: 0,
+            left_c: 0,
+            above_c: 0,
+            skew_c: 0,
+        }
+    }
+
+    /// Accounts the row's busy cycles and returns its cost row.
+    fn row_costs(&mut self, a_kind: OperandKind, k: usize) -> &'a [u8] {
+        let idx = usize::from(a_kind == OperandKind::Int8);
+        self.busy += u64::from(self.psum[idx][k * (self.cols + 1) + self.cols]);
+        &self.costs.row(a_kind, k)[..self.cols]
+    }
+
+    /// The pipeline-fill wave (t = 0): start times additionally respect the
+    /// `k + j` systolic skew. Only here can skew gate — from wave 1 on, the
+    /// PE's own previous finish already exceeds it.
+    fn wave_fill(&mut self, wave: &[OperandKind]) {
+        let cols = self.cols;
+        // Counters live in registers for the duration of the wave; going
+        // through `self` per MAC would serialize the loop on a
+        // read-modify-write memory chain.
+        let (mut a_c, mut l_c, mut s_c) = (0u64, 0u64, 0u64);
+        for k in 0..self.rows {
+            let rc = self.row_costs(wave[k], k);
+            let base = k * cols;
+            let (head, tail) = self.plane.split_at_mut(base);
+            let row = &mut tail[..cols];
+            let above: &[u32] = if k == 0 {
+                &self.zeros[..cols]
+            } else {
+                &head[base - cols..]
+            };
+            let mut lf = 0u32;
+            for j in 0..cols {
+                let cost = u32::from(rc[j]);
+                let s_self = row[j];
+                let ab = above[j];
+                let skew = (k + j) as u32;
+                let m01 = s_self.max(lf);
+                let m012 = m01.max(ab);
+                let start = m012.max(skew);
+                let gl = lf > s_self;
+                let ga = ab > m01;
+                let gs = skew > m012;
+                s_c += u64::from(gs);
+                a_c += u64::from(ga & !gs);
+                l_c += u64::from(gl & !ga & !gs);
+                let fin = start + cost;
+                row[j] = fin;
+                lf = fin;
+            }
+        }
+        self.above_c += a_c;
+        self.left_c += l_c;
+        self.skew_c += s_c;
+    }
+
+    /// One steady-state wave (t >= 1, no skew term), in place, via the
+    /// scan kernels. The SIMD dispatch happens once per wave, not per row,
+    /// so the whole row loop compiles inside one `#[target_feature]`
+    /// context (row-kernel calls inline, vector constants stay live).
+    fn wave_steady(&mut self, wave: &[OperandKind]) {
+        match self.simd {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `SimdLevel::detect` verified the features at runtime.
+            SimdLevel::Avx512 => unsafe { self.wave_steady_avx512(wave) },
+            _ => self.wave_steady_portable(wave),
+        }
+    }
+
+    fn wave_steady_portable(&mut self, wave: &[OperandKind]) {
+        let cols = self.cols;
+        let (mut a_c, mut l_c) = (0u64, 0u64);
+        for k in 0..self.rows {
+            let idx = usize::from(wave[k] == OperandKind::Int8);
+            let e = &self.psum[idx][k * (cols + 1)..][..cols + 1];
+            self.busy += u64::from(e[cols]);
+            let base = k * cols;
+            let (head, tail) = self.plane.split_at_mut(base);
+            let row = &mut tail[..cols];
+            let above: &[u32] = if k == 0 {
+                &self.zeros[..cols]
+            } else {
+                &head[base - cols..]
+            };
+            let (da, dl) = steady_row(self.simd, row, above, e, &mut self.hbuf, &mut self.finbuf);
+            a_c += da;
+            l_c += dl;
+        }
+        self.above_c += a_c;
+        self.left_c += l_c;
+    }
+
+    /// The row loop of [`Engine::wave_steady_portable`] compiled with
+    /// AVX-512 enabled so [`steady_row_avx512`] inlines into it.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f", enable = "avx512vl", enable = "avx512dq")]
+    unsafe fn wave_steady_avx512(&mut self, wave: &[OperandKind]) {
+        let cols = self.cols;
+        let (mut a_c, mut l_c) = (0u64, 0u64);
+        for k in 0..self.rows {
+            let idx = usize::from(wave[k] == OperandKind::Int8);
+            let e = &self.psum[idx][k * (cols + 1)..][..cols + 1];
+            self.busy += u64::from(e[cols]);
+            let base = k * cols;
+            let (head, tail) = self.plane.split_at_mut(base);
+            let row = &mut tail[..cols];
+            let above: &[u32] = if k == 0 {
+                &self.zeros[..cols]
+            } else {
+                &head[base - cols..]
+            };
+            let (da, dl) = steady_row_avx512(row, above, e, &mut self.hbuf, &mut self.finbuf);
+            a_c += da;
+            l_c += dl;
+        }
+        self.above_c += a_c;
+        self.left_c += l_c;
+    }
+
+    fn finish(self, waves: usize) -> TileResult {
+        let macs = (self.rows * self.cols * waves) as u64;
+        TileResult {
+            cycles: u64::from(self.plane.iter().copied().max().unwrap_or(0)),
+            macs,
+            busy_cycles: self.busy,
+            stalls: StallBreakdown {
+                self_busy: macs - self.left_c - self.above_c - self.skew_c,
+                left: self.left_c,
+                above: self.above_c,
+                skew: self.skew_c,
+            },
+        }
+    }
+}
+
+/// Widest SIMD feature set the host supports for the steady-row kernel.
+///
+/// On AVX-512 hosts the steady row runs a hand-fused 16-lane intrinsics
+/// kernel ([`steady_row_avx512`]); with AVX2 the plain-Rust kernel body is
+/// compiled inside a `#[target_feature]` wrapper so LLVM may auto-vectorize
+/// its element-wise passes with 256-bit compares and maxes, which the
+/// x86-64 baseline ISA lacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimdLevel {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+impl SimdLevel {
+    fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+            {
+                return SimdLevel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        SimdLevel::Scalar
+    }
+}
+
+/// One steady-state wave of one array row, as a scan instead of the
+/// literal recurrence.
+///
+/// The recurrence along a row is `fin[j] = max(g[j], fin[j-1]) + c[j]`
+/// with `g[j] = max(self[j], above[j])` — a max-plus prefix scan. With
+/// exclusive cost prefix sums `E[j]` (so `c[j] = E[j+1] - E[j]`), expanding
+/// the recurrence gives
+///
+/// ```text
+/// fin[j] = E[j+1] + max_{i <= j} (g[i] - E[i])
+/// ```
+///
+/// because the candidate "start at column i's bound, then chain through
+/// every PE to j" costs `g[i] + (E[j+1] - E[i])`. That turns the serial
+/// part into a plain running max (one compare per element, loop-carried
+/// latency one instruction) while the `g`/`h` terms (pass 1) and the gate
+/// attribution (pass 3) are element-wise and vectorizable. `h` values are
+/// `i32`: `g - E` can be negative early in a row, and every quantity is
+/// below `2^31` (finish times grow by at most 4 per wave plus skew; see
+/// the depth assertion in [`SystolicSim::run_tile`]).
+///
+/// Returns the row's (above, left) gate counts; the row's new finish times
+/// are written back into `row` in place.
+#[inline(always)]
+fn steady_row_core(
+    row: &mut [u32],
+    above: &[u32],
+    e: &[u32],
+    hbuf: &mut [i32],
+    finbuf: &mut [u32],
+) -> (u64, u64) {
+    // Re-slice to lengths derived from `cols` so the optimizer can prove
+    // every index in the fixed-trip-count loops below is in bounds —
+    // per-iteration bounds checks would block vectorization of the
+    // element-wise passes.
+    let cols = row.len();
+    let above = &above[..cols];
+    let e = &e[..cols + 1];
+    let hbuf = &mut hbuf[..cols];
+    let finbuf = &mut finbuf[..cols];
+    // Pass 1 (element-wise): h[j] = max(self, above) - E[j].
+    for j in 0..cols {
+        hbuf[j] = (row[j].max(above[j]) as i32).wrapping_sub(e[j] as i32);
+    }
+    // Pass 2 (the only serial chain): running max, then fin = r + E[j+1].
+    let mut r = i32::MIN;
+    for j in 0..cols {
+        r = r.max(hbuf[j]);
+        finbuf[j] = r.wrapping_add(e[j + 1] as i32) as u32;
+    }
+    attribute_writeback(row, above, finbuf)
+}
+
+/// Pass 3 of the steady-wave scan: gate attribution against the finished
+/// wave, then the new finish times written over the old ones. `row` still
+/// holds the previous wave on entry — each slot is read (as the self
+/// bound) before being overwritten. Element-wise and vectorizable.
+#[inline(always)]
+fn attribute_writeback(row: &mut [u32], above: &[u32], finbuf: &[u32]) -> (u64, u64) {
+    let cols = row.len();
+    let above = &above[..cols];
+    let finbuf = &finbuf[..cols];
+    let mut a_c = u64::from(above[0] > row[0]); // j = 0 has no left input
+    let mut l_c = 0u64;
+    row[0] = finbuf[0];
+    let selfs = &mut row[1..];
+    let abs_in = &above[1..];
+    let lfs = &finbuf[..cols - 1];
+    let fins = &finbuf[1..];
+    for i in 0..cols - 1 {
+        let lf = lfs[i];
+        let s = selfs[i];
+        let ab = abs_in[i];
+        let gl = lf > s;
+        let ga = ab > s.max(lf);
+        a_c += u64::from(ga);
+        l_c += u64::from(gl & !ga);
+        selfs[i] = fins[i];
+    }
+    (a_c, l_c)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn steady_row_avx2(
+    row: &mut [u32],
+    above: &[u32],
+    e: &[u32],
+    hbuf: &mut [i32],
+    finbuf: &mut [u32],
+) -> (u64, u64) {
+    steady_row_core(row, above, e, hbuf, finbuf)
+}
+
+/// AVX-512 steady row: all three passes fused into one sweep.
+///
+/// The running max is a 16-lane Hillis-Steele inclusive scan — lane `i`
+/// becomes the max of lanes `0..=i` after shift-up-by-{1,2,4,8} max steps
+/// (`i32::MIN` is the max identity shifted in), and a broadcast `carry`
+/// folds in the prefix of earlier vectors. The left-neighbour finishes for
+/// gate attribution are the finish vector shifted up one lane (previous
+/// vector's last lane carried in; zero enters at `j = 0`, the column with
+/// no left input), the gates are unsigned compare masks counted with
+/// popcount, and the finish times overwrite `row` directly — nothing
+/// round-trips through scratch memory. Only the vector-to-vector carries
+/// are loop-carried.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl", enable = "avx512dq")]
+unsafe fn steady_row_avx512(
+    row: &mut [u32],
+    above: &[u32],
+    e: &[u32],
+    _hbuf: &mut [i32],
+    _finbuf: &mut [u32],
+) -> (u64, u64) {
+    use std::arch::x86_64::*;
+    let cols = row.len();
+    let above_s = &above[..cols];
+    let e_s = &e[..cols + 1];
+    let neg = _mm512_set1_epi32(i32::MIN);
+    let idx15 = _mm512_set1_epi32(15);
+    let mut carry = neg;
+    let mut fin_prev = _mm512_setzero_si512();
+    let mut a_c = 0u64;
+    let mut l_c = 0u64;
+    let mut j = 0usize;
+    while j + 16 <= cols {
+        // SAFETY: `j + 16 <= cols` bounds every 16-lane access; `e` has
+        // `cols + 1` elements, so the shifted `e[j+1..j+17]` load fits too.
+        let s = _mm512_loadu_epi32(row.as_ptr().add(j).cast::<i32>());
+        let ab = _mm512_loadu_epi32(above_s.as_ptr().add(j).cast::<i32>());
+        let g = _mm512_max_epu32(s, ab);
+        let ev = _mm512_loadu_epi32(e_s.as_ptr().add(j).cast::<i32>());
+        let mut h = _mm512_sub_epi32(g, ev);
+        h = _mm512_max_epi32(h, _mm512_alignr_epi32::<15>(h, neg));
+        h = _mm512_max_epi32(h, _mm512_alignr_epi32::<14>(h, neg));
+        h = _mm512_max_epi32(h, _mm512_alignr_epi32::<12>(h, neg));
+        h = _mm512_max_epi32(h, _mm512_alignr_epi32::<8>(h, neg));
+        h = _mm512_max_epi32(h, carry);
+        carry = _mm512_permutexvar_epi32(idx15, h);
+        let e1 = _mm512_loadu_epi32(e_s.as_ptr().add(j + 1).cast::<i32>());
+        let fin = _mm512_add_epi32(h, e1);
+        let lf = _mm512_alignr_epi32::<15>(fin, fin_prev);
+        fin_prev = fin;
+        let gl = _mm512_cmpgt_epu32_mask(lf, s);
+        let ga = _mm512_cmpgt_epu32_mask(ab, _mm512_max_epu32(s, lf));
+        a_c += u64::from(ga.count_ones() as u16);
+        l_c += u64::from((gl & !ga).count_ones() as u16);
+        _mm512_storeu_epi32(row.as_mut_ptr().add(j).cast::<i32>(), fin);
+        j += 16;
+    }
+    // Scalar tail, seeded with the vector carries (scan prefix in every
+    // `carry` lane; the last finish in `fin_prev`'s top lane).
+    let mut r = _mm_cvtsi128_si32(_mm512_castsi512_si128(carry));
+    let mut lf = if j == 0 {
+        0u32
+    } else {
+        _mm_cvtsi128_si32(_mm512_castsi512_si128(_mm512_permutexvar_epi32(idx15, fin_prev)))
+            as u32
+    };
+    for jj in j..cols {
+        let s = row[jj];
+        let ab = above_s[jj];
+        r = r.max((s.max(ab) as i32).wrapping_sub(e_s[jj] as i32));
+        let fin = r.wrapping_add(e_s[jj + 1] as i32) as u32;
+        let gl = lf > s;
+        let ga = ab > s.max(lf);
+        a_c += u64::from(ga);
+        l_c += u64::from(gl & !ga);
+        row[jj] = fin;
+        lf = fin;
+    }
+    (a_c, l_c)
+}
+
+fn steady_row(
+    simd: SimdLevel,
+    row: &mut [u32],
+    above: &[u32],
+    e: &[u32],
+    hbuf: &mut [i32],
+    finbuf: &mut [u32],
+) -> (u64, u64) {
+    match simd {
+        SimdLevel::Scalar => steady_row_core(row, above, e, hbuf, finbuf),
+        // SAFETY: `SimdLevel::detect` verified the features at runtime.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { steady_row_avx2(row, above, e, hbuf, finbuf) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { steady_row_avx512(row, above, e, hbuf, finbuf) },
     }
 }
 
@@ -269,5 +785,73 @@ mod tests {
         let mean_cost = r.busy_cycles as f64 / r.macs as f64;
         assert!(per_wave >= mean_cost, "per_wave {per_wave} < mean {mean_cost}");
         assert!(per_wave <= 4.5, "per_wave {per_wave}");
+    }
+
+    #[test]
+    fn stall_counters_partition_the_macs() {
+        let sim = SystolicSim::new(4, 4);
+        let r = sim.run_uniform(25, OperandKind::Int8, OperandKind::Int4);
+        assert_eq!(r.stalls.total(), r.macs);
+    }
+
+    #[test]
+    fn single_pe_is_always_self_gated() {
+        // A 1x1 array has no neighbours and zero skew: every MAC waits only
+        // on the PE's own previous wave.
+        let sim = SystolicSim::new(1, 1);
+        let r = sim.run_uniform(12, OperandKind::Int8, OperandKind::Int8);
+        assert_eq!(r.stalls.self_busy, 12);
+        assert_eq!(r.stalls.left + r.stalls.above + r.stalls.skew, 0);
+    }
+
+    #[test]
+    fn slow_column_shifts_attribution_left_of_it() {
+        // One 4-cycle column among 1-cycle PEs: in steady state the columns
+        // to its right are gated by the activation forwarded from the left
+        // (the slow column), so left-stalls dominate there.
+        let sim = SystolicSim::new(1, 4);
+        let mut weights = all(OperandKind::Int4, 1, 4);
+        weights[0][1] = OperandKind::Int8;
+        let activations = vec![vec![OperandKind::Int8]; 60];
+        let r = sim.run_tile(&weights, &activations);
+        assert!(
+            r.stalls.left > r.macs / 4,
+            "left stalls {} of {} macs",
+            r.stalls.left,
+            r.macs
+        );
+    }
+
+    #[test]
+    fn flat_engine_matches_reference_on_mixed_tile() {
+        // Differential smoke check (the randomized property test lives in
+        // tests/properties.rs): mixed precisions, both engines agree.
+        let sim = SystolicSim::new(5, 7);
+        let mut weights = all(OperandKind::Int4, 5, 7);
+        for k in 0..5 {
+            for j in 0..7 {
+                if (k * 3 + j * 5) % 4 == 0 {
+                    weights[k][j] = OperandKind::Int8;
+                }
+            }
+        }
+        let activations: Vec<Vec<OperandKind>> = (0..33)
+            .map(|t| {
+                (0..5)
+                    .map(|k| {
+                        if (t * 7 + k) % 3 == 0 {
+                            OperandKind::Int8
+                        } else {
+                            OperandKind::Int4
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let fast = sim.run_tile(&weights, &activations);
+        let slow = sim.run_tile_reference(&weights, &activations);
+        assert_eq!(fast.cycles, slow.cycles);
+        assert_eq!(fast.macs, slow.macs);
+        assert_eq!(fast.busy_cycles, slow.busy_cycles);
     }
 }

@@ -66,6 +66,55 @@ fn systolic_cycles_bounded() {
     );
 }
 
+/// The flat-buffer engine is bit-identical to the retained nested-`Vec`
+/// reference engine on randomized tiles: same cycles, macs and busy_cycles
+/// for every shape, wave count and short-operand density — and the new
+/// stall counters exactly partition the MAC count.
+#[test]
+fn flat_engine_bit_identical_to_reference() {
+    check_with(
+        &Config::with_cases(64),
+        "flat_engine_bit_identical_to_reference",
+        |rng| {
+            (
+                rng.gen_range(1..9),
+                rng.gen_range(1..9),
+                rng.gen_range(1..24),
+                rng.gen_range_f64(0.0, 1.0),
+                rng.next_u64(),
+            )
+        },
+        |&(rows, cols, waves, p_short, seed)| {
+            if rows == 0 || cols == 0 || waves == 0 {
+                return Ok(()); // shrunk outside the tile domain
+            }
+            let p_short = p_short.clamp(0.0, 1.0);
+            let sim = SystolicSim::new(rows, cols);
+            let mut rng = spark_util::Rng::seed_from_u64(seed);
+            let next_kind = |rng: &mut spark_util::Rng| {
+                if rng.gen_f64() < p_short {
+                    OperandKind::Int4
+                } else {
+                    OperandKind::Int8
+                }
+            };
+            let weights: Vec<Vec<OperandKind>> = (0..rows)
+                .map(|_| (0..cols).map(|_| next_kind(&mut rng)).collect())
+                .collect();
+            let acts: Vec<Vec<OperandKind>> = (0..waves)
+                .map(|_| (0..rows).map(|_| next_kind(&mut rng)).collect())
+                .collect();
+            let flat = sim.run_tile(&weights, &acts);
+            let reference = sim.run_tile_reference(&weights, &acts);
+            prop_assert_eq!(flat.cycles, reference.cycles);
+            prop_assert_eq!(flat.macs, reference.macs);
+            prop_assert_eq!(flat.busy_cycles, reference.busy_cycles);
+            prop_assert_eq!(flat.stalls.total(), flat.macs);
+            Ok(())
+        },
+    );
+}
+
 /// The functional MAC grid equals the integer reference for arbitrary
 /// sign-magnitude operand matrices and tile shapes.
 #[test]

@@ -8,8 +8,8 @@
 //!   (replaces `rand`);
 //! - [`dist`] — Normal / StandardNormal / Gamma samplers (replaces
 //!   `rand_distr`);
-//! - [`par`] — scoped-thread [`par::par_map`] for coarse data-parallel
-//!   sweeps (replaces `rayon`);
+//! - [`par`] — scoped-thread [`par::par_map`] and two-way [`par::join`]
+//!   for coarse data-parallel sweeps (replaces `rayon`);
 //! - [`json`] — a minimal JSON [`json::Value`] with serializer, parser and
 //!   the [`json::ToJson`] trait (replaces `serde` + `serde_json`);
 //! - [`prop`] — seeded property-test runner with shrinking and seed
@@ -31,5 +31,5 @@ pub mod rng;
 
 pub use dist::{Gamma, Normal, StandardNormal};
 pub use json::{ToJson, Value};
-pub use par::par_map;
+pub use par::{join, par_map};
 pub use rng::Rng;

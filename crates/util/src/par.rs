@@ -58,6 +58,33 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Runs two independent closures on scoped threads and returns both
+/// results — the two-way fork-join the simulator uses to overlap its
+/// short/long differencing runs.
+///
+/// Falls back to sequential execution when [`thread_count`] is 1 (e.g.
+/// `SPARK_THREADS=1` for deterministic timing runs).
+///
+/// ```
+/// use spark_util::par::join;
+/// let (a, b) = join(|| 2 + 2, || "done");
+/// assert_eq!((a, b), (4, "done"));
+/// ```
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if thread_count() < 2 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +114,16 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let data: Vec<u64> = (1..=100).collect();
+        let (sum, max) = join(
+            || data.iter().sum::<u64>(),
+            || data.iter().copied().max().unwrap_or(0),
+        );
+        assert_eq!(sum, 5050);
+        assert_eq!(max, 100);
     }
 }

@@ -10,8 +10,17 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test -q --workspace --offline
+echo "==> cargo test -q --offline (full suite, SPARK_SLOW_TESTS=1)"
+SPARK_SLOW_TESTS=1 cargo test -q --workspace --offline
+
+echo "==> simulator bench (quick) -> BENCH_sim.json"
+# Absolute path: cargo runs the bench with its CWD at the package root.
+SPARK_BENCH_QUICK=1 SPARK_BENCH_JSON="$PWD/BENCH_sim.json" \
+    cargo bench --offline -p spark-bench --bench simulator
+grep -Eq '"cycles_per_sec": *[0-9]' BENCH_sim.json || {
+    echo "BENCH_sim.json missing a numeric cycles_per_sec" >&2
+    exit 1
+}
 
 echo "==> experiments --smoke"
 SPARK_BENCH_QUICK=1 cargo run --release --offline -p spark-bench --bin experiments -- --smoke

@@ -4,7 +4,7 @@
 //! stays runnable.
 
 use spark_bench::context::ExperimentContext;
-use spark_bench::{fig11, fig12, fig14, fig15, fig4, table2, table6, table7};
+use spark_bench::{fig11, fig12, fig14, fig15, fig4, table2, table6, table7, timing};
 
 #[test]
 fn cheap_experiments_produce_well_formed_output() {
@@ -54,4 +54,17 @@ fn characterization_and_performance_figures_hold_shape() {
         .rows
         .iter()
         .all(|r| r.dense_cycles > r.dbb_cycles));
+
+    // Lockstep timing runs the cycle-accurate array per model; the flat-buffer
+    // engine makes it cheap enough to live in the smoke pass.
+    let t = timing::run(&ctx);
+    assert!(!t.rows.is_empty());
+    for r in &t.rows {
+        assert!(r.slowdown >= 1.0, "{}: lockstep faster than decoupled", r.model);
+        assert!(
+            r.lockstep_cycles >= r.expected_cycles,
+            "{}: lockstep pacing below the analytic mean",
+            r.model
+        );
+    }
 }

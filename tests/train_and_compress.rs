@@ -6,12 +6,18 @@ use spark::data::Dataset;
 use spark::nn::{proxy, train};
 use spark::quant::{AntCodec, Codec, OliveCodec, SparkCodec, UniformQuantizer};
 
+/// `SPARK_SLOW_TESTS=1` (set by CI) runs the full convergence trainings;
+/// the default tier-1 pass uses short smoke runs of the same pipelines.
+fn slow_tests() -> bool {
+    std::env::var_os("SPARK_SLOW_TESTS").is_some()
+}
+
 fn trained_cnn(seed: u64) -> (spark::nn::Sequential, Dataset) {
     let data = Dataset::bars_noisy(800, 8, 16, 0.7, seed);
     let (tr, te) = data.split(0.8);
     let mut m = proxy::tiny_cnn(8, 6, 48, 16, seed.wrapping_add(31));
     let cfg = train::TrainConfig {
-        epochs: 10,
+        epochs: if slow_tests() { 10 } else { 3 },
         lr: 0.25,
         batch: 16,
         seed,
@@ -24,7 +30,8 @@ fn trained_cnn(seed: u64) -> (spark::nn::Sequential, Dataset) {
 fn spark_preserves_trained_accuracy_within_noise() {
     let (mut m, te) = trained_cnn(21);
     let fp32 = train::evaluate(&mut m, &te);
-    assert!(fp32 > 0.7, "undertrained: {fp32}");
+    let floor = if slow_tests() { 0.7 } else { 0.5 };
+    assert!(fp32 > floor, "undertrained: {fp32}");
     train::compress_weights(&mut m, &SparkCodec::default()).unwrap();
     let spark = train::evaluate(&mut m, &te);
     assert!(fp32 - spark < 0.06, "fp32 {fp32} vs spark {spark}");
@@ -47,23 +54,30 @@ fn extreme_quantization_destroys_accuracy_but_spark_does_not() {
 
 #[test]
 fn codec_sweep_runs_on_attention_proxy() {
+    // Four attention trainings make this the slowest test in the workspace;
+    // the full 40-epoch convergence check runs only under SPARK_SLOW_TESTS=1
+    // (CI). The default tier-1 pass trains a short smoke run that still
+    // exercises every codec end-to-end with above-chance accuracy (1/8).
+    let slow = slow_tests();
     let data = Dataset::token_patterns_noisy(800, 5, 8, 0.25, 23);
     let (tr, te) = data.split(0.8);
     let mut m = proxy::tiny_attention(5, 8, 16, 8, 77);
     let cfg = train::TrainConfig {
-        epochs: 40,
+        epochs: if slow { 40 } else { 6 },
         lr: 0.1,
         batch: 8,
         seed: 23,
     };
     train::train(&mut m, &tr, &cfg);
     let fp32 = train::evaluate(&mut m, &te);
-    assert!(fp32 > 0.4, "undertrained: {fp32}");
+    let fp32_floor = if slow { 0.4 } else { 0.18 };
+    assert!(fp32 > fp32_floor, "undertrained: {fp32} (slow={slow})");
     let codecs: Vec<Box<dyn Codec>> = vec![
         Box::new(SparkCodec::default()),
         Box::new(AntCodec::new(4).unwrap()),
         Box::new(OliveCodec::new()),
     ];
+    let acc_floor = if slow { 0.2 } else { 0.15 };
     for codec in codecs {
         // Each codec applies to a freshly trained identical model.
         let mut m2 = proxy::tiny_attention(5, 8, 16, 8, 77);
@@ -71,6 +85,6 @@ fn codec_sweep_runs_on_attention_proxy() {
         let bits = train::compress_weights(&mut m2, codec.as_ref()).unwrap();
         let acc = train::evaluate(&mut m2, &te);
         assert!(bits <= 8.0, "{}", codec.name());
-        assert!(acc > 0.2, "{} collapsed to {acc}", codec.name());
+        assert!(acc > acc_floor, "{} collapsed to {acc} (slow={slow})", codec.name());
     }
 }
