@@ -53,6 +53,16 @@ fn bench_stream_round_trip() {
     });
 }
 
+fn bench_stream_encode_presized() {
+    // Whole-tensor encode throughput at a size where allocation policy
+    // matters: the CodeStats pre-pass sizes the nibble stream exactly, so
+    // this path never reallocates nor over-commits the 2x worst case.
+    let values = test_tensor(1 << 20);
+    bench_throughput("codec/stream/encode_1m_presized", values.len() as u64, || {
+        black_box(encode_tensor(&values));
+    });
+}
+
 fn bench_streaming_decoder() {
     let values = test_tensor(16_384);
     let encoded = encode_tensor(&values);
@@ -92,6 +102,7 @@ fn main() {
     bench_encode_value();
     bench_hw_encoder();
     bench_stream_round_trip();
+    bench_stream_encode_presized();
     bench_streaming_decoder();
     bench_general_formats();
 }

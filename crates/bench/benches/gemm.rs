@@ -1,0 +1,162 @@
+//! Turbo GEMM backend benchmark: the blocked SIMD-dispatched kernels of
+//! `spark_tensor::gemm` against the retained seed scalar `matmul`.
+//!
+//! The headline number is GFLOP/s (`2·m·n·k` flops per run) on a
+//! 256x256x256 GEMM, per dispatch variant, plus the transpose-free
+//! `matmul_nt`/`matmul_tn` paths, the fused bias+ReLU epilogue, and one
+//! real model-shaped GEMM drawn from the workload tables. Set
+//! `SPARK_BENCH_JSON=<path>` to also write the numbers as JSON (CI writes
+//! `BENCH_gemm.json` and fails if no numeric `gflops` appears).
+
+use spark_nn::ModelWorkload;
+use spark_tensor::gemm::{gemm_with, Epilogue, GemmVariant, Layout};
+use spark_tensor::{ops, Tensor};
+use spark_util::bench::{bench, black_box};
+use spark_util::{Rng, Value};
+
+fn operands(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut uniform = || (rng.gen_f64() as f32) * 2.0 - 1.0;
+    let a = Tensor::from_fn(&[m, k], |_| uniform());
+    let b = Tensor::from_fn(&[k, n], |_| uniform());
+    (a, b)
+}
+
+fn gflops(m: usize, k: usize, n: usize, mean_ns: f64) -> f64 {
+    2.0 * (m as f64) * (k as f64) * (n as f64) / mean_ns
+}
+
+/// Times the reference kernel and every available dispatch variant on one
+/// square GEMM; returns `(rows, reference_gflops, turbo_gflops)` where
+/// `rows` is `(name, gflops, mean_ns)` and `turbo` is the auto-dispatched
+/// `ops::matmul` path the accuracy experiments actually run.
+fn bench_square(dim: usize) -> (Vec<(String, f64, f64)>, f64, f64) {
+    let (m, k, n) = (dim, dim, dim);
+    let (a, b) = operands(m, k, n, 0x5EED_6E44);
+    let want = ops::matmul_reference(&a, &b).expect("dims");
+
+    let mut rows = Vec::new();
+    let reference = bench(&format!("gemm/reference/{dim}"), || {
+        black_box(ops::matmul_reference(&a, &b).expect("dims"));
+    });
+    let ref_gflops = gflops(m, k, n, reference.mean_ns);
+    rows.push(("reference".to_string(), ref_gflops, reference.mean_ns));
+
+    for variant in GemmVariant::available() {
+        let got = gemm_with(
+            variant,
+            Layout::Nn,
+            a.as_slice(),
+            b.as_slice(),
+            m,
+            k,
+            n,
+            Epilogue::None,
+        );
+        assert_eq!(got, want.as_slice(), "{} must match reference", variant.name());
+        let r = bench(&format!("gemm/{}/{dim}", variant.name()), || {
+            black_box(gemm_with(
+                variant,
+                Layout::Nn,
+                a.as_slice(),
+                b.as_slice(),
+                m,
+                k,
+                n,
+                Epilogue::None,
+            ));
+        });
+        rows.push((variant.name().to_string(), gflops(m, k, n, r.mean_ns), r.mean_ns));
+    }
+
+    // The auto path (detected variant + row fan-out) is what ops::matmul
+    // actually runs — this is the headline turbo number.
+    let turbo = bench(&format!("gemm/turbo_auto/{dim}"), || {
+        black_box(ops::matmul(&a, &b).expect("dims"));
+    });
+    let turbo_gflops = gflops(m, k, n, turbo.mean_ns);
+    rows.push(("turbo_auto".to_string(), turbo_gflops, turbo.mean_ns));
+    println!(
+        "gemm/speedup_turbo_over_reference            {:>11.2}x",
+        reference.mean_ns / turbo.mean_ns
+    );
+    (rows, ref_gflops, turbo_gflops)
+}
+
+/// The transpose-free layouts and the fused epilogue at the same size.
+fn bench_layouts(dim: usize) {
+    let (a, b) = operands(dim, dim, dim, 0x7A6E_0001);
+    bench(&format!("gemm/matmul_nt/{dim}"), || {
+        black_box(ops::matmul_nt(&a, &b).expect("dims"));
+    });
+    bench(&format!("gemm/matmul_tn/{dim}"), || {
+        black_box(ops::matmul_tn(&a, &b).expect("dims"));
+    });
+    let bias: Vec<f32> = (0..dim).map(|j| j as f32 * 0.01 - 1.0).collect();
+    bench(&format!("gemm/matmul_bias_relu/{dim}"), || {
+        black_box(ops::matmul_bias_relu(&a, &b, &bias).expect("dims"));
+    });
+}
+
+/// One real network layer: the largest BERT-base GEMM that stays under
+/// ~100M MACs, executed through the turbo backend.
+fn bench_model_layer() {
+    let workload = ModelWorkload::bert();
+    let layer = workload
+        .gemms
+        .iter()
+        .filter(|g| g.m * g.k * g.n <= 100_000_000)
+        .max_by_key(|g| g.m * g.k * g.n)
+        .expect("bert has layers")
+        .clone();
+    let (a, b) = layer.make_operands(0xB387);
+    let r = bench(&format!("gemm/model/{}", layer.label), || {
+        black_box(ops::matmul(&a, &b).expect("dims"));
+    });
+    println!(
+        "gemm/model/{} ({}x{}x{}): {:.2} GFLOP/s",
+        layer.label,
+        layer.m,
+        layer.k,
+        layer.n,
+        gflops(layer.m, layer.k, layer.n, r.mean_ns)
+    );
+}
+
+/// Writes the square-GEMM results to `$SPARK_BENCH_JSON` if set.
+fn write_bench_json(dim: usize, rows: &[(String, f64, f64)], ref_gflops: f64, turbo_gflops: f64) {
+    let Some(path) = std::env::var_os("SPARK_BENCH_JSON") else {
+        return;
+    };
+    let per_variant: Vec<Value> = rows
+        .iter()
+        .map(|(name, gf, mean_ns)| {
+            Value::object([
+                ("variant", Value::Str(name.clone())),
+                ("gflops", Value::Num(*gf)),
+                ("mean_ns", Value::Num(*mean_ns)),
+            ])
+        })
+        .collect();
+    let doc = Value::object([
+        ("bench", Value::Str("gemm/turbo_backend".into())),
+        ("shape", Value::Str(format!("{dim}x{dim}x{dim}"))),
+        ("variants", Value::Array(per_variant)),
+        ("reference_gflops", Value::Num(ref_gflops)),
+        ("gflops", Value::Num(turbo_gflops)),
+        (
+            "speedup_turbo_over_reference",
+            Value::Num(turbo_gflops / ref_gflops),
+        ),
+    ]);
+    std::fs::write(&path, doc.to_string_pretty() + "\n").expect("write SPARK_BENCH_JSON");
+    println!("wrote {}", path.to_string_lossy());
+}
+
+fn main() {
+    let dim = 256;
+    let (rows, ref_gflops, turbo_gflops) = bench_square(dim);
+    write_bench_json(dim, &rows, ref_gflops, turbo_gflops);
+    bench_layouts(dim);
+    bench_model_layer();
+}

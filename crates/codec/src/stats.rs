@@ -99,6 +99,12 @@ impl CodeStats {
         self.max_error
     }
 
+    /// Exact packed-stream length in nibbles (`1·short + 2·long`), letting
+    /// an encoder pre-size its output from a statistics pre-pass.
+    pub fn nibble_count(&self) -> u64 {
+        self.short + 2 * self.long
+    }
+
     /// Merges another statistics block into this one.
     pub fn merge(&mut self, other: &CodeStats) {
         self.short += other.short;
@@ -157,6 +163,7 @@ mod tests {
     fn avg_bits_interpolates() {
         let s = stats_for([1u8, 2, 100, 200]); // 2 short + 2 long
         assert_eq!(s.avg_bits(), 6.0);
+        assert_eq!(s.nibble_count(), 2 + 2 * 2);
     }
 
     #[test]

@@ -101,6 +101,9 @@ impl FromIterator<u8> for NibbleStream {
 
 impl Extend<u8> for NibbleStream {
     fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        let (lower, _) = iter.size_hint();
+        self.bytes.reserve(lower.div_ceil(2));
         for n in iter {
             self.push(n);
         }
@@ -138,12 +141,16 @@ pub fn encode_tensor(values: &[u8]) -> EncodedTensor {
 /// Encodes a slice of INT8 code words under an explicit [`EncodeMode`]
 /// (used by the Fig 13 ablation).
 pub fn encode_tensor_with(values: &[u8], mode: EncodeMode) -> EncodedTensor {
-    let mut stream = NibbleStream::with_capacity(values.len() * 2);
+    // Statistics pre-pass: `EncodeMode::encode` is pure, so encoding twice
+    // is safe and the second pass writes into an exactly-sized stream
+    // (`nibble_count`) instead of the 2-nibbles-per-value worst case.
     let mut stats = CodeStats::default();
     for &v in values {
-        let code = mode.encode(v);
-        stats.record(v, code);
-        stream.extend(code.nibbles());
+        stats.record(v, mode.encode(v));
+    }
+    let mut stream = NibbleStream::with_capacity(stats.nibble_count() as usize);
+    for &v in values {
+        stream.extend(mode.encode(v).nibbles());
     }
     EncodedTensor {
         stream,
@@ -244,6 +251,16 @@ mod tests {
         let enc = encode_tensor(&values);
         assert_eq!(enc.stream.len(), 100);
         assert!((enc.compression_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_presizes_stream_exactly() {
+        // The stats pre-pass must predict the packed length exactly: the
+        // stream never reallocates past its initial capacity.
+        let values: Vec<u8> = (0..513).map(|i| (i * 31 % 256) as u8).collect();
+        let enc = encode_tensor(&values);
+        assert_eq!(enc.stream.len() as u64, enc.stats.nibble_count());
+        assert_eq!(enc.stream.bytes.capacity(), enc.stream.byte_len());
     }
 
     #[test]

@@ -69,16 +69,16 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let y = ops::matmul(x, &self.w).expect("dense dims");
-        let y = ops::add_bias(&y, &self.b).expect("bias dims");
+        // Fused bias epilogue — bit-identical to matmul + add_bias.
+        let y = ops::matmul_bias(x, &self.w, &self.b).expect("dense dims");
         self.cached_x = Some(x.clone());
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cached_x.as_ref().expect("forward before backward");
-        let xt = ops::transpose(x).expect("rank 2");
-        let gw = ops::matmul(&xt, grad_out).expect("grad dims");
+        // dW = Xᵀ G and dX = G Wᵀ via the transpose-free layouts.
+        let gw = ops::matmul_tn(x, grad_out).expect("grad dims");
         self.grad_w = ops::add(&self.grad_w, &gw).expect("same shape");
         let (m, n) = grad_out.shape().as_matrix().expect("rank 2");
         let g = grad_out.as_slice();
@@ -87,8 +87,7 @@ impl Layer for Dense {
                 self.grad_b[j] += g[i * n + j];
             }
         }
-        let wt = ops::transpose(&self.w).expect("rank 2");
-        ops::matmul(grad_out, &wt).expect("grad dims")
+        ops::matmul_nt(grad_out, &self.w).expect("grad dims")
     }
 
     fn step(&mut self, lr: f32, batch: usize) {
@@ -248,8 +247,7 @@ impl Layer for ConvFirst {
             .cached_patches
             .as_ref()
             .expect("forward before backward");
-        let pt = ops::transpose(patches).expect("rank 2");
-        let gf = ops::matmul(&pt, grad_out).expect("grad dims");
+        let gf = ops::matmul_tn(patches, grad_out).expect("grad dims");
         self.grad_f = ops::add(&self.grad_f, &gf).expect("same shape");
         // First layer: input gradient unused.
         Tensor::zeros(&[1, self.spec.in_channels * self.h * self.w])
@@ -337,14 +335,12 @@ impl Layer for Conv2d {
             .cached_patches
             .as_ref()
             .expect("forward before backward");
-        let pt = ops::transpose(patches).expect("rank 2");
-        let gf = ops::matmul(&pt, grad_out).expect("grad dims");
+        let gf = ops::matmul_tn(patches, grad_out).expect("grad dims");
         self.grad_f = ops::add(&self.grad_f, &gf).expect("same shape");
         // Input gradient: dPatches = dY . F^T, scattered back by col2im,
         // then re-expressed in the (positions, channels) layout upstream
         // layers produced.
-        let ft = ops::transpose(&self.filters).expect("rank 2");
-        let d_patches = ops::matmul(grad_out, &ft).expect("grad dims");
+        let d_patches = ops::matmul_nt(grad_out, &self.filters).expect("grad dims");
         let d_img = col2im(&d_patches, &self.spec, self.h, self.w).expect("geometry");
         let chw = d_img
             .reshape(&[self.spec.in_channels, self.h * self.w])
@@ -495,9 +491,8 @@ impl Layer for SelfAttention {
         let q = ops::matmul(x, &self.wq).expect("attn dims");
         let k = ops::matmul(x, &self.wk).expect("attn dims");
         let v = ops::matmul(x, &self.wv).expect("attn dims");
-        let kt = ops::transpose(&k).expect("rank 2");
         let scores = ops::scale(
-            &ops::matmul(&q, &kt).expect("attn dims"),
+            &ops::matmul_nt(&q, &k).expect("attn dims"),
             1.0 / (self.d as f32).sqrt(),
         );
         let a = ops::softmax_rows(&scores).expect("rank 2");
@@ -518,15 +513,11 @@ impl Layer for SelfAttention {
         let c = self.cache.as_ref().expect("forward before backward");
         let scale = 1.0 / (self.d as f32).sqrt();
         // out = Y Wo
-        let yt = ops::transpose(&c.y).expect("rank 2");
-        let g_wo = ops::matmul(&yt, grad_out).expect("dims");
-        let wot = ops::transpose(&self.wo).expect("rank 2");
-        let d_y = ops::matmul(grad_out, &wot).expect("dims");
+        let g_wo = ops::matmul_tn(&c.y, grad_out).expect("dims");
+        let d_y = ops::matmul_nt(grad_out, &self.wo).expect("dims");
         // Y = A V
-        let vt = ops::transpose(&c.v).expect("rank 2");
-        let d_a = ops::matmul(&d_y, &vt).expect("dims");
-        let at = ops::transpose(&c.a).expect("rank 2");
-        let d_v = ops::matmul(&at, &d_y).expect("dims");
+        let d_a = ops::matmul_nt(&d_y, &c.v).expect("dims");
+        let d_v = ops::matmul_tn(&c.a, &d_y).expect("dims");
         // A = softmax(S): dS = A ⊙ (dA - rowsum(dA ⊙ A))
         let (m, n) = c.a.shape().as_matrix().expect("rank 2");
         let av = c.a.as_slice();
@@ -545,28 +536,18 @@ impl Layer for SelfAttention {
         );
         // S = Q K^T
         let d_q = ops::matmul(&d_s, &c.k).expect("dims");
-        let d_st = ops::transpose(&d_s).expect("rank 2");
-        let d_k = ops::matmul(&d_st, &c.q).expect("dims");
+        let d_k = ops::matmul_tn(&d_s, &c.q).expect("dims");
         // Projections.
-        let xt = ops::transpose(&c.x).expect("rank 2");
-        let g_wq = ops::matmul(&xt, &d_q).expect("dims");
-        let g_wk = ops::matmul(&xt, &d_k).expect("dims");
-        let g_wv = ops::matmul(&xt, &d_v).expect("dims");
+        let g_wq = ops::matmul_tn(&c.x, &d_q).expect("dims");
+        let g_wk = ops::matmul_tn(&c.x, &d_k).expect("dims");
+        let g_wv = ops::matmul_tn(&c.x, &d_v).expect("dims");
         for (g, new) in self.grads.iter_mut().zip([g_wq, g_wk, g_wv, g_wo]) {
             *g = ops::add(g, &new).expect("same shape");
         }
         // dX = dQ Wq^T + dK Wk^T + dV Wv^T
-        let mut dx = ops::matmul(&d_q, &ops::transpose(&self.wq).expect("rank 2")).expect("dims");
-        dx = ops::add(
-            &dx,
-            &ops::matmul(&d_k, &ops::transpose(&self.wk).expect("rank 2")).expect("dims"),
-        )
-        .expect("same shape");
-        ops::add(
-            &dx,
-            &ops::matmul(&d_v, &ops::transpose(&self.wv).expect("rank 2")).expect("dims"),
-        )
-        .expect("same shape")
+        let mut dx = ops::matmul_nt(&d_q, &self.wq).expect("dims");
+        dx = ops::add(&dx, &ops::matmul_nt(&d_k, &self.wk).expect("dims")).expect("same shape");
+        ops::add(&dx, &ops::matmul_nt(&d_v, &self.wv).expect("dims")).expect("same shape")
     }
 
     fn step(&mut self, lr: f32, batch: usize) {

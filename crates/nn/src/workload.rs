@@ -8,6 +8,8 @@
 //! HuggingFace configurations).
 
 use spark_tensor::im2col::Conv2dSpec;
+use spark_tensor::Tensor;
+use spark_util::Rng;
 
 /// One GEMM: `(m x k) * (k x n)`, executed `repeats` times.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -61,6 +63,18 @@ impl Gemm {
     /// Output elements produced.
     pub fn output_elements(&self) -> u64 {
         (self.m as u64) * (self.n as u64) * (self.repeats as u64)
+    }
+
+    /// Seeded uniform `(-1, 1)` operand tensors (`m x k` activations,
+    /// `k x n` weights) for actually executing this layer's GEMM on the
+    /// CPU backend — benchmarks and functional-pipeline runs use this to
+    /// turn the workload metadata into real work.
+    pub fn make_operands(&self, seed: u64) -> (Tensor, Tensor) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut uniform = || (rng.gen_f64() as f32) * 2.0 - 1.0;
+        let a = Tensor::from_fn(&[self.m, self.k], |_| uniform());
+        let b = Tensor::from_fn(&[self.k, self.n], |_| uniform());
+        (a, b)
     }
 }
 

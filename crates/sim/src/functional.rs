@@ -11,8 +11,13 @@
 use spark_codec::{decode_stream, encode_tensor, DecodeError, EncodedTensor};
 use spark_quant::{MagnitudeQuantizer, QuantError};
 use spark_tensor::Tensor;
+use spark_util::par;
 
 use crate::pe::{Mpe, SignMag};
+
+/// Minimum MAC count before the functional GEMM fans activation rows out
+/// over worker threads. Below this the thread-spawn cost dominates.
+const PAR_MIN_MACS: usize = 1 << 20;
 
 /// Execution statistics of a functional GEMM.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,8 +55,12 @@ impl FunctionalArray {
     /// 64-bit accumulations.
     ///
     /// The GEMM is tiled over the physical array; each weight tile is held
-    /// stationary while all `m` activation rows stream through, exactly as
-    /// the timing model assumes.
+    /// stationary while the activation rows stream through, exactly as the
+    /// timing model assumes. Large GEMMs fan disjoint row blocks out over
+    /// [`par::par_map`] workers, each with a private PE grid per tile: every
+    /// counter ([`FunctionalStats`] and per-PE cycles) is a per-MAC additive
+    /// integer, so the chunked totals equal the single-pass totals exactly
+    /// (see `row_chunked_execution_matches_full`).
     ///
     /// # Panics
     ///
@@ -66,16 +75,51 @@ impl FunctionalArray {
     ) -> (Vec<i64>, FunctionalStats) {
         assert_eq!(a.len(), m * k, "activation operand count");
         assert_eq!(w.len(), k * n, "weight operand count");
-        let mut out = vec![0i64; m * n];
+        let workers = if m * k * n >= PAR_MIN_MACS {
+            par::thread_count().min(m).max(1)
+        } else {
+            1
+        };
+        if workers <= 1 {
+            return self.gemm_rows(a, w, 0, m, k, n);
+        }
+        let rows_per = m.div_ceil(workers);
+        let ranges: Vec<(usize, usize)> = (0..m)
+            .step_by(rows_per)
+            .map(|r0| (r0, (r0 + rows_per).min(m)))
+            .collect();
+        let parts = par::par_map(&ranges, |&(r0, r1)| self.gemm_rows(a, w, r0, r1, k, n));
+        let mut out = Vec::with_capacity(m * n);
         let mut stats = FunctionalStats::default();
-        // Tile over (k, n); each tile pass streams all m rows.
+        for (part_out, part_stats) in parts {
+            out.extend_from_slice(&part_out);
+            stats.macs += part_stats.macs;
+            stats.busy_cycles += part_stats.busy_cycles;
+        }
+        (out, stats)
+    }
+
+    /// Runs activation rows `r0..r1` through the tiled array with a private
+    /// PE grid per tile; the worker body of [`FunctionalArray::gemm`].
+    fn gemm_rows(
+        &self,
+        a: &[SignMag],
+        w: &[SignMag],
+        r0: usize,
+        r1: usize,
+        k: usize,
+        n: usize,
+    ) -> (Vec<i64>, FunctionalStats) {
+        let mut out = vec![0i64; (r1 - r0) * n];
+        let mut stats = FunctionalStats::default();
+        // Tile over (k, n); each tile pass streams this block's rows.
         for k0 in (0..k).step_by(self.rows) {
             let k1 = (k0 + self.rows).min(k);
             for n0 in (0..n).step_by(self.cols) {
                 let n1 = (n0 + self.cols).min(n);
                 // One PE per (kk, nn) position of this tile.
                 let mut pes = vec![Mpe::new(); (k1 - k0) * (n1 - n0)];
-                for i in 0..m {
+                for i in r0..r1 {
                     for (kk, pe_row) in (k0..k1).enumerate() {
                         let act = a[i * k + pe_row];
                         for (nn, col) in (n0..n1).enumerate() {
@@ -91,7 +135,7 @@ impl FunctionalArray {
                         for kk in 0..(k1 - k0) {
                             col_sum += pes[kk * (n1 - n0) + nn].drain();
                         }
-                        out[i * n + col] += col_sum;
+                        out[(i - r0) * n + col] += col_sum;
                     }
                 }
                 stats.busy_cycles += pes.iter().map(Mpe::cycles).sum::<u64>();
@@ -284,6 +328,37 @@ mod tests {
         let big = FunctionalArray::new(64, 64).gemm(&a, &w, m, k, n).0;
         let small = FunctionalArray::new(3, 2).gemm(&a, &w, m, k, n).0;
         assert_eq!(big, small);
+    }
+
+    #[test]
+    fn row_chunked_execution_matches_full() {
+        // The fan-out contract: stitching gemm_rows over any row partition
+        // reproduces the single-pass outputs AND integer stats exactly.
+        let (m, k, n) = (11, 9, 13);
+        let a: Vec<SignMag> = (0..m * k)
+            .map(|i| SignMag::from_i16(((i * 53) % 511) as i16 - 255))
+            .collect();
+        let w: Vec<SignMag> = (0..k * n)
+            .map(|i| SignMag::from_i16(((i * 71) % 511) as i16 - 255))
+            .collect();
+        let array = FunctionalArray::new(4, 4);
+        let (full_out, full_stats) = array.gemm(&a, &w, m, k, n);
+        for bounds in [vec![0, m], vec![0, 3, m], vec![0, 1, 2, 7, 10, m]] {
+            let mut out = Vec::new();
+            let mut stats = FunctionalStats::default();
+            for pair in bounds.windows(2) {
+                let (part, ps) = array.gemm_rows(&a, &w, pair[0], pair[1], k, n);
+                out.extend_from_slice(&part);
+                stats.macs += ps.macs;
+                stats.busy_cycles += ps.busy_cycles;
+            }
+            assert_eq!(out, full_out, "partition {bounds:?}");
+            assert_eq!(stats.macs, full_stats.macs, "partition {bounds:?}");
+            assert_eq!(
+                stats.busy_cycles, full_stats.busy_cycles,
+                "partition {bounds:?}"
+            );
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod gemm;
 pub mod im2col;
 pub mod ops;
 pub mod stats;

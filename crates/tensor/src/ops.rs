@@ -1,11 +1,26 @@
 //! Elementwise and linear-algebra operations on [`Tensor`].
 
+use crate::gemm::{self, Epilogue, Layout};
 use crate::{Tensor, ShapeError};
+
+fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), ShapeError> {
+    let (m, ka) = a.shape().as_matrix()?;
+    let (kb, n) = b.shape().as_matrix()?;
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "matmul inner dims differ: {ka} vs {kb}"
+        )));
+    }
+    Ok((m, ka, n))
+}
 
 /// Matrix multiplication `A (m x k) * B (k x n) -> C (m x n)`.
 ///
 /// Higher-rank inputs are interpreted as matrices by collapsing leading
 /// dimensions (see [`crate::Shape::as_matrix`]).
+///
+/// Executed by the blocked, SIMD-dispatched [`crate::gemm`] backend; the
+/// result is bit-identical to [`matmul_reference`].
 ///
 /// # Errors
 ///
@@ -21,45 +36,148 @@ use crate::{Tensor, ShapeError};
 /// # Ok::<(), spark_tensor::ShapeError>(())
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
-    let (m, ka) = a.shape().as_matrix()?;
-    let (kb, n) = b.shape().as_matrix()?;
-    if ka != kb {
-        return Err(ShapeError::new(format!(
-            "matmul inner dims differ: {ka} vs {kb}"
-        )));
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let mut out = vec![0.0f32; m * n];
-    // ikj loop order: streams B rows, vectorizes the inner j loop.
-    for i in 0..m {
-        for k in 0..ka {
-            let aik = av[i * ka + k];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[k * n..(k + 1) * n];
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (c, &bkj) in crow.iter_mut().zip(brow) {
-                *c += aik * bkj;
-            }
-        }
-    }
+    let (m, k, n) = matmul_dims(a, b)?;
+    let out = gemm::gemm_auto(Layout::Nn, a.as_slice(), b.as_slice(), m, k, n, Epilogue::None);
     Tensor::from_vec(out, &[m, n])
 }
 
+/// The original scalar `matmul` kernel, retained verbatim as the oracle the
+/// turbo backend is proven bit-identical against (and as the baseline the
+/// GEMM benchmark reports speedup over).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`matmul`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, k, n) = matmul_dims(a, b)?;
+    let out = gemm::reference(Layout::Nn, a.as_slice(), b.as_slice(), m, k, n, Epilogue::None);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transpose-free `A · Bᵀ`: `A` is `m x k`, `B` is `n x k`, the result is
+/// `m x n` — bit-identical to `matmul(a, &transpose(b))` without
+/// materializing the transpose (the backend packs `B` straight into
+/// column panels).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when the `k` dimensions differ or either input is
+/// a scalar.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, ka) = a.shape().as_matrix()?;
+    let (n, kb) = b.shape().as_matrix()?;
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "matmul_nt inner dims differ: {ka} vs {kb}"
+        )));
+    }
+    let out = gemm::gemm_auto(Layout::Nt, a.as_slice(), b.as_slice(), m, ka, n, Epilogue::None);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transpose-free `Aᵀ · B`: `A` is `k x m`, `B` is `k x n`, the result is
+/// `m x n` — bit-identical to `matmul(&transpose(a), b)` without
+/// materializing the transpose (the kernels read `A` down its columns).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when the `k` dimensions differ or either input is
+/// a scalar.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (ka, m) = a.shape().as_matrix()?;
+    let (kb, n) = b.shape().as_matrix()?;
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "matmul_tn inner dims differ: {ka} vs {kb}"
+        )));
+    }
+    let out = gemm::gemm_auto(Layout::Tn, a.as_slice(), b.as_slice(), m, ka, n, Epilogue::None);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `matmul` with the bias row added in the output epilogue — bit-identical
+/// to `add_bias(&matmul(a, b)?, bias)` in one pass.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on a dimension mismatch or when `bias.len()`
+/// differs from the column count.
+pub fn matmul_bias(a: &Tensor, b: &Tensor, bias: &[f32]) -> Result<Tensor, ShapeError> {
+    let (m, k, n) = matmul_dims(a, b)?;
+    if bias.len() != n {
+        return Err(ShapeError::element_count(n, bias.len()));
+    }
+    let out = gemm::gemm_auto(
+        Layout::Nn,
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        k,
+        n,
+        Epilogue::Bias(bias),
+    );
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `matmul` with bias and ReLU fused into the output epilogue —
+/// bit-identical to `relu(&add_bias(&matmul(a, b)?, bias)?)` in one pass.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on a dimension mismatch or when `bias.len()`
+/// differs from the column count.
+pub fn matmul_bias_relu(a: &Tensor, b: &Tensor, bias: &[f32]) -> Result<Tensor, ShapeError> {
+    let (m, k, n) = matmul_dims(a, b)?;
+    if bias.len() != n {
+        return Err(ShapeError::element_count(n, bias.len()));
+    }
+    let out = gemm::gemm_auto(
+        Layout::Nn,
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        k,
+        n,
+        Epilogue::BiasRelu(bias),
+    );
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Applies a fused [`Epilogue`] to one accumulated element of column `j` —
+/// the same rounded operations, in the same order, as the separate
+/// [`add_bias`] / [`relu`] passes.
+#[inline(always)]
+pub(crate) fn apply_epilogue(v: f32, j: usize, epi: Epilogue<'_>) -> f32 {
+    match epi {
+        Epilogue::None => v,
+        Epilogue::Bias(bias) => v + bias[j],
+        Epilogue::BiasRelu(bias) => (v + bias[j]).max(0.0),
+    }
+}
+
 /// Transposes a matrix (rank-2 interpretation).
+///
+/// Walks `TB x TB` tiles so reads and writes both stay cache-resident
+/// (the naive scatter touches a fresh output cache line per element once
+/// `m` exceeds a few hundred).
 ///
 /// # Errors
 ///
 /// Returns [`ShapeError`] for scalars.
 pub fn transpose(a: &Tensor) -> Result<Tensor, ShapeError> {
+    const TB: usize = 32;
     let (m, n) = a.shape().as_matrix()?;
     let av = a.as_slice();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = av[i * n + j];
+    for ib in (0..m).step_by(TB) {
+        let ie = (ib + TB).min(m);
+        for jb in (0..n).step_by(TB) {
+            let je = (jb + TB).min(n);
+            for i in ib..ie {
+                for j in jb..je {
+                    out[j * m + i] = av[i * n + j];
+                }
+            }
         }
     }
     Tensor::from_vec(out, &[n, m])

@@ -1,0 +1,166 @@
+//! Bit-identity property suite for the turbo GEMM backend.
+//!
+//! The turbo kernels claim exact equality — not closeness — with the
+//! retained seed kernel (`ops::matmul_reference`): same k-order, separate
+//! multiply/add roundings, same zero-skip. These properties check
+//! `to_bits()` equality over random ragged shapes (including exact zeros
+//! to exercise the skip branch) for **every** dispatch variant the running
+//! CPU can execute, and for the transpose-free layouts and fused epilogues
+//! against their seed-op compositions.
+
+use spark_tensor::gemm::{gemm_with, Epilogue, GemmVariant, Layout};
+use spark_tensor::{ops, Tensor};
+use spark_util::prop::check;
+use spark_util::prop_assert;
+use spark_util::Rng;
+
+/// A random GEMM case: ragged `m`/`k`/`n`, ~25% exact zeros in both
+/// operands, and a bias row for the epilogue properties.
+type Case = (usize, usize, usize, Vec<f32>, Vec<f32>, Vec<f32>);
+
+fn gemm_case(rng: &mut Rng) -> Case {
+    let m = rng.gen_range(1..24);
+    let k = rng.gen_range(1..40);
+    let n = rng.gen_range(1..80);
+    let mut values = Vec::new();
+    for _ in 0..m * k + k * n + n {
+        values.push(if rng.gen_f64() < 0.25 {
+            0.0
+        } else {
+            rng.gen_range_f32(-4.0, 4.0)
+        });
+    }
+    let b = values.split_off(m * k + k * n);
+    let a_and_b = values;
+    let (a, bm) = a_and_b.split_at(m * k);
+    (m, k, n, a.to_vec(), bm.to_vec(), b)
+}
+
+fn case_valid((m, k, n, a, b, bias): &Case) -> bool {
+    *m > 0 && *k > 0 && *n > 0 && a.len() == m * k && b.len() == k * n && bias.len() == *n
+}
+
+fn bits_eq(got: &[f32], want: &[f32]) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("length {} vs {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            return Err(format!("element {i}: {g} ({:#x}) vs {w} ({:#x})", g.to_bits(), w.to_bits()));
+        }
+    }
+    Ok(())
+}
+
+/// Every dispatch variant reproduces the seed kernel bit-for-bit on plain
+/// `A · B`.
+#[test]
+fn turbo_matmul_bit_identical_to_reference() {
+    check(
+        "turbo_matmul_bit_identical_to_reference",
+        gemm_case,
+        |case| {
+            if !case_valid(case) {
+                return Ok(());
+            }
+            let (m, k, n, ref a, ref b, _) = *case;
+            let at = Tensor::from_vec(a.clone(), &[m, k]).unwrap();
+            let bt = Tensor::from_vec(b.clone(), &[k, n]).unwrap();
+            let want = ops::matmul_reference(&at, &bt).unwrap();
+            for v in GemmVariant::available() {
+                let got = gemm_with(v, Layout::Nn, a, b, m, k, n, Epilogue::None);
+                if let Err(e) = bits_eq(&got, want.as_slice()) {
+                    prop_assert!(false, "{} {m}x{k}x{n}: {e}", v.name());
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The transpose-free layouts match the seed kernel applied to a
+/// materialized transpose, bit-for-bit, under every variant.
+#[test]
+fn transpose_free_layouts_match_materialized_transpose() {
+    check(
+        "transpose_free_layouts_match_materialized_transpose",
+        gemm_case,
+        |case| {
+            if !case_valid(case) {
+                return Ok(());
+            }
+            let (m, k, n, ref a, ref b, _) = *case;
+            // Nt: B is given as n x k, computing A · Bᵀ.
+            let at = Tensor::from_vec(a.clone(), &[m, k]).unwrap();
+            let bnk = Tensor::from_vec(b[..k * n].to_vec(), &[n, k]).unwrap();
+            let want_nt =
+                ops::matmul_reference(&at, &ops::transpose(&bnk).unwrap()).unwrap();
+            // Tn: A is given as k x m, computing Aᵀ · B.
+            let akm = Tensor::from_vec(a.clone(), &[k, m]).unwrap();
+            let bkn = Tensor::from_vec(b.clone(), &[k, n]).unwrap();
+            let want_tn =
+                ops::matmul_reference(&ops::transpose(&akm).unwrap(), &bkn).unwrap();
+            for v in GemmVariant::available() {
+                let got_nt = gemm_with(v, Layout::Nt, a, b, m, k, n, Epilogue::None);
+                if let Err(e) = bits_eq(&got_nt, want_nt.as_slice()) {
+                    prop_assert!(false, "nt {} {m}x{k}x{n}: {e}", v.name());
+                }
+                let got_tn = gemm_with(v, Layout::Tn, a, b, m, k, n, Epilogue::None);
+                if let Err(e) = bits_eq(&got_tn, want_tn.as_slice()) {
+                    prop_assert!(false, "tn {} {m}x{k}x{n}: {e}", v.name());
+                }
+            }
+            // The public transpose-free ops route through the same engine.
+            let got_nt = ops::matmul_nt(&at, &bnk).unwrap();
+            if let Err(e) = bits_eq(got_nt.as_slice(), want_nt.as_slice()) {
+                prop_assert!(false, "ops::matmul_nt {m}x{k}x{n}: {e}");
+            }
+            let got_tn = ops::matmul_tn(&akm, &bkn).unwrap();
+            if let Err(e) = bits_eq(got_tn.as_slice(), want_tn.as_slice()) {
+                prop_assert!(false, "ops::matmul_tn {m}x{k}x{n}: {e}");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The fused bias / bias+ReLU epilogues match the separate seed-op
+/// composition `relu(add_bias(matmul_reference(..)))` bit-for-bit.
+#[test]
+fn fused_epilogues_match_seed_composition() {
+    check(
+        "fused_epilogues_match_seed_composition",
+        gemm_case,
+        |case| {
+            if !case_valid(case) {
+                return Ok(());
+            }
+            let (m, k, n, ref a, ref b, ref bias) = *case;
+            let at = Tensor::from_vec(a.clone(), &[m, k]).unwrap();
+            let bt = Tensor::from_vec(b.clone(), &[k, n]).unwrap();
+            let plain = ops::matmul_reference(&at, &bt).unwrap();
+            let want_bias = ops::add_bias(&plain, bias).unwrap();
+            let want_bias_relu = ops::relu(&want_bias);
+            for v in GemmVariant::available() {
+                let got = gemm_with(v, Layout::Nn, a, b, m, k, n, Epilogue::Bias(bias));
+                if let Err(e) = bits_eq(&got, want_bias.as_slice()) {
+                    prop_assert!(false, "bias {} {m}x{k}x{n}: {e}", v.name());
+                }
+                let got =
+                    gemm_with(v, Layout::Nn, a, b, m, k, n, Epilogue::BiasRelu(bias));
+                if let Err(e) = bits_eq(&got, want_bias_relu.as_slice()) {
+                    prop_assert!(false, "bias_relu {} {m}x{k}x{n}: {e}", v.name());
+                }
+            }
+            let got = ops::matmul_bias(&at, &bt, bias).unwrap();
+            if let Err(e) = bits_eq(got.as_slice(), want_bias.as_slice()) {
+                prop_assert!(false, "ops::matmul_bias {m}x{k}x{n}: {e}");
+            }
+            let got = ops::matmul_bias_relu(&at, &bt, bias).unwrap();
+            if let Err(e) = bits_eq(got.as_slice(), want_bias_relu.as_slice()) {
+                prop_assert!(false, "ops::matmul_bias_relu {m}x{k}x{n}: {e}");
+            }
+            Ok(())
+        },
+    );
+}

@@ -58,6 +58,55 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Runs `f` over contiguous mutable chunks of `data` — each `chunk_len`
+/// elements, the last possibly shorter — spawning one scoped thread per
+/// chunk when more than one chunk exists. The callback receives the chunk
+/// index alongside the chunk, so workers can recover their global offset
+/// (`index * chunk_len`).
+///
+/// The caller sizes the chunks: pass `data.len().div_ceil(workers)` to get
+/// one chunk per worker. A single chunk (or an empty slice) runs inline on
+/// the calling thread with no spawn.
+///
+/// This is the mutable-output counterpart of [`par_map`], used by the
+/// tensor backend to fan a GEMM out over disjoint row blocks of the output
+/// buffer.
+///
+/// ```
+/// use spark_util::par::par_chunks_mut;
+/// let mut v = vec![0u32; 10];
+/// par_chunks_mut(&mut v, 4, |ci, chunk| {
+///     for (off, x) in chunk.iter_mut().enumerate() {
+///         *x = (ci * 4 + off) as u32;
+///     }
+/// });
+/// assert_eq!(v, (0..10).collect::<Vec<u32>>());
+/// ```
+///
+/// # Panics
+///
+/// Panics when `chunk_len` is zero.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "par_chunks_mut chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    if data.len() <= chunk_len {
+        f(0, data);
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            scope.spawn(move || f(ci, chunk));
+        }
+    });
+}
+
 /// Runs two independent closures on scoped threads and returns both
 /// results — the two-way fork-join the simulator uses to overlap its
 /// short/long differencing runs.
@@ -114,6 +163,29 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        let mut v = vec![0usize; 103];
+        par_chunks_mut(&mut v, 10, |ci, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 10 + off + 1;
+            }
+        });
+        assert_eq!(v, (1..=103).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_single_chunk_and_empty() {
+        let mut v = vec![1u8, 2, 3];
+        par_chunks_mut(&mut v, 8, |ci, chunk| {
+            assert_eq!(ci, 0);
+            chunk.iter_mut().for_each(|x| *x += 1);
+        });
+        assert_eq!(v, vec![2, 3, 4]);
+        let mut none: Vec<u8> = vec![];
+        par_chunks_mut(&mut none, 4, |_, _| panic!("no chunks expected"));
     }
 
     #[test]

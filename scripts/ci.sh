@@ -22,6 +22,16 @@ grep -Eq '"cycles_per_sec": *[0-9]' BENCH_sim.json || {
     exit 1
 }
 
+echo "==> turbo GEMM bench -> BENCH_gemm.json"
+# Full timing windows (no SPARK_BENCH_QUICK): the recorded speedup is a
+# gate, and 10 ms windows are too noisy to hold it steady on shared hosts.
+SPARK_BENCH_JSON="$PWD/BENCH_gemm.json" \
+    cargo bench --offline -p spark-bench --bench gemm
+grep -Eq '"gflops": *[0-9]' BENCH_gemm.json || {
+    echo "BENCH_gemm.json missing a numeric gflops" >&2
+    exit 1
+}
+
 echo "==> experiments --smoke"
 SPARK_BENCH_QUICK=1 cargo run --release --offline -p spark-bench --bin experiments -- --smoke
 
