@@ -74,4 +74,7 @@ pub use container::{read_container, write_container, ContainerError};
 pub use decoder::{DecodeError, SparkDecoder};
 pub use encoder::SparkEncoder;
 pub use stats::CodeStats;
-pub use stream::{decode_stream, encode_tensor, encode_tensor_with, EncodedTensor, NibbleStream};
+pub use stream::{
+    decode_stream, encode_batch, encode_batch_with, encode_tensor, encode_tensor_with,
+    EncodePlan, EncodedTensor, NibbleStream,
+};

@@ -105,6 +105,19 @@ impl CodeStats {
         self.short + 2 * self.long
     }
 
+    /// Reassembles statistics from raw counters — the batch encoder
+    /// accumulates these from a per-byte lookup table instead of calling
+    /// [`CodeStats::record`] per value.
+    pub(crate) fn from_counts(
+        short: u64,
+        long: u64,
+        lossless: u64,
+        abs_error_sum: u64,
+        max_error: u8,
+    ) -> Self {
+        Self { short, long, lossless, abs_error_sum, max_error }
+    }
+
     /// Merges another statistics block into this one.
     pub fn merge(&mut self, other: &CodeStats) {
         self.short += other.short;

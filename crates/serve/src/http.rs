@@ -1,0 +1,381 @@
+//! Hand-rolled HTTP/1.1 on `std::net::TcpStream` — just enough protocol
+//! for the serving API, with hard limits everywhere a hostile peer could
+//! make us allocate or wait unboundedly.
+//!
+//! Scope: one request per connection (`Connection: close` on every
+//! response), `Content-Length` bodies only (no chunked transfer), header
+//! block capped at [`MAX_HEADER_BYTES`], body capped by the server config.
+//! Anything outside that scope maps to a 4xx, never a hang or a panic.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request-line + header block.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Per-connection socket read/write timeout: a stalled or malicious peer
+/// ties up a worker for at most this long.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the peer per spec; not normalized).
+    pub method: String,
+    /// Path component only — query strings are split off into `query`.
+    pub path: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, fully read (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request `Content-Type`, defaulting to empty.
+    pub fn content_type(&self) -> &str {
+        self.header("content-type").unwrap_or("")
+    }
+}
+
+/// Why a request could not be read; each maps to one response status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or length field → 400.
+    BadRequest(String),
+    /// Header block exceeded [`MAX_HEADER_BYTES`] → 431.
+    HeadersTooLarge,
+    /// Declared body exceeds the configured cap → 413.
+    BodyTooLarge { /// What the peer declared.
+        declared: usize, /// The configured cap.
+        limit: usize },
+    /// `Transfer-Encoding` (chunked bodies are out of scope) → 411.
+    LengthRequired,
+    /// Socket error or timeout mid-request (no response possible).
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// `(status, reason, message)` for the error response.
+    pub fn status(&self) -> (u16, &'static str, String) {
+        match self {
+            HttpError::BadRequest(m) => (400, "Bad Request", m.clone()),
+            HttpError::HeadersTooLarge => (
+                431,
+                "Request Header Fields Too Large",
+                format!("header block exceeds {MAX_HEADER_BYTES} bytes"),
+            ),
+            HttpError::BodyTooLarge { declared, limit } => (
+                413,
+                "Payload Too Large",
+                format!("declared body of {declared} bytes exceeds the {limit}-byte limit"),
+            ),
+            HttpError::LengthRequired => (
+                411,
+                "Length Required",
+                "a Content-Length body is required (chunked encoding unsupported)".to_string(),
+            ),
+            HttpError::Io(e) => (400, "Bad Request", format!("i/o error: {e}")),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from the stream, honoring all the module's limits.
+///
+/// # Errors
+///
+/// Any [`HttpError`]; the caller decides whether a response is still
+/// writable (everything except [`HttpError::Io`]).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    // Accumulate until the blank line, never past MAX_HEADER_BYTES.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEADER_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-headers".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| HttpError::BadRequest("non-UTF-8 header block".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1") {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line {request_line:?}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::LengthRequired);
+    }
+    let declared: usize = match request.header("content-length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if declared > max_body {
+        return Err(HttpError::BodyTooLarge { declared, limit: max_body });
+    }
+
+    // Body: whatever arrived behind the headers plus the remainder.
+    let mut body = buf[header_end + 4..].to_vec();
+    if body.len() > declared {
+        return Err(HttpError::BadRequest("body longer than content-length".into()));
+    }
+    while body.len() < declared {
+        let want = (declared - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request { body, ..request })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete response and flushes. Always `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates socket errors (the peer may already be gone; callers treat
+/// this as non-fatal).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response body.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &spark_util::Value,
+) -> std::io::Result<()> {
+    let text = body.to_string_compact();
+    write_response(stream, status, reason, "application/json", text.as_bytes())
+}
+
+/// Minimal blocking client for tests, the smoke check, and the bench
+/// driver: one request, one parsed response.
+///
+/// # Errors
+///
+/// Returns an error string on connection, protocol, or timeout failures.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+        .map_err(|e| format!("timeouts: {e}"))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: spark\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("send: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("recv: {e}"))?;
+    let header_end = find_header_end(&raw).ok_or("response missing header terminator")?;
+    let head = std::str::from_utf8(&raw[..header_end]).map_err(|e| e.to_string())?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line in {head:?}"))?;
+    Ok((status, raw[header_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(request_bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let bytes = request_bytes.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&bytes).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let r = read_request(&mut conn, max_body);
+        writer.join().unwrap();
+        r
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            b"POST /v1/encode?mode=raw HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 5\r\n\r\nhello",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/encode");
+        assert_eq!(req.query, "mode=raw");
+        assert_eq!(req.content_type(), "application/json");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_up_front() {
+        let err = roundtrip(
+            b"POST /v1/encode HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert_eq!(err.status().0, 413);
+    }
+
+    #[test]
+    fn chunked_transfer_is_rejected() {
+        let err = roundtrip(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert_eq!(err.status().0, 411);
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        for bad in [&b"NOT-HTTP\r\n\r\n"[..], b"GET /\r\n\r\n", b"\r\n\r\n"] {
+            let err = roundtrip(bad, 1024).unwrap_err();
+            assert_eq!(err.status().0, 400, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_body_errors() {
+        let err = roundtrip(
+            b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-a-little",
+            1024,
+        )
+        .unwrap_err();
+        assert_eq!(err.status().0, 400);
+    }
+
+    #[test]
+    fn header_block_cap_is_enforced() {
+        let mut req = b"GET / HTTP/1.1\r\n".to_vec();
+        let filler = format!("X-Pad: {}\r\n", "a".repeat(1000));
+        for _ in 0..20 {
+            req.extend_from_slice(filler.as_bytes());
+        }
+        req.extend_from_slice(b"\r\n");
+        let err = roundtrip(&req, 1024).unwrap_err();
+        assert_eq!(err.status().0, 431);
+    }
+
+    #[test]
+    fn client_and_server_halves_agree() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let req = read_request(&mut conn, 1024).unwrap();
+            assert_eq!(req.body, b"ping");
+            write_response(&mut conn, 200, "OK", "text/plain", b"pong").unwrap();
+        });
+        let (status, body) = client_request(&addr, "POST", "/echo", "text/plain", b"ping").unwrap();
+        server.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"pong");
+    }
+}

@@ -1,0 +1,192 @@
+//! Raw little-endian `f32` input, shared by the CLI file commands and the
+//! server's `application/octet-stream` bodies.
+//!
+//! The reader streams through a fixed 64 KiB buffer — it never calls
+//! `read_to_end` into an unbounded intermediate `Vec<u8>`, so peak memory
+//! is the output vector plus one buffer regardless of input size — and
+//! rejects empty input explicitly instead of producing a zero-length
+//! tensor that downstream quantization would silently accept.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+
+/// Fixed chunk size the reader streams through.
+const CHUNK: usize = 64 * 1024;
+
+/// Why an f32 payload could not be read.
+#[derive(Debug)]
+pub enum F32ReadError {
+    /// The input held zero bytes.
+    Empty,
+    /// The byte count is not a multiple of 4.
+    Misaligned(/** Total bytes seen. */ usize),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for F32ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            F32ReadError::Empty => write!(f, "empty input: expected raw little-endian f32 data"),
+            F32ReadError::Misaligned(n) => {
+                write!(f, "length {n} is not a multiple of 4 (raw little-endian f32 expected)")
+            }
+            F32ReadError::Io(e) => write!(f, "read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for F32ReadError {}
+
+impl From<std::io::Error> for F32ReadError {
+    fn from(e: std::io::Error) -> Self {
+        F32ReadError::Io(e)
+    }
+}
+
+/// Streams raw little-endian `f32` values from `r` through a fixed-size
+/// buffer.
+///
+/// # Errors
+///
+/// [`F32ReadError::Empty`] for zero bytes, [`F32ReadError::Misaligned`]
+/// when the total length is not a multiple of 4, [`F32ReadError::Io`] on
+/// read failure.
+pub fn read_f32_stream(mut r: impl Read) -> Result<Vec<f32>, F32ReadError> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; CHUNK];
+    let mut pending = [0u8; 4];
+    let mut pending_len = 0usize;
+    let mut total = 0usize;
+    loop {
+        let n = r.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        total += n;
+        let mut chunk = &buf[..n];
+        // Complete a value split across chunk boundaries.
+        if pending_len > 0 {
+            let take = (4 - pending_len).min(chunk.len());
+            pending[pending_len..pending_len + take].copy_from_slice(&chunk[..take]);
+            pending_len += take;
+            chunk = &chunk[take..];
+            if pending_len == 4 {
+                out.push(f32::from_le_bytes(pending));
+                pending_len = 0;
+            }
+        }
+        let whole = chunk.len() / 4 * 4;
+        out.extend(
+            chunk[..whole]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        let rest = &chunk[whole..];
+        if !rest.is_empty() {
+            // `pending` is necessarily empty here: a non-empty remainder
+            // means the chunk survived the carry-completion step above.
+            pending[..rest.len()].copy_from_slice(rest);
+            pending_len = rest.len();
+        }
+    }
+    if total == 0 {
+        return Err(F32ReadError::Empty);
+    }
+    if pending_len != 0 {
+        return Err(F32ReadError::Misaligned(total));
+    }
+    Ok(out)
+}
+
+/// Parses an in-memory raw-f32 body (the server's octet-stream payloads).
+///
+/// # Errors
+///
+/// Same contract as [`read_f32_stream`].
+pub fn f32_from_bytes(bytes: &[u8]) -> Result<Vec<f32>, F32ReadError> {
+    read_f32_stream(bytes)
+}
+
+/// Opens and streams a raw-f32 file.
+///
+/// # Errors
+///
+/// Same contract as [`read_f32_stream`]; open failures surface as
+/// [`F32ReadError::Io`].
+pub fn read_f32_file(path: &str) -> Result<Vec<f32>, F32ReadError> {
+    read_f32_stream(BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_values() {
+        let values = [1.5f32, -2.25, 0.0, 1e-3, f32::MIN, f32::MAX];
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(f32_from_bytes(&bytes).unwrap(), values);
+    }
+
+    #[test]
+    fn empty_input_is_an_explicit_error() {
+        assert!(matches!(f32_from_bytes(&[]), Err(F32ReadError::Empty)));
+    }
+
+    #[test]
+    fn misaligned_input_errors_with_length() {
+        assert!(matches!(
+            f32_from_bytes(&[1, 2, 3]),
+            Err(F32ReadError::Misaligned(3))
+        ));
+        assert!(matches!(
+            f32_from_bytes(&[0; 9]),
+            Err(F32ReadError::Misaligned(9))
+        ));
+    }
+
+    /// A reader that feeds one byte at a time — the worst possible chunking
+    /// for the boundary-straddling logic.
+    struct Dribble<'a>(&'a [u8]);
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.split_first() {
+                Some((&b, rest)) => {
+                    buf[0] = b;
+                    self.0 = rest;
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn survives_arbitrary_chunk_boundaries() {
+        let values: Vec<f32> = (0..100).map(|i| i as f32 * 0.5 - 10.0).collect();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(read_f32_stream(Dribble(&bytes)).unwrap(), values);
+    }
+
+    #[test]
+    fn file_reader_streams_large_inputs() {
+        let path = std::env::temp_dir().join("spark_serve_io_large.f32");
+        // Larger than one 64 KiB chunk to exercise the loop.
+        let values: Vec<f32> = (0..40_000).map(|i| (i % 997) as f32).collect();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::write(&path, &bytes).unwrap();
+        let got = read_f32_file(path.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(got, values);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_f32_file("/nonexistent/spark.f32"),
+            Err(F32ReadError::Io(_))
+        ));
+    }
+}

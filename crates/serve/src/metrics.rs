@@ -1,0 +1,217 @@
+//! In-process metrics registry for the server.
+//!
+//! Everything is lock-free (`AtomicU64` counters plus the log-bucketed
+//! [`Histogram`]) so the hot request path never serializes on a metrics
+//! mutex. `/metrics` snapshots the registry with relaxed loads — values
+//! are individually accurate but not captured at a single instant, which
+//! is the usual contract for scrape-style endpoints.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spark_util::json::Value;
+use spark_util::Histogram;
+
+/// Hit/error counters for one endpoint.
+#[derive(Default)]
+pub struct EndpointStats {
+    hits: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl EndpointStats {
+    /// Counts one request routed to this endpoint.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request that produced a non-2xx response.
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests routed here.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that produced a non-2xx response.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("hits", Value::Num(self.hits() as f64)),
+            ("errors", Value::Num(self.errors() as f64)),
+        ])
+    }
+}
+
+/// The server-wide registry. One instance lives in the shared server
+/// context; every worker and batcher thread records into it directly.
+#[derive(Default)]
+pub struct Metrics {
+    /// `POST /v1/encode`.
+    pub encode: EndpointStats,
+    /// `POST /v1/decode`.
+    pub decode: EndpointStats,
+    /// `POST /v1/analyze`.
+    pub analyze: EndpointStats,
+    /// `POST /v1/simulate`.
+    pub simulate: EndpointStats,
+    /// `GET /healthz`, `GET /metrics`, `POST /shutdown`.
+    pub control: EndpointStats,
+    /// Requests that matched no route (404/405).
+    pub unrouted: EndpointStats,
+    /// Connections refused with 503 because the job queue was full.
+    pub rejected_503: AtomicU64,
+    /// Connections accepted into the queue.
+    pub accepted: AtomicU64,
+    /// Current number of accepted-but-unclaimed connections.
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    queue_peak: AtomicU64,
+    /// Batched library calls issued (each covers ≥1 request).
+    pub batches: AtomicU64,
+    /// Distribution of jobs per batched call.
+    pub batch_size: Histogram,
+    /// End-to-end request latency in microseconds (parse → response
+    /// written), recorded by workers.
+    pub latency_us: Histogram,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks one connection entering the job queue. `depth` is the queue
+    /// length sampled from the channel itself — the channel is the source
+    /// of truth, so accept/dequeue ordering races cannot wrap the gauge.
+    pub fn note_accept(&self, depth: u64) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Refreshes the depth gauge as a worker takes a connection.
+    pub fn note_dequeue(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn queue_peak(&self) -> u64 {
+        self.queue_peak.load(Ordering::Relaxed)
+    }
+
+    /// Records one batched library call over `jobs` requests.
+    pub fn record_batch(&self, jobs: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_size.record(jobs);
+    }
+
+    /// Snapshots the registry as the `/metrics` response body.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "endpoints",
+                Value::object([
+                    ("encode", self.encode.to_json()),
+                    ("decode", self.decode.to_json()),
+                    ("analyze", self.analyze.to_json()),
+                    ("simulate", self.simulate.to_json()),
+                    ("control", self.control.to_json()),
+                    ("unrouted", self.unrouted.to_json()),
+                ]),
+            ),
+            (
+                "queue",
+                Value::object([
+                    ("accepted", Value::Num(self.accepted.load(Ordering::Relaxed) as f64)),
+                    (
+                        "rejected_503",
+                        Value::Num(self.rejected_503.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("depth", Value::Num(self.queue_depth() as f64)),
+                    ("peak_depth", Value::Num(self.queue_peak() as f64)),
+                ]),
+            ),
+            (
+                "batching",
+                Value::object([
+                    ("batches", Value::Num(self.batches.load(Ordering::Relaxed) as f64)),
+                    ("batch_size", self.batch_size.to_json()),
+                ]),
+            ),
+            ("latency_us", self.latency_us.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_depth_tracks_peak() {
+        let m = Metrics::new();
+        m.note_accept(1);
+        m.note_accept(2);
+        m.note_accept(3);
+        m.note_dequeue(2);
+        assert_eq!(m.queue_depth(), 2);
+        assert_eq!(m.queue_peak(), 3);
+        assert_eq!(m.accepted.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn snapshot_is_valid_json_with_expected_fields() {
+        let m = Metrics::new();
+        m.encode.hit();
+        m.encode.hit();
+        m.decode.hit();
+        m.decode.error();
+        m.record_batch(4);
+        m.latency_us.record(120);
+        let text = m.to_json().to_string_compact();
+        let v = spark_util::json::parse(&text).unwrap();
+        let encode = v.get("endpoints").unwrap().get("encode").unwrap();
+        assert_eq!(encode.get("hits").unwrap().as_f64(), Some(2.0));
+        let decode = v.get("endpoints").unwrap().get("decode").unwrap();
+        assert_eq!(decode.get("errors").unwrap().as_f64(), Some(1.0));
+        let batching = v.get("batching").unwrap();
+        assert_eq!(batching.get("batches").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            batching.get("batch_size").unwrap().get("count").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert!(v.get("latency_us").unwrap().get("p99").unwrap().as_f64().unwrap() >= 120.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        m.encode.hit();
+                        m.latency_us.record(i + 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.encode.hits(), 4000);
+        assert_eq!(m.latency_us.count(), 4000);
+    }
+}

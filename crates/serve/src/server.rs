@@ -1,0 +1,500 @@
+//! The serving core: acceptor, worker pool, batched endpoints, metrics,
+//! graceful shutdown.
+//!
+//! Thread topology (all plain `std::thread`, sized at startup, no spawn
+//! per request):
+//!
+//! ```text
+//! acceptor ──try_send──▶ bounded conn queue ──recv──▶ workers (N)
+//!     │ full → writes 503 itself                        │
+//!     ▼                                                 ├─▶ encode batcher ─▶ encode_batch (LUT plan)
+//!  503 + metrics                                        └─▶ sim batcher    ─▶ run_batch
+//! ```
+//!
+//! Backpressure is explicit: the conn queue is bounded and the acceptor
+//! uses `try_send`, so overload turns into an immediate 503 with a JSON
+//! body (and a `rejected_503` metric tick) rather than an unbounded
+//! accept backlog or a silent drop.
+//!
+//! Shutdown is a cascade with no special-case signaling beyond one
+//! atomic flag: `shutdown()` sets the flag and self-connects to wake
+//! `accept()`; the acceptor exits, dropping the conn queue's only
+//! sender; workers drain the queue and exit; [`Server::join`] then drops
+//! the shared context (closing the batcher channels) and joins the
+//! batcher threads, which drain their own queues first. Every request
+//! accepted before the flag flipped gets a full response.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spark_codec::encode_batch;
+use spark_sim::{run_batch, SimConfig, WorkloadReport};
+use spark_util::json::Value;
+
+use crate::api::{self, SimJob};
+use crate::batch::Batcher;
+use crate::http::{self, HttpError, Request};
+use crate::io::f32_from_bytes;
+use crate::metrics::{EndpointStats, Metrics};
+
+/// How long a worker waits on a batcher slot before answering 500. Far
+/// above any sane batch time; only reachable if a batcher thread died.
+const SLOT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bound of the accepted-connection queue; overflow answers 503.
+    pub queue_depth: usize,
+    /// Extra time a lone batched request waits for company.
+    pub batch_window: Duration,
+    /// Max requests coalesced into one batched library call.
+    pub max_batch: usize,
+    /// Request body cap in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            queue_depth: 64,
+            batch_window: Duration::from_millis(2),
+            max_batch: 32,
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Shared state every worker thread holds an `Arc` of.
+struct Ctx {
+    metrics: Arc<Metrics>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    max_body: usize,
+    encode_batcher: Batcher<(Vec<u8>, f32), Value>,
+    sim_batcher: Batcher<SimJob, Value>,
+}
+
+/// A running server. Dropping it does NOT stop the threads — call
+/// [`Server::shutdown`] + [`Server::join`] (or let `POST /shutdown` set
+/// the flag and just `join`).
+pub struct Server {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    metrics: Arc<Metrics>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    encode_batcher: Batcher<(Vec<u8>, f32), Value>,
+    sim_batcher: Batcher<SimJob, Value>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor, workers, and batchers, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let sim_config = SimConfig::default();
+
+        let encode_batcher = {
+            let metrics = Arc::clone(&metrics);
+            Batcher::spawn(
+                "encode",
+                config.batch_window,
+                config.max_batch,
+                config.queue_depth.max(config.max_batch),
+                move |jobs: Vec<(Vec<u8>, f32)>| {
+                    metrics.record_batch(jobs.len() as u64);
+                    let refs: Vec<&[u8]> = jobs.iter().map(|(c, _)| c.as_slice()).collect();
+                    let encoded = encode_batch(&refs);
+                    encoded
+                        .iter()
+                        .zip(&jobs)
+                        .map(|(e, (_, scale))| api::encode_response(e, *scale))
+                        .collect()
+                },
+            )
+        };
+        let sim_batcher = {
+            let metrics = Arc::clone(&metrics);
+            Batcher::spawn(
+                "simulate",
+                config.batch_window,
+                config.max_batch,
+                config.queue_depth.max(config.max_batch),
+                move |jobs: Vec<SimJob>| {
+                    metrics.record_batch(jobs.len() as u64);
+                    let tuples: Vec<_> =
+                        jobs.iter().map(|j| (j.kind, &j.workload, &j.precision)).collect();
+                    let reports: Vec<WorkloadReport> = run_batch(&tuples, &sim_config);
+                    reports
+                        .iter()
+                        .zip(&jobs)
+                        .map(|(r, j)| api::simulate_response(r, &j.workload, &sim_config))
+                        .collect()
+                },
+            )
+        };
+
+        let ctx = Arc::new(Ctx {
+            metrics: Arc::clone(&metrics),
+            shutdown: AtomicBool::new(false),
+            addr,
+            max_body: config.max_body_bytes,
+            encode_batcher: encode_batcher.clone(),
+            sim_batcher: sim_batcher.clone(),
+        });
+
+        let (conn_tx, conn_rx) = spark_util::channel::<TcpStream>(config.queue_depth.max(1));
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = conn_rx.clone();
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("spark-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = rx.recv() {
+                            ctx.metrics.note_dequeue(rx.len() as u64);
+                            handle_connection(&ctx, stream);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        drop(conn_rx);
+
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("spark-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if ctx.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        match conn_tx.try_send(stream) {
+                            Ok(()) => ctx.metrics.note_accept(conn_tx.len() as u64),
+                            Err(spark_util::par::TrySendError::Full(mut stream)) => {
+                                ctx.metrics.rejected_503.fetch_add(1, Ordering::Relaxed);
+                                let _ = stream.set_write_timeout(Some(http::IO_TIMEOUT));
+                                let _ = http::write_json(
+                                    &mut stream,
+                                    503,
+                                    "Service Unavailable",
+                                    &error_body("server overloaded: connection queue full"),
+                                );
+                            }
+                            Err(spark_util::par::TrySendError::Disconnected(_)) => break,
+                        }
+                    }
+                    // conn_tx drops here; workers drain the queue and exit.
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server { addr, ctx, metrics, acceptor, workers, encode_batcher, sim_batcher })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Flips the shutdown flag and wakes the acceptor. Idempotent;
+    /// returns immediately — pair with [`Server::join`] to drain.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.ctx);
+    }
+
+    /// Waits for the full drain cascade: acceptor, then workers, then
+    /// batchers. Blocks until a shutdown has been requested (via
+    /// [`Server::shutdown`] or `POST /shutdown`) and every accepted
+    /// request has been answered.
+    pub fn join(self) {
+        let Server { ctx, acceptor, workers, encode_batcher, sim_batcher, .. } = self;
+        acceptor.join().ok();
+        for w in workers {
+            w.join().ok();
+        }
+        // Workers are gone; this Arc and the batcher handles inside it
+        // are the last senders keeping the batcher channels open.
+        drop(ctx);
+        encode_batcher.join();
+        sim_batcher.join();
+    }
+}
+
+fn request_shutdown(ctx: &Ctx) {
+    ctx.shutdown.store(true, Ordering::SeqCst);
+    // accept() has no timeout; a throwaway local connection wakes it so
+    // it can observe the flag. Errors are fine — if the listener is
+    // already gone there is nothing to wake.
+    let _ = TcpStream::connect(ctx.addr);
+}
+
+fn error_body(message: &str) -> Value {
+    Value::object([("error", Value::Str(message.into()))])
+}
+
+/// Outcome of routing: status triple plus which endpoint counter it hits.
+struct Routed<'a> {
+    status: u16,
+    reason: &'static str,
+    body: Value,
+    stats: &'a EndpointStats,
+}
+
+fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
+    let started = Instant::now();
+    match http::read_request(&mut stream, ctx.max_body) {
+        Ok(req) => {
+            let routed = route(ctx, &req);
+            routed.stats.hit();
+            if routed.status >= 400 {
+                routed.stats.error();
+            }
+            let _ = http::write_json(&mut stream, routed.status, routed.reason, &routed.body);
+        }
+        Err(HttpError::Io(_)) => {
+            // Peer vanished or stalled out; nothing to write, count it
+            // against the unrouted bucket so it is not silent.
+            ctx.metrics.unrouted.hit();
+            ctx.metrics.unrouted.error();
+        }
+        Err(e) => {
+            ctx.metrics.unrouted.hit();
+            ctx.metrics.unrouted.error();
+            let (status, reason, message) = e.status();
+            let _ = http::write_json(&mut stream, status, reason, &error_body(&message));
+        }
+    }
+    ctx.metrics.latency_us.record((started.elapsed().as_micros() as u64).max(1));
+}
+
+fn route<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
+    let m = &ctx.metrics;
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ok(&m.control, Value::object([("status", Value::Str("ok".into()))])),
+        ("GET", "/metrics") => ok(&m.control, m.to_json()),
+        ("POST", "/shutdown") => {
+            request_shutdown(ctx);
+            ok(&m.control, Value::object([("status", Value::Str("shutting down".into()))]))
+        }
+        ("POST", "/v1/encode") => match parse_values(req) {
+            Ok(values) => encode_endpoint(ctx, &values),
+            Err(msg) => bad_request(&m.encode, &msg),
+        },
+        ("POST", "/v1/analyze") => match parse_values(req) {
+            Ok(values) => match api::analyze_response(&values) {
+                Ok(body) => ok(&m.analyze, body),
+                Err(msg) => bad_request(&m.analyze, &msg),
+            },
+            Err(msg) => bad_request(&m.analyze, &msg),
+        },
+        ("POST", "/v1/decode") => match decode_input(req) {
+            Ok(hex) => match api::decode_response(&hex) {
+                Ok(body) => ok(&m.decode, body),
+                Err(msg) => bad_request(&m.decode, &msg),
+            },
+            Err(msg) => bad_request(&m.decode, &msg),
+        },
+        ("POST", "/v1/simulate") => simulate_endpoint(ctx, req),
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/v1/encode" | "/v1/analyze"
+            | "/v1/decode" | "/v1/simulate") => Routed {
+            status: 405,
+            reason: "Method Not Allowed",
+            body: error_body(&format!("method {} not allowed on {}", req.method, req.path)),
+            stats: &m.unrouted,
+        },
+        _ => Routed {
+            status: 404,
+            reason: "Not Found",
+            body: error_body(&format!("no such endpoint {}", req.path)),
+            stats: &m.unrouted,
+        },
+    }
+}
+
+fn ok(stats: &EndpointStats, body: Value) -> Routed<'_> {
+    Routed { status: 200, reason: "OK", body, stats }
+}
+
+fn bad_request<'a>(stats: &'a EndpointStats, message: &str) -> Routed<'a> {
+    Routed { status: 400, reason: "Bad Request", body: error_body(message), stats }
+}
+
+fn batcher_gone(stats: &EndpointStats) -> Routed<'_> {
+    Routed {
+        status: 500,
+        reason: "Internal Server Error",
+        body: error_body("batch pipeline unavailable"),
+        stats,
+    }
+}
+
+/// Pulls f32 values out of either a raw octet-stream body or a JSON
+/// `{"values": [...]}` body, by Content-Type.
+fn parse_values(req: &Request) -> Result<Vec<f32>, String> {
+    if req.content_type().starts_with("application/octet-stream") {
+        return f32_from_bytes(&req.body).map_err(|e| e.to_string());
+    }
+    let text = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    let body = spark_util::json::parse(text).map_err(|e| e.to_string())?;
+    api::values_from_json(&body)
+}
+
+/// `/v1/decode` accepts `{"stream_hex": "..."}` or a raw text/plain hex
+/// body.
+fn decode_input(req: &Request) -> Result<String, String> {
+    let text = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    if req.content_type().starts_with("application/json") {
+        let body = spark_util::json::parse(text).map_err(|e| e.to_string())?;
+        return body
+            .get("stream_hex")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "body must be {\"stream_hex\": \"...\"}".to_string());
+    }
+    Ok(text.trim().to_string())
+}
+
+fn encode_endpoint<'a>(ctx: &'a Ctx, values: &[f32]) -> Routed<'a> {
+    let stats = &ctx.metrics.encode;
+    let codes = match api::quantize_codes(values) {
+        Ok(c) => c,
+        Err(msg) => return bad_request(stats, &msg),
+    };
+    let scale = codes.scale;
+    let Some(slot) = ctx.encode_batcher.submit((codes.codes, scale)) else {
+        return batcher_gone(stats);
+    };
+    match slot.wait_timeout(SLOT_TIMEOUT) {
+        Some(body) => ok(stats, body),
+        None => batcher_gone(stats),
+    }
+}
+
+fn simulate_endpoint<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
+    let stats = &ctx.metrics.simulate;
+    let parsed = std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| spark_util::json::parse(text).map_err(|e| e.to_string()));
+    let body = match parsed {
+        Ok(b) => b,
+        Err(msg) => return bad_request(stats, &msg),
+    };
+    let Some(model) = body.get("model").and_then(Value::as_str) else {
+        return bad_request(stats, "body must be {\"model\": \"...\", \"accelerator\"?: \"...\"}");
+    };
+    let accelerator = body.get("accelerator").and_then(Value::as_str).unwrap_or("spark");
+    let job = match api::resolve_sim_job(model, accelerator) {
+        Ok(j) => j,
+        Err(msg) => return bad_request(stats, &msg),
+    };
+    let Some(slot) = ctx.sim_batcher.submit(job) else {
+        return batcher_gone(stats);
+    };
+    match slot.wait_timeout(SLOT_TIMEOUT) {
+        Some(body) => ok(stats, body),
+        None => batcher_gone(stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::client_request;
+
+    fn start_test_server() -> Server {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 16,
+            batch_window: Duration::from_millis(1),
+            max_batch: 8,
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn healthz_and_metrics_respond() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        let (status, body) = client_request(&addr, "GET", "/healthz", "", b"").unwrap();
+        assert_eq!(status, 200);
+        assert!(String::from_utf8(body).unwrap().contains("ok"));
+        let (status, body) = client_request(&addr, "GET", "/metrics", "", b"").unwrap();
+        assert_eq!(status, 200);
+        let v = spark_util::json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert!(v.get("endpoints").is_some());
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_get_404_405() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        let (status, _) = client_request(&addr, "GET", "/nope", "", b"").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client_request(&addr, "DELETE", "/healthz", "", b"").unwrap();
+        assert_eq!(status, 405);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        let (status, _) = client_request(&addr, "POST", "/shutdown", "", b"").unwrap();
+        assert_eq!(status, 200);
+        // join() must return now that the flag is set — no explicit
+        // shutdown() call from this side.
+        server.join();
+    }
+
+    #[test]
+    fn bad_bodies_are_400_not_disconnects() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        for (path, ct, body) in [
+            ("/v1/encode", "application/json", &b"{\"values\": }"[..]),
+            ("/v1/encode", "application/octet-stream", &b"abc"[..]),
+            ("/v1/analyze", "application/json", &b"{}"[..]),
+            ("/v1/decode", "application/json", &b"{\"stream_hex\": \"xyz\"}"[..]),
+            ("/v1/simulate", "application/json", &b"{\"model\": \"NoSuchNet\"}"[..]),
+        ] {
+            let (status, reply) = client_request(&addr, "POST", path, ct, body).unwrap();
+            assert_eq!(status, 400, "{path} {body:?} -> {reply:?}");
+            let v = spark_util::json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+            assert!(v.get("error").is_some());
+        }
+        server.shutdown();
+        server.join();
+    }
+}

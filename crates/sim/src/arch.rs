@@ -246,6 +246,20 @@ impl Accelerator {
     }
 }
 
+/// Runs a batch of `(accelerator, workload, profile)` jobs through the
+/// performance model in one call — the arity the serving layer's
+/// micro-batcher coalesces concurrent `/v1/simulate` requests into. Jobs
+/// fan out over [`spark_util::par_map`] and results come back in input
+/// order, each identical to the corresponding [`Accelerator::run`] call.
+pub fn run_batch(
+    jobs: &[(AcceleratorKind, &ModelWorkload, &PrecisionProfile)],
+    config: &SimConfig,
+) -> Vec<WorkloadReport> {
+    spark_util::par_map(jobs, |(kind, workload, profile)| {
+        Accelerator::new(*kind).run(workload, profile, config)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +299,48 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs_in_order() {
+        let workload = ModelWorkload::by_name("ResNet18").expect("known model");
+        let profile = PrecisionProfile::from_short_fractions(0.6, 0.4);
+        let config = SimConfig::default();
+        let jobs = [
+            (AcceleratorKind::Spark, &workload, &profile),
+            (AcceleratorKind::Eyeriss, &workload, &profile),
+            (AcceleratorKind::Spark, &workload, &profile),
+        ];
+        let batch = run_batch(&jobs, &config);
+        assert_eq!(batch.len(), 3);
+        for ((kind, w, p), got) in jobs.iter().zip(&batch) {
+            let want = Accelerator::new(*kind).run(w, p, &config);
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn workload_report_serializes_to_parseable_json() {
+        let workload = ModelWorkload::by_name("ResNet18").expect("known model");
+        let profile = PrecisionProfile::from_short_fractions(0.5, 0.5);
+        let report = Accelerator::new(AcceleratorKind::Spark).run(
+            &workload,
+            &profile,
+            &SimConfig::default(),
+        );
+        use spark_util::ToJson;
+        let v = report.to_json();
+        let back = spark_util::json::parse(&v.to_string_pretty()).unwrap();
+        assert_eq!(back.get("model").unwrap().as_str(), Some("ResNet18"));
+        assert!(back.get("total_cycles").unwrap().as_f64().unwrap() > 0.0);
+        assert!(!back.get("layers").unwrap().as_array().unwrap().is_empty());
+        assert!(back
+            .get("energy")
+            .unwrap()
+            .get("dram_pj")
+            .unwrap()
+            .as_f64()
+            .is_some());
     }
 
     #[test]

@@ -63,6 +63,8 @@ pub struct EnergyBreakdown {
     pub core_pj: f64,
 }
 
+spark_util::to_json_struct!(EnergyBreakdown { dram_pj, buffer_pj, core_pj });
+
 impl EnergyBreakdown {
     /// Total energy (pJ).
     pub fn total(&self) -> f64 {

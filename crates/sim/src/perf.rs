@@ -141,6 +141,23 @@ pub struct WorkloadReport {
     pub layers: Vec<LayerReport>,
 }
 
+spark_util::to_json_struct!(LayerReport {
+    label,
+    compute_cycles,
+    dram_bytes,
+    memory_cycles,
+    cycles,
+    energy,
+});
+
+spark_util::to_json_struct!(WorkloadReport {
+    model,
+    accelerator,
+    total_cycles,
+    energy,
+    layers,
+});
+
 impl WorkloadReport {
     /// Speedup of `self` relative to `other` (>1 when self is faster).
     pub fn speedup_vs(&self, other: &WorkloadReport) -> f64 {

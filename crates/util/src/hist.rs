@@ -1,0 +1,258 @@
+//! Lock-free log-bucketed histogram for latency and size distributions.
+//!
+//! The serving subsystem records one value per request from many worker
+//! threads at once, so every operation here is a relaxed atomic on a fixed
+//! bucket table — no locks, no allocation after construction. Values below
+//! [`EXACT_LIMIT`] get one bucket each (exact counts for small batch sizes
+//! and queue depths); larger values share eight linear sub-buckets per
+//! power of two, bounding the relative quantile error at 1/8.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this are recorded exactly (one bucket per value).
+pub const EXACT_LIMIT: u64 = 64;
+
+/// Eight sub-buckets per octave above [`EXACT_LIMIT`].
+const SUBS: usize = 8;
+
+/// Octaves covered above the exact range: exponents 6..=63.
+const OCTAVES: usize = 58;
+
+const BUCKETS: usize = EXACT_LIMIT as usize + OCTAVES * SUBS;
+
+/// A concurrent histogram of `u64` samples (typically microseconds or
+/// batch sizes).
+///
+/// ```
+/// use spark_util::hist::Histogram;
+/// let h = Histogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 100);
+/// assert_eq!(h.max(), 100);
+/// let p50 = h.quantile(0.5);
+/// assert!((45..=57).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT_LIMIT {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as usize; // >= 6
+    let sub = ((v >> (exp - 3)) & 7) as usize;
+    EXACT_LIMIT as usize + (exp - 6) * SUBS + sub
+}
+
+/// Smallest value that lands in bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    if i < EXACT_LIMIT as usize {
+        return i as u64;
+    }
+    let rel = i - EXACT_LIMIT as usize;
+    let exp = rel / SUBS + 6;
+    let sub = (rel % SUBS) as u64;
+    (8 + sub) << (exp - 3)
+}
+
+/// Largest value that lands in bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i < EXACT_LIMIT as usize {
+        return i as u64;
+    }
+    if i + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower(i + 1) - 1
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the table through a Vec.
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> =
+            buckets.into_boxed_slice().try_into().expect("fixed size");
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Safe to call from any number of threads.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on overflow, like the recording itself).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum() as f64 / n as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), reported as the upper edge of the
+    /// bucket where the cumulative count crosses `q * count` — a
+    /// conservative (never understated) latency estimate with ≤ 1/8
+    /// relative error. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(lower_edge, count)` pairs, for dumps.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let c = self.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_lower(i), c))
+            })
+            .collect()
+    }
+
+    /// Summary as a JSON object: `count`, `mean`, `p50`, `p90`, `p99`,
+    /// `max` — the schema `/metrics` serves.
+    pub fn to_json(&self) -> crate::json::Value {
+        crate::json::Value::object([
+            ("count", crate::json::Value::Num(self.count() as f64)),
+            ("mean", crate::json::Value::Num(self.mean())),
+            ("p50", crate::json::Value::Num(self.quantile(0.5) as f64)),
+            ("p90", crate::json::Value::Num(self.quantile(0.9) as f64)),
+            ("p99", crate::json::Value::Num(self.quantile(0.99) as f64)),
+            ("max", crate::json::Value::Num(self.max() as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Every value maps to a bucket whose [lower, upper] range holds it,
+        // and bucket edges are contiguous.
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "v = {v}");
+        }
+        for v in [u64::MAX, u64::MAX / 2, 1 << 40, (1 << 40) + 12345] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "v = {v}");
+        }
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_upper(i) + 1, bucket_lower(i + 1), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(5);
+        }
+        h.record(60);
+        assert_eq!(h.count(), 11);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 60);
+        assert_eq!(h.max(), 60);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(got >= exact * 0.99, "q{q}: {got} < {exact}");
+            assert!(got <= exact * 1.15, "q{q}: {got} > {exact}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum(), (0..4000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn json_summary_parses_and_has_fields() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        let text = j.to_string_compact();
+        let back = crate::json::parse(&text).unwrap();
+        assert_eq!(back.get("count").unwrap().as_f64(), Some(4.0));
+        assert!(back.get("p99").unwrap().as_f64().unwrap() >= 100.0);
+    }
+}

@@ -309,7 +309,7 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns a [`ParseError`] on malformed input or trailing garbage.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -319,9 +319,16 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     Ok(v)
 }
 
+/// Maximum container nesting [`parse`] accepts. The parser recurses once
+/// per level, so without this cap adversarial input like `"[[[[…"` would
+/// exhaust the thread stack (an abort, not an `Err`) — unacceptable for a
+/// parser that fronts a network server. 128 matches serde_json's default.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -361,12 +368,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
         self.pos += 1; // [
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -377,6 +394,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -385,11 +403,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
         self.pos += 1; // {
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(members));
         }
         loop {
@@ -405,6 +425,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(members));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -477,9 +498,15 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err("invalid number"))
+        match text.parse::<f64>() {
+            // `"1e999".parse::<f64>()` yields infinity rather than an
+            // error; JSON has no non-finite numbers, so reject instead of
+            // silently materializing a value the serializer would turn
+            // into `null`.
+            Ok(x) if x.is_finite() => Ok(Value::Num(x)),
+            Ok(_) => Err(self.err("number out of range")),
+            Err(_) => Err(self.err("invalid number")),
+        }
     }
 }
 

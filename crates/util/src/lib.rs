@@ -8,8 +8,11 @@
 //!   (replaces `rand`);
 //! - [`dist`] — Normal / StandardNormal / Gamma samplers (replaces
 //!   `rand_distr`);
-//! - [`par`] — scoped-thread [`par::par_map`] and two-way [`par::join`]
-//!   for coarse data-parallel sweeps (replaces `rayon`);
+//! - [`par`] — scoped-thread [`par::par_map`], two-way [`par::join`], and
+//!   a bounded MPMC [`par::channel`] for coarse data-parallel sweeps and
+//!   the serving job queue (replaces `rayon` / `crossbeam-channel`);
+//! - [`hist`] — a lock-free log-bucketed [`hist::Histogram`] for request
+//!   latency and batch-size metrics (replaces `hdrhistogram`);
 //! - [`json`] — a minimal JSON [`json::Value`] with serializer, parser and
 //!   the [`json::ToJson`] trait (replaces `serde` + `serde_json`);
 //! - [`prop`] — seeded property-test runner with shrinking and seed
@@ -24,12 +27,14 @@
 
 pub mod bench;
 pub mod dist;
+pub mod hist;
 pub mod json;
 pub mod par;
 pub mod prop;
 pub mod rng;
 
 pub use dist::{Gamma, Normal, StandardNormal};
+pub use hist::Histogram;
 pub use json::{ToJson, Value};
-pub use par::{join, par_map};
+pub use par::{channel, join, par_map};
 pub use rng::Rng;

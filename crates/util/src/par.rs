@@ -1,12 +1,16 @@
 //! Scoped-thread data parallelism, replacing `rayon::par_iter` for the
-//! embarrassingly parallel sweeps in `spark-bench`.
+//! embarrassingly parallel sweeps in `spark-bench`, plus a bounded MPMC
+//! [`channel`] for the long-running serving subsystem.
 //!
 //! The experiment fan-outs are a handful of coarse work items (one model or
 //! one design point each), so a static contiguous-chunk split over
 //! `std::thread::scope` captures all the available speedup without a work
 //! stealing runtime. Results come back in input order.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Number of worker threads [`par_map`] will use: the machine's available
 /// parallelism, overridable (e.g. for deterministic timing runs) with the
@@ -134,6 +138,268 @@ where
     })
 }
 
+/// Creates a bounded multi-producer multi-consumer channel of capacity
+/// `capacity` — the backpressured job queue of the serving subsystem
+/// (replaces `crossbeam-channel`).
+///
+/// Both halves are cloneable. [`Sender::send`] blocks while the queue is
+/// full; [`Sender::try_send`] returns the value back instead, which is how
+/// the server turns a full queue into an immediate 503 rather than an
+/// unbounded backlog. [`Receiver::recv`] blocks until a value arrives or
+/// every sender is gone.
+///
+/// ```
+/// use spark_util::par::channel;
+/// let (tx, rx) = channel(2);
+/// tx.send(1).unwrap();
+/// tx.send(2).unwrap();
+/// assert!(tx.try_send(3).is_err()); // full
+/// assert_eq!(rx.recv(), Some(1));
+/// drop(tx);
+/// assert_eq!(rx.recv(), Some(2));
+/// assert_eq!(rx.recv(), None); // disconnected and drained
+/// ```
+///
+/// # Panics
+///
+/// Panics when `capacity` is zero (a zero-capacity rendezvous channel is
+/// not supported).
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be positive");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(ChanState {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<ChanState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChanState<T>> {
+        // A worker panicking mid-queue-op would poison the mutex; the queue
+        // itself is always left consistent, so keep going.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Error returned by [`Sender::try_send`], giving the value back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue held `capacity` values (backpressure).
+    Full(T),
+    /// Every receiver is gone; the value can never be delivered.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No value arrived within the timeout.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+/// The sending half of a bounded [`channel`].
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half of a bounded [`channel`].
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `value`. Returns the value
+    /// back when every receiver is gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the channel is disconnected.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut s = self.0.lock();
+        loop {
+            if s.receivers == 0 {
+                return Err(value);
+            }
+            if s.queue.len() < s.capacity {
+                s.queue.push_back(value);
+                drop(s);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            s = match self.0.not_full.wait(s) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Enqueues `value` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when the queue is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver is gone — both
+    /// return the value to the caller.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut s = self.0.lock();
+        if s.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if s.queue.len() >= s.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        s.queue.push_back(value);
+        drop(s);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.0.lock().queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives; `None` once every sender is gone and
+    /// the queue is drained (so a plain `while let Some(v) = rx.recv()`
+    /// drains gracefully on shutdown).
+    pub fn recv(&self) -> Option<T> {
+        let mut s = self.0.lock();
+        loop {
+            if let Some(v) = s.queue.pop_front() {
+                drop(s);
+                self.0.not_full.notify_one();
+                return Some(v);
+            }
+            if s.senders == 0 {
+                return None;
+            }
+            s = match self.0.not_empty.wait(s) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Dequeues without blocking; `None` when the queue is momentarily
+    /// empty (regardless of sender liveness).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut s = self.0.lock();
+        let v = s.queue.pop_front();
+        if v.is_some() {
+            drop(s);
+            self.0.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Blocks up to `timeout` for a value — the micro-batcher's collection
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when the window elapses empty,
+    /// [`RecvTimeoutError::Disconnected`] when every sender is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.0.lock();
+        loop {
+            if let Some(v) = s.queue.pop_front() {
+                drop(s);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if s.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            s = match self.0.not_empty.wait_timeout(s, deadline - now) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.0.lock().queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.0.lock();
+        s.senders -= 1;
+        let last = s.senders == 0;
+        drop(s);
+        if last {
+            // Wake blocked receivers so they observe the disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut s = self.0.lock();
+        s.receivers -= 1;
+        let last = s.receivers == 0;
+        drop(s);
+        if last {
+            // Wake blocked senders so they observe the disconnect.
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +463,96 @@ mod tests {
         );
         assert_eq!(sum, 5050);
         assert_eq!(max, 100);
+    }
+
+    #[test]
+    fn channel_fifo_within_capacity() {
+        let (tx, rx) = channel(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(tx.len(), 4);
+        assert!(matches!(tx.try_send(9), Err(TrySendError::Full(9))));
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn channel_disconnect_semantics() {
+        let (tx, rx) = channel::<u32>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(7)); // drains before reporting closed
+        assert_eq!(rx.recv(), None);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+
+        let (tx, rx) = channel::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(1));
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn channel_recv_timeout_times_out_when_empty() {
+        let (tx, rx) = channel::<u8>(1);
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        drop(tx);
+    }
+
+    #[test]
+    fn channel_blocking_send_unblocks_on_recv() {
+        let (tx, rx) = channel(1);
+        tx.send(0u32).unwrap();
+        std::thread::scope(|scope| {
+            let tx2 = tx.clone();
+            let h = scope.spawn(move || tx2.send(1).is_ok());
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Some(0));
+            assert!(h.join().unwrap());
+            assert_eq!(rx.recv(), Some(1));
+        });
+    }
+
+    #[test]
+    fn channel_mpmc_delivers_every_value_once() {
+        let (tx, rx) = channel::<usize>(8);
+        let produced: usize = 4 * 250;
+        let consumed = std::sync::atomic::AtomicUsize::new(0);
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for p in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..250 {
+                        tx.send(p * 250 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let consumed = &consumed;
+                let sum = &sum;
+                scope.spawn(move || {
+                    while let Some(v) = rx.recv() {
+                        consumed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+            drop(rx);
+        });
+        assert_eq!(consumed.into_inner(), produced);
+        assert_eq!(sum.into_inner(), (0..produced).sum::<usize>());
     }
 }

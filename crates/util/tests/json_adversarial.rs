@@ -1,0 +1,180 @@
+//! Adversarial inputs for `spark_util::json::parse` — the byte streams a
+//! network-facing server will see. The contract under test: the parser
+//! returns `Err` on anything malformed and **never panics, aborts, or
+//! hangs** (deep nesting in particular must not blow the thread stack).
+
+use spark_util::json::{parse, Value, MAX_PARSE_DEPTH};
+use spark_util::prop::{check_with, Config};
+
+#[test]
+fn truncated_documents_error() {
+    let full = r#"{"values": [1.5, -2.25, 3e-2], "name": "tensor", "ok": true}"#;
+    // Every proper prefix of a valid document must be a clean parse error.
+    for cut in 0..full.len() {
+        let prefix = &full[..cut];
+        assert!(parse(prefix).is_err(), "prefix {prefix:?} parsed");
+    }
+    assert!(parse(full).is_ok());
+}
+
+#[test]
+fn truncated_escapes_and_strings_error() {
+    for bad in [
+        "\"abc",          // unterminated
+        "\"abc\\",        // cut inside escape introducer
+        "\"abc\\u",       // cut before hex digits
+        "\"abc\\u00",     // cut inside hex digits
+        "\"abc\\q\"",     // unknown escape
+        "\"\\uZZZZ\"",    // non-hex escape payload
+        "{\"k\\",         // truncated escape in a key
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} parsed");
+    }
+}
+
+#[test]
+fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+    // Way past any legitimate document; without the depth cap this
+    // overflows the parser's recursion and aborts the process.
+    for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+        let depth = 100_000;
+        let mut doc = open.repeat(depth);
+        doc.push('1');
+        doc.push_str(&close.repeat(depth));
+        let err = parse(&doc).expect_err("deep nesting must error");
+        assert!(err.message.contains("deep"), "unexpected error: {err}");
+    }
+}
+
+#[test]
+fn nesting_at_the_limit_still_parses() {
+    let depth = MAX_PARSE_DEPTH;
+    let mut ok = "[".repeat(depth - 1);
+    ok.push('0');
+    ok.push_str(&"]".repeat(depth - 1));
+    assert!(parse(&ok).is_ok(), "depth {} should parse", depth - 1);
+
+    let mut too_deep = "[".repeat(depth + 1);
+    too_deep.push('0');
+    too_deep.push_str(&"]".repeat(depth + 1));
+    assert!(parse(&too_deep).is_err());
+}
+
+#[test]
+fn huge_numbers_error_rather_than_becoming_infinite() {
+    for bad in ["1e999", "-1e999", "1e308999", "123456789e999999999"] {
+        let err = parse(bad).expect_err(bad);
+        assert!(err.message.contains("range"), "{bad}: {err}");
+    }
+    // The largest finite doubles still round-trip.
+    for ok in ["1e308", "-1.7976931348623157e308", "4.9e-324", "1e-999"] {
+        let v = parse(ok).unwrap();
+        assert!(v.as_f64().unwrap().is_finite(), "{ok}");
+    }
+}
+
+#[test]
+fn surrogate_escapes_do_not_panic() {
+    // Lone surrogates are not valid scalar values; the parser maps them to
+    // U+FFFD rather than calling the (panicking) char conversion.
+    for s in ["\"\\ud800\"", "\"\\udfff\"", "\"\\ud800\\ud800\""] {
+        match parse(s) {
+            Ok(Value::Str(text)) => assert!(text.contains('\u{fffd}')),
+            Ok(other) => panic!("{s}: unexpected {other:?}"),
+            Err(_) => {} // rejecting is equally acceptable
+        }
+    }
+}
+
+#[test]
+fn garbage_and_control_bytes_error() {
+    for bad in [
+        "",
+        "   ",
+        "nul",
+        "nulll",
+        "truefalse",
+        "+1",
+        ".5",
+        "--1",
+        "1..2",
+        "1ee5",
+        "[,]",
+        "[1,,2]",
+        "{,}",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{1: 2}",
+        "[1}",
+        "{\"a\": 1]",
+        "\u{0}",
+        "[\u{1}]",
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} parsed");
+    }
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    // Fuzz-lite: arbitrary documents of JSON-ish punctuation and printable
+    // bytes through the property harness. Success or failure are both
+    // fine; panics are not (the harness converts panics into failures).
+    check_with(
+        &Config::with_cases(500),
+        "json byte soup never panics",
+        |rng| {
+            let len = rng.gen_range(0..64);
+            (0..len)
+                .map(|_| (rng.gen_below(96) as u8 + 32) as char)
+                .collect::<String>()
+        },
+        |doc| {
+            let _ = parse(doc);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn random_mutations_of_valid_documents_never_panic() {
+    let base = r#"{"values": [1.5, -2.25, 3e-2, 0, 1e10], "meta": {"name": "t\u00e9nsor", "tags": ["a", "b"]}}"#;
+    check_with(
+        &Config::with_cases(500),
+        "json mutation never panics",
+        |rng| {
+            let mut doc: Vec<u8> = base.bytes().collect();
+            for _ in 0..1 + rng.gen_below(4) {
+                let i = rng.gen_range(0..doc.len());
+                match rng.gen_below(3) {
+                    0 => doc[i] = rng.gen_below(128) as u8,
+                    1 => {
+                        doc.remove(i);
+                    }
+                    _ => doc.insert(i, rng.gen_below(128) as u8),
+                }
+            }
+            doc
+        },
+        |doc| {
+            if let Ok(text) = std::str::from_utf8(doc) {
+                let _ = parse(text);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn round_trip_survives_hostile_strings() {
+    // Serialize-then-parse stays lossless for strings full of escapes and
+    // multi-byte characters — what metric labels and model names may hold.
+    for s in [
+        "quote\" slash\\ newline\n tab\t null\u{0} bell\u{7}",
+        "π ≈ 3.14159; 中文; 🚀; \u{fffd}",
+        "\\u0000 literal backslash-u",
+    ] {
+        let v = Value::Str(s.to_string());
+        let text = v.to_string_compact();
+        assert_eq!(parse(&text).unwrap(), v, "{s:?}");
+    }
+}

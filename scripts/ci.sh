@@ -32,6 +32,28 @@ grep -Eq '"gflops": *[0-9]' BENCH_gemm.json || {
     exit 1
 }
 
+echo "==> serve smoke (boots an ephemeral server, hits every endpoint)"
+cargo run --release --offline -p spark-cli --bin spark -- serve --smoke
+
+echo "==> serve bench -> BENCH_serve.json"
+# Full timing windows: speedup_batched_over_unbatched is a gate.
+SPARK_BENCH_JSON="$PWD/BENCH_serve.json" \
+    cargo bench --offline -p spark-bench --bench serve
+grep -Eq '"batched_encode_rps": *[0-9]' BENCH_serve.json || {
+    echo "BENCH_serve.json missing a numeric batched_encode_rps" >&2
+    exit 1
+}
+grep -Eq '"requests_per_sec": *[0-9]' BENCH_serve.json || {
+    echo "BENCH_serve.json missing a numeric requests_per_sec" >&2
+    exit 1
+}
+awk '/"speedup_batched_over_unbatched"/ {
+    gsub(/[",]/, ""); if ($2 + 0 < 2.0) { exit 1 } else { found = 1 }
+} END { exit found ? 0 : 1 }' BENCH_serve.json || {
+    echo "BENCH_serve.json: batched encode is not >=2x unbatched" >&2
+    exit 1
+}
+
 echo "==> experiments --smoke"
 SPARK_BENCH_QUICK=1 cargo run --release --offline -p spark-bench --bin experiments -- --smoke
 
