@@ -8,6 +8,7 @@
 //! spark profile <model>                       calibrated distribution characterization
 //! spark models                                list known model names
 //! spark serve [flags]                         batched HTTP serving front end
+//! spark chaos [--seed N] [--streams N]        seeded fault-injection report (JSON)
 //! ```
 //!
 //! Input `.f32` files are raw little-endian 32-bit floats (e.g. exported
@@ -38,14 +39,16 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("models") => cmd_models(),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
-            eprintln!("usage: spark <encode|decode|analyze|simulate|profile|models|serve> ...");
+            eprintln!("usage: spark <encode|decode|analyze|simulate|profile|models|serve|chaos> ...");
             eprintln!("  encode  <input.f32> <output.spark>");
             eprintln!("  decode  <input.spark> <output.u8>");
             eprintln!("  analyze [--json] <input.f32>");
             eprintln!("  simulate [--json] <model> [accelerator]");
             eprintln!("  profile <model>");
             eprintln!("  serve [--addr A] [--workers N] [--batch N] [--window-us N] [--queue N] [--smoke]");
+            eprintln!("  chaos [--seed N] [--streams N]");
             return ExitCode::from(2);
         }
     };
@@ -250,6 +253,28 @@ fn cmd_serve(args: &[String]) -> CliResult {
     println!("           GET /healthz /metrics, POST /shutdown");
     server.join();
     println!("shutdown complete");
+    Ok(())
+}
+
+/// `spark chaos`: runs the seeded fault-injection suite (codec corruption
+/// sweep, PE fault-rate sweep, live serve-layer chaos scenario) and
+/// prints the deterministic JSON report. Same `(--seed, --streams)` →
+/// byte-identical output; CI diffs two runs.
+fn cmd_chaos(args: &[String]) -> CliResult {
+    let mut args = args.to_vec();
+    let seed: u64 = match take_option(&mut args, "--seed")? {
+        Some(s) => s.parse().map_err(|_| format!("bad --seed {s:?}"))?,
+        None => 7,
+    };
+    let streams: usize = match take_option(&mut args, "--streams")? {
+        Some(s) => s.parse().map_err(|_| format!("bad --streams {s:?}"))?,
+        None => 10_000,
+    };
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument {extra:?}").into());
+    }
+    let report = spark_fault::run_chaos(seed, streams)?;
+    println!("{}", report.to_string_pretty());
     Ok(())
 }
 

@@ -17,6 +17,14 @@ pub enum DecodeError {
     TruncatedLongCode,
     /// A nibble outside `0..=15` was pushed (caller bug).
     InvalidNibble(u8),
+    /// A beat wider than the format's beat width was pushed into a
+    /// [`crate::GeneralDecoder`] (caller bug or corrupted unpacking).
+    InvalidBeat {
+        /// The offending beat value.
+        beat: u16,
+        /// The format's beat width in bits.
+        width: u8,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -26,6 +34,9 @@ impl fmt::Display for DecodeError {
                 write!(f, "stream ended inside a long code (enable still set)")
             }
             DecodeError::InvalidNibble(n) => write!(f, "invalid nibble value {n}"),
+            DecodeError::InvalidBeat { beat, width } => {
+                write!(f, "beat value {beat} does not fit the {width}-bit beat width")
+            }
         }
     }
 }

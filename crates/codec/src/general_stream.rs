@@ -134,9 +134,19 @@ impl GeneralDecoder {
     }
 
     /// Consumes one beat; returns a completed value when one finishes.
-    pub fn push_beat(&mut self, beat: u16) -> Option<u16> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidBeat`] when `beat` does not fit the
+    /// format's beat width — the beat-level analogue of
+    /// [`DecodeError::InvalidNibble`], so corrupted unpacking surfaces as a
+    /// typed error instead of silently aliasing a valid beat.
+    pub fn push_beat(&mut self, beat: u16) -> Result<Option<u16>, DecodeError> {
         let h = self.format.short_bits();
-        match self.pending.take() {
+        if h < 16 && beat >> h != 0 {
+            return Err(DecodeError::InvalidBeat { beat, width: h });
+        }
+        Ok(match self.pending.take() {
             Some(prev) => Some(self.format.decode(GeneralCode::Long { prev, post: beat })),
             None => {
                 let identifier = (beat >> (h - 1)) & 1;
@@ -147,7 +157,7 @@ impl GeneralDecoder {
                     None
                 }
             }
-        }
+        })
     }
 
     /// Declares the stream finished.
@@ -189,12 +199,13 @@ pub fn encode_general(format: &SparkFormat, values: &[u16]) -> BeatStream {
 ///
 /// # Errors
 ///
-/// Returns [`DecodeError::TruncatedLongCode`] for half-read long codes.
+/// Returns [`DecodeError::TruncatedLongCode`] for half-read long codes and
+/// [`DecodeError::InvalidBeat`] for beats outside the format's width.
 pub fn decode_general(format: &SparkFormat, stream: &BeatStream) -> Result<Vec<u16>, DecodeError> {
     let mut dec = GeneralDecoder::new(*format);
     let mut out = Vec::new();
     for beat in stream.iter() {
-        if let Some(v) = dec.push_beat(beat) {
+        if let Some(v) = dec.push_beat(beat)? {
             out.push(v);
         }
     }

@@ -70,7 +70,7 @@ pub use codecheck::FormatError;
 pub use general::{GeneralCode, SparkFormat};
 pub use general_stream::{decode_general, encode_general, BeatStream, GeneralDecoder};
 pub use compensation::{bias_correction, EncodeMode};
-pub use container::{read_container, write_container, ContainerError};
+pub use container::{read_container, stream_checksum, write_container, ContainerError};
 pub use decoder::{DecodeError, SparkDecoder};
 pub use encoder::SparkEncoder;
 pub use stats::CodeStats;

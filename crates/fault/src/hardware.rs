@@ -1,0 +1,287 @@
+//! Deterministic PE-datapath fault injectors for the functional array,
+//! plus a systolic timing-plane sweep.
+//!
+//! Both injectors implement [`MacFaultHook`] and decide each MAC purely
+//! from `(seed, site)` via a stateless [`splitmix64`] hash — no shared
+//! RNG stream — so the injected fault pattern is identical no matter how
+//! the GEMM is tiled or fanned out across threads (the hook contract in
+//! `spark_sim::fault`). That makes fault-rate sweeps reproducible to the
+//! bit, which the chaos report depends on.
+//!
+//! The timing plane ([`systolic_kind_flip`]) attacks the *scheduler*
+//! instead of the datapath: operand precision tags flip from INT4 to
+//! INT8 at faulted sites, and the cycle-accurate simulator must absorb
+//! the now-slower MACs without hanging or panicking — cycles grow
+//! monotonically with the upgrade, never wedge.
+
+use spark_sim::{FunctionalArray, MacFaultHook, OperandKind, SignMag, SystolicSim};
+use spark_util::json::Value;
+use spark_util::rng::splitmix64;
+use spark_util::Rng;
+
+/// Hash-based per-site fault decision shared by the injectors: true for
+/// roughly `rate` of all sites, deterministically in `(seed, site)`.
+fn site_faulted(seed: u64, site: u64, threshold: u32) -> bool {
+    let mut s = seed ^ site.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (splitmix64(&mut s) >> 32) < u64::from(threshold)
+}
+
+/// Converts a fault probability into a 32-bit hash threshold.
+fn threshold(rate: f64) -> u32 {
+    let clamped = rate.clamp(0.0, 1.0);
+    // Saturating conversion keeps rate = 1.0 meaningful.
+    (clamped * f64::from(u32::MAX)).round().min(f64::from(u32::MAX)) as u32
+}
+
+/// Stuck-at fault: at faulted sites, one bit of the weight magnitude is
+/// forced high (stuck-at-1) or low (stuck-at-0), modelling a defective
+/// weight-register cell in the PE.
+#[derive(Debug, Clone, Copy)]
+pub struct StuckAtFault {
+    /// Fault-pattern seed.
+    pub seed: u64,
+    /// Hash threshold derived from the fault rate.
+    thresh: u32,
+    /// Magnitude bit forced (0..8).
+    pub bit: u8,
+    /// True forces the bit to 1, false to 0.
+    pub stuck_high: bool,
+}
+
+impl StuckAtFault {
+    /// A stuck-at fault hitting roughly `rate` of all MAC sites.
+    pub fn new(seed: u64, rate: f64, bit: u8, stuck_high: bool) -> Self {
+        Self { seed, thresh: threshold(rate), bit: bit % 8, stuck_high }
+    }
+}
+
+impl MacFaultHook for StuckAtFault {
+    fn perturb(&self, site: u64, w: SignMag, a: SignMag) -> (SignMag, SignMag) {
+        if !site_faulted(self.seed, site, self.thresh) {
+            return (w, a);
+        }
+        let mask = 1u8 << self.bit;
+        let magnitude = if self.stuck_high { w.magnitude | mask } else { w.magnitude & !mask };
+        (SignMag { magnitude, ..w }, a)
+    }
+}
+
+/// Transient (soft-error) fault: at faulted sites, one seed-determined
+/// bit of the activation magnitude is flipped for that MAC only.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientFault {
+    /// Fault-pattern seed.
+    pub seed: u64,
+    /// Hash threshold derived from the fault rate.
+    thresh: u32,
+}
+
+impl TransientFault {
+    /// A transient fault hitting roughly `rate` of all MAC sites.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        Self { seed, thresh: threshold(rate) }
+    }
+}
+
+impl MacFaultHook for TransientFault {
+    fn perturb(&self, site: u64, w: SignMag, a: SignMag) -> (SignMag, SignMag) {
+        if !site_faulted(self.seed, site, self.thresh) {
+            return (w, a);
+        }
+        // Which bit flips is itself site-determined (second hash word).
+        let mut s = self.seed ^ site ^ 0xdead_beef_cafe_f00d;
+        let bit = (splitmix64(&mut s) % 8) as u8;
+        (w, SignMag { magnitude: a.magnitude ^ (1 << bit), ..a })
+    }
+}
+
+/// Deterministic random GEMM operands in the sign-magnitude INT8 range.
+fn random_operands(rng: &mut Rng, count: usize) -> Vec<SignMag> {
+    (0..count)
+        .map(|_| SignMag {
+            magnitude: (rng.gen_below(256)) as u8,
+            negative: rng.gen_bool(),
+        })
+        .collect()
+}
+
+/// Mean absolute output error of a faulted GEMM, normalized by the mean
+/// absolute clean output (0.0 = bit-identical).
+fn relative_error(clean: &[i64], faulty: &[i64]) -> f64 {
+    let denom: f64 = clean.iter().map(|&c| c.abs() as f64).sum::<f64>().max(1.0);
+    let num: f64 = clean.iter().zip(faulty).map(|(&c, &f)| (c - f).abs() as f64).sum();
+    num / denom
+}
+
+/// Sweeps transient-fault rates over a fixed GEMM and reports the output
+/// degradation per rate, deterministically in `seed`.
+pub fn accuracy_sweep(seed: u64, rates: &[f64]) -> Value {
+    const M: usize = 24;
+    const K: usize = 48;
+    const N: usize = 24;
+    let mut rng = Rng::seed_from_u64(seed ^ 0xacc0_5eed);
+    let a = random_operands(&mut rng, M * K);
+    let w = random_operands(&mut rng, K * N);
+    let array = FunctionalArray::new(16, 16);
+    let (clean, _) = array.gemm(&a, &w, M, K, N);
+
+    let points: Vec<Value> = rates
+        .iter()
+        .map(|&rate| {
+            let hook = TransientFault::new(seed, rate);
+            let (faulty, _) = array.gemm_with_hook(&hook, &a, &w, M, K, N);
+            let perturbed =
+                clean.iter().zip(&faulty).filter(|(c, f)| c != f).count();
+            Value::object([
+                ("rate", Value::Num(rate)),
+                ("outputs_perturbed", Value::Num(perturbed as f64)),
+                ("outputs_total", Value::Num(clean.len() as f64)),
+                ("relative_error", Value::Num(relative_error(&clean, &faulty))),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("gemm", Value::Str(format!("{M}x{K}x{N}"))),
+        ("fault_model", Value::Str("transient single-bit activation flip".into())),
+        ("points", Value::Array(points)),
+    ])
+}
+
+/// Timing-plane sweep: runs a systolic tile with precision tags upgraded
+/// INT4 → INT8 at hash-faulted sites and reports the cycle inflation.
+/// The simulator must complete every corrupted schedule (no hang, no
+/// panic) with cycles monotonically above the clean run.
+pub fn systolic_kind_flip(seed: u64, rate: f64) -> Value {
+    const ROWS: usize = 16;
+    const COLS: usize = 16;
+    const WAVES: usize = 64;
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5157_011c);
+    let mut kinds = |n: usize| -> Vec<OperandKind> {
+        (0..n)
+            .map(|_| if rng.gen_bool() { OperandKind::Int4 } else { OperandKind::Int8 })
+            .collect()
+    };
+    let weights: Vec<Vec<OperandKind>> = (0..ROWS).map(|_| kinds(COLS)).collect();
+    let activations: Vec<Vec<OperandKind>> = (0..WAVES).map(|_| kinds(ROWS)).collect();
+
+    let thresh = threshold(rate);
+    let flip = |base: &[Vec<OperandKind>], plane: u64| -> Vec<Vec<OperandKind>> {
+        base.iter()
+            .enumerate()
+            .map(|(r, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, &k)| {
+                        let site = plane << 32 | (r * row.len() + c) as u64;
+                        if site_faulted(seed, site, thresh) { OperandKind::Int8 } else { k }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    let sim = SystolicSim::new(ROWS, COLS);
+    let clean = sim.run_tile(&weights, &activations);
+    let faulted = sim.run_tile(&flip(&weights, 1), &flip(&activations, 2));
+    Value::object([
+        ("rate", Value::Num(rate)),
+        ("clean_cycles", Value::Num(clean.cycles as f64)),
+        ("faulted_cycles", Value::Num(faulted.cycles as f64)),
+        (
+            "cycle_inflation",
+            Value::Num(faulted.cycles as f64 / (clean.cycles as f64).max(1.0)),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: usize = 8;
+    const K: usize = 16;
+    const N: usize = 8;
+
+    fn fixed_gemm() -> (Vec<SignMag>, Vec<SignMag>) {
+        let mut rng = Rng::seed_from_u64(5);
+        (random_operands(&mut rng, M * K), random_operands(&mut rng, K * N))
+    }
+
+    #[test]
+    fn zero_rate_hooks_are_bit_identical_to_clean() {
+        let (a, w) = fixed_gemm();
+        let array = FunctionalArray::new(4, 4);
+        let (clean, clean_stats) = array.gemm(&a, &w, M, K, N);
+        for hook in [
+            &TransientFault::new(1, 0.0) as &dyn MacFaultHook,
+            &StuckAtFault::new(1, 0.0, 3, true),
+        ] {
+            let (out, stats) = array.gemm_with_hook(&DynHook(hook), &a, &w, M, K, N);
+            assert_eq!(out, clean);
+            assert_eq!(stats.macs, clean_stats.macs);
+        }
+    }
+
+    /// Adapter: the sweep tests iterate over hooks dynamically.
+    struct DynHook<'a>(&'a dyn MacFaultHook);
+    impl MacFaultHook for DynHook<'_> {
+        fn perturb(&self, site: u64, w: SignMag, a: SignMag) -> (SignMag, SignMag) {
+            self.0.perturb(site, w, a)
+        }
+    }
+
+    #[test]
+    fn fault_pattern_is_invariant_under_tiling() {
+        // Same (seed, rate), different physical tile shapes: the site
+        // hashing contract means identical outputs.
+        let (a, w) = fixed_gemm();
+        let hook = TransientFault::new(77, 0.05);
+        let reference = FunctionalArray::new(16, 16).gemm_with_hook(&hook, &a, &w, M, K, N).0;
+        for (r, c) in [(2, 2), (3, 5), (16, 4), (1, 16)] {
+            let out = FunctionalArray::new(r, c).gemm_with_hook(&hook, &a, &w, M, K, N).0;
+            assert_eq!(out, reference, "tile {r}x{c} changed the fault pattern");
+        }
+    }
+
+    #[test]
+    fn stuck_at_zero_on_a_zero_bit_is_harmless_and_high_is_not() {
+        let a = vec![SignMag::positive(4); 4];
+        let w = vec![SignMag::positive(2); 4]; // bit 0 clear in every weight
+        let array = FunctionalArray::new(4, 4);
+        let (clean, _) = array.gemm(&a, &w, 2, 2, 2);
+        let benign = StuckAtFault::new(3, 1.0, 0, false); // stuck-at-0 on a 0 bit
+        assert_eq!(array.gemm_with_hook(&benign, &a, &w, 2, 2, 2).0, clean);
+        let harmful = StuckAtFault::new(3, 1.0, 0, true); // forces bit 0 high
+        assert_ne!(array.gemm_with_hook(&harmful, &a, &w, 2, 2, 2).0, clean);
+    }
+
+    #[test]
+    fn accuracy_sweep_is_deterministic_and_monotone_at_the_ends() {
+        let rates = [0.0, 0.001, 0.01, 0.1];
+        let a = accuracy_sweep(11, &rates);
+        let b = accuracy_sweep(11, &rates);
+        assert_eq!(a.to_string_compact(), b.to_string_compact());
+        let points = a.get("points").and_then(Value::as_array).unwrap();
+        let err = |i: usize| {
+            points[i].get("relative_error").and_then(Value::as_f64).unwrap()
+        };
+        assert_eq!(err(0), 0.0, "zero rate must be bit-identical");
+        assert!(err(3) > 0.0, "10% fault rate must corrupt outputs");
+    }
+
+    #[test]
+    fn systolic_kind_flips_only_slow_the_array_down() {
+        let clean = systolic_kind_flip(13, 0.0);
+        assert_eq!(
+            clean.get("clean_cycles").and_then(Value::as_f64),
+            clean.get("faulted_cycles").and_then(Value::as_f64),
+            "zero rate flips nothing"
+        );
+        for rate in [0.05, 0.25, 1.0] {
+            let v = systolic_kind_flip(13, rate);
+            let c = v.get("clean_cycles").and_then(Value::as_f64).unwrap();
+            let f = v.get("faulted_cycles").and_then(Value::as_f64).unwrap();
+            assert!(f >= c, "INT4→INT8 upgrades cannot speed up the tile ({rate}): {v:?}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! # spark-fault — seeded, deterministic fault injection for the SPARK
+//! stack
+//!
+//! Robustness claims are only as good as the adversary that tested them.
+//! This crate is that adversary, in three planes that mirror the
+//! codebase's trust boundaries:
+//!
+//! - **Codec plane** ([`mutate`], [`sweep`]) — bit flips, nibble/beat
+//!   corruption, and truncation against the variable-length streams and
+//!   the serialized container. The sweep proves every corruption lands in
+//!   a typed [`DecodeError`](spark_codec::DecodeError) /
+//!   [`ContainerError`](spark_codec::ContainerError) or a *quantified*
+//!   silent decode — never a panic — and measures silent-decode value
+//!   error against the paper's CM bound (±16 magnitude steps).
+//! - **Hardware plane** ([`hardware`]) — stuck-at and transient faults in
+//!   the PE MAC datapath via the zero-cost
+//!   [`MacFaultHook`](spark_sim::MacFaultHook), plus precision-tag flips
+//!   in the cycle-accurate systolic schedule. Fault patterns are pure
+//!   functions of `(seed, site)`, so sweeps reproduce bit-for-bit across
+//!   tilings and thread counts.
+//! - **Serve plane** ([`chaos`]) — a scripted adversary (handler panic,
+//!   hard worker death, slowloris, garbage bytes) against a live loopback
+//!   `spark-serve` instance, asserting the panic-isolation / respawn /
+//!   deadline-shedding contract.
+//!
+//! [`run_chaos`] stitches all three into the single deterministic JSON
+//! report behind `spark chaos`; CI runs it twice and diffs the bytes.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod hardware;
+pub mod mutate;
+pub mod sweep;
+
+pub use chaos::serve_chaos;
+pub use hardware::{accuracy_sweep, systolic_kind_flip, StuckAtFault, TransientFault};
+pub use mutate::Corruption;
+pub use sweep::{sweep_codec, SweepReport};
+
+use spark_util::json::Value;
+
+/// Fault rates swept by the hardware plane of the combined report.
+const REPORT_RATES: [f64; 4] = [0.0, 0.0001, 0.001, 0.01];
+
+/// Runs all three fault planes and returns one combined report.
+///
+/// The report is a pure function of `(seed, streams)`: counts, status
+/// codes, and exactly-reproducible floating-point error figures — no
+/// wall-clock anywhere. `spark chaos` prints it; CI diffs two runs.
+///
+/// # Errors
+///
+/// A description of the first serve-plane step that violated the
+/// resilience contract (the computational planes cannot fail — their
+/// invariant violations are reported as nonzero counters instead).
+pub fn run_chaos(seed: u64, streams: usize) -> Result<Value, String> {
+    let codec = sweep_codec(seed, streams);
+    let hardware = Value::object([
+        ("accuracy", accuracy_sweep(seed, &REPORT_RATES)),
+        ("systolic_timing", systolic_kind_flip(seed, 0.05)),
+    ]);
+    let serve = serve_chaos()?;
+    Ok(Value::object([
+        ("seed", Value::Num(seed as f64)),
+        ("streams", Value::Num(streams as f64)),
+        ("codec", codec.to_json()),
+        ("hardware", hardware),
+        ("serve", serve),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_report_is_byte_identical_across_runs() {
+        let a = run_chaos(3, 400).unwrap().to_string_compact();
+        let b = run_chaos(3, 400).unwrap().to_string_compact();
+        assert_eq!(a, b);
+        // And it actually carries all three planes.
+        for key in ["\"codec\"", "\"hardware\"", "\"serve\"", "\"panics\""] {
+            assert!(a.contains(key), "report missing {key}: {a}");
+        }
+    }
+}

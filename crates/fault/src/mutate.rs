@@ -1,0 +1,195 @@
+//! Seeded corruption operators for the codec's three byte-level surfaces:
+//! packed [`NibbleStream`]s, generalized [`BeatStream`]s, and serialized
+//! container bytes.
+//!
+//! Every operator draws its target and payload from the caller's
+//! [`Rng`], mutates a *copy*, and reports what it did as a [`Corruption`]
+//! so sweep reports can attribute outcomes to operator classes. Operators
+//! are guaranteed to actually change the input (no identity "flips"), so
+//! a decode that still succeeds is a real statement about the format, not
+//! a no-op corruption.
+
+use spark_codec::{BeatStream, NibbleStream};
+use spark_util::Rng;
+
+/// What a corruption operator did, for report attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// One bit of one 4-bit beat inverted.
+    NibbleBitFlip {
+        /// Index of the corrupted nibble.
+        index: usize,
+        /// Bit position within the nibble (0..4).
+        bit: u8,
+    },
+    /// The stream cut to a strict prefix.
+    Truncation {
+        /// Nibbles (or beats / bytes) kept.
+        keep: usize,
+    },
+    /// One beat of a generalized stream XORed with a nonzero mask (which
+    /// may push it past the format's beat width).
+    BeatXor {
+        /// Index of the corrupted beat.
+        index: usize,
+        /// The XOR mask applied (nonzero).
+        mask: u16,
+    },
+    /// One bit of one serialized container byte inverted.
+    ByteBitFlip {
+        /// Byte offset into the serialized container.
+        index: usize,
+        /// Bit position within the byte (0..8).
+        bit: u8,
+    },
+}
+
+/// Rebuilds a nibble stream from an iterator of 4-bit values.
+pub fn stream_from_nibbles(nibbles: impl IntoIterator<Item = u8>) -> NibbleStream {
+    let mut s = NibbleStream::new();
+    for n in nibbles {
+        s.push(n & 0x0F);
+    }
+    s
+}
+
+/// Flips one random bit of one random nibble. Always changes the stream.
+///
+/// # Panics
+///
+/// Panics on an empty stream (nothing to corrupt).
+pub fn flip_nibble_bit(stream: &NibbleStream, rng: &mut Rng) -> (NibbleStream, Corruption) {
+    assert!(!stream.is_empty(), "cannot corrupt an empty stream");
+    let index = rng.gen_range(0..stream.len());
+    let bit = (rng.gen_below(4)) as u8;
+    let out = stream_from_nibbles(
+        stream.iter().enumerate().map(|(i, n)| if i == index { n ^ (1 << bit) } else { n }),
+    );
+    (out, Corruption::NibbleBitFlip { index, bit })
+}
+
+/// Cuts the stream to a random strict prefix (possibly empty).
+///
+/// # Panics
+///
+/// Panics on an empty stream.
+pub fn truncate_nibbles(stream: &NibbleStream, rng: &mut Rng) -> (NibbleStream, Corruption) {
+    assert!(!stream.is_empty(), "cannot truncate an empty stream");
+    let keep = rng.gen_range(0..stream.len());
+    (stream_from_nibbles(stream.iter().take(keep)), Corruption::Truncation { keep })
+}
+
+/// XORs one random beat with a random nonzero in-range mask. The packed
+/// [`BeatStream`] cannot even represent a beat wider than its width
+/// (`push` masks), so this operator models in-band corruption; wider
+/// beats — the [`InvalidBeat`] case — only arise at the raw decoder
+/// boundary, which the sweep injects separately.
+///
+/// [`InvalidBeat`]: spark_codec::DecodeError::InvalidBeat
+///
+/// # Panics
+///
+/// Panics on an empty stream.
+pub fn xor_beat(stream: &BeatStream, rng: &mut Rng) -> (BeatStream, Corruption) {
+    assert!(stream.len() > 0, "cannot corrupt an empty beat stream");
+    let index = rng.gen_range(0..stream.len());
+    let bits = u64::from(stream.beat_bits());
+    let mask = (rng.gen_below((1 << bits) - 1) + 1) as u16;
+    let mut out = BeatStream::new(stream.beat_bits());
+    for i in 0..stream.len() {
+        let beat = stream.get(i).unwrap_or(0);
+        out.push(if i == index { beat ^ mask } else { beat });
+    }
+    (out, Corruption::BeatXor { index, mask })
+}
+
+/// Cuts a beat stream to a random strict prefix.
+///
+/// # Panics
+///
+/// Panics on an empty stream.
+pub fn truncate_beats(stream: &BeatStream, rng: &mut Rng) -> (BeatStream, Corruption) {
+    assert!(stream.len() > 0, "cannot truncate an empty beat stream");
+    let keep = rng.gen_range(0..stream.len());
+    let mut out = BeatStream::new(stream.beat_bits());
+    for i in 0..keep {
+        out.push(stream.get(i).unwrap_or(0));
+    }
+    (out, Corruption::Truncation { keep })
+}
+
+/// Flips one random bit anywhere in a serialized container.
+///
+/// # Panics
+///
+/// Panics on an empty byte buffer.
+pub fn flip_container_bit(bytes: &[u8], rng: &mut Rng) -> (Vec<u8>, Corruption) {
+    assert!(!bytes.is_empty(), "cannot corrupt an empty container");
+    let index = rng.gen_range(0..bytes.len());
+    let bit = (rng.gen_below(8)) as u8;
+    let mut out = bytes.to_vec();
+    out[index] ^= 1 << bit;
+    (out, Corruption::ByteBitFlip { index, bit })
+}
+
+/// Cuts a serialized container to a random strict prefix.
+///
+/// # Panics
+///
+/// Panics on an empty byte buffer.
+pub fn truncate_container(bytes: &[u8], rng: &mut Rng) -> (Vec<u8>, Corruption) {
+    assert!(!bytes.is_empty(), "cannot truncate an empty container");
+    let keep = rng.gen_range(0..bytes.len());
+    (bytes[..keep].to_vec(), Corruption::Truncation { keep })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_codec::{encode_general, encode_tensor, SparkFormat};
+
+    #[test]
+    fn nibble_operators_always_change_the_stream() {
+        let mut rng = Rng::seed_from_u64(11);
+        let base = encode_tensor(&[1, 2, 200, 3, 150, 9]).stream;
+        for _ in 0..200 {
+            let (flipped, _) = flip_nibble_bit(&base, &mut rng);
+            assert_ne!(flipped, base);
+            let (cut, c) = truncate_nibbles(&base, &mut rng);
+            assert!(cut.len() < base.len(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn beat_operators_always_change_the_stream() {
+        let fmt = SparkFormat::new(12, 6).unwrap();
+        let values: Vec<u16> = (0..32).map(|i| i * 53 % (fmt.max_value() + 1)).collect();
+        let base = encode_general(&fmt, &values);
+        let mut rng = Rng::seed_from_u64(12);
+        for _ in 0..200 {
+            let (xored, c) = xor_beat(&base, &mut rng);
+            let Corruption::BeatXor { index, mask } = c else { panic!("wrong kind {c:?}") };
+            assert!(mask != 0);
+            assert_eq!(xored.get(index).unwrap(), base.get(index).unwrap() ^ mask);
+            let (cut, _) = truncate_beats(&base, &mut rng);
+            assert!(cut.len() < base.len());
+        }
+    }
+
+    #[test]
+    fn container_operators_are_reproducible_under_the_same_seed() {
+        let mut container = Vec::new();
+        spark_codec::write_container(&encode_tensor(&[7, 200, 3]), &mut container).unwrap();
+        let run = |seed| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut outs = Vec::new();
+            for _ in 0..50 {
+                outs.push(flip_container_bit(&container, &mut rng));
+                outs.push(truncate_container(&container, &mut rng));
+            }
+            outs
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+}

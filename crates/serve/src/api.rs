@@ -45,7 +45,10 @@ pub fn quantize_codes(values: &[f32]) -> Result<MagnitudeCodes, String> {
 
 /// Lower-hex dump of a nibble stream, one character per nibble.
 pub fn stream_to_hex(stream: &NibbleStream) -> String {
-    stream.iter().map(|n| char::from_digit(u32::from(n), 16).unwrap()).collect()
+    // NibbleStream::iter yields values < 16 by construction, so every
+    // nibble indexes the hex alphabet; no fallible conversion needed.
+    const HEX: [u8; 16] = *b"0123456789abcdef";
+    stream.iter().map(|n| char::from(HEX[usize::from(n) & 0xF])).collect()
 }
 
 /// Rebuilds a nibble stream from its hex dump.

@@ -89,13 +89,17 @@ impl<T: Send + 'static, R: Send + 'static> Batcher<T, R> {
     /// company; `max_batch` caps coalescing; `queue` bounds the job
     /// channel (submitting past it blocks, propagating backpressure to
     /// the connection queue).
+    ///
+    /// # Errors
+    ///
+    /// Thread-spawn failure (resource exhaustion at startup).
     pub fn spawn(
         name: &str,
         window: Duration,
         max_batch: usize,
         queue: usize,
         run: impl Fn(Vec<T>) -> Vec<R> + Send + 'static,
-    ) -> Self {
+    ) -> std::io::Result<Self> {
         let max_batch = max_batch.max(1);
         let (tx, rx) = channel::<Job<T, R>>(queue.max(1));
         let handle = std::thread::Builder::new()
@@ -131,9 +135,8 @@ impl<T: Send + 'static, R: Send + 'static> Batcher<T, R> {
                         slot.fill(result);
                     }
                 }
-            })
-            .expect("spawn batcher thread");
-        Self { tx, handle: Arc::new(Mutex::new(Some(handle))) }
+            })?;
+        Ok(Self { tx, handle: Arc::new(Mutex::new(Some(handle))) })
     }
 
     /// Queues one input. Blocks if the job channel is full. `None` means
@@ -174,7 +177,8 @@ mod tests {
     fn single_job_runs_after_window() {
         let b = Batcher::spawn("t1", Duration::from_millis(5), 8, 16, |xs: Vec<u32>| {
             xs.into_iter().map(|x| x * 2).collect()
-        });
+        })
+        .unwrap();
         let slot = b.submit(21).unwrap();
         assert_eq!(slot.wait_timeout(WAIT), Some(42));
         b.join();
@@ -188,7 +192,8 @@ mod tests {
         let b = Batcher::spawn("t2", Duration::from_millis(200), 64, 64, move |xs: Vec<u32>| {
             sizes2.lock().unwrap().push(xs.len());
             xs.into_iter().map(|x| x + 1000).collect()
-        });
+        })
+        .unwrap();
         let slots: Vec<_> = (0..16u32).map(|i| b.submit(i).unwrap()).collect();
         for (i, slot) in slots.into_iter().enumerate() {
             assert_eq!(slot.wait_timeout(WAIT), Some(i as u32 + 1000));
@@ -209,7 +214,8 @@ mod tests {
         let b = Batcher::spawn("t3", Duration::from_millis(50), 4, 64, move |xs: Vec<u32>| {
             sizes2.lock().unwrap().push(xs.len());
             xs
-        });
+        })
+        .unwrap();
         let slots: Vec<_> = (0..12u32).map(|i| b.submit(i).unwrap()).collect();
         for slot in slots {
             assert!(slot.wait_timeout(WAIT).is_some());
@@ -220,7 +226,7 @@ mod tests {
 
     #[test]
     fn join_drains_pending_jobs() {
-        let b = Batcher::spawn("t4", Duration::ZERO, 8, 64, |xs: Vec<u32>| xs);
+        let b = Batcher::spawn("t4", Duration::ZERO, 8, 64, |xs: Vec<u32>| xs).unwrap();
         let slots: Vec<_> = (0..8u32).map(|i| b.submit(i).unwrap()).collect();
         b.join();
         for (i, slot) in slots.into_iter().enumerate() {
@@ -230,7 +236,7 @@ mod tests {
 
     #[test]
     fn submit_after_join_reports_shutdown() {
-        let b = Batcher::spawn("t5", Duration::ZERO, 8, 64, |xs: Vec<u32>| xs);
+        let b = Batcher::spawn("t5", Duration::ZERO, 8, 64, |xs: Vec<u32>| xs).unwrap();
         let b2 = b.clone();
         b.join();
         b2.join();

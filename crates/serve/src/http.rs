@@ -7,16 +7,22 @@
 //! block capped at [`MAX_HEADER_BYTES`], body capped by the server config.
 //! Anything outside that scope maps to a 4xx, never a hang or a panic.
 
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request-line + header block.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 
 /// Per-connection socket read/write timeout: a stalled or malicious peer
-/// ties up a worker for at most this long.
+/// ties up a worker for at most this long *per read*.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default overall deadline for reading one complete request. The per-read
+/// [`IO_TIMEOUT`] only bounds *idle* gaps — a slowloris client dripping one
+/// byte every few seconds resets it forever. The deadline bounds the whole
+/// parse, drip-fed or not.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
 /// A parsed request.
 #[derive(Debug, Clone)]
@@ -61,6 +67,9 @@ pub enum HttpError {
         limit: usize },
     /// `Transfer-Encoding` (chunked bodies are out of scope) → 411.
     LengthRequired,
+    /// The overall request deadline elapsed before the request finished
+    /// arriving (slowloris or a very slow link) → 408.
+    Deadline(Duration),
     /// Socket error or timeout mid-request (no response possible).
     Io(std::io::Error),
 }
@@ -85,6 +94,11 @@ impl HttpError {
                 "Length Required",
                 "a Content-Length body is required (chunked encoding unsupported)".to_string(),
             ),
+            HttpError::Deadline(limit) => (
+                408,
+                "Request Timeout",
+                format!("request not complete within the {} ms deadline", limit.as_millis()),
+            ),
             HttpError::Io(e) => (400, "Bad Request", format!("i/o error: {e}")),
         }
     }
@@ -96,14 +110,49 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads one request from the stream, honoring all the module's limits.
+/// One socket read bounded by both the per-read [`IO_TIMEOUT`] (idle peer)
+/// and the request-wide deadline (drip-feeding peer). A timeout past the
+/// deadline is a typed [`HttpError::Deadline`]; an idle timeout inside the
+/// deadline stays an [`HttpError::Io`], preserving the old semantics.
+fn read_bounded(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    started: Instant,
+    deadline: Duration,
+) -> Result<usize, HttpError> {
+    let elapsed = started.elapsed();
+    if elapsed >= deadline {
+        return Err(HttpError::Deadline(deadline));
+    }
+    // `set_read_timeout(Some(ZERO))` is an error by contract; clamp up.
+    let per_read = (deadline - elapsed).min(IO_TIMEOUT).max(Duration::from_millis(1));
+    stream.set_read_timeout(Some(per_read))?;
+    match stream.read(buf) {
+        Ok(n) => Ok(n),
+        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+            if started.elapsed() >= deadline {
+                Err(HttpError::Deadline(deadline))
+            } else {
+                Err(HttpError::Io(e))
+            }
+        }
+        Err(e) => Err(HttpError::Io(e)),
+    }
+}
+
+/// Reads one request from the stream, honoring all the module's limits,
+/// within an overall `deadline` (use [`REQUEST_DEADLINE`] by default).
 ///
 /// # Errors
 ///
 /// Any [`HttpError`]; the caller decides whether a response is still
 /// writable (everything except [`HttpError::Io`]).
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    deadline: Duration,
+) -> Result<Request, HttpError> {
+    let started = Instant::now();
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
 
     // Accumulate until the blank line, never past MAX_HEADER_BYTES.
@@ -116,7 +165,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         if buf.len() >= MAX_HEADER_BYTES {
             return Err(HttpError::HeadersTooLarge);
         }
-        let n = stream.read(&mut chunk)?;
+        let n = read_bounded(stream, &mut chunk, started, deadline)?;
         if n == 0 {
             return Err(HttpError::BadRequest("connection closed mid-headers".into()));
         }
@@ -180,7 +229,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
     while body.len() < declared {
         let want = (declared - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want])?;
+        let n = read_bounded(stream, &mut chunk[..want], started, deadline)?;
         if n == 0 {
             return Err(HttpError::BadRequest("connection closed mid-body".into()));
         }
@@ -286,7 +335,7 @@ mod tests {
             s.write_all(&bytes).unwrap();
         });
         let (mut conn, _) = listener.accept().unwrap();
-        let r = read_request(&mut conn, max_body);
+        let r = read_request(&mut conn, max_body, Duration::from_secs(10));
         writer.join().unwrap();
         r
     }
@@ -364,12 +413,60 @@ mod tests {
     }
 
     #[test]
+    fn drip_fed_request_hits_the_deadline() {
+        // A slowloris peer: valid header prefix, then one byte at a time
+        // with pauses. The per-read timeout alone would never fire (each
+        // gap is short); the overall deadline must.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let deadline = Duration::from_millis(200);
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET / HT").unwrap();
+            for _ in 0..20 {
+                std::thread::sleep(Duration::from_millis(40));
+                if s.write_all(b"x").is_err() {
+                    break; // server gave up — exactly what we want
+                }
+            }
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        let err = read_request(&mut conn, 1024, deadline).unwrap_err();
+        let waited = started.elapsed();
+        drop(conn);
+        writer.join().unwrap();
+        assert!(matches!(err, HttpError::Deadline(d) if d == deadline), "{err:?}");
+        assert_eq!(err.status().0, 408);
+        // Shed close to the deadline, not after some multiple of IO_TIMEOUT.
+        assert!(waited < deadline + Duration::from_secs(2), "took {waited:?}");
+    }
+
+    #[test]
+    fn deadline_in_the_body_phase_is_also_caught() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let deadline = Duration::from_millis(150);
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\npartial")
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(500)); // never finishes
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let err = read_request(&mut conn, 1024, deadline).unwrap_err();
+        drop(conn);
+        writer.join().unwrap();
+        assert_eq!(err.status().0, 408, "{err:?}");
+    }
+
+    #[test]
     fn client_and_server_halves_agree() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
             let (mut conn, _) = listener.accept().unwrap();
-            let req = read_request(&mut conn, 1024).unwrap();
+            let req = read_request(&mut conn, 1024, Duration::from_secs(10)).unwrap();
             assert_eq!(req.body, b"ping");
             write_response(&mut conn, 200, "OK", "text/plain", b"pong").unwrap();
         });

@@ -78,6 +78,12 @@ pub struct Metrics {
     /// End-to-end request latency in microseconds (parse → response
     /// written), recorded by workers.
     pub latency_us: Histogram,
+    /// Handler panics caught by the per-connection isolation boundary.
+    pub panics_total: AtomicU64,
+    /// Worker threads respawned by the supervisor after dying.
+    pub workers_respawned: AtomicU64,
+    /// Requests shed with 408 because the overall read deadline elapsed.
+    pub deadline_408: AtomicU64,
 }
 
 impl Metrics {
@@ -150,7 +156,31 @@ impl Metrics {
                 ]),
             ),
             ("latency_us", self.latency_us.to_json()),
+            (
+                "resilience",
+                Value::object([
+                    (
+                        "panics_total",
+                        Value::Num(self.panics_total.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "workers_respawned",
+                        Value::Num(self.workers_respawned.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "deadline_408",
+                        Value::Num(self.deadline_408.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
         ])
+    }
+
+    /// True when the server has caught at least one panic or respawned a
+    /// worker since start — surfaced by `/healthz` as `"degraded"`.
+    pub fn degraded(&self) -> bool {
+        self.panics_total.load(Ordering::Relaxed) > 0
+            || self.workers_respawned.load(Ordering::Relaxed) > 0
     }
 }
 
@@ -192,6 +222,23 @@ mod tests {
             Some(1.0)
         );
         assert!(v.get("latency_us").unwrap().get("p99").unwrap().as_f64().unwrap() >= 120.0);
+    }
+
+    #[test]
+    fn resilience_counters_flow_into_snapshot_and_degraded() {
+        let m = Metrics::new();
+        assert!(!m.degraded());
+        m.deadline_408.fetch_add(1, Ordering::Relaxed);
+        assert!(!m.degraded(), "shed requests alone are not degradation");
+        m.panics_total.fetch_add(1, Ordering::Relaxed);
+        m.workers_respawned.fetch_add(2, Ordering::Relaxed);
+        assert!(m.degraded());
+        let text = m.to_json().to_string_compact();
+        let v = spark_util::json::parse(&text).unwrap();
+        let r = v.get("resilience").unwrap();
+        assert_eq!(r.get("panics_total").unwrap().as_f64(), Some(1.0));
+        assert_eq!(r.get("workers_respawned").unwrap().as_f64(), Some(2.0));
+        assert_eq!(r.get("deadline_408").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

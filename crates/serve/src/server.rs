@@ -25,8 +25,9 @@
 //! accepted before the flag flipped gets a full response.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -59,6 +60,13 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Request body cap in bytes.
     pub max_body_bytes: usize,
+    /// Overall wall-clock budget for reading one request (slowloris
+    /// shedding); the per-read [`http::IO_TIMEOUT`] still bounds idle gaps.
+    pub request_deadline: Duration,
+    /// Enables the `POST /__chaos/*` fault-injection endpoints (panic a
+    /// handler, kill a worker). Off by default; chaos tests and
+    /// `spark chaos` turn it on for loopback servers only.
+    pub chaos_endpoints: bool,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +78,8 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             max_batch: 32,
             max_body_bytes: 16 * 1024 * 1024,
+            request_deadline: http::REQUEST_DEADLINE,
+            chaos_endpoints: false,
         }
     }
 }
@@ -80,8 +90,19 @@ struct Ctx {
     shutdown: AtomicBool,
     addr: SocketAddr,
     max_body: usize,
+    deadline: Duration,
+    chaos: bool,
     encode_batcher: Batcher<(Vec<u8>, f32), Value>,
     sim_batcher: Batcher<SimJob, Value>,
+}
+
+/// What a worker does with its thread after one connection.
+enum ConnOutcome {
+    /// Keep serving.
+    Done,
+    /// Exit the worker thread (chaos-injected hard death; the supervisor
+    /// respawns a replacement).
+    ExitWorker,
 }
 
 /// A running server. Dropping it does NOT stop the threads — call
@@ -92,17 +113,19 @@ pub struct Server {
     ctx: Arc<Ctx>,
     metrics: Arc<Metrics>,
     acceptor: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    supervisor: JoinHandle<()>,
     encode_batcher: Batcher<(Vec<u8>, f32), Value>,
     sim_batcher: Batcher<SimJob, Value>,
 }
 
 impl Server {
-    /// Binds, spawns the acceptor, workers, and batchers, and returns.
+    /// Binds, spawns the acceptor, workers, supervisor, and batchers, and
+    /// returns.
     ///
     /// # Errors
     ///
-    /// Bind failures.
+    /// Bind or thread-spawn failures.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -126,7 +149,7 @@ impl Server {
                         .map(|(e, (_, scale))| api::encode_response(e, *scale))
                         .collect()
                 },
-            )
+            )?
         };
         let sim_batcher = {
             let metrics = Arc::clone(&metrics);
@@ -146,7 +169,7 @@ impl Server {
                         .map(|(r, j)| api::simulate_response(r, &j.workload, &sim_config))
                         .collect()
                 },
-            )
+            )?
         };
 
         let ctx = Arc::new(Ctx {
@@ -154,27 +177,61 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr,
             max_body: config.max_body_bytes,
+            deadline: config.request_deadline,
+            chaos: config.chaos_endpoints,
             encode_batcher: encode_batcher.clone(),
             sim_batcher: sim_batcher.clone(),
         });
 
         let (conn_tx, conn_rx) = spark_util::channel::<TcpStream>(config.queue_depth.max(1));
 
-        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-            .map(|i| {
-                let rx = conn_rx.clone();
-                let ctx = Arc::clone(&ctx);
-                std::thread::Builder::new()
-                    .name(format!("spark-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(stream) = rx.recv() {
-                            ctx.metrics.note_dequeue(rx.len() as u64);
-                            handle_connection(&ctx, stream);
+        let worker_count = config.workers.max(1);
+        let workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
+            (0..worker_count)
+                .map(|i| spawn_worker(i, conn_rx.clone(), Arc::clone(&ctx)).map(Some))
+                .collect::<std::io::Result<_>>()?,
+        ));
+
+        // The supervisor watches for worker threads that died (a panic
+        // outside the catch boundary, or a chaos-injected exit) and
+        // respawns replacements so the pool never shrinks. It holds a
+        // Receiver clone, not a Sender, so it does not keep the conn
+        // channel alive past the acceptor.
+        let supervisor = {
+            let ctx = Arc::clone(&ctx);
+            let workers = Arc::clone(&workers);
+            let rx = conn_rx.clone();
+            std::thread::Builder::new()
+                .name("spark-supervisor".into())
+                .spawn(move || {
+                    let mut next_id = worker_count;
+                    while !ctx.shutdown.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(25));
+                        let mut pool = workers.lock().unwrap_or_else(|e| e.into_inner());
+                        for slot in pool.iter_mut() {
+                            let finished =
+                                slot.as_ref().is_some_and(std::thread::JoinHandle::is_finished);
+                            // During shutdown workers finish normally as
+                            // the conn channel drains; never respawn then.
+                            if !finished || ctx.shutdown.load(Ordering::SeqCst) {
+                                continue;
+                            }
+                            if let Some(dead) = slot.take() {
+                                dead.join().ok();
+                                if let Ok(h) =
+                                    spawn_worker(next_id, rx.clone(), Arc::clone(&ctx))
+                                {
+                                    *slot = Some(h);
+                                    ctx.metrics
+                                        .workers_respawned
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    next_id += 1;
+                                }
+                            }
                         }
-                    })
-                    .expect("spawn worker")
-            })
-            .collect();
+                    }
+                })?
+        };
         drop(conn_rx);
 
         let acceptor = {
@@ -206,11 +263,19 @@ impl Server {
                         }
                     }
                     // conn_tx drops here; workers drain the queue and exit.
-                })
-                .expect("spawn acceptor")
+                })?
         };
 
-        Ok(Server { addr, ctx, metrics, acceptor, workers, encode_batcher, sim_batcher })
+        Ok(Server {
+            addr,
+            ctx,
+            metrics,
+            acceptor,
+            workers,
+            supervisor,
+            encode_batcher,
+            sim_batcher,
+        })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -234,9 +299,14 @@ impl Server {
     /// [`Server::shutdown`] or `POST /shutdown`) and every accepted
     /// request has been answered.
     pub fn join(self) {
-        let Server { ctx, acceptor, workers, encode_batcher, sim_batcher, .. } = self;
+        let Server { ctx, acceptor, workers, supervisor, encode_batcher, sim_batcher, .. } = self;
         acceptor.join().ok();
-        for w in workers {
+        // The acceptor only exits with the shutdown flag set, so the
+        // supervisor's next poll tick sees it and returns (releasing its
+        // Ctx Arc — required before the batcher channels can close).
+        supervisor.join().ok();
+        let pool = std::mem::take(&mut *workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for w in pool.into_iter().flatten() {
             w.join().ok();
         }
         // Workers are gone; this Arc and the batcher handles inside it
@@ -245,6 +315,36 @@ impl Server {
         encode_batcher.join();
         sim_batcher.join();
     }
+}
+
+/// Spawns one pool worker. The `catch_unwind` boundary is the server's
+/// panic-isolation contract: a panicking handler costs its own request a
+/// 500 (plus a `panics_total` tick), never the process or the pool — the
+/// stream stays owned out here so the error response is still writable
+/// after the unwind.
+fn spawn_worker(
+    id: usize,
+    rx: spark_util::par::Receiver<TcpStream>,
+    ctx: Arc<Ctx>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new().name(format!("spark-worker-{id}")).spawn(move || {
+        while let Some(mut stream) = rx.recv() {
+            ctx.metrics.note_dequeue(rx.len() as u64);
+            match catch_unwind(AssertUnwindSafe(|| handle_connection(&ctx, &mut stream))) {
+                Ok(ConnOutcome::Done) => {}
+                Ok(ConnOutcome::ExitWorker) => return,
+                Err(_) => {
+                    ctx.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                    let _ = http::write_json(
+                        &mut stream,
+                        500,
+                        "Internal Server Error",
+                        &error_body("handler panicked; worker recovered"),
+                    );
+                }
+            }
+        }
+    })
 }
 
 fn request_shutdown(ctx: &Ctx) {
@@ -267,16 +367,32 @@ struct Routed<'a> {
     stats: &'a EndpointStats,
 }
 
-fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
+fn handle_connection(ctx: &Ctx, stream: &mut TcpStream) -> ConnOutcome {
     let started = Instant::now();
-    match http::read_request(&mut stream, ctx.max_body) {
+    let mut outcome = ConnOutcome::Done;
+    match http::read_request(stream, ctx.max_body, ctx.deadline) {
         Ok(req) => {
-            let routed = route(ctx, &req);
-            routed.stats.hit();
-            if routed.status >= 400 {
-                routed.stats.error();
+            // Chaos-injected hard worker death: answer first, then tell
+            // the worker loop to exit its thread (the supervisor will
+            // respawn). Handled here, not in route(), because it changes
+            // the worker's control flow, not just the response.
+            if ctx.chaos && req.method == "POST" && req.path == "/__chaos/exit-worker" {
+                ctx.metrics.control.hit();
+                let _ = http::write_json(
+                    stream,
+                    200,
+                    "OK",
+                    &Value::object([("status", Value::Str("worker exiting".into()))]),
+                );
+                outcome = ConnOutcome::ExitWorker;
+            } else {
+                let routed = route(ctx, &req);
+                routed.stats.hit();
+                if routed.status >= 400 {
+                    routed.stats.error();
+                }
+                let _ = http::write_json(stream, routed.status, routed.reason, &routed.body);
             }
-            let _ = http::write_json(&mut stream, routed.status, routed.reason, &routed.body);
         }
         Err(HttpError::Io(_)) => {
             // Peer vanished or stalled out; nothing to write, count it
@@ -285,20 +401,36 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
             ctx.metrics.unrouted.error();
         }
         Err(e) => {
+            if matches!(e, HttpError::Deadline(_)) {
+                ctx.metrics.deadline_408.fetch_add(1, Ordering::Relaxed);
+            }
             ctx.metrics.unrouted.hit();
             ctx.metrics.unrouted.error();
             let (status, reason, message) = e.status();
-            let _ = http::write_json(&mut stream, status, reason, &error_body(&message));
+            let _ = http::write_json(stream, status, reason, &error_body(&message));
         }
     }
     ctx.metrics.latency_us.record((started.elapsed().as_micros() as u64).max(1));
+    outcome
 }
 
 fn route<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
     let m = &ctx.metrics;
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => ok(&m.control, Value::object([("status", Value::Str("ok".into()))])),
+        ("GET", "/healthz") => {
+            // Still serving, but be honest about scars: a caught panic or
+            // a respawned worker downgrades the status.
+            let status = if m.degraded() { "degraded" } else { "ok" };
+            ok(&m.control, Value::object([("status", Value::Str(status.into()))]))
+        }
         ("GET", "/metrics") => ok(&m.control, m.to_json()),
+        ("POST", "/__chaos/panic") if ctx.chaos => {
+            // Deliberate unwind through the handler stack; the worker's
+            // catch boundary turns this into a 500 + panics_total tick.
+            // (panic_any, not the panic! macro, so the message reads as
+            // injected rather than as a code defect.)
+            std::panic::panic_any("chaos: injected handler panic")
+        }
         ("POST", "/shutdown") => {
             request_shutdown(ctx);
             ok(&m.control, Value::object([("status", Value::Str("shutting down".into()))]))

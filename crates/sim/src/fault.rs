@@ -1,0 +1,50 @@
+//! Zero-cost fault-injection hook for the functional PE array.
+//!
+//! The hook is a generic parameter, not a runtime branch: the default
+//! [`NoFaults`] implementation is a zero-sized type whose identity
+//! `perturb` inlines away, so [`crate::FunctionalArray::gemm`] compiles to
+//! exactly the code it had before the hook existed and the bit-identity
+//! property suites hold unchanged. Real injectors (stuck-at bits,
+//! transient flips — see the `spark-fault` crate) implement the same trait
+//! and run through [`crate::FunctionalArray::gemm_with_hook`].
+//!
+//! Determinism contract: `perturb` receives the **global MAC site index**
+//! (the linear index of the MAC in the full `m x k x n` iteration space),
+//! which is invariant under tiling and row fan-out. An injector that
+//! derives its decision purely from `(seed, site)` — stateless hashing,
+//! no shared RNG stream — therefore produces identical faults no matter
+//! how the GEMM is partitioned across threads.
+
+use crate::pe::SignMag;
+
+/// Observer/perturber called once per MAC with the operands about to enter
+/// the PE datapath.
+pub trait MacFaultHook: Sync {
+    /// Returns the (possibly perturbed) operand pair for the MAC at
+    /// `site`, where `site = (i * k + kk) * n + j` over the full GEMM
+    /// iteration space (row `i`, depth `kk`, column `j`).
+    fn perturb(&self, site: u64, w: SignMag, a: SignMag) -> (SignMag, SignMag);
+}
+
+/// The disabled hook: identity, zero-sized, fully inlined.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl MacFaultHook for NoFaults {
+    #[inline(always)]
+    fn perturb(&self, _site: u64, w: SignMag, a: SignMag) -> (SignMag, SignMag) {
+        (w, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_identity() {
+        let w = SignMag::from_i16(-200);
+        let a = SignMag::from_i16(7);
+        assert_eq!(NoFaults.perturb(42, w, a), (w, a));
+    }
+}

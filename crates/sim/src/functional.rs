@@ -13,6 +13,7 @@ use spark_quant::{MagnitudeQuantizer, QuantError};
 use spark_tensor::Tensor;
 use spark_util::par;
 
+use crate::fault::{MacFaultHook, NoFaults};
 use crate::pe::{Mpe, SignMag};
 
 /// Minimum MAC count before the functional GEMM fans activation rows out
@@ -73,6 +74,29 @@ impl FunctionalArray {
         k: usize,
         n: usize,
     ) -> (Vec<i64>, FunctionalStats) {
+        // NoFaults monomorphizes to the identity and inlines away: this is
+        // the exact pre-hook code path, bit for bit (the property suites
+        // and the BENCH_sim gate hold unchanged).
+        self.gemm_with_hook(&NoFaults, a, w, m, k, n)
+    }
+
+    /// [`FunctionalArray::gemm`] with a fault-injection hook observing (and
+    /// possibly perturbing) every MAC's operands. See [`crate::fault`] for
+    /// the determinism contract — the hook is keyed by the global MAC site
+    /// index, so results are independent of tiling and thread partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics when operand lengths disagree with the dimensions.
+    pub fn gemm_with_hook<H: MacFaultHook>(
+        &self,
+        hook: &H,
+        a: &[SignMag],
+        w: &[SignMag],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> (Vec<i64>, FunctionalStats) {
         assert_eq!(a.len(), m * k, "activation operand count");
         assert_eq!(w.len(), k * n, "weight operand count");
         let workers = if m * k * n >= PAR_MIN_MACS {
@@ -81,14 +105,15 @@ impl FunctionalArray {
             1
         };
         if workers <= 1 {
-            return self.gemm_rows(a, w, 0, m, k, n);
+            return self.gemm_rows_with(hook, a, w, 0, m, k, n);
         }
         let rows_per = m.div_ceil(workers);
         let ranges: Vec<(usize, usize)> = (0..m)
             .step_by(rows_per)
             .map(|r0| (r0, (r0 + rows_per).min(m)))
             .collect();
-        let parts = par::par_map(&ranges, |&(r0, r1)| self.gemm_rows(a, w, r0, r1, k, n));
+        let parts =
+            par::par_map(&ranges, |&(r0, r1)| self.gemm_rows_with(hook, a, w, r0, r1, k, n));
         let mut out = Vec::with_capacity(m * n);
         let mut stats = FunctionalStats::default();
         for (part_out, part_stats) in parts {
@@ -100,9 +125,10 @@ impl FunctionalArray {
     }
 
     /// Runs activation rows `r0..r1` through the tiled array with a private
-    /// PE grid per tile; the worker body of [`FunctionalArray::gemm`].
-    fn gemm_rows(
+    /// PE grid per tile; the worker body of [`FunctionalArray::gemm_with_hook`].
+    fn gemm_rows_with<H: MacFaultHook>(
         &self,
+        hook: &H,
         a: &[SignMag],
         w: &[SignMag],
         r0: usize,
@@ -124,6 +150,8 @@ impl FunctionalArray {
                         let act = a[i * k + pe_row];
                         for (nn, col) in (n0..n1).enumerate() {
                             let weight = w[pe_row * n + col];
+                            let site = ((i * k + pe_row) * n + col) as u64;
+                            let (weight, act) = hook.perturb(site, weight, act);
                             let pe = &mut pes[kk * (n1 - n0) + nn];
                             pe.mac(weight, act);
                             stats.macs += 1;
@@ -332,7 +360,7 @@ mod tests {
 
     #[test]
     fn row_chunked_execution_matches_full() {
-        // The fan-out contract: stitching gemm_rows over any row partition
+        // The fan-out contract: stitching gemm_rows_with over any row partition
         // reproduces the single-pass outputs AND integer stats exactly.
         let (m, k, n) = (11, 9, 13);
         let a: Vec<SignMag> = (0..m * k)
@@ -347,7 +375,8 @@ mod tests {
             let mut out = Vec::new();
             let mut stats = FunctionalStats::default();
             for pair in bounds.windows(2) {
-                let (part, ps) = array.gemm_rows(&a, &w, pair[0], pair[1], k, n);
+                let (part, ps) =
+                    array.gemm_rows_with(&crate::fault::NoFaults, &a, &w, pair[0], pair[1], k, n);
                 out.extend_from_slice(&part);
                 stats.macs += ps.macs;
                 stats.busy_cycles += ps.busy_cycles;
@@ -392,6 +421,50 @@ mod tests {
         let w = Tensor::zeros(&[6, 3]);
         let array = FunctionalArray::new(4, 4);
         assert!(run_layer(&array, &a, &w).is_err());
+    }
+
+    #[test]
+    fn fault_hook_perturbs_exactly_the_targeted_site() {
+        // A hook that zeroes the weight of one global MAC site must change
+        // exactly one output cell by exactly that product, independent of
+        // tile geometry.
+        struct ZeroOneSite(u64);
+        impl crate::fault::MacFaultHook for ZeroOneSite {
+            fn perturb(&self, site: u64, w: SignMag, a: SignMag) -> (SignMag, SignMag) {
+                if site == self.0 {
+                    (SignMag::positive(0), a)
+                } else {
+                    (w, a)
+                }
+            }
+        }
+        let (m, k, n) = (4, 5, 6);
+        let a: Vec<SignMag> = (0..m * k)
+            .map(|i| SignMag::from_i16(((i * 37) % 400) as i16 - 200))
+            .collect();
+        let w: Vec<SignMag> = (0..k * n)
+            .map(|i| SignMag::from_i16(((i * 91) % 400) as i16 - 200))
+            .collect();
+        let (i, kk, j) = (2usize, 3usize, 4usize);
+        let site = ((i * k + kk) * n + j) as u64;
+        let hook = ZeroOneSite(site);
+        for array in [FunctionalArray::new(64, 64), FunctionalArray::new(2, 3)] {
+            let (clean, _) = array.gemm(&a, &w, m, k, n);
+            let (faulty, stats) = array.gemm_with_hook(&hook, &a, &w, m, k, n);
+            assert_eq!(stats.macs, (m * k * n) as u64);
+            for r in 0..m {
+                for c in 0..n {
+                    let delta = clean[r * n + c] - faulty[r * n + c];
+                    if (r, c) == (i, j) {
+                        let expect =
+                            i64::from(a[i * k + kk].to_i16()) * i64::from(w[kk * n + j].to_i16());
+                        assert_eq!(delta, expect, "targeted cell");
+                    } else {
+                        assert_eq!(delta, 0, "untouched cell ({r},{c})");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

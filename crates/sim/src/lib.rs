@@ -46,6 +46,7 @@ pub mod bandwidth;
 pub mod buffer;
 pub mod cost;
 pub mod energy;
+pub mod fault;
 pub mod functional;
 pub mod isa;
 pub mod pages;
@@ -57,6 +58,7 @@ pub use arch::{run_batch, Accelerator, AcceleratorKind};
 pub use cost::{mac_cycles, OperandKind, TileCosts};
 pub use bandwidth::{analyze as analyze_bandwidth, BandwidthReport};
 pub use buffer::{plan_workload, BufferConfig, BufferReport, TilePlan};
+pub use fault::{MacFaultHook, NoFaults};
 pub use functional::{run_layer, FunctionalArray};
 pub use isa::{Instruction, Program};
 pub use pages::{scaling_sweep, simulate_pages, PageReport};

@@ -57,4 +57,42 @@ awk '/"speedup_batched_over_unbatched"/ {
 echo "==> experiments --smoke"
 SPARK_BENCH_QUICK=1 cargo run --release --offline -p spark-bench --bin experiments -- --smoke
 
+echo "==> chaos: seeded fault-injection sweep, run twice, byte-identical"
+# >=10k corrupted streams through the codec plus the hardware and serve
+# fault planes. The report must be a pure function of (seed, streams):
+# any panic, any nondeterminism, or any broken resilience contract fails
+# here (run_chaos exits nonzero on a contract violation).
+cargo run --release --offline -p spark-cli --bin spark -- \
+    chaos --seed 7 --streams 10000 > CHAOS_a.json
+cargo run --release --offline -p spark-cli --bin spark -- \
+    chaos --seed 7 --streams 10000 > CHAOS_b.json
+cmp CHAOS_a.json CHAOS_b.json || {
+    echo "chaos report is not deterministic across runs" >&2
+    exit 1
+}
+grep -Eq '"panics": *0' CHAOS_a.json || {
+    echo "chaos sweep recorded decoder panics" >&2
+    exit 1
+}
+mv CHAOS_a.json CHAOS.json
+rm -f CHAOS_b.json
+
+echo "==> robustness grep gate (no unwrap()/panic! in serve/codec non-test code)"
+# Non-test code in the trust-boundary crates must use typed errors. The
+# awk body stops scanning each file at its #[cfg(test)] marker (test
+# modules sit at the bottom of every file in this repo). expect() with an
+# infallibility comment is allowed; .unwrap() and panic!() are not.
+violations=$(awk '
+    FNR == 1 { in_tests = 0 }
+    /#\[cfg\(test\)\]/ { in_tests = 1 }
+    in_tests { next }
+    /^[[:space:]]*\/\// { next }
+    /\.unwrap\(\)|panic!\(/ { print FILENAME ":" FNR ": " $0 }
+' crates/serve/src/*.rs crates/codec/src/*.rs)
+if [ -n "$violations" ]; then
+    echo "grep gate: forbidden unwrap()/panic!() in non-test code:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "==> ci.sh OK"
