@@ -453,6 +453,101 @@ mod tests {
     }
 
     #[test]
+    fn plan_single_element_parity_is_exhaustive() {
+        // Every possible byte as a whole tensor of one, under both modes:
+        // the smallest tensors exercise the plan's edge bookkeeping (no
+        // pending half-byte, a single trailing high nibble for long
+        // codes) that the mixed patterns above can mask.
+        for mode in [EncodeMode::Compensated, EncodeMode::Truncated] {
+            let plan = EncodePlan::new(mode);
+            for v in 0u16..=255 {
+                let values = [v as u8];
+                let want = encode_tensor_with(&values, mode);
+                let got = plan.encode(&values);
+                assert_eq!(got.stream.as_bytes(), want.stream.as_bytes(), "{mode:?} {v}");
+                assert_eq!(got.stream.len(), want.stream.len(), "{mode:?} {v}");
+                assert_eq!(got.stats, want.stats, "{mode:?} {v}");
+                assert_eq!(
+                    decode_stream(&got.stream).unwrap(),
+                    vec![mode.encode(v as u8).decode()],
+                    "{mode:?} {v}"
+                );
+            }
+            // And the empty tensor: zero nibbles, zero stats, decodable.
+            let empty = plan.encode(&[]);
+            assert_eq!(empty, encode_tensor_with(&[], mode));
+            assert_eq!(empty.stream.len(), 0);
+            assert_eq!(decode_stream(&empty.stream).unwrap(), Vec::<u8>::new());
+        }
+    }
+
+    #[test]
+    fn plan_parity_holds_at_max_compensation() {
+        use crate::MAX_ENCODING_ERROR;
+        // The values the check-bit rounding hurts most: reconstruction
+        // error exactly at the paper's CM bound. A tensor made of nothing
+        // but worst-case values is the adversarial input for the plan's
+        // error accounting (err_sum, max_err saturation).
+        let worst: Vec<u8> = (0u16..=255)
+            .map(|v| v as u8)
+            .filter(|&v| {
+                let code = EncodeMode::Compensated.encode(v);
+                (i16::from(code.decode()) - i16::from(v)).unsigned_abs() as u8
+                    == MAX_ENCODING_ERROR
+            })
+            .collect();
+        assert!(
+            !worst.is_empty(),
+            "some byte must sit exactly at the CM bound or the bound is wrong"
+        );
+        let plan = EncodePlan::new(EncodeMode::Compensated);
+        // Pure worst-case tensor, and worst-case interleaved with short
+        // codes to cover both nibble parities around each long code.
+        let mut interleaved = Vec::with_capacity(worst.len() * 2);
+        for &v in &worst {
+            interleaved.push(v);
+            interleaved.push(3);
+        }
+        for values in [&worst, &interleaved] {
+            let want = encode_tensor_with(values, EncodeMode::Compensated);
+            let got = plan.encode(values);
+            assert_eq!(got.stream.as_bytes(), want.stream.as_bytes());
+            assert_eq!(got.stats, want.stats);
+            assert_eq!(got.stats.max_error(), MAX_ENCODING_ERROR);
+        }
+    }
+
+    #[test]
+    fn plan_output_is_container_v2_identical() {
+        use crate::container::{read_container, write_container};
+        // Parity promoted through the serialization layer: the container
+        // image (header, element/nibble accounting, FNV checksum,
+        // payload) of a plan-encoded tensor must be byte-identical to the
+        // per-value encoder's, and read back cleanly.
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![200],
+            (0u16..=255).map(|v| v as u8).collect(),
+            (0..997).map(|i| ((i * 41) % 256) as u8).collect(),
+        ];
+        let plan = EncodePlan::new(EncodeMode::Compensated);
+        for values in &patterns {
+            let mut from_plan = Vec::new();
+            write_container(&plan.encode(values), &mut from_plan).unwrap();
+            let mut from_encoder = Vec::new();
+            write_container(&encode_tensor(values), &mut from_encoder).unwrap();
+            assert_eq!(from_plan, from_encoder, "container images diverge for {values:?}");
+            let back = read_container(&from_plan[..]).unwrap();
+            assert_eq!(back.elements, values.len());
+            assert_eq!(
+                decode_stream(&back.stream).unwrap(),
+                round_trip(values, EncodeMode::Compensated)
+            );
+        }
+    }
+
+    #[test]
     fn encode_batch_matches_per_call_in_order() {
         let a: Vec<u8> = (0u16..=255).map(|v| v as u8).collect();
         let b = vec![5u8; 31];

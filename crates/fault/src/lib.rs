@@ -12,6 +12,11 @@
 //!   [`ContainerError`](spark_codec::ContainerError) or a *quantified*
 //!   silent decode — never a panic — and measures silent-decode value
 //!   error against the paper's CM bound (±16 magnitude steps).
+//! - **Fused-GEMM plane** ([`fused`]) — mutated panel containers fed to
+//!   the decode-fused GEMM engine, proving the per-call checksum
+//!   re-verification rejects every corrupted weight operand with a typed
+//!   [`EncodedError`](spark_tensor::EncodedError) before any value
+//!   reaches an accumulator — and never panics out of the hot loop.
 //! - **Hardware plane** ([`hardware`]) — stuck-at and transient faults in
 //!   the PE MAC datapath via the zero-cost
 //!   [`MacFaultHook`](spark_sim::MacFaultHook), plus precision-tag flips
@@ -29,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod fused;
 pub mod hardware;
 pub mod mutate;
 pub mod sweep;
 
 pub use chaos::serve_chaos;
+pub use fused::{sweep_fused, FusedSweepReport};
 pub use hardware::{accuracy_sweep, systolic_kind_flip, StuckAtFault, TransientFault};
 pub use mutate::Corruption;
 pub use sweep::{sweep_codec, SweepReport};
@@ -56,6 +63,15 @@ const REPORT_RATES: [f64; 4] = [0.0, 0.0001, 0.001, 0.01];
 /// invariant violations are reported as nonzero counters instead).
 pub fn run_chaos(seed: u64, streams: usize) -> Result<Value, String> {
     let codec = sweep_codec(seed, streams);
+    // The fused-GEMM plane corrupts whole encoded operands (several
+    // containers each), so it runs a tenth of the codec plane's volume.
+    let fused = sweep_fused(seed, (streams / 10).max(50));
+    if !fused.contract_holds() {
+        return Err(format!(
+            "fused GEMM accepted corrupted weights or panicked: {}",
+            fused.to_json().to_string_compact()
+        ));
+    }
     let hardware = Value::object([
         ("accuracy", accuracy_sweep(seed, &REPORT_RATES)),
         ("systolic_timing", systolic_kind_flip(seed, 0.05)),
@@ -65,6 +81,7 @@ pub fn run_chaos(seed: u64, streams: usize) -> Result<Value, String> {
         ("seed", Value::Num(seed as f64)),
         ("streams", Value::Num(streams as f64)),
         ("codec", codec.to_json()),
+        ("fused_gemm", fused.to_json()),
         ("hardware", hardware),
         ("serve", serve),
     ]))
@@ -80,7 +97,7 @@ mod tests {
         let b = run_chaos(3, 400).unwrap().to_string_compact();
         assert_eq!(a, b);
         // And it actually carries all three planes.
-        for key in ["\"codec\"", "\"hardware\"", "\"serve\"", "\"panics\""] {
+        for key in ["\"codec\"", "\"fused_gemm\"", "\"hardware\"", "\"serve\"", "\"panics\""] {
             assert!(a.contains(key), "report missing {key}: {a}");
         }
     }

@@ -1,8 +1,28 @@
 //! Sequential model container with softmax cross-entropy loss.
 
-use spark_tensor::{ops, Tensor};
+use spark_tensor::{ops, EncodedError, Tensor};
 
 use crate::layers::Layer;
+
+/// Memory accounting returned by [`Sequential::freeze_encoded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreezeReport {
+    /// Bytes of SPARK containers + sign planes now resident for weights.
+    pub resident_bytes: usize,
+    /// Bytes the same weights would occupy as dense `f32`.
+    pub dense_bytes: usize,
+}
+
+impl FreezeReport {
+    /// `resident_bytes / dense_bytes`; 0.0 when nothing was frozen.
+    pub fn ratio(&self) -> f64 {
+        if self.dense_bytes == 0 {
+            0.0
+        } else {
+            self.resident_bytes as f64 / self.dense_bytes as f64
+        }
+    }
+}
 
 /// A stack of layers trained with softmax cross-entropy.
 pub struct Sequential {
@@ -128,6 +148,25 @@ impl Sequential {
             .unwrap_or(0)
     }
 
+    /// Freezes every layer's weights into SPARK-encoded serving form.
+    ///
+    /// After this call the forward path runs the decode-fused GEMM over
+    /// nibble-stream weights; outputs are bit-identical to the dense forward
+    /// over the same (reconstructed) weights. Training (`step`) or mutating
+    /// weights un-freezes the affected layers.
+    pub fn freeze_encoded(&mut self) -> Result<FreezeReport, EncodedError> {
+        let mut report = FreezeReport {
+            resident_bytes: 0,
+            dense_bytes: 0,
+        };
+        for layer in &mut self.layers {
+            let (resident, dense) = layer.freeze_encoded()?;
+            report.resident_bytes += resident;
+            report.dense_bytes += dense;
+        }
+        Ok(report)
+    }
+
     /// Mutable access to every weight tensor across layers.
     pub fn weights_mut(&mut self) -> Vec<&mut Tensor> {
         self.layers
@@ -208,5 +247,49 @@ mod tests {
     fn param_count_sums_layers() {
         let m = xor_like_model();
         assert_eq!(m.param_count(), (2 * 8 + 8) + (8 * 2 + 2));
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn frozen_forward_is_bit_identical_to_dense_forward() {
+        let mut m = Sequential::new("freeze")
+            .push(Dense::new(6, 40, 11))
+            .push(Relu::new())
+            .push(Dense::new(40, 4, 12));
+        let x = Tensor::from_vec((0..6).map(|i| (i as f32 - 2.5) * 0.3).collect(), &[1, 6])
+            .unwrap();
+        let report = m.freeze_encoded().unwrap();
+        assert!(report.dense_bytes > 0);
+        assert!(
+            report.ratio() < 0.55,
+            "resident/dense ratio {} not < 0.55",
+            report.ratio()
+        );
+        let frozen = m.forward(&x);
+        // weights_mut() drops the frozen state but keeps the reconstructed
+        // dense weights, so the dense forward must reproduce the frozen
+        // output to the bit.
+        let _ = m.weights_mut();
+        let dense = m.forward(&x);
+        assert_eq!(bits(&frozen), bits(&dense));
+    }
+
+    #[test]
+    fn step_unfreezes_and_training_still_converges() {
+        let mut m = xor_like_model();
+        m.freeze_encoded().unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        m.train_example(&x, 0);
+        m.step(0.1, 1);
+        // After a step the weights changed; forward must reflect the update
+        // (i.e. not serve a stale frozen snapshot).
+        let before = m.forward(&x);
+        m.train_example(&x, 0);
+        m.step(0.5, 1);
+        let after = m.forward(&x);
+        assert_ne!(bits(&before), bits(&after));
     }
 }

@@ -13,7 +13,8 @@
 
 use spark_codec::{analysis, decode_stream, EncodedTensor, NibbleStream};
 use spark_data::ModelProfile;
-use spark_nn::ModelWorkload;
+use spark_nn::layers::{Dense, Relu};
+use spark_nn::{FreezeReport, ModelWorkload, Sequential};
 use spark_quant::{Codec, MagnitudeCodes, MagnitudeQuantizer, SparkCodec};
 use spark_sim::{AcceleratorKind, PrecisionProfile, SimConfig, WorkloadReport};
 use spark_tensor::Tensor;
@@ -200,6 +201,82 @@ pub fn simulate_response(
     members.push(("latency_ms".into(), Value::Num(report.latency_ms(config))));
     members.push(("gmacs_per_joule".into(), Value::Num(report.gmacs_per_joule(workload))));
     Value::Object(members)
+}
+
+/// Input width of the serving inference model.
+pub const INFER_INPUTS: usize = 64;
+/// Hidden width of the serving inference model.
+pub const INFER_HIDDEN: usize = 128;
+/// Output width (logit count) of the serving inference model.
+pub const INFER_OUTPUTS: usize = 10;
+/// Seed the serving inference model is built from. Any process building
+/// an [`InferModel`] gets bit-identical weights, which is what makes the
+/// loopback bit-identity test against `/v1/infer` meaningful.
+pub const INFER_SEED: u64 = 0x5134_11CE;
+
+/// The `/v1/infer` model: a deterministic seeded MLP whose weights are
+/// frozen into SPARK nibble streams at construction. Every forward pass
+/// runs the decode-fused GEMM directly over the encoded weights — the
+/// dense `f32` weight matrices are only materialized transiently during
+/// the freeze, so the resident weight footprint is the encoded form.
+pub struct InferModel {
+    model: Sequential,
+    report: FreezeReport,
+}
+
+impl InferModel {
+    /// Builds and freezes the serving model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encode failures (cannot happen for the seeded Glorot
+    /// weights, but the fallible path is kept honest).
+    pub fn new() -> Result<Self, String> {
+        let mut model = Sequential::new("serve-infer")
+            .push(Dense::new(INFER_INPUTS, INFER_HIDDEN, INFER_SEED))
+            .push(Relu::new())
+            .push(Dense::new(INFER_HIDDEN, INFER_OUTPUTS, INFER_SEED.wrapping_add(1)));
+        let report = model.freeze_encoded().map_err(|e| format!("freeze: {e}"))?;
+        Ok(Self { model, report })
+    }
+
+    /// Encoded resident bytes / dense `f32` bytes for the frozen weights.
+    pub fn report(&self) -> FreezeReport {
+        self.report
+    }
+
+    /// Runs one forward pass and serializes the `/v1/infer` response body.
+    ///
+    /// # Errors
+    ///
+    /// Wrong input width or non-finite values.
+    pub fn infer(&mut self, values: &[f32]) -> Result<Value, String> {
+        if values.len() != INFER_INPUTS {
+            return Err(format!(
+                "infer expects exactly {INFER_INPUTS} values, got {}",
+                values.len()
+            ));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err("infer input contains a non-finite value".into());
+        }
+        let x = Tensor::from_vec(values.to_vec(), &[1, INFER_INPUTS])
+            .map_err(|e| e.to_string())?;
+        let logits = self.model.forward(&x);
+        let l = logits.as_slice();
+        let argmax = l
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map_or(0, |(i, _)| i);
+        Ok(Value::object([
+            ("outputs", Value::Array(l.iter().map(|v| Value::Num(f64::from(*v))).collect())),
+            ("argmax", Value::Num(argmax as f64)),
+            ("weight_bytes_encoded", Value::Num(self.report.resident_bytes as f64)),
+            ("weight_bytes_f32", Value::Num(self.report.dense_bytes as f64)),
+            ("weight_bytes_ratio", Value::Num(self.report.ratio())),
+        ]))
+    }
 }
 
 /// Extracts `values` from a JSON request body (`{"values": [..]}`), used

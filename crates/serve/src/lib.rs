@@ -111,6 +111,23 @@ pub fn smoke() -> Result<(), String> {
         return Err(format!("simulate: implausible cycles in {simulated:?}"));
     }
 
+    let infer_values: Vec<f32> =
+        (0..api::INFER_INPUTS).map(|i| (i as f32 * 0.11).sin()).collect();
+    let infer_body = format!(
+        "{{\"values\": [{}]}}",
+        infer_values.iter().map(f32::to_string).collect::<Vec<_>>().join(", ")
+    );
+    let inferred =
+        expect_200(&addr, "POST", "/v1/infer", "application/json", infer_body.as_bytes())?;
+    let outputs = inferred.get("outputs").and_then(|v| v.as_array()).map_or(0, |a| a.len());
+    if outputs != api::INFER_OUTPUTS {
+        return Err(format!("infer: expected {} outputs in {inferred:?}", api::INFER_OUTPUTS));
+    }
+    let ratio = inferred.get("weight_bytes_ratio").and_then(|v| v.as_f64()).unwrap_or(1.0);
+    if ratio >= 0.55 {
+        return Err(format!("infer: encoded weights not resident (ratio {ratio})"));
+    }
+
     let metrics = expect_200(&addr, "GET", "/metrics", "", b"")?;
     let hits = |endpoint: &str| {
         metrics
@@ -120,7 +137,7 @@ pub fn smoke() -> Result<(), String> {
             .and_then(|v| v.as_f64())
             .unwrap_or(0.0)
     };
-    for endpoint in ["encode", "decode", "analyze", "simulate"] {
+    for endpoint in ["encode", "decode", "analyze", "simulate", "infer"] {
         if hits(endpoint) < 1.0 {
             return Err(format!("metrics: no hits recorded for {endpoint}: {metrics:?}"));
         }

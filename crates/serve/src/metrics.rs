@@ -59,6 +59,8 @@ pub struct Metrics {
     pub analyze: EndpointStats,
     /// `POST /v1/simulate`.
     pub simulate: EndpointStats,
+    /// `POST /v1/infer`.
+    pub infer: EndpointStats,
     /// `GET /healthz`, `GET /metrics`, `POST /shutdown`.
     pub control: EndpointStats,
     /// Requests that matched no route (404/405).
@@ -132,6 +134,7 @@ impl Metrics {
                     ("decode", self.decode.to_json()),
                     ("analyze", self.analyze.to_json()),
                     ("simulate", self.simulate.to_json()),
+                    ("infer", self.infer.to_json()),
                     ("control", self.control.to_json()),
                     ("unrouted", self.unrouted.to_json()),
                 ]),

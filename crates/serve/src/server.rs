@@ -94,6 +94,10 @@ struct Ctx {
     chaos: bool,
     encode_batcher: Batcher<(Vec<u8>, f32), Value>,
     sim_batcher: Batcher<SimJob, Value>,
+    /// The `/v1/infer` model, weights resident as SPARK nibble streams.
+    /// A mutex (not a batcher) because one fused forward pass is cheap
+    /// and the layer cache in `Sequential` needs `&mut`.
+    infer: Mutex<api::InferModel>,
 }
 
 /// What a worker does with its thread after one connection.
@@ -172,6 +176,8 @@ impl Server {
             )?
         };
 
+        let infer = api::InferModel::new().map_err(std::io::Error::other)?;
+
         let ctx = Arc::new(Ctx {
             metrics: Arc::clone(&metrics),
             shutdown: AtomicBool::new(false),
@@ -181,6 +187,7 @@ impl Server {
             chaos: config.chaos_endpoints,
             encode_batcher: encode_batcher.clone(),
             sim_batcher: sim_batcher.clone(),
+            infer: Mutex::new(infer),
         });
 
         let (conn_tx, conn_rx) = spark_util::channel::<TcpStream>(config.queue_depth.max(1));
@@ -454,8 +461,12 @@ fn route<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
             Err(msg) => bad_request(&m.decode, &msg),
         },
         ("POST", "/v1/simulate") => simulate_endpoint(ctx, req),
+        ("POST", "/v1/infer") => match parse_values(req) {
+            Ok(values) => infer_endpoint(ctx, &values),
+            Err(msg) => bad_request(&m.infer, &msg),
+        },
         (_, "/healthz" | "/metrics" | "/shutdown" | "/v1/encode" | "/v1/analyze"
-            | "/v1/decode" | "/v1/simulate") => Routed {
+            | "/v1/decode" | "/v1/simulate" | "/v1/infer") => Routed {
             status: 405,
             reason: "Method Not Allowed",
             body: error_body(&format!("method {} not allowed on {}", req.method, req.path)),
@@ -526,6 +537,18 @@ fn encode_endpoint<'a>(ctx: &'a Ctx, values: &[f32]) -> Routed<'a> {
     match slot.wait_timeout(SLOT_TIMEOUT) {
         Some(body) => ok(stats, body),
         None => batcher_gone(stats),
+    }
+}
+
+fn infer_endpoint<'a>(ctx: &'a Ctx, values: &[f32]) -> Routed<'a> {
+    let stats = &ctx.metrics.infer;
+    // A poisoned lock only means another request panicked mid-forward;
+    // the model itself is stateless between requests (the layer caches
+    // are overwritten by every forward), so serving on is sound.
+    let mut model = ctx.infer.lock().unwrap_or_else(|e| e.into_inner());
+    match model.infer(values) {
+        Ok(body) => ok(stats, body),
+        Err(msg) => bad_request(stats, &msg),
     }
 }
 
@@ -607,6 +630,42 @@ mod tests {
         assert_eq!(status, 200);
         // join() must return now that the flag is set — no explicit
         // shutdown() call from this side.
+        server.join();
+    }
+
+    #[test]
+    fn infer_loopback_is_bit_identical_to_local_model() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        let values: Vec<f32> =
+            (0..api::INFER_INPUTS).map(|i| ((i as f32) * 0.37).cos() * 2.0).collect();
+        let body = format!(
+            "{{\"values\": [{}]}}",
+            values.iter().map(f32::to_string).collect::<Vec<_>>().join(", ")
+        );
+        let (status, reply) =
+            client_request(&addr, "POST", "/v1/infer", "application/json", body.as_bytes())
+                .unwrap();
+        assert_eq!(status, 200, "{:?}", String::from_utf8_lossy(&reply));
+        // The seed is public: building the same model locally and running
+        // the same fused forward must serialize to the very same bytes —
+        // outputs, argmax, and footprint accounting included.
+        let local = api::InferModel::new().unwrap().infer(&values).unwrap();
+        assert_eq!(String::from_utf8(reply).unwrap(), local.to_string_compact());
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn infer_rejects_wrong_width_and_non_finite() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        for body in [&b"{\"values\": [1.0, 2.0]}"[..], &b"{\"values\": []}"[..]] {
+            let (status, _) =
+                client_request(&addr, "POST", "/v1/infer", "application/json", body).unwrap();
+            assert_eq!(status, 400);
+        }
+        server.shutdown();
         server.join();
     }
 

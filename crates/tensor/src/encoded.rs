@@ -1,0 +1,679 @@
+//! SPARK-encoded weight matrices in GEMM panel order.
+//!
+//! [`EncodedMatrix`] is the *native serving format* for weights: the
+//! matrix lives in memory as container-v2 nibble streams
+//! ([`spark_codec::write_container`] images) plus a bit-packed sign plane
+//! and a per-tensor [`PrecisionProfile`], never as dense `f32`. The fused
+//! GEMM path ([`crate::gemm::gemm_encoded_with`]) decodes each `KC x NR`
+//! block of a panel on the fly inside the cache-blocked loop.
+//!
+//! # Panel-major element order
+//!
+//! SPARK codes are variable-length (one or two nibbles), so a stream has
+//! no random access: the only way to reach element `e` is to decode
+//! elements `0..e`. The encoder therefore serializes the logical `k x n`
+//! operand in exactly the order the GEMM packer consumes it — one stream
+//! per `NR`-wide column panel, elements depth-major within the panel
+//! (`(kk, lane)` for `kk` in `0..k`, `lane` in `0..w`) — so the fused
+//! packer is a single forward pass per panel. The sign plane uses the same
+//! order, one bit per element.
+//!
+//! # Value reconstruction
+//!
+//! Dequantization mirrors `spark-quant`'s `MagnitudeCodes::dequantize`
+//! bit-for-bit: `step = scale / qmax`, `value = code as f32 * step`,
+//! negated where the sign bit is set. Both [`EncodedMatrix::decode`] (the
+//! decode-then-GEMM reference path) and the fused panel decoder evaluate
+//! this exact expression, which is half of the fused path's bit-identity
+//! argument (the other half is the GEMM schedule itself, see
+//! [`crate::gemm`]).
+//!
+//! # Trust boundary
+//!
+//! Container bytes are untrusted until validated. [`EncodedMatrix::decode`]
+//! goes through [`spark_codec::read_container`] (full validation);
+//! [`PanelDecoder::new`] re-validates the header — magic, version, count
+//! plausibility, payload length, FNV-1a checksum, padding nibble — on
+//! every fused GEMM call, so corrupted bytes smuggled in through
+//! [`EncodedMatrix::from_raw_parts`] surface as a typed [`EncodedError`],
+//! never a panic or a silently wrong output.
+
+use crate::gemm::NR;
+use crate::{stats, ShapeError, Tensor};
+use spark_codec::{
+    stream_checksum, ContainerError, DecodeError, EncodePlan, EncodeMode, SparkDecoder,
+};
+
+/// Container header length in bytes (magic + version + elements + nibbles
+/// + checksum), mirroring `spark_codec::write_container`.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
+
+/// Errors from encoding, decoding, or running GEMM over an
+/// [`EncodedMatrix`].
+#[derive(Debug)]
+pub enum EncodedError {
+    /// A panel container failed validation (header, checksum, payload).
+    Container(ContainerError),
+    /// A panel nibble stream is malformed.
+    Decode(DecodeError),
+    /// Operand shapes are inconsistent.
+    Shape(ShapeError),
+    /// The source tensor holds NaN or infinite values, which the
+    /// magnitude quantization cannot represent.
+    NonFinite,
+}
+
+impl std::fmt::Display for EncodedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodedError::Container(e) => write!(f, "panel container: {e}"),
+            EncodedError::Decode(e) => write!(f, "panel stream: {e}"),
+            EncodedError::Shape(e) => write!(f, "shape: {e}"),
+            EncodedError::NonFinite => write!(f, "non-finite value in source tensor"),
+        }
+    }
+}
+
+impl std::error::Error for EncodedError {}
+
+impl From<ContainerError> for EncodedError {
+    fn from(e: ContainerError) -> Self {
+        EncodedError::Container(e)
+    }
+}
+
+impl From<DecodeError> for EncodedError {
+    fn from(e: DecodeError) -> Self {
+        EncodedError::Decode(e)
+    }
+}
+
+impl From<ShapeError> for EncodedError {
+    fn from(e: ShapeError) -> Self {
+        EncodedError::Shape(e)
+    }
+}
+
+/// Per-tensor dequantization metadata: the magnitude represented by the
+/// full-scale code and the code bit-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionProfile {
+    /// Magnitude of the full-scale code (the per-tensor `alpha`).
+    pub scale: f32,
+    /// Code bit-width (the SPARK codec consumes 8-bit code words).
+    pub bits: u8,
+}
+
+impl PrecisionProfile {
+    /// The largest representable code as `f32` (`2^bits - 1`).
+    pub fn qmax(self) -> f32 {
+        ((1u64 << self.bits) - 1) as f32
+    }
+
+    /// The dequantization step `scale / qmax` — the exact expression
+    /// `spark-quant` uses, evaluated once so every element sees the same
+    /// rounded step.
+    pub fn step(self) -> f32 {
+        self.scale / self.qmax()
+    }
+}
+
+/// A weight matrix held as SPARK container-v2 nibble streams in GEMM
+/// panel order, plus the sign plane and [`PrecisionProfile`] needed to
+/// reconstruct `f32` values.
+///
+/// Logically a `k x n` GEMM `B` operand. Build one with
+/// [`EncodedMatrix::encode`] (from a row-major `k x n` tensor) or
+/// [`EncodedMatrix::encode_transposed`] (from `n x k`, fusing the
+/// transpose into the panel serialization), multiply with
+/// [`crate::ops::matmul_encoded`] and friends, and reconstruct the dense
+/// tensor with [`EncodedMatrix::decode`].
+#[derive(Debug, Clone)]
+pub struct EncodedMatrix {
+    k: usize,
+    n: usize,
+    profile: PrecisionProfile,
+    /// One serialized container per `NR`-wide column panel.
+    panels: Vec<Vec<u8>>,
+    /// Bit-packed signs per panel, same element order as the stream.
+    signs: Vec<Vec<u8>>,
+    /// Aggregate code statistics (empty for [`Self::from_raw_parts`]).
+    stats: spark_codec::CodeStats,
+}
+
+impl EncodedMatrix {
+    /// Encodes a row-major `k x n` tensor (matrix interpretation) into
+    /// panel-major SPARK streams.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodedError::NonFinite`] for NaN/infinite input.
+    pub fn encode(t: &Tensor) -> Result<Self, EncodedError> {
+        let (k, n) = t.shape().as_matrix()?;
+        let src = t.as_slice();
+        Self::encode_panels(t, k, n, |kk, j| src[kk * n + j])
+    }
+
+    /// Encodes an `n x k` row-major tensor as the logical `k x n` operand
+    /// `tᵀ` — the blocked transpose is fused into the panel serialization,
+    /// so `matmul_nt`-shaped weights encode straight into the same panel
+    /// format with no materialized transpose.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodedError::NonFinite`] for NaN/infinite input.
+    pub fn encode_transposed(t: &Tensor) -> Result<Self, EncodedError> {
+        let (n, k) = t.shape().as_matrix()?;
+        let src = t.as_slice();
+        Self::encode_panels(t, k, n, |kk, j| src[j * k + kk])
+    }
+
+    fn encode_panels(
+        t: &Tensor,
+        k: usize,
+        n: usize,
+        get: impl Fn(usize, usize) -> f32,
+    ) -> Result<Self, EncodedError> {
+        if t.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(EncodedError::NonFinite);
+        }
+        // The exact front-end `spark-quant`'s MagnitudeQuantizer applies:
+        // per-tensor scale from the absolute maximum (1.0 for an all-zero
+        // tensor), magnitudes rounded into 0..=qmax, signs kept aside.
+        let alpha = stats::abs_max(t);
+        let alpha = if alpha == 0.0 { 1.0 } else { alpha };
+        let profile = PrecisionProfile { scale: alpha, bits: 8 };
+        let qmax = profile.qmax();
+        let plan = EncodePlan::new(EncodeMode::Compensated);
+        let panel_count = n.div_ceil(NR);
+        let mut panels = Vec::with_capacity(panel_count);
+        let mut signs = Vec::with_capacity(panel_count);
+        let mut stats = spark_codec::CodeStats::new();
+        let mut codes = Vec::new();
+        for p in 0..panel_count {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            codes.clear();
+            codes.reserve(k * w);
+            let mut sign_bits = vec![0u8; (k * w).div_ceil(8)];
+            for kk in 0..k {
+                for l in 0..w {
+                    let x = get(kk, j0 + l);
+                    let e = codes.len();
+                    if x < 0.0 {
+                        sign_bits[e >> 3] |= 1 << (e & 7);
+                    }
+                    codes.push((x.abs() / alpha * qmax).round().min(qmax) as u8);
+                }
+            }
+            let enc = plan.encode(&codes);
+            stats.merge(&enc.stats);
+            let mut bytes = Vec::with_capacity(HEADER_LEN + enc.stream.byte_len());
+            // Infallible: writing into a Vec cannot fail.
+            spark_codec::write_container(&enc, &mut bytes)
+                .map_err(|e| EncodedError::Container(ContainerError::Io(e)))?;
+            panels.push(bytes);
+            signs.push(sign_bits);
+        }
+        Ok(Self { k, n, profile, panels, signs, stats })
+    }
+
+    /// Reassembles a matrix from raw parts *without validating the
+    /// container bytes* — the zero-copy load path, and the door the fault
+    /// plane walks corrupted bytes through. Only the structural
+    /// invariants the fused packer indexes by are checked here; byte-level
+    /// corruption surfaces later as a typed [`EncodedError`] from
+    /// [`Self::decode`] or the fused GEMM, never as a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodedError::Shape`] when the panel or sign-plane layout does
+    /// not match the dimensions.
+    pub fn from_raw_parts(
+        k: usize,
+        n: usize,
+        profile: PrecisionProfile,
+        panels: Vec<Vec<u8>>,
+        signs: Vec<Vec<u8>>,
+    ) -> Result<Self, EncodedError> {
+        let panel_count = n.div_ceil(NR);
+        if panels.len() != panel_count || signs.len() != panel_count {
+            return Err(EncodedError::Shape(ShapeError::new(format!(
+                "raw parts hold {} panels / {} sign planes, dims {k}x{n} need {panel_count}",
+                panels.len(),
+                signs.len(),
+            ))));
+        }
+        for (p, s) in signs.iter().enumerate() {
+            let w = NR.min(n - p * NR);
+            if s.len() != (k * w).div_ceil(8) {
+                return Err(EncodedError::Shape(ShapeError::new(format!(
+                    "panel {p} sign plane holds {} bytes, {} elements need {}",
+                    s.len(),
+                    k * w,
+                    (k * w).div_ceil(8),
+                ))));
+            }
+        }
+        Ok(Self {
+            k,
+            n,
+            profile,
+            panels,
+            signs,
+            stats: spark_codec::CodeStats::new(),
+        })
+    }
+
+    /// Depth (rows) of the logical `k x n` operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the logical `k x n` operand.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The dequantization profile.
+    pub fn profile(&self) -> PrecisionProfile {
+        self.profile
+    }
+
+    /// Number of `NR`-wide column panels.
+    pub fn panels(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// Width of panel `p` (always `NR` except a ragged last panel).
+    pub fn panel_width(&self, p: usize) -> usize {
+        NR.min(self.n - p * NR)
+    }
+
+    /// The serialized container bytes of panel `p`.
+    pub fn panel_container(&self, p: usize) -> &[u8] {
+        &self.panels[p]
+    }
+
+    /// The bit-packed sign plane of panel `p`.
+    pub fn panel_signs(&self, p: usize) -> &[u8] {
+        &self.signs[p]
+    }
+
+    /// Aggregate code statistics from encoding (empty when the matrix was
+    /// rebuilt with [`Self::from_raw_parts`]).
+    pub fn stats(&self) -> &spark_codec::CodeStats {
+        &self.stats
+    }
+
+    /// Bytes this matrix actually occupies resident in memory: container
+    /// images (headers + packed nibble payloads) plus the sign planes.
+    pub fn resident_bytes(&self) -> usize {
+        self.panels.iter().map(Vec::len).sum::<usize>()
+            + self.signs.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Bytes the same matrix would occupy as dense `f32`.
+    pub fn dense_bytes(&self) -> usize {
+        4 * self.k * self.n
+    }
+
+    /// `resident_bytes / dense_bytes` (0 for an empty matrix).
+    pub fn footprint_ratio(&self) -> f64 {
+        if self.k == 0 || self.n == 0 {
+            return 0.0;
+        }
+        self.resident_bytes() as f64 / self.dense_bytes() as f64
+    }
+
+    /// Opens a validating streaming decoder over panel `p` for the fused
+    /// GEMM packer.
+    pub(crate) fn panel_decoder(&self, p: usize) -> Result<PanelDecoder<'_>, EncodedError> {
+        PanelDecoder::new(
+            &self.panels[p],
+            &self.signs[p],
+            self.k * self.panel_width(p),
+            self.profile.step(),
+        )
+    }
+
+    /// Decodes the matrix back to a dense row-major `k x n` tensor — the
+    /// decode-then-GEMM reference path the fused kernels are proven
+    /// bit-identical against. Every panel goes through the full
+    /// [`spark_codec::read_container`] validation.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`EncodedError`] for any corrupted or inconsistent panel.
+    pub fn decode(&self) -> Result<Tensor, EncodedError> {
+        let step = self.profile.step();
+        let mut out = vec![0.0f32; self.k * self.n];
+        for p in 0..self.panels() {
+            let j0 = p * NR;
+            let w = self.panel_width(p);
+            let et = spark_codec::read_container(self.panels[p].as_slice())?;
+            if et.elements != self.k * w {
+                return Err(EncodedError::Container(ContainerError::Corrupt(format!(
+                    "panel {p} holds {} elements, dims {}x{w} need {}",
+                    et.elements,
+                    self.k,
+                    self.k * w,
+                ))));
+            }
+            let codes = spark_codec::decode_stream(&et.stream)?;
+            let sign_bits = &self.signs[p];
+            for (e, &c) in codes.iter().enumerate() {
+                let mag = c as f32 * step;
+                let neg = sign_bits[e >> 3] >> (e & 7) & 1 == 1;
+                out[(e / w) * self.n + j0 + e % w] = if neg { -mag } else { mag };
+            }
+        }
+        Tensor::from_vec(out, &[self.k, self.n]).map_err(EncodedError::Shape)
+    }
+}
+
+/// Streaming decoder over one panel's container bytes: validates the
+/// header eagerly (including the FNV-1a checksum, so a corrupted payload
+/// is rejected *before* any value reaches an accumulator), then decodes
+/// depth-blocks of dequantized values on demand for the fused packer.
+pub(crate) struct PanelDecoder<'a> {
+    payload: &'a [u8],
+    signs: &'a [u8],
+    nibbles: usize,
+    elements: usize,
+    step: f32,
+    nib: usize,
+    emitted: usize,
+    fsm: SparkDecoder,
+}
+
+impl<'a> PanelDecoder<'a> {
+    /// Validates the container image and positions the decoder at the
+    /// first element.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`EncodedError::Container`] for any header, length, checksum,
+    /// or padding violation, and when the header's element count does not
+    /// match `expected`.
+    pub(crate) fn new(
+        container: &'a [u8],
+        signs: &'a [u8],
+        expected: usize,
+        step: f32,
+    ) -> Result<Self, EncodedError> {
+        if container.len() < HEADER_LEN {
+            return Err(ContainerError::Corrupt(format!(
+                "container holds {} bytes, the header alone is {HEADER_LEN}",
+                container.len()
+            ))
+            .into());
+        }
+        let (header, payload) = container.split_at(HEADER_LEN);
+        if header[0..4] != spark_codec::container::MAGIC {
+            let mut magic = [0u8; 4];
+            magic.copy_from_slice(&header[0..4]);
+            return Err(ContainerError::BadMagic(magic).into());
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+        if version != spark_codec::container::VERSION {
+            return Err(ContainerError::BadVersion(version).into());
+        }
+        let elements = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+        let nibbles = u64::from_le_bytes(header[16..24].try_into().expect("8-byte slice"));
+        let checksum = u64::from_le_bytes(header[24..32].try_into().expect("8-byte slice"));
+        if nibbles < elements || nibbles > elements.saturating_mul(2) {
+            return Err(ContainerError::Corrupt(format!(
+                "header says {elements} elements in {nibbles} nibbles, \
+                 but every value takes one or two nibbles"
+            ))
+            .into());
+        }
+        let elements = elements as usize;
+        let nibbles = nibbles as usize;
+        if elements != expected {
+            return Err(ContainerError::Corrupt(format!(
+                "panel header says {elements} elements, the matrix layout needs {expected}"
+            ))
+            .into());
+        }
+        if payload.len() != nibbles.div_ceil(2) {
+            return Err(ContainerError::Corrupt(format!(
+                "panel payload holds {} bytes, header promises {}",
+                payload.len(),
+                nibbles.div_ceil(2)
+            ))
+            .into());
+        }
+        let found = stream_checksum(payload);
+        if found != checksum {
+            return Err(ContainerError::ChecksumMismatch { expected: checksum, found }.into());
+        }
+        if nibbles % 2 == 1 && payload[nibbles / 2] & 0x0F != 0 {
+            return Err(
+                ContainerError::Corrupt("final padding nibble is not zero".into()).into(),
+            );
+        }
+        if signs.len() < expected.div_ceil(8) {
+            return Err(EncodedError::Shape(ShapeError::new(format!(
+                "sign plane holds {} bytes, {expected} elements need {}",
+                signs.len(),
+                expected.div_ceil(8)
+            ))));
+        }
+        Ok(Self {
+            payload,
+            signs,
+            nibbles,
+            elements,
+            step,
+            nib: 0,
+            emitted: 0,
+            fsm: SparkDecoder::new(),
+        })
+    }
+
+    /// Decodes the next value through the streaming FSM (the exact
+    /// decoder `decode_stream` runs) and dequantizes it.
+    fn next_value(&mut self) -> Result<f32, EncodedError> {
+        loop {
+            if self.nib == self.nibbles {
+                // A checksum-valid stream always holds every promised
+                // value, but raw-parts callers can forge a consistent
+                // header over a short stream; keep the guard typed.
+                return Err(if self.fsm.enable() {
+                    DecodeError::TruncatedLongCode.into()
+                } else {
+                    ContainerError::Corrupt(format!(
+                        "stream exhausted after {} of {} elements",
+                        self.emitted, self.elements
+                    ))
+                    .into()
+                });
+            }
+            let byte = self.payload[self.nib >> 1];
+            let nibble = if self.nib & 1 == 0 { byte >> 4 } else { byte & 0x0F };
+            self.nib += 1;
+            if let Some(code) = self.fsm.push_nibble(nibble)? {
+                if self.emitted == self.elements {
+                    return Err(ContainerError::Corrupt(format!(
+                        "stream holds more than the promised {} elements",
+                        self.elements
+                    ))
+                    .into());
+                }
+                let e = self.emitted;
+                self.emitted += 1;
+                // Bit-for-bit the MagnitudeCodes::dequantize expression.
+                let mag = code as f32 * self.step;
+                let neg = self.signs[e >> 3] >> (e & 7) & 1 == 1;
+                return Ok(if neg { -mag } else { mag });
+            }
+        }
+    }
+
+    /// Decodes the next `rows` depth-rows of a `w`-wide panel into `dst`,
+    /// one `NR`-strided row per depth step (`dst[r * NR + lane]`); lanes
+    /// `w..NR` are left untouched (the caller pre-zeroes them).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`EncodedError`] when the stream ends early, a long code is
+    /// truncated, or the stream over-runs its element count.
+    pub(crate) fn decode_rows(
+        &mut self,
+        dst: &mut [f32],
+        rows: usize,
+        w: usize,
+    ) -> Result<(), EncodedError> {
+        debug_assert!(dst.len() >= rows * NR || rows == 0);
+        for r in 0..rows {
+            for l in 0..w {
+                dst[r * NR + l] = self.next_value()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Asserts the stream is fully consumed: every promised element
+    /// emitted and every nibble read (a trailing pad nibble is allowed).
+    ///
+    /// # Errors
+    ///
+    /// [`EncodedError::Container`] when elements or nibbles remain.
+    pub(crate) fn finish(&self) -> Result<(), EncodedError> {
+        if self.emitted != self.elements || self.nib != self.nibbles {
+            return Err(ContainerError::Corrupt(format!(
+                "panel not fully consumed: {}/{} elements, {}/{} nibbles",
+                self.emitted, self.elements, self.nib, self.nibbles
+            ))
+            .into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_util::Rng;
+
+    fn random_matrix(k: usize, n: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from_u64(seed);
+        Tensor::from_fn(&[k, n], |_| {
+            if rng.gen_f64() < 0.15 {
+                0.0
+            } else {
+                (rng.gen_f64() as f32) * 2.0 - 1.0
+            }
+        })
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_the_quantized_reconstruction() {
+        // decode() must equal quantize -> SPARK round-trip -> dequantize,
+        // element for element, in the row-major layout.
+        let t = random_matrix(9, 21, 3);
+        let em = EncodedMatrix::encode(&t).unwrap();
+        let back = em.decode().unwrap();
+        assert_eq!(back.dims(), &[9, 21]);
+        let alpha = stats::abs_max(&t);
+        let step = alpha / 255.0;
+        for (i, (&x, &y)) in t.as_slice().iter().zip(back.as_slice()).enumerate() {
+            let code = (x.abs() / alpha * 255.0).round().min(255.0) as u8;
+            let rt = spark_codec::encode_value(code).decode();
+            let want = if x < 0.0 { -(rt as f32 * step) } else { rt as f32 * step };
+            assert_eq!(y.to_bits(), want.to_bits(), "element {i}: {y} vs {want}");
+        }
+    }
+
+    #[test]
+    fn encode_transposed_matches_encode_of_transpose() {
+        let t = random_matrix(13, 7, 11);
+        let tt = crate::ops::transpose(&t).unwrap();
+        let a = EncodedMatrix::encode(&t).unwrap();
+        let b = EncodedMatrix::encode_transposed(&tt).unwrap();
+        assert_eq!(a.k(), b.k());
+        assert_eq!(a.n(), b.n());
+        for p in 0..a.panels() {
+            assert_eq!(a.panel_container(p), b.panel_container(p), "panel {p}");
+            assert_eq!(a.panel_signs(p), b.panel_signs(p), "signs {p}");
+        }
+        assert_eq!(
+            a.decode().unwrap().as_slice(),
+            b.decode().unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn footprint_beats_dense_f32() {
+        let t = random_matrix(64, 64, 5);
+        let em = EncodedMatrix::encode(&t).unwrap();
+        // Worst case is ~1.16 bytes/element (all long codes + signs); any
+        // real tensor sits far under the 4 bytes/element dense baseline.
+        assert!(em.resident_bytes() < em.dense_bytes() / 2);
+        assert!(em.footprint_ratio() < 0.5);
+    }
+
+    #[test]
+    fn zero_and_degenerate_matrices() {
+        for (k, n) in [(0, 5), (5, 0), (0, 0), (1, 1), (3, 16), (2, 17)] {
+            let t = Tensor::zeros(&[k, n]);
+            let em = EncodedMatrix::encode(&t).unwrap();
+            let back = em.decode().unwrap();
+            assert_eq!(back.dims(), &[k, n]);
+            assert!(back.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let t = Tensor::from_vec(vec![1.0, f32::NAN], &[1, 2]).unwrap();
+        assert!(matches!(
+            EncodedMatrix::encode(&t),
+            Err(EncodedError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn raw_parts_round_trip_and_layout_checks() {
+        let t = random_matrix(6, 18, 9);
+        let em = EncodedMatrix::encode(&t).unwrap();
+        let want = em.decode().unwrap();
+        let panels: Vec<Vec<u8>> = (0..em.panels()).map(|p| em.panel_container(p).to_vec()).collect();
+        let signs: Vec<Vec<u8>> = (0..em.panels()).map(|p| em.panel_signs(p).to_vec()).collect();
+        let rebuilt =
+            EncodedMatrix::from_raw_parts(6, 18, em.profile(), panels.clone(), signs.clone())
+                .unwrap();
+        assert_eq!(rebuilt.decode().unwrap().as_slice(), want.as_slice());
+        // Wrong panel count.
+        assert!(EncodedMatrix::from_raw_parts(6, 18, em.profile(), panels[..1].to_vec(), signs.clone()).is_err());
+        // Wrong sign plane length.
+        let mut bad_signs = signs;
+        bad_signs[0].pop();
+        assert!(EncodedMatrix::from_raw_parts(6, 18, em.profile(), panels, bad_signs).is_err());
+    }
+
+    #[test]
+    fn corrupted_container_bytes_fail_typed_in_both_paths() {
+        let t = random_matrix(8, 20, 17);
+        let em = EncodedMatrix::encode(&t).unwrap();
+        let signs: Vec<Vec<u8>> = (0..em.panels()).map(|p| em.panel_signs(p).to_vec()).collect();
+        for (offset, label) in [(0usize, "magic"), (4, "version"), (9, "elements"), (40, "payload")] {
+            let mut panels: Vec<Vec<u8>> =
+                (0..em.panels()).map(|p| em.panel_container(p).to_vec()).collect();
+            panels[1][offset] ^= 0x10;
+            let bad = EncodedMatrix::from_raw_parts(8, 20, em.profile(), panels, signs.clone())
+                .unwrap();
+            assert!(bad.decode().is_err(), "decode accepted corrupted {label}");
+            assert!(bad.panel_decoder(1).is_err(), "panel decoder accepted corrupted {label}");
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = EncodedError::from(DecodeError::TruncatedLongCode);
+        assert!(e.to_string().contains("long code"));
+        assert!(EncodedError::NonFinite.to_string().contains("finite"));
+    }
+}

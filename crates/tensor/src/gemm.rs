@@ -50,12 +50,21 @@
 //! [`Layout::Nt`] doubles as a blocked transpose, which is how
 //! `matmul_nt`/`matmul_tn` avoid materializing `transpose` results).
 
+use crate::encoded::{EncodedError, EncodedMatrix};
 use crate::ops::apply_epilogue;
 
 /// Column-panel width of the register tile (f32 lanes).
 pub const NR: usize = 16;
 /// Row height of the register tile.
 pub const MR: usize = 4;
+/// Depth block of the decode-fused engine ([`gemm_encoded_with`]): each
+/// encoded panel is decoded and consumed `KC` rows at a time so the
+/// active decode scratch stays cache-resident while partial accumulators
+/// park in the output stripe between blocks.
+pub const KC: usize = 128;
+/// Panels per group in the decode-fused engine — matches the four-panel
+/// column blocks of the AVX-512 steady-state kernel.
+const GQ: usize = 4;
 
 /// Below this many multiply-accumulates the blocked machinery costs more
 /// than it saves; [`gemm_auto`] routes such calls to the reference loops.
@@ -549,6 +558,11 @@ fn run_rows(
 /// zero-skip branch sits outside it, exactly like the reference kernel's
 /// hoisted check.
 ///
+/// Accumulation *resumes from* `acc` (zeros for a one-shot call, parked
+/// partials when the caller depth-blocks) — every kernel in this module
+/// shares that contract so partial sums can round-trip through `f32`
+/// memory between depth blocks without changing a bit.
+///
 /// # Safety
 ///
 /// `a` must be valid for reads at `r * astride.row + kk * astride.step`
@@ -565,8 +579,8 @@ unsafe fn mac4_scalar(
     // baseline SSE register file, so LLVM keeps them out of memory across
     // the k loop; MR rows at once would spill every iteration.
     for (pair, base) in [(0usize, a), (2, a.add(2 * astride.row))] {
-        let mut c0 = [0.0f32; NR];
-        let mut c1 = [0.0f32; NR];
+        let mut c0 = acc[pair];
+        let mut c1 = acc[pair + 1];
         let (mut p0, mut p1) = (base, base.add(astride.row));
         for kk in 0..k {
             let brow = std::slice::from_raw_parts(b.add(kk * bstride), NR);
@@ -603,7 +617,7 @@ unsafe fn mac1_scalar(
     k: usize,
     acc: &mut [f32; NR],
 ) {
-    let mut c = [0.0f32; NR];
+    let mut c = *acc;
     let mut p = a;
     let mut bp = b;
     for _ in 0..k {
@@ -695,6 +709,309 @@ pub(crate) fn reference(
     out
 }
 
+/// Decode-fused GEMM entry point used by `crates/tensor/src/ops.rs`:
+/// `A · B` where `B` never exists as dense `f32` — each `KC x NR` block of
+/// each SPARK-encoded panel is decoded on the fly into the 64-byte-aligned
+/// scratch inside the cache-blocked loop.
+pub(crate) fn gemm_encoded_auto(
+    a: &[f32],
+    b: &EncodedMatrix,
+    m: usize,
+    epi: Epilogue<'_>,
+) -> Result<Vec<f32>, EncodedError> {
+    gemm_encoded_impl(
+        GemmVariant::detect(),
+        a,
+        b,
+        m,
+        epi,
+        auto_workers(m, b.k(), b.n()),
+    )
+}
+
+/// Runs the decode-fused kernels under an explicit dispatch `variant`, for
+/// differential tests and benchmarks. Output is bit-identical across
+/// variants, to `gemm_with` over the decoded matrix, and to the reference
+/// kernel — the fused packer reconstructs exactly the values
+/// [`EncodedMatrix::decode`] produces (same dequantization expression, no
+/// reassociation), and the micro-kernels downstream of the packer are the
+/// very same ones the dense path dispatches to.
+///
+/// # Errors
+///
+/// Typed [`EncodedError`] when any panel container fails validation or its
+/// stream is malformed; the output buffer is discarded, never partially
+/// returned.
+pub fn gemm_encoded_with(
+    variant: GemmVariant,
+    a: &[f32],
+    b: &EncodedMatrix,
+    m: usize,
+    epi: Epilogue<'_>,
+) -> Result<Vec<f32>, EncodedError> {
+    gemm_encoded_impl(variant, a, b, m, epi, auto_workers(m, b.k(), b.n()))
+}
+
+pub(crate) fn gemm_encoded_impl(
+    variant: GemmVariant,
+    a: &[f32],
+    b: &EncodedMatrix,
+    m: usize,
+    epi: Epilogue<'_>,
+    workers: usize,
+) -> Result<Vec<f32>, EncodedError> {
+    let (k, n) = (b.k(), b.n());
+    debug_assert_eq!(a.len(), m * k, "A operand length");
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        // Nothing to multiply, but the corruption contract still holds:
+        // every panel header and payload checksum is validated.
+        for p in 0..b.panels() {
+            b.panel_decoder(p)?;
+        }
+        return Ok(out);
+    }
+    let groups = b.panels().div_ceil(GQ);
+    // Group-parallel fan-out: each worker owns whole panel groups, so a
+    // panel is decoded exactly once no matter the worker count and every
+    // output element is written by exactly one worker.
+    let stripes: Vec<Result<Vec<f32>, EncodedError>> = if workers > 1 && groups > 1 {
+        let gids: Vec<usize> = (0..groups).collect();
+        spark_util::par::par_map(&gids, |&g| fused_group(variant, a, b, m, g, epi))
+    } else {
+        (0..groups)
+            .map(|g| fused_group(variant, a, b, m, g, epi))
+            .collect()
+    };
+    for (g, stripe) in stripes.into_iter().enumerate() {
+        let stripe = stripe?;
+        let j0 = g * GQ * NR;
+        let gw = stripe.len() / m;
+        for r in 0..m {
+            out[r * n + j0..r * n + j0 + gw].copy_from_slice(&stripe[r * gw..(r + 1) * gw]);
+        }
+    }
+    Ok(out)
+}
+
+/// Computes one panel group (up to [`GQ`] adjacent `NR`-wide panels) of
+/// the decode-fused product into an `m x gw` stripe.
+///
+/// Depth is walked in [`KC`]-row blocks: each block is decoded once into
+/// the zero-padded scratch (resuming every panel's streaming decoder where
+/// the previous block left it), then all `MR`-row tiles consume it.
+/// Partial accumulators park in the stripe between blocks — an exact `f32`
+/// round-trip, so each output element still sees one accumulation chain in
+/// ascending-k order, and the epilogue fires only after the final block.
+fn fused_group(
+    variant: GemmVariant,
+    a: &[f32],
+    b: &EncodedMatrix,
+    m: usize,
+    g: usize,
+    epi: Epilogue<'_>,
+) -> Result<Vec<f32>, EncodedError> {
+    let k = b.k();
+    let p0 = g * GQ;
+    let p1 = (p0 + GQ).min(b.panels());
+    let gp = p1 - p0;
+    let j0 = p0 * NR;
+    let gw = (gp - 1) * NR + b.panel_width(p1 - 1);
+    let astride = AStride { row: k, step: 1 };
+    let mut stripe = vec![0.0f32; m * gw];
+    let mut scratch = PackedB::zeroed(gp * KC * NR);
+    let b2off = KC * NR;
+    let mut decs = Vec::with_capacity(gp);
+    for p in p0..p1 {
+        decs.push(b.panel_decoder(p)?);
+    }
+    let mut kb = 0;
+    // `loop` rather than `while kb < k` so k = 0 still runs one zero-depth
+    // block and the epilogue fires.
+    loop {
+        let ke = (kb + KC).min(k);
+        let depth = ke - kb;
+        let (first, last) = (kb == 0, ke == k);
+        {
+            let dst = scratch.panels_mut();
+            dst[..gp * b2off].fill(0.0);
+            for (q, dec) in decs.iter_mut().enumerate() {
+                let w = NR.min(gw - q * NR);
+                dec.decode_rows(&mut dst[q * b2off..q * b2off + depth * NR], depth, w)?;
+            }
+        }
+        let bbuf = scratch.panels();
+        let mut i = 0;
+        while i < m {
+            let rows = MR.min(m - i);
+            if rows == MR {
+                // Steady state on AVX-512 with a full group: the same
+                // four-panel register tile as the dense engine's phase 1.
+                #[cfg(target_arch = "x86_64")]
+                if variant == GemmVariant::Avx512 && gp == GQ {
+                    let mut accs = [[[0.0f32; NR]; MR]; GQ];
+                    if !first {
+                        for (q, accq) in accs.iter_mut().enumerate() {
+                            let wq = NR.min(gw - q * NR);
+                            for (r, accr) in accq.iter_mut().enumerate() {
+                                accr[..wq]
+                                    .copy_from_slice(&stripe[(i + r) * gw + q * NR..][..wq]);
+                            }
+                        }
+                    }
+                    // SAFETY: `i + MR <= m` bounds the A pointers for
+                    // depths kb..ke; all four scratch panels have `depth`
+                    // full NR-wide zero-padded rows; ISA verified at
+                    // dispatch time.
+                    unsafe {
+                        let abase = a.as_ptr().add(i * k + kb);
+                        x86::mac4x4_avx512(abase, astride, bbuf.as_ptr(), b2off, NR, depth, &mut accs);
+                    }
+                    for (q, accq) in accs.iter().enumerate() {
+                        let wq = NR.min(gw - q * NR);
+                        let jq = j0 + q * NR;
+                        for (r, accr) in accq.iter().enumerate() {
+                            store_stripe(&mut stripe[(i + r) * gw + q * NR..][..wq], accr, jq, last, epi);
+                        }
+                    }
+                    i += MR;
+                    continue;
+                }
+                let mut q = 0;
+                while q < gp {
+                    let wq = NR.min(gw - q * NR);
+                    let jq = j0 + q * NR;
+                    #[cfg(target_arch = "x86_64")]
+                    if variant == GemmVariant::Avx512 && q + 1 < gp {
+                        let w2 = NR.min(gw - (q + 1) * NR);
+                        let mut acc0 = [[0.0f32; NR]; MR];
+                        let mut acc1 = [[0.0f32; NR]; MR];
+                        if !first {
+                            for r in 0..MR {
+                                acc0[r][..wq]
+                                    .copy_from_slice(&stripe[(i + r) * gw + q * NR..][..wq]);
+                                acc1[r][..w2]
+                                    .copy_from_slice(&stripe[(i + r) * gw + (q + 1) * NR..][..w2]);
+                            }
+                        }
+                        // SAFETY: as above, for two adjacent scratch panels.
+                        unsafe {
+                            let abase = a.as_ptr().add(i * k + kb);
+                            let bpanel = bbuf.as_ptr().add(q * b2off);
+                            x86::mac4x2_avx512(
+                                abase, astride, bpanel, b2off, NR, depth, &mut acc0, &mut acc1,
+                            );
+                        }
+                        for r in 0..MR {
+                            store_stripe(&mut stripe[(i + r) * gw + q * NR..][..wq], &acc0[r], jq, last, epi);
+                            store_stripe(
+                                &mut stripe[(i + r) * gw + (q + 1) * NR..][..w2],
+                                &acc1[r],
+                                jq + NR,
+                                last,
+                                epi,
+                            );
+                        }
+                        q += 2;
+                        continue;
+                    }
+                    let mut acc = [[0.0f32; NR]; MR];
+                    if !first {
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            accr[..wq].copy_from_slice(&stripe[(i + r) * gw + q * NR..][..wq]);
+                        }
+                    }
+                    // SAFETY: `i + MR <= m` bounds the A pointers for
+                    // depths kb..ke; scratch panel `q` has `depth` full
+                    // NR-wide zero-padded rows; ISA verified at dispatch.
+                    unsafe {
+                        let abase = a.as_ptr().add(i * k + kb);
+                        let bpanel = bbuf.as_ptr().add(q * b2off);
+                        match variant {
+                            GemmVariant::Scalar => {
+                                mac4_scalar(abase, astride, bpanel, NR, depth, &mut acc)
+                            }
+                            #[cfg(target_arch = "x86_64")]
+                            GemmVariant::Avx2 => {
+                                x86::mac4_avx2(abase, astride, bpanel, NR, depth, &mut acc)
+                            }
+                            #[cfg(target_arch = "x86_64")]
+                            GemmVariant::Avx512 => {
+                                x86::mac4_avx512(abase, astride, bpanel, NR, depth, &mut acc)
+                            }
+                            #[cfg(not(target_arch = "x86_64"))]
+                            _ => mac4_scalar(abase, astride, bpanel, NR, depth, &mut acc),
+                        }
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        store_stripe(&mut stripe[(i + r) * gw + q * NR..][..wq], accr, jq, last, epi);
+                    }
+                    q += 1;
+                }
+            } else {
+                for q in 0..gp {
+                    let wq = NR.min(gw - q * NR);
+                    let jq = j0 + q * NR;
+                    for r in 0..rows {
+                        let mut acc = [0.0f32; NR];
+                        if !first {
+                            acc[..wq].copy_from_slice(&stripe[(i + r) * gw + q * NR..][..wq]);
+                        }
+                        // SAFETY: `i + r < m` bounds the A row for depths
+                        // kb..ke; scratch panel `q` as above.
+                        unsafe {
+                            let arow = a.as_ptr().add((i + r) * k + kb);
+                            let bpanel = bbuf.as_ptr().add(q * b2off);
+                            match variant {
+                                GemmVariant::Scalar => {
+                                    mac1_scalar(arow, 1, bpanel, NR, depth, &mut acc)
+                                }
+                                #[cfg(target_arch = "x86_64")]
+                                GemmVariant::Avx2 => {
+                                    x86::mac1_avx2(arow, 1, bpanel, NR, depth, &mut acc)
+                                }
+                                #[cfg(target_arch = "x86_64")]
+                                GemmVariant::Avx512 => {
+                                    x86::mac1_avx512(arow, 1, bpanel, NR, depth, &mut acc)
+                                }
+                                #[cfg(not(target_arch = "x86_64"))]
+                                _ => mac1_scalar(arow, 1, bpanel, NR, depth, &mut acc),
+                            }
+                        }
+                        store_stripe(&mut stripe[(i + r) * gw + q * NR..][..wq], &acc, jq, last, epi);
+                    }
+                }
+            }
+            i += rows;
+        }
+        if last {
+            break;
+        }
+        kb = ke;
+    }
+    // Every panel stream must land exactly on its promised end; a crafted
+    // container with excess payload fails here, typed.
+    for dec in &decs {
+        dec.finish()?;
+    }
+    Ok(stripe)
+}
+
+/// Writes one accumulator row back to the stripe: the fused epilogue on
+/// the final depth block, a raw parked partial (exact `f32` copy) before.
+#[inline(always)]
+fn store_stripe(orow: &mut [f32], acc: &[f32; NR], jq: usize, last: bool, epi: Epilogue<'_>) {
+    if last && !matches!(epi, Epilogue::None) {
+        for (l, o) in orow.iter_mut().enumerate() {
+            *o = apply_epilogue(acc[l], jq + l, epi);
+        }
+    } else {
+        // Final value or parked partial — memcpy of the lane row compiles
+        // to vector stores.
+        orow.copy_from_slice(&acc[..orow.len()]);
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     use super::{AStride, MR, NR};
@@ -714,14 +1031,16 @@ mod x86 {
         k: usize,
         acc: &mut [[f32; NR]; MR],
     ) {
-        let mut c00 = _mm256_setzero_ps();
-        let mut c01 = _mm256_setzero_ps();
-        let mut c10 = _mm256_setzero_ps();
-        let mut c11 = _mm256_setzero_ps();
-        let mut c20 = _mm256_setzero_ps();
-        let mut c21 = _mm256_setzero_ps();
-        let mut c30 = _mm256_setzero_ps();
-        let mut c31 = _mm256_setzero_ps();
+        // Resume from the caller's accumulators (zeros for a one-shot
+        // call, parked partials under depth blocking).
+        let mut c00 = _mm256_loadu_ps(acc[0].as_ptr());
+        let mut c01 = _mm256_loadu_ps(acc[0].as_ptr().add(8));
+        let mut c10 = _mm256_loadu_ps(acc[1].as_ptr());
+        let mut c11 = _mm256_loadu_ps(acc[1].as_ptr().add(8));
+        let mut c20 = _mm256_loadu_ps(acc[2].as_ptr());
+        let mut c21 = _mm256_loadu_ps(acc[2].as_ptr().add(8));
+        let mut c30 = _mm256_loadu_ps(acc[3].as_ptr());
+        let mut c31 = _mm256_loadu_ps(acc[3].as_ptr().add(8));
         let (mut p0, mut p1, mut p2, mut p3) = (
             a,
             a.add(astride.row),
@@ -785,8 +1104,8 @@ mod x86 {
         k: usize,
         acc: &mut [f32; NR],
     ) {
-        let mut c0 = _mm256_setzero_ps();
-        let mut c1 = _mm256_setzero_ps();
+        let mut c0 = _mm256_loadu_ps(acc.as_ptr());
+        let mut c1 = _mm256_loadu_ps(acc.as_ptr().add(8));
         let mut p = a;
         let mut bp = b;
         for _ in 0..k {
@@ -816,10 +1135,10 @@ mod x86 {
         k: usize,
         acc: &mut [[f32; NR]; MR],
     ) {
-        let mut c0 = _mm512_setzero_ps();
-        let mut c1 = _mm512_setzero_ps();
-        let mut c2 = _mm512_setzero_ps();
-        let mut c3 = _mm512_setzero_ps();
+        let mut c0 = _mm512_loadu_ps(acc[0].as_ptr());
+        let mut c1 = _mm512_loadu_ps(acc[1].as_ptr());
+        let mut c2 = _mm512_loadu_ps(acc[2].as_ptr());
+        let mut c3 = _mm512_loadu_ps(acc[3].as_ptr());
         let (mut p0, mut p1, mut p2, mut p3) = (
             a,
             a.add(astride.row),
@@ -1003,14 +1322,14 @@ mod x86 {
         acc0: &mut [[f32; NR]; MR],
         acc1: &mut [[f32; NR]; MR],
     ) {
-        let mut c00 = _mm512_setzero_ps();
-        let mut c01 = _mm512_setzero_ps();
-        let mut c10 = _mm512_setzero_ps();
-        let mut c11 = _mm512_setzero_ps();
-        let mut c20 = _mm512_setzero_ps();
-        let mut c21 = _mm512_setzero_ps();
-        let mut c30 = _mm512_setzero_ps();
-        let mut c31 = _mm512_setzero_ps();
+        let mut c00 = _mm512_loadu_ps(acc0[0].as_ptr());
+        let mut c01 = _mm512_loadu_ps(acc1[0].as_ptr());
+        let mut c10 = _mm512_loadu_ps(acc0[1].as_ptr());
+        let mut c11 = _mm512_loadu_ps(acc1[1].as_ptr());
+        let mut c20 = _mm512_loadu_ps(acc0[2].as_ptr());
+        let mut c21 = _mm512_loadu_ps(acc1[2].as_ptr());
+        let mut c30 = _mm512_loadu_ps(acc0[3].as_ptr());
+        let mut c31 = _mm512_loadu_ps(acc1[3].as_ptr());
         let (mut p0, mut p1, mut p2, mut p3) = (
             a,
             a.add(astride.row),
@@ -1074,7 +1393,7 @@ mod x86 {
         k: usize,
         acc: &mut [f32; NR],
     ) {
-        let mut c = _mm512_setzero_ps();
+        let mut c = _mm512_loadu_ps(acc.as_ptr());
         let mut p = a;
         let mut bp = b;
         for _ in 0..k {
@@ -1182,6 +1501,89 @@ mod tests {
             let got = gemm_with(v, Layout::Nn, &a, &b, m, k, n, Epilogue::None);
             assert_bits_eq(&got, &want, &format!("packed {}", v.name()));
         }
+    }
+
+    fn encoded_operand(k: usize, n: usize, seed: u64) -> (EncodedMatrix, Vec<f32>) {
+        let (_, braw) = operands(1, k, n, seed);
+        let bt = crate::Tensor::from_vec(braw, &[k, n]).unwrap();
+        let em = EncodedMatrix::encode(&bt).unwrap();
+        let decoded = em.decode().unwrap().into_vec();
+        (em, decoded)
+    }
+
+    #[test]
+    fn fused_matches_decode_then_gemm_and_reference() {
+        // Shapes hit: full quad groups, partial groups, ragged last panel,
+        // k % KC tails, k > KC (multi depth-block parking), row tails.
+        for &(m, k, n) in &[
+            (4, 16, 64),
+            (5, 7, 3),
+            (11, 150, 50),
+            (1, 300, 17),
+            (7, 130, 80),
+            (6, 256, 64),
+        ] {
+            let (a, _) = operands(m, k, n, 0xFACE ^ (m * 31 + k * 7 + n) as u64);
+            let (em, decoded) = encoded_operand(k, n, (m + k + n) as u64);
+            let want = reference(Layout::Nn, &a, &decoded, m, k, n, Epilogue::None);
+            for v in GemmVariant::available() {
+                let fused = gemm_encoded_with(v, &a, &em, m, Epilogue::None).unwrap();
+                let dense = gemm_with(v, Layout::Nn, &a, &decoded, m, k, n, Epilogue::None);
+                assert_bits_eq(&fused, &want, &format!("fused/ref {} {m}x{k}x{n}", v.name()));
+                assert_bits_eq(&fused, &dense, &format!("fused/dense {} {m}x{k}x{n}", v.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_epilogues_match() {
+        let (m, k, n) = (9, 140, 37);
+        let (a, _) = operands(m, k, n, 99);
+        let (em, decoded) = encoded_operand(k, n, 100);
+        let bias: Vec<f32> = (0..n).map(|j| (j as f32) * 0.25 - 2.0).collect();
+        for v in GemmVariant::available() {
+            for (epi, name) in [
+                (Epilogue::Bias(&bias), "bias"),
+                (Epilogue::BiasRelu(&bias), "bias_relu"),
+            ] {
+                let want = reference(Layout::Nn, &a, &decoded, m, k, n, epi);
+                let fused = gemm_encoded_with(v, &a, &em, m, epi).unwrap();
+                assert_bits_eq(&fused, &want, &format!("{} {name}", v.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_worker_split_is_bit_identical() {
+        let (m, k, n) = (23, 200, 130);
+        let (a, _) = operands(m, k, n, 5);
+        let (em, _) = encoded_operand(k, n, 6);
+        let seq = gemm_encoded_impl(GemmVariant::detect(), &a, &em, m, Epilogue::None, 1).unwrap();
+        for workers in [2, 3, 5] {
+            let par =
+                gemm_encoded_impl(GemmVariant::detect(), &a, &em, m, Epilogue::None, workers)
+                    .unwrap();
+            assert_bits_eq(&par, &seq, &format!("fused {workers} workers"));
+        }
+    }
+
+    #[test]
+    fn fused_degenerate_dims() {
+        let variant = GemmVariant::detect();
+        // k = 0: accumulators stay zero, epilogue still applies.
+        let bias = vec![1.5f32, -2.0, 3.0];
+        let em = EncodedMatrix::encode(&crate::Tensor::zeros(&[0, 3])).unwrap();
+        let out = gemm_encoded_impl(variant, &[], &em, 2, Epilogue::Bias(&bias), 1).unwrap();
+        assert_eq!(out, vec![1.5, -2.0, 3.0, 1.5, -2.0, 3.0]);
+        // m = 0 and n = 0: empty output, panels still validated.
+        let em = EncodedMatrix::encode(&crate::Tensor::zeros(&[1, 1])).unwrap();
+        assert!(gemm_encoded_impl(variant, &[], &em, 0, Epilogue::None, 1)
+            .unwrap()
+            .is_empty());
+        let em = EncodedMatrix::encode(&crate::Tensor::zeros(&[1, 0])).unwrap();
+        assert!(gemm_encoded_impl(variant, &[1.0], &em, 1, Epilogue::None, 1)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //!
 //! The API is intentionally small: the SPARK paper's workloads decompose into
 //! GEMMs, so [`Tensor`], [`ops::matmul`] and [`im2col`] carry almost all the
-//! weight. Nothing here depends on the encoding or the simulator.
+//! weight. The one deliberate coupling is [`encoded`]: weights can live in
+//! memory as SPARK nibble streams ([`EncodedMatrix`]) and feed the GEMM
+//! engine through a decode-fused panel packer, bit-identical to decoding
+//! first. Nothing here depends on the simulator.
 //!
 //! # Example
 //!
@@ -27,11 +30,13 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod encoded;
 pub mod gemm;
 pub mod im2col;
 pub mod ops;
 pub mod stats;
 
+pub use encoded::{EncodedError, EncodedMatrix, PrecisionProfile};
 pub use error::ShapeError;
 pub use shape::Shape;
 pub use tensor::{QuantTensor, Tensor};

@@ -1,5 +1,6 @@
 //! Elementwise and linear-algebra operations on [`Tensor`].
 
+use crate::encoded::{EncodedError, EncodedMatrix};
 use crate::gemm::{self, Epilogue, Layout};
 use crate::{Tensor, ShapeError};
 
@@ -141,6 +142,99 @@ pub fn matmul_bias_relu(a: &Tensor, b: &Tensor, bias: &[f32]) -> Result<Tensor, 
         Epilogue::BiasRelu(bias),
     );
     Tensor::from_vec(out, &[m, n])
+}
+
+fn matmul_encoded_dims(a: &Tensor, b: &EncodedMatrix) -> Result<usize, EncodedError> {
+    let (m, ka) = a.shape().as_matrix()?;
+    if ka != b.k() {
+        return Err(EncodedError::Shape(ShapeError::new(format!(
+            "matmul inner dims differ: {ka} vs encoded {}",
+            b.k()
+        ))));
+    }
+    Ok(m)
+}
+
+/// [`matmul`] over a SPARK-encoded `B`: `A (m x k) * B (k x n) -> C
+/// (m x n)` where `B` stays resident as nibble streams and is decoded
+/// panel-by-panel inside the GEMM loop.
+///
+/// Bit-identical to `matmul(a, &b.decode()?)` — and therefore to
+/// [`matmul_reference`] over the decoded matrix.
+///
+/// # Errors
+///
+/// Returns [`EncodedError`] on a dimension mismatch or when any panel
+/// container fails validation.
+pub fn matmul_encoded(a: &Tensor, b: &EncodedMatrix) -> Result<Tensor, EncodedError> {
+    let m = matmul_encoded_dims(a, b)?;
+    let out = gemm::gemm_encoded_auto(a.as_slice(), b, m, Epilogue::None)?;
+    Tensor::from_vec(out, &[m, b.n()]).map_err(EncodedError::Shape)
+}
+
+/// [`matmul_nt`] over a SPARK-encoded weight: multiplies `A (m x k)` by
+/// the transpose of the `n x k` matrix the operand was built from with
+/// [`EncodedMatrix::encode_transposed`].
+///
+/// The blocked transpose already happened at encode time (the panels hold
+/// the logical `k x n` operand), so this *is* the same fused walk as
+/// [`matmul_encoded`] — the distinct name documents intent at call sites
+/// that mirror a dense `matmul_nt`. Bit-identical to
+/// `matmul_nt(a, &source)` when the source round-trips losslessly, and to
+/// `matmul(a, &b.decode()?)` always.
+///
+/// # Errors
+///
+/// Returns [`EncodedError`] on a dimension mismatch or when any panel
+/// container fails validation.
+pub fn matmul_nt_encoded(a: &Tensor, b: &EncodedMatrix) -> Result<Tensor, EncodedError> {
+    matmul_encoded(a, b)
+}
+
+/// [`matmul_bias`] over a SPARK-encoded `B` — bias fused into the output
+/// epilogue of the decode-fused GEMM.
+///
+/// # Errors
+///
+/// Returns [`EncodedError`] on a dimension mismatch, a wrong bias length,
+/// or when any panel container fails validation.
+pub fn matmul_bias_encoded(
+    a: &Tensor,
+    b: &EncodedMatrix,
+    bias: &[f32],
+) -> Result<Tensor, EncodedError> {
+    let m = matmul_encoded_dims(a, b)?;
+    if bias.len() != b.n() {
+        return Err(EncodedError::Shape(ShapeError::element_count(
+            b.n(),
+            bias.len(),
+        )));
+    }
+    let out = gemm::gemm_encoded_auto(a.as_slice(), b, m, Epilogue::Bias(bias))?;
+    Tensor::from_vec(out, &[m, b.n()]).map_err(EncodedError::Shape)
+}
+
+/// [`matmul_bias_relu`] over a SPARK-encoded `B` — bias and ReLU fused
+/// into the output epilogue of the decode-fused GEMM.
+///
+/// # Errors
+///
+/// Returns [`EncodedError`] on a dimension mismatch, a wrong bias length,
+/// or when any panel container fails validation.
+pub fn matmul_bias_relu_encoded(
+    a: &Tensor,
+    b: &EncodedMatrix,
+    bias: &[f32],
+) -> Result<Tensor, EncodedError> {
+    let m = matmul_encoded_dims(a, b)?;
+    if bias.len() != b.n() {
+        return Err(EncodedError::Shape(ShapeError::element_count(
+            b.n(),
+            bias.len(),
+        )));
+    }
+    let out = gemm::gemm_encoded_auto(a.as_slice(), b, m, Epilogue::BiasRelu(bias))?;
+    Tensor::from_vec(out, &[m, b.n()]).map_err(EncodedError::Shape)
 }
 
 /// Applies a fused [`Epilogue`] to one accumulated element of column `j` —
@@ -424,5 +518,51 @@ mod tests {
     fn scale_multiplies() {
         let a = t(&[1.0, -2.0], &[2]);
         assert_eq!(scale(&a, 3.0).as_slice(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn matmul_encoded_matches_decode_then_matmul() {
+        let a = Tensor::from_fn(&[5, 24], |i| ((i * 7) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(&[24, 18], |i| ((i * 11) % 17) as f32 / 8.5 - 1.0);
+        let em = EncodedMatrix::encode(&b).unwrap();
+        let want = matmul(&a, &em.decode().unwrap()).unwrap();
+        let got = matmul_encoded(&a, &em).unwrap();
+        assert_eq!(got.dims(), &[5, 18]);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        // Dimension mismatch is typed.
+        assert!(matmul_encoded(&Tensor::zeros(&[2, 3]), &em).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_encoded_uses_encode_time_transpose() {
+        let a = Tensor::from_fn(&[4, 10], |i| (i % 5) as f32 - 2.0);
+        let bt = Tensor::from_fn(&[9, 10], |i| ((i * 3) % 7) as f32 / 3.5 - 1.0);
+        let em = EncodedMatrix::encode_transposed(&bt).unwrap();
+        let want = matmul(&a, &em.decode().unwrap()).unwrap();
+        let got = matmul_nt_encoded(&a, &em).unwrap();
+        assert_eq!(got.dims(), &[4, 9]);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_bias_encoded_epilogues_match_dense() {
+        let a = Tensor::from_fn(&[3, 12], |i| (i % 7) as f32 - 3.0);
+        let b = Tensor::from_fn(&[12, 20], |i| ((i * 5) % 9) as f32 / 4.5 - 1.0);
+        let em = EncodedMatrix::encode(&b).unwrap();
+        let dec = em.decode().unwrap();
+        let bias: Vec<f32> = (0..20).map(|j| j as f32 * 0.5 - 4.0).collect();
+        let want = matmul_bias(&a, &dec, &bias).unwrap();
+        let got = matmul_bias_encoded(&a, &em, &bias).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        let want = matmul_bias_relu(&a, &dec, &bias).unwrap();
+        let got = matmul_bias_relu_encoded(&a, &em, &bias).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        // Wrong bias length is typed.
+        assert!(matmul_bias_encoded(&a, &em, &[0.0]).is_err());
+        assert!(matmul_bias_relu_encoded(&a, &em, &[0.0]).is_err());
     }
 }

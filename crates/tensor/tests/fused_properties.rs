@@ -1,0 +1,274 @@
+//! Cross-engine differential suite for the decode-fused GEMM.
+//!
+//! The fused path ([`gemm_encoded_with`]) runs a variable-length SPARK
+//! decoder *inside* the cache-blocked GEMM loop, so its correctness claim
+//! is the strongest the repo makes: for every dispatch variant, its output
+//! is `to_bits()`-identical to
+//!
+//! 1. **decode-then-turbo** — `gemm_with` over [`EncodedMatrix::decode`]'s
+//!    dense reconstruction (same variant), and
+//! 2. **the seed kernel** — `ops::matmul_reference` over that same
+//!    reconstruction.
+//!
+//! Random ragged shapes cover the steady state; the pinned adversarial
+//! edges cover what random sampling reaches rarely: `m = 1`, `n = 1`,
+//! `k = 0`, ragged `n % NR` and `k % KC` tails, all-zero weights, and
+//! denormal-heavy operands on both sides of the product.
+
+use spark_tensor::encoded::EncodedMatrix;
+use spark_tensor::gemm::{gemm_encoded_with, gemm_with, Epilogue, GemmVariant, Layout, KC, NR};
+use spark_tensor::{ops, Tensor};
+use spark_util::prop::check;
+use spark_util::prop_assert;
+use spark_util::Rng;
+
+/// A random fused-GEMM case: ragged `m`/`k`/`n` (with `k` ranging past
+/// `KC` so multi-block accumulator parking is exercised), ~25% exact
+/// zeros in `A`, and a bias row for the epilogue properties.
+type Case = (usize, usize, usize, Vec<f32>, Vec<f32>, Vec<f32>);
+
+fn fused_case(rng: &mut Rng) -> Case {
+    let m = rng.gen_range(1..24);
+    let k = rng.gen_range(1..2 * KC + 40);
+    let n = rng.gen_range(1..80);
+    let mut a = Vec::with_capacity(m * k);
+    for _ in 0..m * k {
+        a.push(if rng.gen_f64() < 0.25 {
+            0.0
+        } else {
+            rng.gen_range_f32(-4.0, 4.0)
+        });
+    }
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range_f32(-2.0, 2.0)).collect();
+    let bias: Vec<f32> = (0..n).map(|_| rng.gen_range_f32(-3.0, 3.0)).collect();
+    (m, k, n, a, b, bias)
+}
+
+fn case_valid((m, k, n, a, b, bias): &Case) -> bool {
+    *m > 0 && *k > 0 && *n > 0 && a.len() == m * k && b.len() == k * n && bias.len() == *n
+}
+
+fn bits_eq(got: &[f32], want: &[f32]) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("length {} vs {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            return Err(format!(
+                "element {i}: {g} ({:#x}) vs {w} ({:#x})",
+                g.to_bits(),
+                w.to_bits()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs one (a, b) pair through all three engines under every available
+/// variant and demands bit equality.
+fn assert_cross_engine(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], ctx: &str) {
+    let at = Tensor::from_vec(a.to_vec(), &[m.max(1), k]).unwrap();
+    let bt = Tensor::from_vec(b.to_vec(), &[k, n]).unwrap();
+    let em = EncodedMatrix::encode(&bt).expect("finite weights encode");
+    let decoded = em.decode().expect("self-encoded matrix decodes");
+    let want = ops::matmul_reference(&at, &decoded).unwrap();
+    for v in GemmVariant::available() {
+        let fused = gemm_encoded_with(v, a, &em, m, Epilogue::None)
+            .unwrap_or_else(|e| panic!("{ctx} {}: fused path errored: {e}", v.name()));
+        let dense = gemm_with(v, Layout::Nn, a, decoded.as_slice(), m, k, n, Epilogue::None);
+        if let Err(e) = bits_eq(&fused, want.as_slice()) {
+            panic!("{ctx} {} fused vs reference: {e}", v.name());
+        }
+        if let Err(e) = bits_eq(&fused, &dense) {
+            panic!("{ctx} {} fused vs decode-then-turbo: {e}", v.name());
+        }
+    }
+}
+
+/// Random ragged shapes: fused == decode-then-turbo == reference, to the
+/// bit, under every variant.
+#[test]
+fn fused_bit_identical_to_decode_then_gemm_and_reference() {
+    check(
+        "fused_bit_identical_to_decode_then_gemm_and_reference",
+        fused_case,
+        |case| {
+            if !case_valid(case) {
+                return Ok(());
+            }
+            let (m, k, n, ref a, ref b, _) = *case;
+            let at = Tensor::from_vec(a.clone(), &[m, k]).unwrap();
+            let bt = Tensor::from_vec(b.clone(), &[k, n]).unwrap();
+            let em = EncodedMatrix::encode(&bt).expect("finite weights encode");
+            let decoded = em.decode().expect("self-encoded matrix decodes");
+            let want = ops::matmul_reference(&at, &decoded).unwrap();
+            for v in GemmVariant::available() {
+                let fused = match gemm_encoded_with(v, a, &em, m, Epilogue::None) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        prop_assert!(false, "{} {m}x{k}x{n}: fused errored: {e}", v.name());
+                        unreachable!()
+                    }
+                };
+                let dense =
+                    gemm_with(v, Layout::Nn, a, decoded.as_slice(), m, k, n, Epilogue::None);
+                if let Err(e) = bits_eq(&fused, want.as_slice()) {
+                    prop_assert!(false, "{} {m}x{k}x{n} vs reference: {e}", v.name());
+                }
+                if let Err(e) = bits_eq(&fused, &dense) {
+                    prop_assert!(false, "{} {m}x{k}x{n} vs decode-then-turbo: {e}", v.name());
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The fused bias / bias+ReLU epilogues match the dense engine and the
+/// seed-op composition over the decoded weights, bit-for-bit.
+#[test]
+fn fused_epilogues_bit_identical() {
+    check("fused_epilogues_bit_identical", fused_case, |case| {
+        if !case_valid(case) {
+            return Ok(());
+        }
+        let (m, k, n, ref a, ref b, ref bias) = *case;
+        let at = Tensor::from_vec(a.clone(), &[m, k]).unwrap();
+        let bt = Tensor::from_vec(b.clone(), &[k, n]).unwrap();
+        let em = EncodedMatrix::encode(&bt).expect("finite weights encode");
+        let decoded = em.decode().expect("self-encoded matrix decodes");
+        let plain = ops::matmul_reference(&at, &decoded).unwrap();
+        let want_bias = ops::add_bias(&plain, bias).unwrap();
+        let want_bias_relu = ops::relu(&want_bias);
+        for v in GemmVariant::available() {
+            let got = gemm_encoded_with(v, a, &em, m, Epilogue::Bias(bias))
+                .map_err(|e| e.to_string())?;
+            if let Err(e) = bits_eq(&got, want_bias.as_slice()) {
+                prop_assert!(false, "bias {} {m}x{k}x{n}: {e}", v.name());
+            }
+            let got = gemm_encoded_with(v, a, &em, m, Epilogue::BiasRelu(bias))
+                .map_err(|e| e.to_string())?;
+            if let Err(e) = bits_eq(&got, want_bias_relu.as_slice()) {
+                prop_assert!(false, "bias_relu {} {m}x{k}x{n}: {e}", v.name());
+            }
+        }
+        // The public encoded ops route through the same engine.
+        let got = ops::matmul_bias_encoded(&at, &em, bias).map_err(|e| e.to_string())?;
+        if let Err(e) = bits_eq(got.as_slice(), want_bias.as_slice()) {
+            prop_assert!(false, "ops::matmul_bias_encoded {m}x{k}x{n}: {e}");
+        }
+        let got = ops::matmul_bias_relu_encoded(&at, &em, bias).map_err(|e| e.to_string())?;
+        if let Err(e) = bits_eq(got.as_slice(), want_bias_relu.as_slice()) {
+            prop_assert!(false, "ops::matmul_bias_relu_encoded {m}x{k}x{n}: {e}");
+        }
+        Ok(())
+    });
+}
+
+/// `encode_transposed` + the fused walk equals transposing first and going
+/// through the plain encoded path — the encode-time blocked transpose is
+/// exact.
+#[test]
+fn fused_nt_matches_materialized_transpose() {
+    check("fused_nt_matches_materialized_transpose", fused_case, |case| {
+        if !case_valid(case) {
+            return Ok(());
+        }
+        let (m, k, n, ref a, ref b, _) = *case;
+        let at = Tensor::from_vec(a.clone(), &[m, k]).unwrap();
+        // B given as n x k, multiplied as A · Bᵀ.
+        let bnk = Tensor::from_vec(b.clone(), &[n, k]).unwrap();
+        let em_t = EncodedMatrix::encode_transposed(&bnk).map_err(|e| e.to_string())?;
+        let em = EncodedMatrix::encode(&ops::transpose(&bnk).unwrap()).map_err(|e| e.to_string())?;
+        let want = ops::matmul_encoded(&at, &em).map_err(|e| e.to_string())?;
+        let got = ops::matmul_nt_encoded(&at, &em_t).map_err(|e| e.to_string())?;
+        bits_eq(got.as_slice(), want.as_slice())
+            .map_err(|e| format!("nt {m}x{k}x{n}: {e}"))?;
+        Ok(())
+    });
+}
+
+/// Pinned adversarial edges, per variant: degenerate dims, ragged panel
+/// and depth-block tails, all-zero weights.
+#[test]
+fn adversarial_edges_bit_identical() {
+    let mut rng = Rng::seed_from_u64(0x0F05_EDC0);
+    let shapes: &[(usize, usize, usize, &str)] = &[
+        (1, 50, 33, "m=1"),
+        (7, 40, 1, "n=1"),
+        (1, 1, 1, "scalar"),
+        (5, KC, NR, "exact KC x NR"),
+        (5, KC + 1, NR + 1, "KC/NR +1 tails"),
+        (5, KC - 1, NR - 1, "KC/NR -1 tails"),
+        (9, 2 * KC + 7, 3 * NR + 5, "multi-block ragged"),
+        (3, 3, 2 * NR, "row tail only"),
+    ];
+    for &(m, k, n, label) in shapes {
+        let a: Vec<f32> = (0..m * k)
+            .map(|_| {
+                if rng.gen_f64() < 0.25 {
+                    0.0
+                } else {
+                    rng.gen_range_f32(-4.0, 4.0)
+                }
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range_f32(-2.0, 2.0)).collect();
+        assert_cross_engine(m, k, n, &a, &b, label);
+    }
+    // All-zero weights: every decoded panel row is zero, the zero-skip on
+    // A never fires for B's sake, and the output must be exactly zero.
+    assert_cross_engine(6, 37, 21, &vec![1.5; 6 * 37], &vec![0.0; 37 * 21], "all-zero B");
+    // All-zero A: the skip branch takes every iteration.
+    assert_cross_engine(6, 37, 21, &vec![0.0; 6 * 37], &vec![0.25; 37 * 21], "all-zero A");
+}
+
+/// `k = 0` runs one zero-depth block: accumulators stay zero, the
+/// epilogue still fires, and the empty panels still validate.
+#[test]
+fn k_zero_applies_epilogue() {
+    let em = EncodedMatrix::encode(&Tensor::zeros(&[0, 5])).unwrap();
+    let bias = [1.0f32, -2.0, 0.5, 4.0, -0.25];
+    for v in GemmVariant::available() {
+        let got = gemm_encoded_with(v, &[], &em, 3, Epilogue::Bias(&bias)).unwrap();
+        assert_eq!(got.len(), 15, "{}", v.name());
+        for (j, g) in got.iter().enumerate() {
+            assert_eq!(g.to_bits(), bias[j % 5].to_bits(), "{} col {j}", v.name());
+        }
+        let got = gemm_encoded_with(v, &[], &em, 3, Epilogue::BiasRelu(&bias)).unwrap();
+        for (j, g) in got.iter().enumerate() {
+            assert_eq!(g.to_bits(), bias[j % 5].max(0.0).to_bits(), "{}", v.name());
+        }
+    }
+}
+
+/// Denormal-heavy operands: a weight tensor whose dequantization step is
+/// itself subnormal, and an `A` full of subnormals. The fused path must
+/// reproduce the reference's subnormal arithmetic exactly — no
+/// flush-to-zero anywhere in the pipeline.
+#[test]
+fn denormal_heavy_operands_bit_identical() {
+    let mut rng = Rng::seed_from_u64(0xDE_0054);
+    let (m, k, n) = (5, KC + 9, 2 * NR + 3);
+    // Weight magnitudes around 1e-38: alpha/255 lands deep in the
+    // subnormal range, so every decoded value is subnormal.
+    let b: Vec<f32> = (0..k * n)
+        .map(|_| rng.gen_range_f32(-1.0, 1.0) * 1e-38)
+        .collect();
+    let a: Vec<f32> = (0..m * k)
+        .map(|_| {
+            if rng.gen_f64() < 0.25 {
+                0.0
+            } else {
+                rng.gen_range_f32(-4.0, 4.0)
+            }
+        })
+        .collect();
+    assert_cross_engine(m, k, n, &a, &b, "subnormal B");
+    // Subnormal A against ordinary weights.
+    let a_sub: Vec<f32> = (0..m * k)
+        .map(|_| rng.gen_range_f32(-1.0, 1.0) * f32::MIN_POSITIVE * 0.5)
+        .collect();
+    let b_ord: Vec<f32> = (0..k * n).map(|_| rng.gen_range_f32(-2.0, 2.0)).collect();
+    assert_cross_engine(m, k, n, &a_sub, &b_ord, "subnormal A");
+}

@@ -32,6 +32,32 @@ grep -Eq '"gflops": *[0-9]' BENCH_gemm.json || {
     exit 1
 }
 
+echo "==> cross-engine differential suite (fused vs decode-then vs reference)"
+cargo test -q --offline -p spark-tensor --test fused_properties
+
+echo "==> decode-fused GEMM bench -> BENCH_fused.json"
+# Full timing windows: fused_over_decode_then and weight_bytes_ratio are
+# gates (fused must keep >=0.8x of decode-then-GEMM throughput while the
+# resident weights shrink >=1.8x, i.e. ratio <= 0.55).
+SPARK_BENCH_JSON="$PWD/BENCH_fused.json" \
+    cargo bench --offline -p spark-bench --bench fused
+grep -Eq '"fused_gflops": *[0-9]' BENCH_fused.json || {
+    echo "BENCH_fused.json missing a numeric fused_gflops" >&2
+    exit 1
+}
+awk '/"weight_bytes_ratio"/ {
+    gsub(/[",]/, ""); if ($2 + 0 > 0.55) { exit 1 } else { found = 1 }
+} END { exit found ? 0 : 1 }' BENCH_fused.json || {
+    echo "BENCH_fused.json: resident encoded weights are not <=0.55x of dense f32" >&2
+    exit 1
+}
+awk '/"fused_over_decode_then"/ {
+    gsub(/[",]/, ""); if ($2 + 0 < 0.8) { exit 1 } else { found = 1 }
+} END { exit found ? 0 : 1 }' BENCH_fused.json || {
+    echo "BENCH_fused.json: fused GEMM is not >=0.8x of decode-then-GEMM" >&2
+    exit 1
+}
+
 echo "==> serve smoke (boots an ephemeral server, hits every endpoint)"
 cargo run --release --offline -p spark-cli --bin spark -- serve --smoke
 
