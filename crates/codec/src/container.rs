@@ -20,13 +20,16 @@ use std::io::{self, Read, Write};
 
 use crate::stats::CodeStats;
 use crate::stream::{EncodedTensor, NibbleStream};
-use crate::{decode_stream, DecodeError};
+use crate::DecodeError;
 
 /// File magic: "SPRK".
 pub const MAGIC: [u8; 4] = *b"SPRK";
 /// Container format version. Version 2 added the payload checksum; version
 /// 1 files (no checksum) are no longer accepted.
 pub const VERSION: u32 = 2;
+/// Serialized header size in bytes: magic, version, element count, nibble
+/// count, payload checksum. The payload starts at this offset.
+pub const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
 
 /// FNV-1a 64-bit checksum over the packed code-stream bytes — the payload
 /// integrity check of the version-2 container header. Not cryptographic;
@@ -99,13 +102,19 @@ impl From<DecodeError> for ContainerError {
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_container<W: Write>(tensor: &EncodedTensor, mut out: W) -> Result<usize, io::Error> {
-    out.write_all(&MAGIC)?;
-    out.write_all(&VERSION.to_le_bytes())?;
-    out.write_all(&(tensor.elements as u64).to_le_bytes())?;
-    out.write_all(&(tensor.stream.len() as u64).to_le_bytes())?;
-    out.write_all(&stream_checksum(tensor.stream.as_bytes()).to_le_bytes())?;
-    out.write_all(tensor.stream.as_bytes())?;
-    Ok(4 + 4 + 8 + 8 + 8 + tensor.stream.as_bytes().len())
+    // The header is serialized into a fixed buffer first so the returned
+    // byte count is derived from what was actually written — it cannot
+    // drift from the format if a field is ever added or resized.
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    header[8..16].copy_from_slice(&(tensor.elements as u64).to_le_bytes());
+    header[16..24].copy_from_slice(&(tensor.stream.len() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&stream_checksum(tensor.stream.as_bytes()).to_le_bytes());
+    let payload = tensor.stream.as_bytes();
+    out.write_all(&header)?;
+    out.write_all(payload)?;
+    Ok(header.len() + payload.len())
 }
 
 /// Reads an encoded tensor back from a reader, re-deriving the statistics
@@ -171,24 +180,27 @@ pub fn read_container<R: Read>(mut input: R) -> Result<EncodedTensor, ContainerE
         ));
     }
 
-    let mut stream = NibbleStream::with_capacity(nibbles);
-    for i in 0..nibbles {
-        let b = bytes[i / 2];
-        stream.push(if i % 2 == 0 { b >> 4 } else { b & 0x0F });
-    }
     if nibbles % 2 == 1 && bytes[nibbles / 2] & 0x0F != 0 {
         return Err(ContainerError::Corrupt(
             "final padding nibble is not zero".into(),
         ));
     }
-    // Validate and re-derive statistics by decoding.
-    let decoded = decode_stream(&stream)?;
-    if decoded.len() != elements {
+    // The validated payload is adopted wholesale — no per-nibble re-push.
+    let stream = NibbleStream::from_parts(bytes, nibbles).ok_or_else(|| {
+        ContainerError::Corrupt("payload shape disagrees with the nibble count".into())
+    })?;
+    // Boundary-resolution pass: the exact value count comes out of the
+    // identifier bits alone, so the header's element count is verified
+    // *before* the output allocation it then sizes.
+    let variant = crate::bulk::DecodeVariant::detect();
+    let resolved = crate::bulk::resolve_len_with(variant, stream.as_bytes(), stream.len())?;
+    if resolved != elements {
         return Err(ContainerError::Corrupt(format!(
-            "header says {elements} elements, stream holds {}",
-            decoded.len()
+            "header says {elements} elements, stream holds {resolved}"
         )));
     }
+    let mut decoded = Vec::with_capacity(elements);
+    crate::bulk::decode_payload_into(variant, stream.as_bytes(), stream.len(), &mut decoded);
     let mut stats = CodeStats::new();
     for &v in &decoded {
         // Decoded values are fixed points, so re-encoding them recovers the
@@ -212,6 +224,19 @@ mod tests {
             .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
             .collect();
         encode_tensor(&values)
+    }
+
+    #[test]
+    fn written_byte_count_equals_serialized_length() {
+        // The return value is derived from the buffers actually written:
+        // header + payload, for every payload parity including empty.
+        for values in [&[][..], &[3u8][..], &[200u8][..], &[1u8, 200, 3][..]] {
+            let enc = encode_tensor(values);
+            let mut buf = Vec::new();
+            let written = write_container(&enc, &mut buf).unwrap();
+            assert_eq!(written, buf.len(), "values {values:?}");
+            assert_eq!(written, HEADER_LEN + enc.stream.byte_len(), "values {values:?}");
+        }
     }
 
     #[test]

@@ -152,8 +152,10 @@ impl SparkDecoder {
 /// Combines a long code's two nibbles into the decoded byte (Eq 3).
 ///
 /// `prev` is the identifier nibble `1 b1 b2 c3`; `c3` selects whether the
-/// identifier participates in the value.
-fn decode_pair(prev: u8, post: u8) -> u8 {
+/// identifier participates in the value. `const` so the bulk decoder
+/// ([`crate::bulk`]) can bake all 256 `(prev, post)` combinations into a
+/// compile-time table that is bit-identical to this FSM by construction.
+pub(crate) const fn decode_pair(prev: u8, post: u8) -> u8 {
     let c3 = prev & 1;
     let high = ((prev >> 2) & 1) << 6 | ((prev >> 1) & 1) << 5;
     if c3 == 0 {

@@ -27,6 +27,9 @@
 //! - [`encoder`] — the gate-level encoder of Fig 10 ([`SparkEncoder`]);
 //! - [`decoder`] — the streaming enable-signal decoder of Fig 5/7
 //!   ([`SparkDecoder`]);
+//! - [`bulk`] — the bit-parallel block decoder (boundary-resolution
+//!   prefix scan + table decode, runtime SIMD dispatch) that
+//!   [`decode_stream`] runs on, with the FSM kept as reference;
 //! - [`stream`] — nibble-aligned packing of whole tensors;
 //! - [`compensation`] — the accuracy compensation mechanism toggle and
 //!   tensor-level bias correction;
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod bulk;
 pub mod code;
 pub mod codecheck;
 pub mod compensation;
@@ -65,16 +69,17 @@ pub mod stream;
 pub mod table;
 
 pub use analysis::{analyze, CodeAnalysis};
+pub use bulk::{decode_bulk, decode_bulk_with, decode_payload, decode_payload_with, DecodeVariant};
 pub use code::{decode_value, encode_value, CodeKind, SparkCode, MAX_ENCODING_ERROR};
 pub use codecheck::FormatError;
 pub use general::{GeneralCode, SparkFormat};
 pub use general_stream::{decode_general, encode_general, BeatStream, GeneralDecoder};
 pub use compensation::{bias_correction, EncodeMode};
-pub use container::{read_container, stream_checksum, write_container, ContainerError};
+pub use container::{read_container, stream_checksum, write_container, ContainerError, HEADER_LEN};
 pub use decoder::{DecodeError, SparkDecoder};
 pub use encoder::SparkEncoder;
 pub use stats::CodeStats;
 pub use stream::{
-    decode_stream, encode_batch, encode_batch_with, encode_tensor, encode_tensor_with,
-    EncodePlan, EncodedTensor, NibbleStream,
+    decode_batch, decode_stream, decode_stream_reference, encode_batch, encode_batch_with,
+    encode_tensor, encode_tensor_with, EncodePlan, EncodedTensor, NibbleStream,
 };

@@ -84,8 +84,38 @@ impl NibbleStream {
     }
 
     /// Iterates the nibbles in order.
+    ///
+    /// Walks the packed bytes directly — two nibbles per byte, high half
+    /// first — rather than routing every position through [`get`]'s
+    /// bounds check and div/mod. The `take` trims the zero padding nibble
+    /// when `len` is odd.
+    ///
+    /// [`get`]: NibbleStream::get
     pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
-        (0..self.len).map(move |i| self.get(i).expect("in range"))
+        self.bytes
+            .iter()
+            .flat_map(|&b| [b >> 4, b & 0x0F])
+            .take(self.len)
+    }
+
+    /// Reassembles a stream from its packed parts (the inverse of
+    /// [`as_bytes`](NibbleStream::as_bytes) + [`len`](NibbleStream::len)).
+    /// The container reader uses this to adopt a validated payload in one
+    /// move instead of re-pushing every nibble.
+    ///
+    /// Returns `None` when `bytes` is not exactly `nibbles.div_ceil(2)`
+    /// long or a padding nibble is non-zero.
+    pub fn from_parts(bytes: Vec<u8>, nibbles: usize) -> Option<Self> {
+        if bytes.len() != nibbles.div_ceil(2) {
+            return None;
+        }
+        if nibbles % 2 == 1 {
+            let last = bytes.last().copied().unwrap_or(0);
+            if last & 0x0F != 0 {
+                return None;
+            }
+        }
+        Some(Self { bytes, len: nibbles })
     }
 }
 
@@ -282,13 +312,30 @@ pub fn encode_batch_with(tensors: &[&[u8]], mode: EncodeMode) -> Vec<EncodedTens
 
 /// Decodes a packed nibble stream back to code words.
 ///
+/// Dispatches to the bit-parallel bulk engine ([`crate::bulk`]) under the
+/// host's best kernel: a boundary-resolution pass sizes the output
+/// exactly, then whole 64-nibble blocks decode through the compile-time
+/// pair table. Bit-identical to [`decode_stream_reference`] (pinned by the
+/// exhaustive differential suite in `tests/bulk_differential.rs`).
+///
 /// # Errors
 ///
 /// Returns [`DecodeError::TruncatedLongCode`] when the stream ends half-way
 /// through a long code.
 pub fn decode_stream(stream: &NibbleStream) -> Result<Vec<u8>, DecodeError> {
+    crate::bulk::decode_bulk(stream)
+}
+
+/// Decodes through the streaming Fig 7 FSM, one beat per step — the
+/// bit-identity reference the bulk engine is tested against.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::TruncatedLongCode`] when the stream ends half-way
+/// through a long code.
+pub fn decode_stream_reference(stream: &NibbleStream) -> Result<Vec<u8>, DecodeError> {
     let mut dec = SparkDecoder::new();
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(stream.len());
     for nib in stream.iter() {
         if let Some(v) = dec.push_nibble(nib)? {
             out.push(v);
@@ -296,6 +343,15 @@ pub fn decode_stream(stream: &NibbleStream) -> Result<Vec<u8>, DecodeError> {
     }
     dec.finish()?;
     Ok(out)
+}
+
+/// Decodes a batch of streams in one call — the arity the serving
+/// layer's decode micro-batcher feeds. Streams fan out over
+/// [`spark_util::par_map`] (a no-op split on one core) and results come
+/// back in input order, each identical to a [`decode_stream`] call.
+pub fn decode_batch(streams: &[&NibbleStream]) -> Vec<Result<Vec<u8>, DecodeError>> {
+    let variant = crate::bulk::DecodeVariant::detect();
+    spark_util::par_map(streams, |s| crate::bulk::decode_bulk_with(variant, s))
 }
 
 /// Encodes values and immediately decodes them — the reconstruction the
@@ -335,6 +391,32 @@ mod tests {
         s.push(0xF);
         assert_eq!(s.as_bytes(), &[0xF0]);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_matches_indexed_path_for_both_parities() {
+        // The bytewise iterator must agree with the bounds-checked `get`
+        // path nibble-for-nibble, for even lengths (no padding) and odd
+        // lengths (zero-padded final byte that `take` must trim).
+        for len in [0usize, 1, 2, 3, 7, 8, 63, 64, 65, 128, 129] {
+            let s: NibbleStream = (0..len).map(|i| (i * 11 % 16) as u8).collect();
+            let by_iter: Vec<u8> = s.iter().collect();
+            let by_get: Vec<u8> = (0..s.len()).map(|i| s.get(i).expect("in range")).collect();
+            assert_eq!(by_iter, by_get, "len {len}");
+            assert_eq!(by_iter.len(), len);
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_bad_shapes() {
+        let s: NibbleStream = (0..9u8).collect();
+        let back = NibbleStream::from_parts(s.as_bytes().to_vec(), s.len()).unwrap();
+        assert_eq!(back, s);
+        // Wrong byte count for the nibble count.
+        assert!(NibbleStream::from_parts(vec![0x12], 3).is_none());
+        // Non-zero padding nibble on an odd length.
+        assert!(NibbleStream::from_parts(vec![0x12, 0x34], 3).is_none());
+        assert!(NibbleStream::from_parts(vec![0x12, 0x30], 3).is_some());
     }
 
     #[test]
@@ -382,6 +464,53 @@ mod tests {
         let enc = encode_tensor(&values);
         assert_eq!(enc.stream.len() as u64, enc.stats.nibble_count());
         assert_eq!(enc.stream.bytes.capacity(), enc.stream.byte_len());
+    }
+
+    #[test]
+    fn decode_presizes_output_exactly() {
+        // Mirror of `encode_presizes_stream_exactly` for the decode
+        // direction: the boundary pass predicts the value count exactly,
+        // so the output vector never reallocates past its initial
+        // capacity.
+        let values: Vec<u8> = (0..513).map(|i| (i * 31 % 256) as u8).collect();
+        let enc = encode_tensor(&values);
+        let dec = decode_stream(&enc.stream).unwrap();
+        assert_eq!(dec.len(), values.len());
+        assert_eq!(dec.capacity(), dec.len());
+    }
+
+    #[test]
+    fn decode_batch_matches_per_call_in_order() {
+        let tensors: Vec<Vec<u8>> = vec![
+            (0u16..=255).map(|v| v as u8).collect(),
+            vec![5u8; 31],
+            vec![],
+            vec![250u8, 1, 250, 1],
+        ];
+        let encoded: Vec<EncodedTensor> =
+            tensors.iter().map(|t| encode_tensor(t)).collect();
+        let streams: Vec<&NibbleStream> = encoded.iter().map(|e| &e.stream).collect();
+        let batch = decode_batch(&streams);
+        assert_eq!(batch.len(), streams.len());
+        for (got, enc) in batch.iter().zip(&encoded) {
+            assert_eq!(got.as_ref().unwrap(), &decode_stream(&enc.stream).unwrap());
+        }
+        // Errors stay per-stream: a truncated member fails alone.
+        let mut bad = NibbleStream::new();
+        bad.push(0b1000);
+        let mixed = decode_batch(&[&encoded[0].stream, &bad]);
+        assert!(mixed[0].is_ok());
+        assert_eq!(mixed[1], Err(DecodeError::TruncatedLongCode));
+    }
+
+    #[test]
+    fn bulk_and_reference_decoders_agree() {
+        let values: Vec<u8> = (0..2048).map(|i| (i * 37 % 256) as u8).collect();
+        let enc = encode_tensor(&values);
+        assert_eq!(
+            decode_stream(&enc.stream).unwrap(),
+            decode_stream_reference(&enc.stream).unwrap()
+        );
     }
 
     #[test]

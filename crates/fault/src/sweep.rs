@@ -26,8 +26,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use spark_codec::{
-    decode_general, decode_stream, encode_general, encode_tensor, read_container,
-    write_container, ContainerError, DecodeError, SparkFormat, MAX_ENCODING_ERROR,
+    decode_bulk_with, decode_general, decode_stream, decode_stream_reference, encode_general,
+    encode_tensor, read_container, write_container, ContainerError, DecodeError, DecodeVariant,
+    SparkFormat, MAX_ENCODING_ERROR,
 };
 use spark_util::json::Value;
 use spark_util::Rng;
@@ -87,6 +88,11 @@ pub struct SweepReport {
     pub ok_length_changed: u64,
     /// Largest per-value magnitude error seen across all silent decodes.
     pub max_value_error: u64,
+    /// Nibble plane: corrupted streams where any bulk dispatch variant
+    /// disagreed with the reference FSM (different values *or* a
+    /// different typed error). Must be zero: corruption may change what a
+    /// stream decodes to, but never which decoder you asked.
+    pub bulk_divergence: u64,
     /// Beat plane (generalized formats): typed errors.
     beat_errors: ErrorCounts,
     /// Beat plane: silent decodes (any shape).
@@ -122,6 +128,7 @@ impl SweepReport {
                     ("ok_beyond_cm_bound", Value::Num(self.ok_beyond_cm_bound as f64)),
                     ("ok_length_changed", Value::Num(self.ok_length_changed as f64)),
                     ("max_value_error", Value::Num(self.max_value_error as f64)),
+                    ("bulk_divergence", Value::Num(self.bulk_divergence as f64)),
                     ("cm_bound", Value::Num(f64::from(MAX_ENCODING_ERROR))),
                 ]),
             ),
@@ -211,6 +218,28 @@ pub fn sweep_codec(seed: u64, streams: usize) -> SweepReport {
                         report.ok_within_cm_bound += 1;
                     } else {
                         report.ok_beyond_cm_bound += 1;
+                    }
+                }
+            }
+        }
+
+        // Bulk-vs-FSM differential on the *corrupted* stream: every
+        // dispatch variant must agree with the reference FSM exactly —
+        // the same values or the same typed error — and never unwind.
+        // Corruption changes what a stream means, never which decode
+        // engine observed it.
+        match catch_unwind(AssertUnwindSafe(|| decode_stream_reference(&corrupted))) {
+            Err(_) => report.panics += 1,
+            Ok(want) => {
+                for variant in DecodeVariant::all() {
+                    match catch_unwind(AssertUnwindSafe(|| decode_bulk_with(variant, &corrupted)))
+                    {
+                        Err(_) => report.panics += 1,
+                        Ok(got) => {
+                            if got != want {
+                                report.bulk_divergence += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -324,6 +353,19 @@ mod tests {
         // a bare stream); the sweep must observe and quantify that.
         assert!(r.ok_within_cm_bound + r.ok_beyond_cm_bound > 0, "{r:?}");
         assert!(r.nibble_error_total() > 0, "{r:?}");
+    }
+
+    #[test]
+    fn bulk_engine_never_diverges_from_fsm_on_corruption() {
+        let r = sweep_codec(33, 2000);
+        assert_eq!(r.panics, 0, "{r:?}");
+        assert_eq!(
+            r.bulk_divergence, 0,
+            "a bulk variant disagreed with the FSM on a corrupted stream: {r:?}"
+        );
+        // The field is wired into the JSON report the chaos CLI prints.
+        let json = r.to_json().to_string_compact();
+        assert!(json.contains("\"bulk_divergence\":0"), "{json}");
     }
 
     #[test]

@@ -85,8 +85,21 @@ pub fn encode_response(encoded: &EncodedTensor, scale: f32) -> Value {
     ])
 }
 
+/// Serializes decoded code words as the `/v1/decode` response body — the
+/// post-decode half of the decode pipeline, shared by the batched server
+/// path and the direct [`decode_response`].
+pub fn decode_codes_response(codes: &[u8]) -> Value {
+    Value::object([
+        ("elements", Value::Num(codes.len() as f64)),
+        ("codes", codes.to_json()),
+    ])
+}
+
 /// Decodes a hex-dumped stream back to code words — the `/v1/decode`
-/// response body.
+/// response body. The server splits this along the batching seam (hex
+/// parsing per-request, stream decode batched through
+/// [`spark_codec::decode_batch`]); this single-call form serves the CLI
+/// and produces byte-identical bodies.
 ///
 /// # Errors
 ///
@@ -95,10 +108,7 @@ pub fn encode_response(encoded: &EncodedTensor, scale: f32) -> Value {
 pub fn decode_response(stream_hex: &str) -> Result<Value, String> {
     let stream = stream_from_hex(stream_hex)?;
     let codes = decode_stream(&stream).map_err(|e| e.to_string())?;
-    Ok(Value::object([
-        ("elements", Value::Num(codes.len() as f64)),
-        ("codes", codes.to_json()),
-    ]))
+    Ok(decode_codes_response(&codes))
 }
 
 /// Runs the full `spark analyze` pipeline and serializes it — shared by

@@ -8,7 +8,8 @@
 //! acceptor ──try_send──▶ bounded conn queue ──recv──▶ workers (N)
 //!     │ full → writes 503 itself                        │
 //!     ▼                                                 ├─▶ encode batcher ─▶ encode_batch (LUT plan)
-//!  503 + metrics                                        └─▶ sim batcher    ─▶ run_batch
+//!  503 + metrics                                        ├─▶ decode batcher ─▶ decode_batch (bulk engine)
+//!                                                       └─▶ sim batcher    ─▶ run_batch
 //! ```
 //!
 //! Backpressure is explicit: the conn queue is bounded and the acceptor
@@ -31,7 +32,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use spark_codec::encode_batch;
+use spark_codec::{decode_batch, encode_batch, NibbleStream};
 use spark_sim::{run_batch, SimConfig, WorkloadReport};
 use spark_util::json::Value;
 
@@ -93,6 +94,7 @@ struct Ctx {
     deadline: Duration,
     chaos: bool,
     encode_batcher: Batcher<(Vec<u8>, f32), Value>,
+    decode_batcher: Batcher<NibbleStream, Result<Value, String>>,
     sim_batcher: Batcher<SimJob, Value>,
     /// The `/v1/infer` model, weights resident as SPARK nibble streams.
     /// A mutex (not a batcher) because one fused forward pass is cheap
@@ -120,6 +122,7 @@ pub struct Server {
     workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
     supervisor: JoinHandle<()>,
     encode_batcher: Batcher<(Vec<u8>, f32), Value>,
+    decode_batcher: Batcher<NibbleStream, Result<Value, String>>,
     sim_batcher: Batcher<SimJob, Value>,
 }
 
@@ -155,6 +158,26 @@ impl Server {
                 },
             )?
         };
+        let decode_batcher = {
+            let metrics = Arc::clone(&metrics);
+            Batcher::spawn(
+                "decode",
+                config.batch_window,
+                config.max_batch,
+                config.queue_depth.max(config.max_batch),
+                move |jobs: Vec<NibbleStream>| {
+                    metrics.record_batch(jobs.len() as u64);
+                    let refs: Vec<&NibbleStream> = jobs.iter().collect();
+                    decode_batch(&refs)
+                        .into_iter()
+                        .map(|r| {
+                            r.map(|codes| api::decode_codes_response(&codes))
+                                .map_err(|e| e.to_string())
+                        })
+                        .collect()
+                },
+            )?
+        };
         let sim_batcher = {
             let metrics = Arc::clone(&metrics);
             Batcher::spawn(
@@ -186,6 +209,7 @@ impl Server {
             deadline: config.request_deadline,
             chaos: config.chaos_endpoints,
             encode_batcher: encode_batcher.clone(),
+            decode_batcher: decode_batcher.clone(),
             sim_batcher: sim_batcher.clone(),
             infer: Mutex::new(infer),
         });
@@ -281,6 +305,7 @@ impl Server {
             workers,
             supervisor,
             encode_batcher,
+            decode_batcher,
             sim_batcher,
         })
     }
@@ -306,7 +331,16 @@ impl Server {
     /// [`Server::shutdown`] or `POST /shutdown`) and every accepted
     /// request has been answered.
     pub fn join(self) {
-        let Server { ctx, acceptor, workers, supervisor, encode_batcher, sim_batcher, .. } = self;
+        let Server {
+            ctx,
+            acceptor,
+            workers,
+            supervisor,
+            encode_batcher,
+            decode_batcher,
+            sim_batcher,
+            ..
+        } = self;
         acceptor.join().ok();
         // The acceptor only exits with the shutdown flag set, so the
         // supervisor's next poll tick sees it and returns (releasing its
@@ -320,6 +354,7 @@ impl Server {
         // are the last senders keeping the batcher channels open.
         drop(ctx);
         encode_batcher.join();
+        decode_batcher.join();
         sim_batcher.join();
     }
 }
@@ -454,10 +489,7 @@ fn route<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
             Err(msg) => bad_request(&m.analyze, &msg),
         },
         ("POST", "/v1/decode") => match decode_input(req) {
-            Ok(hex) => match api::decode_response(&hex) {
-                Ok(body) => ok(&m.decode, body),
-                Err(msg) => bad_request(&m.decode, &msg),
-            },
+            Ok(hex) => decode_endpoint(ctx, &hex),
             Err(msg) => bad_request(&m.decode, &msg),
         },
         ("POST", "/v1/simulate") => simulate_endpoint(ctx, req),
@@ -536,6 +568,28 @@ fn encode_endpoint<'a>(ctx: &'a Ctx, values: &[f32]) -> Routed<'a> {
     };
     match slot.wait_timeout(SLOT_TIMEOUT) {
         Some(body) => ok(stats, body),
+        None => batcher_gone(stats),
+    }
+}
+
+/// `/v1/decode` split along the batching seam like encode: hex parsing
+/// happens per-request (cheap, per-connection), the stream decode itself
+/// is coalesced through the decode batcher into one
+/// [`spark_codec::decode_batch`] call over the bulk engine. A malformed
+/// stream (truncated long code) comes back as this request's own 400
+/// without affecting batchmates.
+fn decode_endpoint<'a>(ctx: &'a Ctx, hex: &str) -> Routed<'a> {
+    let stats = &ctx.metrics.decode;
+    let stream = match api::stream_from_hex(hex) {
+        Ok(s) => s,
+        Err(msg) => return bad_request(stats, &msg),
+    };
+    let Some(slot) = ctx.decode_batcher.submit(stream) else {
+        return batcher_gone(stats);
+    };
+    match slot.wait_timeout(SLOT_TIMEOUT) {
+        Some(Ok(body)) => ok(stats, body),
+        Some(Err(msg)) => bad_request(stats, &msg),
         None => batcher_gone(stats),
     }
 }

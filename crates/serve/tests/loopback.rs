@@ -146,6 +146,72 @@ fn decode_round_trip_matches_library_decode() {
 }
 
 #[test]
+fn concurrent_decodes_batch_and_stay_bit_identical() {
+    // Decode rides the micro-batcher like encode: concurrent requests
+    // coalesce into decode_batch calls, each response byte-identical to
+    // the direct library pipeline, and a malformed stream in the mix
+    // fails alone with its own 400.
+    let server = start(4, 64);
+    let addr = server.addr().to_string();
+
+    const CLIENTS: usize = 6;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let values = payload(c * 11 + 1, 900 + c * 53);
+                let codes = api::quantize_codes(&values).unwrap();
+                let encoded = encode_tensor(&codes.codes);
+                let hex = api::stream_to_hex(&encoded.stream);
+                let (status, body) = client_request(
+                    &addr,
+                    "POST",
+                    "/v1/decode",
+                    "application/json",
+                    format!("{{\"stream_hex\": \"{hex}\"}}").as_bytes(),
+                )
+                .unwrap();
+                assert_eq!(status, 200);
+                assert_eq!(
+                    String::from_utf8(body).unwrap(),
+                    api::decode_response(&hex).unwrap().to_string_compact(),
+                    "client {c}: batched decode diverged from library"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // A truncated long code (lone prev nibble "8") is this request's own
+    // 400, reported through the batch path with the typed error message.
+    let (status, body) = client_request(
+        &addr,
+        "POST",
+        "/v1/decode",
+        "application/json",
+        b"{\"stream_hex\": \"8\"}",
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(String::from_utf8(body).unwrap().contains("long code"));
+
+    // Accounting: all decode requests counted, exactly one error.
+    let (status, body) = client_request(&addr, "GET", "/metrics", "", b"").unwrap();
+    assert_eq!(status, 200);
+    let m = parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let decode = m.get("endpoints").unwrap().get("decode").unwrap();
+    assert_eq!(decode.get("hits").unwrap().as_f64(), Some((CLIENTS + 1) as f64));
+    assert_eq!(decode.get("errors").unwrap().as_f64(), Some(1.0));
+    let batches = m.get("batching").unwrap().get("batches").unwrap().as_f64().unwrap();
+    assert!(batches >= 1.0, "decode requests never hit the batcher");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn analyze_and_simulate_match_shared_serializers() {
     let server = start(2, 16);
     let addr = server.addr().to_string();

@@ -41,12 +41,8 @@
 use crate::gemm::NR;
 use crate::{stats, ShapeError, Tensor};
 use spark_codec::{
-    stream_checksum, ContainerError, DecodeError, EncodePlan, EncodeMode, SparkDecoder,
+    stream_checksum, ContainerError, DecodeError, EncodePlan, EncodeMode, HEADER_LEN,
 };
-
-/// Container header length in bytes (magic + version + elements + nibbles
-/// + checksum), mirroring `spark_codec::write_container`.
-const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
 
 /// Errors from encoding, decoding, or running GEMM over an
 /// [`EncodedMatrix`].
@@ -372,19 +368,21 @@ impl EncodedMatrix {
     }
 }
 
-/// Streaming decoder over one panel's container bytes: validates the
-/// header eagerly (including the FNV-1a checksum, so a corrupted payload
-/// is rejected *before* any value reaches an accumulator), then decodes
-/// depth-blocks of dequantized values on demand for the fused packer.
+/// Decoder over one panel's container bytes: validates the header eagerly
+/// (including the FNV-1a checksum, so a corrupted payload is rejected
+/// *before* any value reaches an accumulator), bulk-decodes the whole code
+/// stream through the bit-parallel engine ([`spark_codec::bulk`]), then
+/// serves depth-blocks of dequantized values to the fused packer as pure
+/// table reads. The upfront code buffer is one byte per element — for a
+/// `KC x NR` panel group a few KiB, dwarfed by the `f32` panel buffers the
+/// GEMM already holds — and it removes the per-nibble FSM step from the
+/// KC-loop entirely.
 pub(crate) struct PanelDecoder<'a> {
-    payload: &'a [u8],
     signs: &'a [u8],
-    nibbles: usize,
+    codes: Vec<u8>,
     elements: usize,
     step: f32,
-    nib: usize,
     emitted: usize,
-    fsm: SparkDecoder,
 }
 
 impl<'a> PanelDecoder<'a> {
@@ -461,55 +459,34 @@ impl<'a> PanelDecoder<'a> {
                 expected.div_ceil(8)
             ))));
         }
+        // Bulk-decode the whole panel now. A checksum-valid stream always
+        // holds every promised value, but raw-parts callers can forge a
+        // consistent header over a mismatched stream; the boundary pass
+        // exposes the real count (or a truncated long code) before any
+        // output is allocated, so the guards stay typed.
+        let variant = spark_codec::DecodeVariant::detect();
+        let resolved = spark_codec::bulk::resolve_len_with(variant, payload, nibbles)?;
+        if resolved < elements {
+            return Err(ContainerError::Corrupt(format!(
+                "stream exhausted after {resolved} of {elements} elements"
+            ))
+            .into());
+        }
+        if resolved > elements {
+            return Err(ContainerError::Corrupt(format!(
+                "stream holds more than the promised {elements} elements"
+            ))
+            .into());
+        }
+        let mut codes = Vec::with_capacity(elements);
+        spark_codec::bulk::decode_payload_into(variant, payload, nibbles, &mut codes);
         Ok(Self {
-            payload,
             signs,
-            nibbles,
+            codes,
             elements,
             step,
-            nib: 0,
             emitted: 0,
-            fsm: SparkDecoder::new(),
         })
-    }
-
-    /// Decodes the next value through the streaming FSM (the exact
-    /// decoder `decode_stream` runs) and dequantizes it.
-    fn next_value(&mut self) -> Result<f32, EncodedError> {
-        loop {
-            if self.nib == self.nibbles {
-                // A checksum-valid stream always holds every promised
-                // value, but raw-parts callers can forge a consistent
-                // header over a short stream; keep the guard typed.
-                return Err(if self.fsm.enable() {
-                    DecodeError::TruncatedLongCode.into()
-                } else {
-                    ContainerError::Corrupt(format!(
-                        "stream exhausted after {} of {} elements",
-                        self.emitted, self.elements
-                    ))
-                    .into()
-                });
-            }
-            let byte = self.payload[self.nib >> 1];
-            let nibble = if self.nib & 1 == 0 { byte >> 4 } else { byte & 0x0F };
-            self.nib += 1;
-            if let Some(code) = self.fsm.push_nibble(nibble)? {
-                if self.emitted == self.elements {
-                    return Err(ContainerError::Corrupt(format!(
-                        "stream holds more than the promised {} elements",
-                        self.elements
-                    ))
-                    .into());
-                }
-                let e = self.emitted;
-                self.emitted += 1;
-                // Bit-for-bit the MagnitudeCodes::dequantize expression.
-                let mag = code as f32 * self.step;
-                let neg = self.signs[e >> 3] >> (e & 7) & 1 == 1;
-                return Ok(if neg { -mag } else { mag });
-            }
-        }
     }
 
     /// Decodes the next `rows` depth-rows of a `w`-wide panel into `dst`,
@@ -518,8 +495,8 @@ impl<'a> PanelDecoder<'a> {
     ///
     /// # Errors
     ///
-    /// Typed [`EncodedError`] when the stream ends early, a long code is
-    /// truncated, or the stream over-runs its element count.
+    /// [`EncodedError::Container`] when the caller asks for more elements
+    /// than the panel holds (a packer-layout bug, kept typed).
     pub(crate) fn decode_rows(
         &mut self,
         dst: &mut [f32],
@@ -527,25 +504,39 @@ impl<'a> PanelDecoder<'a> {
         w: usize,
     ) -> Result<(), EncodedError> {
         debug_assert!(dst.len() >= rows * NR || rows == 0);
+        if rows * w > self.elements - self.emitted {
+            return Err(ContainerError::Corrupt(format!(
+                "stream holds more than the promised {} elements",
+                self.elements
+            ))
+            .into());
+        }
         for r in 0..rows {
-            for l in 0..w {
-                dst[r * NR + l] = self.next_value()?;
+            let e0 = self.emitted + r * w;
+            let (row, codes) = (&mut dst[r * NR..r * NR + w], &self.codes[e0..e0 + w]);
+            for (l, (slot, &code)) in row.iter_mut().zip(codes).enumerate() {
+                let e = e0 + l;
+                // Bit-for-bit the MagnitudeCodes::dequantize expression.
+                let mag = code as f32 * self.step;
+                let neg = self.signs[e >> 3] >> (e & 7) & 1 == 1;
+                *slot = if neg { -mag } else { mag };
             }
         }
+        self.emitted += rows * w;
         Ok(())
     }
 
-    /// Asserts the stream is fully consumed: every promised element
-    /// emitted and every nibble read (a trailing pad nibble is allowed).
+    /// Asserts the panel is fully consumed: every promised element served
+    /// to the packer.
     ///
     /// # Errors
     ///
-    /// [`EncodedError::Container`] when elements or nibbles remain.
+    /// [`EncodedError::Container`] when elements remain.
     pub(crate) fn finish(&self) -> Result<(), EncodedError> {
-        if self.emitted != self.elements || self.nib != self.nibbles {
+        if self.emitted != self.elements {
             return Err(ContainerError::Corrupt(format!(
-                "panel not fully consumed: {}/{} elements, {}/{} nibbles",
-                self.emitted, self.elements, self.nib, self.nibbles
+                "panel not fully consumed: {}/{} elements",
+                self.emitted, self.elements
             ))
             .into());
         }

@@ -13,6 +13,30 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q --offline (full suite, SPARK_SLOW_TESTS=1)"
 SPARK_SLOW_TESTS=1 cargo test -q --workspace --offline
 
+echo "==> bulk-vs-FSM decode differential suite (every dispatch variant)"
+cargo test -q --offline -p spark-codec --test bulk_differential
+
+echo "==> codec decode bench -> BENCH_codec.json"
+# Full timing windows: speedup_bulk_over_fsm is a gate (the bit-parallel
+# bulk engine must hold >=3x over the scalar FSM reference under the
+# host's detected dispatch variant).
+SPARK_BENCH_JSON="$PWD/BENCH_codec.json" \
+    cargo bench --offline -p spark-bench --bench codec
+grep -Eq '"fsm_mean_ns": *[0-9]' BENCH_codec.json || {
+    echo "BENCH_codec.json missing a numeric fsm_mean_ns" >&2
+    exit 1
+}
+grep -Eq '"speedup_bulk_over_fsm": *[0-9]' BENCH_codec.json || {
+    echo "BENCH_codec.json missing a numeric speedup_bulk_over_fsm" >&2
+    exit 1
+}
+awk '/"speedup_bulk_over_fsm"/ {
+    gsub(/[",]/, ""); if ($2 + 0 < 3.0) { exit 1 } else { found = 1 }
+} END { exit found ? 0 : 1 }' BENCH_codec.json || {
+    echo "BENCH_codec.json: bulk decode is not >=3x the scalar FSM" >&2
+    exit 1
+}
+
 echo "==> simulator bench (quick) -> BENCH_sim.json"
 # Absolute path: cargo runs the bench with its CWD at the package root.
 SPARK_BENCH_QUICK=1 SPARK_BENCH_JSON="$PWD/BENCH_sim.json" \
@@ -98,6 +122,10 @@ cmp CHAOS_a.json CHAOS_b.json || {
 }
 grep -Eq '"panics": *0' CHAOS_a.json || {
     echo "chaos sweep recorded decoder panics" >&2
+    exit 1
+}
+grep -Eq '"bulk_divergence": *0' CHAOS_a.json || {
+    echo "chaos sweep: bulk decoder diverged from the FSM on corruption" >&2
     exit 1
 }
 mv CHAOS_a.json CHAOS.json
