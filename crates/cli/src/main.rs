@@ -7,7 +7,8 @@
 //! spark simulate [--json] <model> [accel]     run a workload on the perf model
 //! spark profile <model>                       calibrated distribution characterization
 //! spark models                                list known model names
-//! spark serve [flags]                         batched HTTP serving front end
+//! spark serve [flags]                         batched, sharded HTTP serving front end
+//! spark load  [flags]                         open-loop load harness (JSON report)
 //! spark chaos [--seed N] [--streams N]        seeded fault-injection report (JSON)
 //! ```
 //!
@@ -25,6 +26,7 @@ use spark_codec::{analysis, decode_stream, encode_tensor, read_container, write_
 use spark_data::ModelProfile;
 use spark_nn::ModelWorkload;
 use spark_quant::{Codec, MagnitudeQuantizer, SparkCodec};
+use spark_serve::load::{build_schedule, run_load, schedule_digest, schedule_dump, LoadConfig};
 use spark_serve::{api, ServeConfig, Server};
 use spark_sim::{Accelerator, AcceleratorKind, SimConfig};
 use spark_tensor::Tensor;
@@ -39,15 +41,19 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("models") => cmd_models(),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
-            eprintln!("usage: spark <encode|decode|analyze|simulate|profile|models|serve|chaos> ...");
+            eprintln!(
+                "usage: spark <encode|decode|analyze|simulate|profile|models|serve|load|chaos> ..."
+            );
             eprintln!("  encode  <input.f32> <output.spark>");
             eprintln!("  decode  <input.spark> <output.u8>");
             eprintln!("  analyze [--json] <input.f32>");
             eprintln!("  simulate [--json] <model> [accelerator]");
             eprintln!("  profile <model>");
-            eprintln!("  serve [--addr A] [--workers N] [--batch N] [--window-us N] [--queue N] [--smoke]");
+            eprintln!("  serve [--addr A] [--workers N] [--shards N] [--shard-workers N] [--quota UNITS_PER_S] [--batch N] [--window-us N] [--queue N] [--smoke]");
+            eprintln!("  load  [--smoke] [--schedule-only] [--addr A] [--seed N] [--rps R] [--flood-rps R] [--duration-ms N] [--tenants N] [--skew S] [--injectors N] [--shards N] [--quota U] [--out FILE]");
             eprintln!("  chaos [--seed N] [--streams N]");
             return ExitCode::from(2);
         }
@@ -239,6 +245,21 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(queue) = take_option(&mut args, "--queue")? {
         config.queue_depth = queue.parse().map_err(|_| format!("bad --queue {queue:?}"))?;
     }
+    if let Some(shards) = take_option(&mut args, "--shards")? {
+        config.shards = shards.parse().map_err(|_| format!("bad --shards {shards:?}"))?;
+    }
+    if let Some(w) = take_option(&mut args, "--shard-workers")? {
+        config.shard_workers = w.parse().map_err(|_| format!("bad --shard-workers {w:?}"))?;
+    }
+    if let Some(q) = take_option(&mut args, "--shard-queue")? {
+        config.shard_queue = q.parse().map_err(|_| format!("bad --shard-queue {q:?}"))?;
+    }
+    if let Some(q) = take_option(&mut args, "--quota")? {
+        config.quota_rps = q.parse().map_err(|_| format!("bad --quota {q:?}"))?;
+    }
+    if let Some(b) = take_option(&mut args, "--quota-burst")? {
+        config.quota_burst = b.parse().map_err(|_| format!("bad --quota-burst {b:?}"))?;
+    }
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument {extra:?}").into());
     }
@@ -247,12 +268,139 @@ fn cmd_serve(args: &[String]) -> CliResult {
         println!("serve smoke: all endpoints responded correctly");
         return Ok(());
     }
+    let shards = config.shards.max(1);
     let server = Server::start(config)?;
-    println!("spark-serve listening on http://{}", server.addr());
+    println!("spark-serve listening on http://{} ({shards} shard(s))", server.addr());
     println!("endpoints: POST /v1/encode /v1/decode /v1/analyze /v1/simulate");
-    println!("           GET /healthz /metrics, POST /shutdown");
+    println!("           GET /healthz /metrics, POST /shutdown  (X-Spark-Tenant routes)");
     server.join();
     println!("shutdown complete");
+    Ok(())
+}
+
+/// `spark load`: the deterministic open-loop load harness. By default it
+/// boots an ephemeral sharded server on loopback, fires the seeded
+/// schedule (blended mix plus a simulate-flooding noisy neighbor), and
+/// prints/writes the JSON report CI gates on. `--addr` targets a running
+/// server instead; `--schedule-only` emits the schedule dump without
+/// firing anything (CI diffs two dumps for byte-identical determinism).
+fn cmd_load(args: &[String]) -> CliResult {
+    let mut args = args.to_vec();
+    let smoke = take_flag(&mut args, "--smoke");
+    let schedule_only = take_flag(&mut args, "--schedule-only");
+
+    // The smoke profile is the CI gate shape: sharded, quota on, a flood
+    // the cost-weighted buckets must shed while cold tenants stay fast.
+    let mut cfg = if smoke {
+        LoadConfig {
+            offered_rps: 300.0,
+            flood_rps: 150.0,
+            duration: Duration::from_millis(1500),
+            tenants: 64,
+            tenant_skew: 0.5,
+            payloads: 8,
+            injectors: 8,
+            ..LoadConfig::default()
+        }
+    } else {
+        LoadConfig::default()
+    };
+    if let Some(seed) = take_option(&mut args, "--seed")? {
+        cfg.seed = seed.parse().map_err(|_| format!("bad --seed {seed:?}"))?;
+    }
+    if let Some(rps) = take_option(&mut args, "--rps")? {
+        cfg.offered_rps = rps.parse().map_err(|_| format!("bad --rps {rps:?}"))?;
+    }
+    if let Some(rps) = take_option(&mut args, "--flood-rps")? {
+        cfg.flood_rps = rps.parse().map_err(|_| format!("bad --flood-rps {rps:?}"))?;
+    }
+    if let Some(ms) = take_option(&mut args, "--duration-ms")? {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --duration-ms {ms:?}"))?;
+        cfg.duration = Duration::from_millis(ms);
+    }
+    if let Some(n) = take_option(&mut args, "--tenants")? {
+        cfg.tenants = n.parse().map_err(|_| format!("bad --tenants {n:?}"))?;
+    }
+    if let Some(sk) = take_option(&mut args, "--skew")? {
+        cfg.tenant_skew = sk.parse().map_err(|_| format!("bad --skew {sk:?}"))?;
+    }
+    if let Some(n) = take_option(&mut args, "--injectors")? {
+        cfg.injectors = n.parse().map_err(|_| format!("bad --injectors {n:?}"))?;
+    }
+    let shards: usize = match take_option(&mut args, "--shards")? {
+        Some(n) => n.parse().map_err(|_| format!("bad --shards {n:?}"))?,
+        None => 4,
+    };
+    let quota: f64 = match take_option(&mut args, "--quota")? {
+        Some(q) => q.parse().map_err(|_| format!("bad --quota {q:?}"))?,
+        None => 240.0,
+    };
+    let out = take_option(&mut args, "--out")?;
+    let addr = take_option(&mut args, "--addr")?;
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument {extra:?}").into());
+    }
+
+    if schedule_only {
+        let events = build_schedule(&cfg)?;
+        let dump = schedule_dump(&events);
+        let digest = schedule_digest(&dump);
+        match &out {
+            Some(path) => {
+                std::fs::write(path, &dump)?;
+                println!("schedule: {} events, digest {digest}, wrote {path}", events.len());
+            }
+            None => print!("{dump}"),
+        }
+        return Ok(());
+    }
+
+    let report = match &addr {
+        Some(addr) => run_load(addr, &cfg)?,
+        None => {
+            let server = Server::start(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                shards,
+                shard_workers: 2,
+                queue_depth: 64,
+                shard_queue: 16,
+                quota_rps: quota,
+                quota_burst: quota / 2.0,
+                batch_window: Duration::from_millis(1),
+                max_batch: 16,
+                ..ServeConfig::default()
+            })?;
+            let report = run_load(&server.addr().to_string(), &cfg)?;
+            server.shutdown();
+            server.join();
+            report
+        }
+    };
+
+    println!(
+        "load: offered {} ({:.0} rps intended), achieved {:.0} rps, ok {:.0} rps",
+        report.offered, cfg.offered_rps + cfg.flood_rps, report.achieved_rps, report.ok_rps
+    );
+    println!(
+        "load: ok p50/p99/p999 {}/{}/{} us, cold p99 {} us, 429 {}, 503 {}, transport {}",
+        report.ok_p50_us,
+        report.ok_p99_us,
+        report.ok_p999_us,
+        report.cold_p99_us,
+        report.shed_429,
+        report.shed_503,
+        report.transport_errors
+    );
+    println!("load: schedule digest {}", report.digest);
+    let doc = report.to_json();
+    match out.as_deref().or(smoke.then_some("BENCH_load.json")) {
+        Some(path) => {
+            std::fs::write(path, doc.to_string_pretty() + "\n")?;
+            println!("wrote {path}");
+        }
+        None => println!("{}", doc.to_string_pretty()),
+    }
     Ok(())
 }
 

@@ -17,7 +17,8 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use spark_serve::http::client_request;
+use spark_serve::http::{client_request, client_request_with_headers};
+use spark_serve::shard::HashRing;
 use spark_serve::{ServeConfig, Server};
 use spark_util::json::{parse, Value};
 
@@ -184,6 +185,189 @@ pub fn serve_chaos() -> Result<Value, String> {
     Ok(report)
 }
 
+/// Reads a per-shard counter out of the `/metrics` snapshot.
+fn shard_metric(addr: &str, shard: usize, name: &str) -> Result<f64, String> {
+    let (status, body) = client_request(addr, "GET", "/metrics", "", b"")?;
+    if status != 200 {
+        return Err(format!("GET /metrics: status {status}"));
+    }
+    let snapshot = parse(std::str::from_utf8(&body).map_err(|e| e.to_string())?)
+        .map_err(|e| format!("metrics JSON: {e}"))?;
+    let shards = snapshot
+        .get("shards")
+        .and_then(Value::as_array)
+        .ok_or("metrics missing shards array")?;
+    shards
+        .iter()
+        .find(|s| s.get("shard").and_then(Value::as_f64) == Some(shard as f64))
+        .and_then(|s| s.get(name))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("metrics missing shards[{shard}].{name}"))
+}
+
+/// First tenant id of the form `ct-<n>` that the ring maps to `shard`.
+fn probe_tenant(ring: &HashRing, shard: usize) -> Result<String, String> {
+    (0..10_000)
+        .map(|n| format!("ct-{n}"))
+        .find(|t| ring.shard_for(t) == shard)
+        .ok_or_else(|| format!("no probe tenant found for shard {shard}"))
+}
+
+fn tenant_request(addr: &str, tenant: &str) -> Result<u16, String> {
+    Ok(client_request_with_headers(
+        addr,
+        "POST",
+        "/v1/analyze",
+        "application/json",
+        &[("X-Spark-Tenant", tenant)],
+        b"{\"values\": [0.5, -0.25, 0.125, 0.75]}",
+    )?
+    .0)
+}
+
+/// Scripted shard-loss scenario: kill every worker of one shard while
+/// the other shard keeps taking traffic, then watch the supervisor
+/// restore the dead pool.
+///
+/// Like [`serve_chaos`], every report field is a status code, an exact
+/// counter, or an invariant bool — never a timing — so two runs are
+/// byte-identical.
+///
+/// # Errors
+///
+/// A description of the first step that violated the isolation or
+/// respawn contract.
+pub fn shard_chaos() -> Result<Value, String> {
+    const SHARDS: usize = 2;
+    const WORKERS_PER_SHARD: usize = 2;
+    /// Requests the surviving shard serves while its neighbor is dead.
+    const SURVIVOR_REQUESTS: usize = 8;
+    /// The "bounded tail" bar for the surviving shard during the outage:
+    /// generous against scheduler noise, damning if the dead shard's
+    /// work were leaking over.
+    const SURVIVOR_LATENCY_BOUND: Duration = Duration::from_secs(2);
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        shards: SHARDS,
+        shard_workers: WORKERS_PER_SHARD,
+        queue_depth: 32,
+        shard_queue: 16,
+        batch_window: Duration::from_millis(1),
+        max_batch: 8,
+        chaos_endpoints: true,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("start: {e}"))?;
+    let addr = server.addr().to_string();
+
+    // The server derives shard placement from the same ring construction,
+    // so probing a standalone ring tells us which tenant lands where.
+    let ring = HashRing::new(SHARDS);
+    let victim_tenant = probe_tenant(&ring, 0)?;
+    let survivor_tenant = probe_tenant(&ring, 1)?;
+
+    let initial_health = healthz(&addr)?;
+    let victim_before = tenant_request(&addr, &victim_tenant)?;
+    let survivor_before = tenant_request(&addr, &survivor_tenant)?;
+
+    // Kill the whole victim pool: each exit-worker request answers 200
+    // and then takes its worker down, so two requests empty the pool.
+    let mut kill_statuses = Vec::new();
+    for _ in 0..WORKERS_PER_SHARD {
+        let (status, _) = client_request_with_headers(
+            &addr,
+            "POST",
+            "/__chaos/exit-worker",
+            "",
+            &[("X-Spark-Tenant", victim_tenant.as_str())],
+            b"",
+        )?;
+        kill_statuses.push(status);
+    }
+
+    // The surviving shard must not notice: every request lands 200 and
+    // stays far under the latency bound.
+    let mut survivor_ok = 0usize;
+    let mut survivor_bounded = true;
+    for _ in 0..SURVIVOR_REQUESTS {
+        let t0 = Instant::now();
+        if tenant_request(&addr, &survivor_tenant)? == 200 {
+            survivor_ok += 1;
+        }
+        survivor_bounded &= t0.elapsed() < SURVIVOR_LATENCY_BOUND;
+    }
+
+    // A victim-tenant request queues until the supervisor refills the
+    // pool — delayed, never lost.
+    let victim_during = tenant_request(&addr, &victim_tenant)?;
+
+    let respawn_deadline = Instant::now() + RESPAWN_WAIT;
+    loop {
+        if shard_metric(&addr, 0, "workers_respawned")? >= WORKERS_PER_SHARD as f64 {
+            break;
+        }
+        if Instant::now() >= respawn_deadline {
+            return Err("supervisor never refilled the dead shard pool".into());
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let victim_after = tenant_request(&addr, &victim_tenant)?;
+    let final_health = healthz(&addr)?;
+
+    let panics_total = metric(&addr, "panics_total")?;
+    let victim_respawned = shard_metric(&addr, 0, "workers_respawned")?;
+    let survivor_respawned = shard_metric(&addr, 1, "workers_respawned")?;
+
+    server.shutdown();
+    server.join();
+
+    let report = Value::object([
+        ("initial_health", Value::Str(initial_health.clone())),
+        ("victim_tenant", Value::Str(victim_tenant)),
+        ("survivor_tenant", Value::Str(survivor_tenant)),
+        ("victim_before", Value::Num(f64::from(victim_before))),
+        ("survivor_before", Value::Num(f64::from(survivor_before))),
+        (
+            "kill_statuses",
+            Value::Array(kill_statuses.iter().map(|&s| Value::Num(f64::from(s))).collect()),
+        ),
+        ("survivor_ok_during_outage", Value::Num(survivor_ok as f64)),
+        ("survivor_latency_bounded", Value::Bool(survivor_bounded)),
+        ("victim_during_outage", Value::Num(f64::from(victim_during))),
+        ("victim_after_respawn", Value::Num(f64::from(victim_after))),
+        ("final_health", Value::Str(final_health.clone())),
+        ("panics_total", Value::Num(panics_total)),
+        ("victim_workers_respawned", Value::Num(victim_respawned)),
+        ("survivor_workers_respawned", Value::Num(survivor_respawned)),
+    ]);
+
+    let expect = [
+        ("initial_health", initial_health == "ok"),
+        ("victim_before", victim_before == 200),
+        ("survivor_before", survivor_before == 200),
+        ("kill_statuses", kill_statuses.iter().all(|&s| s == 200)),
+        ("survivor_ok_during_outage", survivor_ok == SURVIVOR_REQUESTS),
+        ("survivor_latency_bounded", survivor_bounded),
+        ("victim_during_outage", victim_during == 200),
+        ("victim_after_respawn", victim_after == 200),
+        ("final_health", final_health == "degraded"),
+        ("panics_total", panics_total == 0.0),
+        ("victim_workers_respawned", victim_respawned == WORKERS_PER_SHARD as f64),
+        ("survivor_workers_respawned", survivor_respawned == 0.0),
+    ];
+    for (field, ok) in expect {
+        if !ok {
+            return Err(format!(
+                "shard chaos contract violated at {field}: {}",
+                report.to_string_compact()
+            ));
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +376,13 @@ mod tests {
     fn scripted_scenario_meets_the_contract_reproducibly() {
         let a = serve_chaos().unwrap();
         let b = serve_chaos().unwrap();
+        assert_eq!(a.to_string_compact(), b.to_string_compact());
+    }
+
+    #[test]
+    fn shard_loss_is_isolated_and_healed_reproducibly() {
+        let a = shard_chaos().unwrap();
+        let b = shard_chaos().unwrap();
         assert_eq!(a.to_string_compact(), b.to_string_compact());
     }
 }

@@ -39,7 +39,7 @@ pub mod hardware;
 pub mod mutate;
 pub mod sweep;
 
-pub use chaos::serve_chaos;
+pub use chaos::{serve_chaos, shard_chaos};
 pub use fused::{sweep_fused, FusedSweepReport};
 pub use hardware::{accuracy_sweep, systolic_kind_flip, StuckAtFault, TransientFault};
 pub use mutate::Corruption;
@@ -77,6 +77,7 @@ pub fn run_chaos(seed: u64, streams: usize) -> Result<Value, String> {
         ("systolic_timing", systolic_kind_flip(seed, 0.05)),
     ]);
     let serve = serve_chaos()?;
+    let serve_shards = shard_chaos()?;
     Ok(Value::object([
         ("seed", Value::Num(seed as f64)),
         ("streams", Value::Num(streams as f64)),
@@ -84,6 +85,7 @@ pub fn run_chaos(seed: u64, streams: usize) -> Result<Value, String> {
         ("fused_gemm", fused.to_json()),
         ("hardware", hardware),
         ("serve", serve),
+        ("serve_shards", serve_shards),
     ]))
 }
 
@@ -97,7 +99,9 @@ mod tests {
         let b = run_chaos(3, 400).unwrap().to_string_compact();
         assert_eq!(a, b);
         // And it actually carries all three planes.
-        for key in ["\"codec\"", "\"fused_gemm\"", "\"hardware\"", "\"serve\"", "\"panics\""] {
+        for key in
+            ["\"codec\"", "\"fused_gemm\"", "\"hardware\"", "\"serve\"", "\"serve_shards\"", "\"panics\""]
+        {
             assert!(a.contains(key), "report missing {key}: {a}");
         }
     }

@@ -293,13 +293,32 @@ pub fn client_request(
     content_type: &str,
     body: &[u8],
 ) -> Result<(u16, Vec<u8>), String> {
+    client_request_with_headers(addr, method, path, content_type, &[], body)
+}
+
+/// [`client_request`] with extra request headers (e.g. `X-Spark-Tenant`
+/// for the sharded router).
+///
+/// # Errors
+///
+/// Returns an error string on connection, protocol, or timeout failures.
+pub fn client_request_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(IO_TIMEOUT))
         .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
         .map_err(|e| format!("timeouts: {e}"))?;
+    let extra: String =
+        headers.iter().map(|(k, v)| format!("{k}: {v}\r\n")).collect();
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: spark\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: spark\r\nContent-Type: {content_type}\r\n{extra}Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream
@@ -458,6 +477,30 @@ mod tests {
         drop(conn);
         writer.join().unwrap();
         assert_eq!(err.status().0, 408, "{err:?}");
+    }
+
+    #[test]
+    fn client_extra_headers_arrive_lowercased() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let req = read_request(&mut conn, 1024, Duration::from_secs(10)).unwrap();
+            let tenant = req.header("x-spark-tenant").map(str::to_string);
+            write_response(&mut conn, 200, "OK", "text/plain", b"ok").unwrap();
+            tenant
+        });
+        let (status, _) = client_request_with_headers(
+            &addr,
+            "POST",
+            "/x",
+            "text/plain",
+            &[("X-Spark-Tenant", "acme")],
+            b"",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(server.join().unwrap().as_deref(), Some("acme"));
     }
 
     #[test]

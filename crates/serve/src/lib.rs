@@ -15,8 +15,10 @@
 //! - [`io`] — streaming raw-f32 input shared with the CLI.
 //! - [`api`] — JSON schemas shared with the CLI's `--json` mode.
 //! - [`batch`] — the generic adaptive micro-batcher.
+//! - [`load`] — the deterministic open-loop load harness.
 //! - [`metrics`] — lock-free counters and latency/batch histograms.
-//! - [`server`] — acceptor, worker pool, routing, graceful shutdown.
+//! - [`shard`] — consistent-hash tenant routing and token-bucket quotas.
+//! - [`server`] — acceptor, shard worker pools, routing, graceful shutdown.
 //!
 //! ```no_run
 //! let server = spark_serve::Server::start(spark_serve::ServeConfig::default()).unwrap();
@@ -28,8 +30,10 @@ pub mod api;
 pub mod batch;
 pub mod http;
 pub mod io;
+pub mod load;
 pub mod metrics;
 pub mod server;
+pub mod shard;
 
 pub use batch::Batcher;
 pub use metrics::Metrics;

@@ -47,9 +47,65 @@ impl EndpointStats {
     }
 }
 
+/// Counters one shard worker pool records into: its own traffic, its own
+/// queue, its own tail. `/metrics` exposes the vector so a hot or dying
+/// shard is visible individually instead of averaged away.
+pub struct ShardStats {
+    /// Requests completed by this shard's workers.
+    pub hits: AtomicU64,
+    /// Of those, non-2xx responses.
+    pub errors: AtomicU64,
+    /// Requests shed with 503 because this shard's queue was full.
+    pub rejected_503: AtomicU64,
+    /// Shard workers respawned by the supervisor after dying.
+    pub workers_respawned: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+    /// End-to-end latency of requests completed by this shard.
+    pub latency_us: Histogram,
+}
+
+impl ShardStats {
+    fn new() -> Self {
+        Self {
+            hits: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected_503: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            latency_us: Histogram::new(),
+        }
+    }
+
+    /// Refreshes the shard queue gauge from the channel's own length.
+    pub fn note_queue(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn to_json(&self, id: usize) -> Value {
+        Value::object([
+            ("shard", Value::Num(id as f64)),
+            ("hits", Value::Num(self.hits.load(Ordering::Relaxed) as f64)),
+            ("errors", Value::Num(self.errors.load(Ordering::Relaxed) as f64)),
+            (
+                "rejected_503",
+                Value::Num(self.rejected_503.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "workers_respawned",
+                Value::Num(self.workers_respawned.load(Ordering::Relaxed) as f64),
+            ),
+            ("queue_depth", Value::Num(self.queue_depth.load(Ordering::Relaxed) as f64)),
+            ("queue_peak", Value::Num(self.queue_peak.load(Ordering::Relaxed) as f64)),
+            ("latency_us", self.latency_us.to_json()),
+        ])
+    }
+}
+
 /// The server-wide registry. One instance lives in the shared server
 /// context; every worker and batcher thread records into it directly.
-#[derive(Default)]
 pub struct Metrics {
     /// `POST /v1/encode`.
     pub encode: EndpointStats,
@@ -65,8 +121,11 @@ pub struct Metrics {
     pub control: EndpointStats,
     /// Requests that matched no route (404/405).
     pub unrouted: EndpointStats,
-    /// Connections refused with 503 because the job queue was full.
+    /// Connections refused with 503 because a queue (conn or shard) was
+    /// full.
     pub rejected_503: AtomicU64,
+    /// Requests shed with 429 by a tenant's token-bucket quota.
+    pub rejected_429: AtomicU64,
     /// Connections accepted into the queue.
     pub accepted: AtomicU64,
     /// Current number of accepted-but-unclaimed connections.
@@ -86,12 +145,46 @@ pub struct Metrics {
     pub workers_respawned: AtomicU64,
     /// Requests shed with 408 because the overall read deadline elapsed.
     pub deadline_408: AtomicU64,
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::with_shards(1)
+    }
 }
 
 impl Metrics {
-    /// Creates an empty registry.
+    /// Creates an empty registry with a single shard.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(1)
+    }
+
+    /// Creates an empty registry tracking `shards` shard pools (clamped
+    /// to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            encode: EndpointStats::default(),
+            decode: EndpointStats::default(),
+            analyze: EndpointStats::default(),
+            simulate: EndpointStats::default(),
+            infer: EndpointStats::default(),
+            control: EndpointStats::default(),
+            unrouted: EndpointStats::default(),
+            rejected_503: AtomicU64::new(0),
+            rejected_429: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_size: Histogram::new(),
+            latency_us: Histogram::new(),
+            panics_total: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
+            deadline_408: AtomicU64::new(0),
+            shards: (0..shards.max(1)).map(|_| ShardStats::new()).collect(),
+        }
     }
 
     /// Marks one connection entering the job queue. `depth` is the queue
@@ -147,9 +240,19 @@ impl Metrics {
                         "rejected_503",
                         Value::Num(self.rejected_503.load(Ordering::Relaxed) as f64),
                     ),
+                    (
+                        "rejected_429",
+                        Value::Num(self.rejected_429.load(Ordering::Relaxed) as f64),
+                    ),
                     ("depth", Value::Num(self.queue_depth() as f64)),
                     ("peak_depth", Value::Num(self.queue_peak() as f64)),
                 ]),
+            ),
+            (
+                "shards",
+                Value::Array(
+                    self.shards.iter().enumerate().map(|(i, s)| s.to_json(i)).collect(),
+                ),
             ),
             (
                 "batching",
@@ -242,6 +345,28 @@ mod tests {
         assert_eq!(r.get("panics_total").unwrap().as_f64(), Some(1.0));
         assert_eq!(r.get("workers_respawned").unwrap().as_f64(), Some(2.0));
         assert_eq!(r.get("deadline_408").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn per_shard_stats_appear_in_the_snapshot() {
+        let m = Metrics::with_shards(3);
+        assert_eq!(m.shards.len(), 3);
+        m.shards[1].hits.fetch_add(7, Ordering::Relaxed);
+        m.shards[1].rejected_503.fetch_add(2, Ordering::Relaxed);
+        m.shards[1].note_queue(5);
+        m.shards[1].note_queue(1);
+        m.rejected_429.fetch_add(4, Ordering::Relaxed);
+        let v = spark_util::json::parse(&m.to_json().to_string_compact()).unwrap();
+        let shards = v.get("shards").unwrap().as_array().unwrap();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[1].get("hits").unwrap().as_f64(), Some(7.0));
+        assert_eq!(shards[1].get("rejected_503").unwrap().as_f64(), Some(2.0));
+        assert_eq!(shards[1].get("queue_peak").unwrap().as_f64(), Some(5.0));
+        assert_eq!(shards[1].get("queue_depth").unwrap().as_f64(), Some(1.0));
+        assert_eq!(shards[0].get("hits").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("queue").unwrap().get("rejected_429").unwrap().as_f64(), Some(4.0));
+        // Degenerate shard count clamps instead of vanishing.
+        assert_eq!(Metrics::with_shards(0).shards.len(), 1);
     }
 
     #[test]

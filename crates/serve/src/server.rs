@@ -1,29 +1,43 @@
-//! The serving core: acceptor, worker pool, batched endpoints, metrics,
-//! graceful shutdown.
+//! The serving core: acceptor, router pool, sharded worker pools,
+//! batched endpoints, metrics, graceful shutdown.
 //!
 //! Thread topology (all plain `std::thread`, sized at startup, no spawn
 //! per request):
 //!
 //! ```text
-//! acceptor ──try_send──▶ bounded conn queue ──recv──▶ workers (N)
-//!     │ full → writes 503 itself                        │
-//!     ▼                                                 ├─▶ encode batcher ─▶ encode_batch (LUT plan)
-//!  503 + metrics                                        ├─▶ decode batcher ─▶ decode_batch (bulk engine)
-//!                                                       └─▶ sim batcher    ─▶ run_batch
+//! acceptor ──try_send──▶ conn queue ──recv──▶ routers (config.workers)
+//!     │ full → 503                              │ read + parse request
+//!                                               │ control endpoints inline
+//!                                               │ tenant → token bucket → 429
+//!                                               │ ring.shard_for(tenant)
+//!                                               ├─try_send─▶ shard 0 queue ─▶ shard workers ─▶ batchers
+//!                                               ├─try_send─▶ shard 1 queue ─▶ shard workers ─▶ batchers
+//!                                               │ full → 503 + per-shard metric
 //! ```
 //!
-//! Backpressure is explicit: the conn queue is bounded and the acceptor
-//! uses `try_send`, so overload turns into an immediate 503 with a JSON
-//! body (and a `rejected_503` metric tick) rather than an unbounded
-//! accept backlog or a silent drop.
+//! Requests are assigned to a *tenant* (the `X-Spark-Tenant` header, or
+//! `"default"`) and consistent-hashed onto one of `config.shards`
+//! independent shard pools, each with its own bounded queue, workers,
+//! micro-batchers, and metrics. Isolation is the point: a tenant that
+//! floods its shard's queue gets that shard's 503s (and, with quotas on,
+//! its own 429s before even reaching the queue) while tenants hashed to
+//! other shards keep their latency.
+//!
+//! Backpressure is explicit at both tiers: the conn queue and every
+//! shard queue are bounded with `try_send`, so overload turns into an
+//! immediate typed 503/429 rather than an unbounded backlog. Control
+//! endpoints (`/healthz`, `/metrics`, `/shutdown`) are answered by the
+//! routers themselves — observability stays responsive however deep the
+//! shard queues are.
 //!
 //! Shutdown is a cascade with no special-case signaling beyond one
 //! atomic flag: `shutdown()` sets the flag and self-connects to wake
 //! `accept()`; the acceptor exits, dropping the conn queue's only
-//! sender; workers drain the queue and exit; [`Server::join`] then drops
-//! the shared context (closing the batcher channels) and joins the
-//! batcher threads, which drain their own queues first. Every request
-//! accepted before the flag flipped gets a full response.
+//! sender; routers drain the conn queue and exit, dropping the shard
+//! queue senders; shard workers drain their queues and exit;
+//! [`Server::join`] then drops the shared context (closing the batcher
+//! channels) and joins the batcher threads. Every request accepted
+//! before the flag flipped gets a full response.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -35,12 +49,14 @@ use std::time::{Duration, Instant};
 use spark_codec::{decode_batch, encode_batch, NibbleStream};
 use spark_sim::{run_batch, SimConfig, WorkloadReport};
 use spark_util::json::Value;
+use spark_util::par::{Receiver, Sender, TrySendError};
 
 use crate::api::{self, SimJob};
 use crate::batch::Batcher;
 use crate::http::{self, HttpError, Request};
 use crate::io::f32_from_bytes;
 use crate::metrics::{EndpointStats, Metrics};
+use crate::shard::{validate_tenant, TenantState, Tenants, DEFAULT_TENANT};
 
 /// How long a worker waits on a batcher slot before answering 500. Far
 /// above any sane batch time; only reachable if a batcher thread died.
@@ -51,10 +67,22 @@ const SLOT_TIMEOUT: Duration = Duration::from_secs(30);
 pub struct ServeConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Router threads reading and dispatching connections.
     pub workers: usize,
     /// Bound of the accepted-connection queue; overflow answers 503.
     pub queue_depth: usize,
+    /// Number of independent shard worker pools tenants hash onto.
+    pub shards: usize,
+    /// Worker threads per shard pool.
+    pub shard_workers: usize,
+    /// Bound of each shard's job queue; overflow answers 503.
+    pub shard_queue: usize,
+    /// Per-tenant sustained admission rate in cost units/second (a cheap
+    /// request charges 1 unit; see [`endpoint_cost`]); `0` disables
+    /// quotas entirely.
+    pub quota_rps: f64,
+    /// Per-tenant banked cost units on top of `quota_rps`.
+    pub quota_burst: f64,
     /// Extra time a lone batched request waits for company.
     pub batch_window: Duration,
     /// Max requests coalesced into one batched library call.
@@ -65,7 +93,7 @@ pub struct ServeConfig {
     /// shedding); the per-read [`http::IO_TIMEOUT`] still bounds idle gaps.
     pub request_deadline: Duration,
     /// Enables the `POST /__chaos/*` fault-injection endpoints (panic a
-    /// handler, kill a worker). Off by default; chaos tests and
+    /// handler, kill a shard worker). Off by default; chaos tests and
     /// `spark chaos` turn it on for loopback servers only.
     pub chaos_endpoints: bool,
 }
@@ -76,6 +104,11 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7878".into(),
             workers: 4,
             queue_depth: 64,
+            shards: 1,
+            shard_workers: 4,
+            shard_queue: 32,
+            quota_rps: 0.0,
+            quota_burst: 16.0,
             batch_window: Duration::from_millis(2),
             max_batch: 32,
             max_body_bytes: 16 * 1024 * 1024,
@@ -85,25 +118,44 @@ impl Default for ServeConfig {
     }
 }
 
-/// Shared state every worker thread holds an `Arc` of.
-struct Ctx {
-    metrics: Arc<Metrics>,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
-    max_body: usize,
-    deadline: Duration,
-    chaos: bool,
+/// One shard pool's private machinery: its batchers and its infer model.
+/// Shards share nothing here — a wedged batcher or poisoned model mutex
+/// stays that shard's problem.
+struct ShardCtx {
     encode_batcher: Batcher<(Vec<u8>, f32), Value>,
     decode_batcher: Batcher<NibbleStream, Result<Value, String>>,
     sim_batcher: Batcher<SimJob, Value>,
     /// The `/v1/infer` model, weights resident as SPARK nibble streams.
     /// A mutex (not a batcher) because one fused forward pass is cheap
-    /// and the layer cache in `Sequential` needs `&mut`.
+    /// and the layer cache in `Sequential` needs `&mut`. Seeded
+    /// identically in every shard, so responses are shard-independent.
     infer: Mutex<api::InferModel>,
 }
 
-/// What a worker does with its thread after one connection.
-enum ConnOutcome {
+/// Shared state every router and shard worker holds an `Arc` of.
+struct Ctx {
+    metrics: Arc<Metrics>,
+    tenants: Tenants,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    max_body: usize,
+    deadline: Duration,
+    chaos: bool,
+    shards: Vec<ShardCtx>,
+}
+
+/// A parsed request in flight from a router to a shard worker.
+struct ShardJob {
+    stream: TcpStream,
+    req: Request,
+    tenant: Arc<TenantState>,
+    /// When the router started reading the request — latency is
+    /// end-to-end from here, queueing included.
+    started: Instant,
+}
+
+/// What a shard worker does with its thread after one job.
+enum JobOutcome {
     /// Keep serving.
     Done,
     /// Exit the worker thread (chaos-injected hard death; the supervisor
@@ -119,16 +171,21 @@ pub struct Server {
     ctx: Arc<Ctx>,
     metrics: Arc<Metrics>,
     acceptor: JoinHandle<()>,
-    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    routers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    shard_pools: Arc<Mutex<Vec<Vec<Option<JoinHandle<()>>>>>>,
     supervisor: JoinHandle<()>,
-    encode_batcher: Batcher<(Vec<u8>, f32), Value>,
-    decode_batcher: Batcher<NibbleStream, Result<Value, String>>,
-    sim_batcher: Batcher<SimJob, Value>,
+    /// Clones kept solely so `join()` can reap the batcher threads after
+    /// the last in-`Ctx` handles drop.
+    batcher_handles: Vec<(
+        Batcher<(Vec<u8>, f32), Value>,
+        Batcher<NibbleStream, Result<Value, String>>,
+        Batcher<SimJob, Value>,
+    )>,
 }
 
 impl Server {
-    /// Binds, spawns the acceptor, workers, supervisor, and batchers, and
-    /// returns.
+    /// Binds, spawns the acceptor, routers, shard pools, supervisor, and
+    /// batchers, and returns.
     ///
     /// # Errors
     ///
@@ -136,127 +193,218 @@ impl Server {
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let metrics = Arc::new(Metrics::new());
+        let shard_count = config.shards.max(1);
+        let metrics = Arc::new(Metrics::with_shards(shard_count));
         let sim_config = SimConfig::default();
 
-        let encode_batcher = {
-            let metrics = Arc::clone(&metrics);
-            Batcher::spawn(
-                "encode",
-                config.batch_window,
-                config.max_batch,
-                config.queue_depth.max(config.max_batch),
-                move |jobs: Vec<(Vec<u8>, f32)>| {
-                    metrics.record_batch(jobs.len() as u64);
-                    let refs: Vec<&[u8]> = jobs.iter().map(|(c, _)| c.as_slice()).collect();
-                    let encoded = encode_batch(&refs);
-                    encoded
-                        .iter()
-                        .zip(&jobs)
-                        .map(|(e, (_, scale))| api::encode_response(e, *scale))
-                        .collect()
-                },
-            )?
-        };
-        let decode_batcher = {
-            let metrics = Arc::clone(&metrics);
-            Batcher::spawn(
-                "decode",
-                config.batch_window,
-                config.max_batch,
-                config.queue_depth.max(config.max_batch),
-                move |jobs: Vec<NibbleStream>| {
-                    metrics.record_batch(jobs.len() as u64);
-                    let refs: Vec<&NibbleStream> = jobs.iter().collect();
-                    decode_batch(&refs)
-                        .into_iter()
-                        .map(|r| {
-                            r.map(|codes| api::decode_codes_response(&codes))
-                                .map_err(|e| e.to_string())
-                        })
-                        .collect()
-                },
-            )?
-        };
-        let sim_batcher = {
-            let metrics = Arc::clone(&metrics);
-            Batcher::spawn(
-                "simulate",
-                config.batch_window,
-                config.max_batch,
-                config.queue_depth.max(config.max_batch),
-                move |jobs: Vec<SimJob>| {
-                    metrics.record_batch(jobs.len() as u64);
-                    let tuples: Vec<_> =
-                        jobs.iter().map(|j| (j.kind, &j.workload, &j.precision)).collect();
-                    let reports: Vec<WorkloadReport> = run_batch(&tuples, &sim_config);
-                    reports
-                        .iter()
-                        .zip(&jobs)
-                        .map(|(r, j)| api::simulate_response(r, &j.workload, &sim_config))
-                        .collect()
-                },
-            )?
-        };
-
-        let infer = api::InferModel::new().map_err(std::io::Error::other)?;
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut batcher_handles = Vec::with_capacity(shard_count);
+        for id in 0..shard_count {
+            let batch_queue = config.shard_queue.max(config.max_batch).max(1);
+            let encode_batcher = {
+                let metrics = Arc::clone(&metrics);
+                Batcher::spawn(
+                    &format!("encode-{id}"),
+                    config.batch_window,
+                    config.max_batch,
+                    batch_queue,
+                    move |jobs: Vec<(Vec<u8>, f32)>| {
+                        metrics.record_batch(jobs.len() as u64);
+                        let refs: Vec<&[u8]> = jobs.iter().map(|(c, _)| c.as_slice()).collect();
+                        let encoded = encode_batch(&refs);
+                        encoded
+                            .iter()
+                            .zip(&jobs)
+                            .map(|(e, (_, scale))| api::encode_response(e, *scale))
+                            .collect()
+                    },
+                )?
+            };
+            let decode_batcher = {
+                let metrics = Arc::clone(&metrics);
+                Batcher::spawn(
+                    &format!("decode-{id}"),
+                    config.batch_window,
+                    config.max_batch,
+                    batch_queue,
+                    move |jobs: Vec<NibbleStream>| {
+                        metrics.record_batch(jobs.len() as u64);
+                        let refs: Vec<&NibbleStream> = jobs.iter().collect();
+                        decode_batch(&refs)
+                            .into_iter()
+                            .map(|r| {
+                                r.map(|codes| api::decode_codes_response(&codes))
+                                    .map_err(|e| e.to_string())
+                            })
+                            .collect()
+                    },
+                )?
+            };
+            let sim_batcher = {
+                let metrics = Arc::clone(&metrics);
+                let sim_config = sim_config.clone();
+                Batcher::spawn(
+                    &format!("simulate-{id}"),
+                    config.batch_window,
+                    config.max_batch,
+                    batch_queue,
+                    move |jobs: Vec<SimJob>| {
+                        metrics.record_batch(jobs.len() as u64);
+                        let tuples: Vec<_> =
+                            jobs.iter().map(|j| (j.kind, &j.workload, &j.precision)).collect();
+                        let reports: Vec<WorkloadReport> = run_batch(&tuples, &sim_config);
+                        reports
+                            .iter()
+                            .zip(&jobs)
+                            .map(|(r, j)| api::simulate_response(r, &j.workload, &sim_config))
+                            .collect()
+                    },
+                )?
+            };
+            let infer = api::InferModel::new().map_err(std::io::Error::other)?;
+            batcher_handles.push((
+                encode_batcher.clone(),
+                decode_batcher.clone(),
+                sim_batcher.clone(),
+            ));
+            shards.push(ShardCtx {
+                encode_batcher,
+                decode_batcher,
+                sim_batcher,
+                infer: Mutex::new(infer),
+            });
+        }
 
         let ctx = Arc::new(Ctx {
             metrics: Arc::clone(&metrics),
+            tenants: Tenants::new(shard_count, config.quota_rps, config.quota_burst),
             shutdown: AtomicBool::new(false),
             addr,
             max_body: config.max_body_bytes,
             deadline: config.request_deadline,
             chaos: config.chaos_endpoints,
-            encode_batcher: encode_batcher.clone(),
-            decode_batcher: decode_batcher.clone(),
-            sim_batcher: sim_batcher.clone(),
-            infer: Mutex::new(infer),
+            shards,
         });
 
         let (conn_tx, conn_rx) = spark_util::channel::<TcpStream>(config.queue_depth.max(1));
 
-        let worker_count = config.workers.max(1);
-        let workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
-            (0..worker_count)
-                .map(|i| spawn_worker(i, conn_rx.clone(), Arc::clone(&ctx)).map(Some))
+        // Shard job channels. Senders live with the routers (and the
+        // supervisor, for respawns) — NOT in Ctx, so shard workers never
+        // hold a sender to their own queue and the drain cascade can
+        // close the channels.
+        let mut shard_txs = Vec::with_capacity(shard_count);
+        let mut shard_rxs = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (tx, rx) = spark_util::channel::<ShardJob>(config.shard_queue.max(1));
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+        let shard_txs: Arc<Vec<Sender<ShardJob>>> = Arc::new(shard_txs);
+
+        let shard_pools: Arc<Mutex<Vec<Vec<Option<JoinHandle<()>>>>>> = Arc::new(Mutex::new(
+            shard_rxs
+                .iter()
+                .enumerate()
+                .map(|(sid, rx)| {
+                    (0..config.shard_workers.max(1))
+                        .map(|w| {
+                            spawn_shard_worker(sid, w, rx.clone(), Arc::clone(&ctx)).map(Some)
+                        })
+                        .collect::<std::io::Result<Vec<_>>>()
+                })
+                .collect::<std::io::Result<Vec<_>>>()?,
+        ));
+
+        let router_count = config.workers.max(1);
+        let routers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
+            (0..router_count)
+                .map(|i| {
+                    spawn_router(i, conn_rx.clone(), Arc::clone(&shard_txs), Arc::clone(&ctx))
+                        .map(Some)
+                })
                 .collect::<std::io::Result<_>>()?,
         ));
 
-        // The supervisor watches for worker threads that died (a panic
-        // outside the catch boundary, or a chaos-injected exit) and
-        // respawns replacements so the pool never shrinks. It holds a
-        // Receiver clone, not a Sender, so it does not keep the conn
-        // channel alive past the acceptor.
+        // The supervisor watches both tiers for threads that died (a
+        // panic outside the catch boundary, or a chaos-injected exit) and
+        // respawns replacements so no pool ever shrinks. It holds
+        // receiver clones plus the shard sender set (needed to re-arm
+        // routers); its own exit on the shutdown flag releases them
+        // before `join()` waits on the shard workers.
         let supervisor = {
             let ctx = Arc::clone(&ctx);
-            let workers = Arc::clone(&workers);
-            let rx = conn_rx.clone();
+            let routers = Arc::clone(&routers);
+            let shard_pools = Arc::clone(&shard_pools);
+            let conn_rx = conn_rx.clone();
+            let shard_txs = Arc::clone(&shard_txs);
+            let shard_rxs = shard_rxs.clone();
             std::thread::Builder::new()
                 .name("spark-supervisor".into())
                 .spawn(move || {
-                    let mut next_id = worker_count;
+                    let mut next_id = router_count + ctx.shards.len();
                     while !ctx.shutdown.load(Ordering::SeqCst) {
                         std::thread::sleep(Duration::from_millis(25));
-                        let mut pool = workers.lock().unwrap_or_else(|e| e.into_inner());
-                        for slot in pool.iter_mut() {
-                            let finished =
-                                slot.as_ref().is_some_and(std::thread::JoinHandle::is_finished);
-                            // During shutdown workers finish normally as
-                            // the conn channel drains; never respawn then.
-                            if !finished || ctx.shutdown.load(Ordering::SeqCst) {
-                                continue;
-                            }
-                            if let Some(dead) = slot.take() {
-                                dead.join().ok();
-                                if let Ok(h) =
-                                    spawn_worker(next_id, rx.clone(), Arc::clone(&ctx))
+                        if ctx.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        {
+                            let mut pool = routers.lock().unwrap_or_else(|e| e.into_inner());
+                            for slot in pool.iter_mut() {
+                                if !slot
+                                    .as_ref()
+                                    .is_some_and(std::thread::JoinHandle::is_finished)
+                                    || ctx.shutdown.load(Ordering::SeqCst)
                                 {
-                                    *slot = Some(h);
-                                    ctx.metrics
-                                        .workers_respawned
-                                        .fetch_add(1, Ordering::Relaxed);
-                                    next_id += 1;
+                                    continue;
+                                }
+                                if let Some(dead) = slot.take() {
+                                    dead.join().ok();
+                                    if let Ok(h) = spawn_router(
+                                        next_id,
+                                        conn_rx.clone(),
+                                        Arc::clone(&shard_txs),
+                                        Arc::clone(&ctx),
+                                    ) {
+                                        *slot = Some(h);
+                                        ctx.metrics
+                                            .workers_respawned
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        next_id += 1;
+                                    }
+                                }
+                            }
+                        }
+                        let mut pools = shard_pools.lock().unwrap_or_else(|e| e.into_inner());
+                        for (sid, pool) in pools.iter_mut().enumerate() {
+                            for slot in pool.iter_mut() {
+                                // During shutdown workers finish normally
+                                // as the queues drain; never respawn then.
+                                if !slot
+                                    .as_ref()
+                                    .is_some_and(std::thread::JoinHandle::is_finished)
+                                    || ctx.shutdown.load(Ordering::SeqCst)
+                                {
+                                    continue;
+                                }
+                                if let Some(dead) = slot.take() {
+                                    dead.join().ok();
+                                    let rx = match shard_rxs.get(sid) {
+                                        Some(rx) => rx.clone(),
+                                        None => continue,
+                                    };
+                                    if let Ok(h) =
+                                        spawn_shard_worker(sid, next_id, rx, Arc::clone(&ctx))
+                                    {
+                                        *slot = Some(h);
+                                        ctx.metrics
+                                            .workers_respawned
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        if let Some(s) = ctx.metrics.shards.get(sid) {
+                                            s.workers_respawned
+                                                .fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        next_id += 1;
+                                    }
                                 }
                             }
                         }
@@ -264,6 +412,8 @@ impl Server {
                 })?
         };
         drop(conn_rx);
+        drop(shard_rxs);
+        drop(shard_txs);
 
         let acceptor = {
             let ctx = Arc::clone(&ctx);
@@ -280,7 +430,7 @@ impl Server {
                         };
                         match conn_tx.try_send(stream) {
                             Ok(()) => ctx.metrics.note_accept(conn_tx.len() as u64),
-                            Err(spark_util::par::TrySendError::Full(mut stream)) => {
+                            Err(TrySendError::Full(mut stream)) => {
                                 ctx.metrics.rejected_503.fetch_add(1, Ordering::Relaxed);
                                 let _ = stream.set_write_timeout(Some(http::IO_TIMEOUT));
                                 let _ = http::write_json(
@@ -290,10 +440,10 @@ impl Server {
                                     &error_body("server overloaded: connection queue full"),
                                 );
                             }
-                            Err(spark_util::par::TrySendError::Disconnected(_)) => break,
+                            Err(TrySendError::Disconnected(_)) => break,
                         }
                     }
-                    // conn_tx drops here; workers drain the queue and exit.
+                    // conn_tx drops here; routers drain the queue and exit.
                 })?
         };
 
@@ -302,11 +452,10 @@ impl Server {
             ctx,
             metrics,
             acceptor,
-            workers,
+            routers,
+            shard_pools,
             supervisor,
-            encode_batcher,
-            decode_batcher,
-            sim_batcher,
+            batcher_handles,
         })
     }
 
@@ -326,67 +475,46 @@ impl Server {
         request_shutdown(&self.ctx);
     }
 
-    /// Waits for the full drain cascade: acceptor, then workers, then
-    /// batchers. Blocks until a shutdown has been requested (via
-    /// [`Server::shutdown`] or `POST /shutdown`) and every accepted
-    /// request has been answered.
+    /// Waits for the full drain cascade: acceptor, then routers, then
+    /// shard workers, then batchers. Blocks until a shutdown has been
+    /// requested (via [`Server::shutdown`] or `POST /shutdown`) and every
+    /// accepted request has been answered.
     pub fn join(self) {
         let Server {
             ctx,
             acceptor,
-            workers,
+            routers,
+            shard_pools,
             supervisor,
-            encode_batcher,
-            decode_batcher,
-            sim_batcher,
+            batcher_handles,
             ..
         } = self;
         acceptor.join().ok();
         // The acceptor only exits with the shutdown flag set, so the
-        // supervisor's next poll tick sees it and returns (releasing its
-        // Ctx Arc — required before the batcher channels can close).
+        // supervisor's next poll tick sees it and returns — releasing its
+        // conn receiver and shard senders, which the cascade below needs.
         supervisor.join().ok();
-        let pool = std::mem::take(&mut *workers.lock().unwrap_or_else(|e| e.into_inner()));
-        for w in pool.into_iter().flatten() {
+        let pool = std::mem::take(&mut *routers.lock().unwrap_or_else(|e| e.into_inner()));
+        for r in pool.into_iter().flatten() {
+            r.join().ok();
+        }
+        // Routers and supervisor are gone: every shard sender has
+        // dropped, so shard workers drain their queues and exit.
+        let pools =
+            std::mem::take(&mut *shard_pools.lock().unwrap_or_else(|e| e.into_inner()));
+        for w in pools.into_iter().flatten().flatten() {
             w.join().ok();
         }
-        // Workers are gone; this Arc and the batcher handles inside it
-        // are the last senders keeping the batcher channels open.
+        // Shard workers are gone; this Arc (holding every ShardCtx) and
+        // the handles below are the last senders keeping the batcher
+        // channels open.
         drop(ctx);
-        encode_batcher.join();
-        decode_batcher.join();
-        sim_batcher.join();
-    }
-}
-
-/// Spawns one pool worker. The `catch_unwind` boundary is the server's
-/// panic-isolation contract: a panicking handler costs its own request a
-/// 500 (plus a `panics_total` tick), never the process or the pool — the
-/// stream stays owned out here so the error response is still writable
-/// after the unwind.
-fn spawn_worker(
-    id: usize,
-    rx: spark_util::par::Receiver<TcpStream>,
-    ctx: Arc<Ctx>,
-) -> std::io::Result<JoinHandle<()>> {
-    std::thread::Builder::new().name(format!("spark-worker-{id}")).spawn(move || {
-        while let Some(mut stream) = rx.recv() {
-            ctx.metrics.note_dequeue(rx.len() as u64);
-            match catch_unwind(AssertUnwindSafe(|| handle_connection(&ctx, &mut stream))) {
-                Ok(ConnOutcome::Done) => {}
-                Ok(ConnOutcome::ExitWorker) => return,
-                Err(_) => {
-                    ctx.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
-                    let _ = http::write_json(
-                        &mut stream,
-                        500,
-                        "Internal Server Error",
-                        &error_body("handler panicked; worker recovered"),
-                    );
-                }
-            }
+        for (e, d, s) in batcher_handles {
+            e.join();
+            d.join();
+            s.join();
         }
-    })
+    }
 }
 
 fn request_shutdown(ctx: &Ctx) {
@@ -401,46 +529,54 @@ fn error_body(message: &str) -> Value {
     Value::object([("error", Value::Str(message.into()))])
 }
 
-/// Outcome of routing: status triple plus which endpoint counter it hits.
-struct Routed<'a> {
-    status: u16,
-    reason: &'static str,
-    body: Value,
-    stats: &'a EndpointStats,
-}
-
-fn handle_connection(ctx: &Ctx, stream: &mut TcpStream) -> ConnOutcome {
-    let started = Instant::now();
-    let mut outcome = ConnOutcome::Done;
-    match http::read_request(stream, ctx.max_body, ctx.deadline) {
-        Ok(req) => {
-            // Chaos-injected hard worker death: answer first, then tell
-            // the worker loop to exit its thread (the supervisor will
-            // respawn). Handled here, not in route(), because it changes
-            // the worker's control flow, not just the response.
-            if ctx.chaos && req.method == "POST" && req.path == "/__chaos/exit-worker" {
-                ctx.metrics.control.hit();
-                let _ = http::write_json(
-                    stream,
-                    200,
-                    "OK",
-                    &Value::object([("status", Value::Str("worker exiting".into()))]),
-                );
-                outcome = ConnOutcome::ExitWorker;
-            } else {
-                let routed = route(ctx, &req);
-                routed.stats.hit();
-                if routed.status >= 400 {
-                    routed.stats.error();
+/// Spawns one router. The `catch_unwind` boundary is the server's
+/// panic-isolation contract: a panicking parse or dispatch costs its own
+/// request a 500 (plus a `panics_total` tick), never the process or the
+/// pool — the stream stays owned out here so the error response is still
+/// writable after the unwind.
+fn spawn_router(
+    id: usize,
+    rx: Receiver<TcpStream>,
+    shard_txs: Arc<Vec<Sender<ShardJob>>>,
+    ctx: Arc<Ctx>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new().name(format!("spark-router-{id}")).spawn(move || {
+        while let Some(mut stream) = rx.recv() {
+            ctx.metrics.note_dequeue(rx.len() as u64);
+            match catch_unwind(AssertUnwindSafe(|| {
+                route_connection(&ctx, &shard_txs, &mut stream)
+            })) {
+                Ok(()) => {}
+                Err(_) => {
+                    ctx.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                    let _ = http::write_json(
+                        &mut stream,
+                        500,
+                        "Internal Server Error",
+                        &error_body("handler panicked; worker recovered"),
+                    );
                 }
-                let _ = http::write_json(stream, routed.status, routed.reason, &routed.body);
             }
         }
+    })
+}
+
+/// The router phase of one connection: read + parse, answer control
+/// endpoints and every rejection (400/408/429/503) inline, hand real
+/// work to the owning shard. Requests the router terminates get their
+/// latency recorded here; forwarded ones are recorded by the shard
+/// worker that writes the response.
+fn route_connection(ctx: &Ctx, shard_txs: &[Sender<ShardJob>], stream: &mut TcpStream) {
+    let started = Instant::now();
+    let req = match http::read_request(stream, ctx.max_body, ctx.deadline) {
+        Ok(req) => req,
         Err(HttpError::Io(_)) => {
             // Peer vanished or stalled out; nothing to write, count it
             // against the unrouted bucket so it is not silent.
             ctx.metrics.unrouted.hit();
             ctx.metrics.unrouted.error();
+            ctx.metrics.latency_us.record(elapsed_us(started));
+            return;
         }
         Err(e) => {
             if matches!(e, HttpError::Deadline(_)) {
@@ -450,22 +586,263 @@ fn handle_connection(ctx: &Ctx, stream: &mut TcpStream) -> ConnOutcome {
             ctx.metrics.unrouted.error();
             let (status, reason, message) = e.status();
             let _ = http::write_json(stream, status, reason, &error_body(&message));
+            ctx.metrics.latency_us.record(elapsed_us(started));
+            return;
+        }
+    };
+
+    // Control endpoints answer from the router so observability and
+    // shutdown stay responsive no matter how deep the shard queues are.
+    if let Some(routed) = control_route(ctx, &req) {
+        finish(ctx, stream, started, &routed);
+        return;
+    }
+
+    // Tenant extraction + admission. The quota is charged before the
+    // shard queue: a flooding tenant burns router time only.
+    let tenant_id = req.header("x-spark-tenant").unwrap_or(DEFAULT_TENANT);
+    if let Err(msg) = validate_tenant(tenant_id) {
+        let routed = Routed {
+            status: 400,
+            reason: "Bad Request",
+            body: error_body(&format!("bad X-Spark-Tenant: {msg}")),
+            stats: &ctx.metrics.unrouted,
+        };
+        finish(ctx, stream, started, &routed);
+        return;
+    }
+    let tenant = ctx.tenants.get(tenant_id);
+    if let Err(retry_after_ms) = tenant.bucket.try_take(Instant::now(), endpoint_cost(&req.path))
+    {
+        tenant.rejected_429.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.rejected_429.fetch_add(1, Ordering::Relaxed);
+        let routed = Routed {
+            status: 429,
+            reason: "Too Many Requests",
+            body: Value::object([
+                ("error", Value::Str("tenant quota exceeded".into())),
+                ("tenant", Value::Str(tenant.id.clone())),
+                ("retry_after_ms", Value::Num(retry_after_ms as f64)),
+            ]),
+            stats: endpoint_stats(&ctx.metrics, &req.path),
+        };
+        finish(ctx, stream, started, &routed);
+        return;
+    }
+    tenant.hits.fetch_add(1, Ordering::Relaxed);
+
+    let shard = tenant.shard.min(shard_txs.len().saturating_sub(1));
+    let Some(tx) = shard_txs.get(shard) else {
+        return;
+    };
+    // `stream` is owned by this function's caller as a `&mut`; the job
+    // needs ownership, so swap in a cheap placeholder is not possible —
+    // instead clone the handle. `try_clone` shares the underlying socket.
+    let Ok(owned) = stream.try_clone() else {
+        let routed = Routed {
+            status: 500,
+            reason: "Internal Server Error",
+            body: error_body("connection handle unavailable"),
+            stats: endpoint_stats(&ctx.metrics, &req.path),
+        };
+        finish(ctx, stream, started, &routed);
+        return;
+    };
+    let job = ShardJob { stream: owned, req, tenant, started };
+    match tx.try_send(job) {
+        Ok(()) => {
+            if let Some(s) = ctx.metrics.shards.get(shard) {
+                s.note_queue(tx.len() as u64);
+            }
+        }
+        Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+            ctx.metrics.rejected_503.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = ctx.metrics.shards.get(shard) {
+                s.rejected_503.fetch_add(1, Ordering::Relaxed);
+            }
+            let routed = Routed {
+                status: 503,
+                reason: "Service Unavailable",
+                body: Value::object([
+                    ("error", Value::Str(format!("shard {shard} overloaded: queue full"))),
+                    ("shard", Value::Num(shard as f64)),
+                ]),
+                stats: endpoint_stats(&ctx.metrics, &job.req.path),
+            };
+            finish(ctx, stream, started, &routed);
         }
     }
-    ctx.metrics.latency_us.record((started.elapsed().as_micros() as u64).max(1));
-    outcome
 }
 
-fn route<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
+/// Writes a router-terminated response and records its metrics.
+fn finish(ctx: &Ctx, stream: &mut TcpStream, started: Instant, routed: &Routed<'_>) {
+    routed.stats.hit();
+    if routed.status >= 400 {
+        routed.stats.error();
+    }
+    let _ = http::write_json(stream, routed.status, routed.reason, &routed.body);
+    ctx.metrics.latency_us.record(elapsed_us(started));
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    (started.elapsed().as_micros() as u64).max(1)
+}
+
+/// Admission cost of one request, in quota tokens. Cheap pipeline calls
+/// charge 1; the cycle-accurate simulator charges its measured CPU
+/// multiple, so a tenant's quota tracks the *work* it demands rather
+/// than its request count — a low-rate flood of expensive requests
+/// drains its bucket as fast as a high-rate flood of cheap ones.
+pub fn endpoint_cost(path: &str) -> f64 {
+    match path {
+        "/v1/simulate" => 16.0,
+        "/v1/infer" => 2.0,
+        _ => 1.0,
+    }
+}
+
+/// The endpoint counter a rejection on `path` is charged to.
+fn endpoint_stats<'a>(m: &'a Metrics, path: &str) -> &'a EndpointStats {
+    match path {
+        "/v1/encode" => &m.encode,
+        "/v1/decode" => &m.decode,
+        "/v1/analyze" => &m.analyze,
+        "/v1/simulate" => &m.simulate,
+        "/v1/infer" => &m.infer,
+        _ => &m.unrouted,
+    }
+}
+
+/// Routes the three control endpoints inline at the router; `None` means
+/// the request belongs to a shard.
+fn control_route<'a>(ctx: &'a Ctx, req: &Request) -> Option<Routed<'a>> {
     let m = &ctx.metrics;
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             // Still serving, but be honest about scars: a caught panic or
             // a respawned worker downgrades the status.
             let status = if m.degraded() { "degraded" } else { "ok" };
-            ok(&m.control, Value::object([("status", Value::Str(status.into()))]))
+            Some(ok(
+                &m.control,
+                Value::object([
+                    ("status", Value::Str(status.into())),
+                    ("shards", Value::Num(ctx.shards.len() as f64)),
+                ]),
+            ))
         }
-        ("GET", "/metrics") => ok(&m.control, m.to_json()),
+        ("GET", "/metrics") => {
+            let mut snapshot = m.to_json();
+            if let Value::Object(members) = &mut snapshot {
+                members.push(("tenants".into(), ctx.tenants.to_json(16)));
+            }
+            Some(ok(&m.control, snapshot))
+        }
+        ("POST", "/shutdown") => {
+            request_shutdown(ctx);
+            Some(ok(&m.control, Value::object([("status", Value::Str("shutting down".into()))])))
+        }
+        _ => None,
+    }
+}
+
+/// Spawns one shard worker. Same panic-isolation contract as the router:
+/// a panicking handler costs its own request a 500, never the pool — the
+/// supervisor additionally replaces workers that exit outright.
+fn spawn_shard_worker(
+    shard_id: usize,
+    worker_id: usize,
+    rx: Receiver<ShardJob>,
+    ctx: Arc<Ctx>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("spark-shard-{shard_id}-{worker_id}"))
+        .spawn(move || {
+            while let Some(job) = rx.recv() {
+                if let Some(s) = ctx.metrics.shards.get(shard_id) {
+                    s.note_queue(rx.len() as u64);
+                }
+                if let JobOutcome::ExitWorker = handle_job(&ctx, shard_id, job) {
+                    return;
+                }
+            }
+        })
+}
+
+fn handle_job(ctx: &Ctx, shard_id: usize, job: ShardJob) -> JobOutcome {
+    let ShardJob { mut stream, req, tenant: _tenant, started } = job;
+    let mut outcome = JobOutcome::Done;
+
+    // Chaos-injected hard worker death: answer first, then tell the
+    // worker loop to exit its thread (the supervisor will respawn).
+    // Handled here, not in route(), because it changes the worker's
+    // control flow, not just the response.
+    if ctx.chaos && req.method == "POST" && req.path == "/__chaos/exit-worker" {
+        ctx.metrics.control.hit();
+        let _ = http::write_json(
+            &mut stream,
+            200,
+            "OK",
+            &Value::object([
+                ("status", Value::Str("worker exiting".into())),
+                ("shard", Value::Num(shard_id as f64)),
+            ]),
+        );
+        outcome = JobOutcome::ExitWorker;
+    } else {
+        match catch_unwind(AssertUnwindSafe(|| route(ctx, shard_id, &req))) {
+            Ok(routed) => {
+                routed.stats.hit();
+                if routed.status >= 400 {
+                    routed.stats.error();
+                    if let Some(s) = ctx.metrics.shards.get(shard_id) {
+                        s.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let _ = http::write_json(&mut stream, routed.status, routed.reason, &routed.body);
+            }
+            Err(_) => {
+                ctx.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = ctx.metrics.shards.get(shard_id) {
+                    s.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = http::write_json(
+                    &mut stream,
+                    500,
+                    "Internal Server Error",
+                    &error_body("handler panicked; worker recovered"),
+                );
+            }
+        }
+    }
+
+    let us = elapsed_us(started);
+    ctx.metrics.latency_us.record(us);
+    if let Some(s) = ctx.metrics.shards.get(shard_id) {
+        s.hits.fetch_add(1, Ordering::Relaxed);
+        s.latency_us.record(us);
+    }
+    outcome
+}
+
+/// Outcome of routing: status triple plus which endpoint counter it hits.
+struct Routed<'a> {
+    status: u16,
+    reason: &'static str,
+    body: Value,
+    stats: &'a EndpointStats,
+}
+
+fn route<'a>(ctx: &'a Ctx, shard_id: usize, req: &Request) -> Routed<'a> {
+    let m = &ctx.metrics;
+    let Some(shard) = ctx.shards.get(shard_id) else {
+        return Routed {
+            status: 500,
+            reason: "Internal Server Error",
+            body: error_body("shard context missing"),
+            stats: &m.unrouted,
+        };
+    };
+    match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/__chaos/panic") if ctx.chaos => {
             // Deliberate unwind through the handler stack; the worker's
             // catch boundary turns this into a 500 + panics_total tick.
@@ -473,12 +850,8 @@ fn route<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
             // injected rather than as a code defect.)
             std::panic::panic_any("chaos: injected handler panic")
         }
-        ("POST", "/shutdown") => {
-            request_shutdown(ctx);
-            ok(&m.control, Value::object([("status", Value::Str("shutting down".into()))]))
-        }
         ("POST", "/v1/encode") => match parse_values(req) {
-            Ok(values) => encode_endpoint(ctx, &values),
+            Ok(values) => encode_endpoint(ctx, shard, &values),
             Err(msg) => bad_request(&m.encode, &msg),
         },
         ("POST", "/v1/analyze") => match parse_values(req) {
@@ -489,12 +862,12 @@ fn route<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
             Err(msg) => bad_request(&m.analyze, &msg),
         },
         ("POST", "/v1/decode") => match decode_input(req) {
-            Ok(hex) => decode_endpoint(ctx, &hex),
+            Ok(hex) => decode_endpoint(ctx, shard, &hex),
             Err(msg) => bad_request(&m.decode, &msg),
         },
-        ("POST", "/v1/simulate") => simulate_endpoint(ctx, req),
+        ("POST", "/v1/simulate") => simulate_endpoint(ctx, shard, req),
         ("POST", "/v1/infer") => match parse_values(req) {
-            Ok(values) => infer_endpoint(ctx, &values),
+            Ok(values) => infer_endpoint(ctx, shard, &values),
             Err(msg) => bad_request(&m.infer, &msg),
         },
         (_, "/healthz" | "/metrics" | "/shutdown" | "/v1/encode" | "/v1/analyze"
@@ -556,14 +929,14 @@ fn decode_input(req: &Request) -> Result<String, String> {
     Ok(text.trim().to_string())
 }
 
-fn encode_endpoint<'a>(ctx: &'a Ctx, values: &[f32]) -> Routed<'a> {
+fn encode_endpoint<'a>(ctx: &'a Ctx, shard: &ShardCtx, values: &[f32]) -> Routed<'a> {
     let stats = &ctx.metrics.encode;
     let codes = match api::quantize_codes(values) {
         Ok(c) => c,
         Err(msg) => return bad_request(stats, &msg),
     };
     let scale = codes.scale;
-    let Some(slot) = ctx.encode_batcher.submit((codes.codes, scale)) else {
+    let Some(slot) = shard.encode_batcher.submit((codes.codes, scale)) else {
         return batcher_gone(stats);
     };
     match slot.wait_timeout(SLOT_TIMEOUT) {
@@ -574,17 +947,17 @@ fn encode_endpoint<'a>(ctx: &'a Ctx, values: &[f32]) -> Routed<'a> {
 
 /// `/v1/decode` split along the batching seam like encode: hex parsing
 /// happens per-request (cheap, per-connection), the stream decode itself
-/// is coalesced through the decode batcher into one
+/// is coalesced through the shard's decode batcher into one
 /// [`spark_codec::decode_batch`] call over the bulk engine. A malformed
 /// stream (truncated long code) comes back as this request's own 400
 /// without affecting batchmates.
-fn decode_endpoint<'a>(ctx: &'a Ctx, hex: &str) -> Routed<'a> {
+fn decode_endpoint<'a>(ctx: &'a Ctx, shard: &ShardCtx, hex: &str) -> Routed<'a> {
     let stats = &ctx.metrics.decode;
     let stream = match api::stream_from_hex(hex) {
         Ok(s) => s,
         Err(msg) => return bad_request(stats, &msg),
     };
-    let Some(slot) = ctx.decode_batcher.submit(stream) else {
+    let Some(slot) = shard.decode_batcher.submit(stream) else {
         return batcher_gone(stats);
     };
     match slot.wait_timeout(SLOT_TIMEOUT) {
@@ -594,19 +967,19 @@ fn decode_endpoint<'a>(ctx: &'a Ctx, hex: &str) -> Routed<'a> {
     }
 }
 
-fn infer_endpoint<'a>(ctx: &'a Ctx, values: &[f32]) -> Routed<'a> {
+fn infer_endpoint<'a>(ctx: &'a Ctx, shard: &ShardCtx, values: &[f32]) -> Routed<'a> {
     let stats = &ctx.metrics.infer;
     // A poisoned lock only means another request panicked mid-forward;
     // the model itself is stateless between requests (the layer caches
     // are overwritten by every forward), so serving on is sound.
-    let mut model = ctx.infer.lock().unwrap_or_else(|e| e.into_inner());
+    let mut model = shard.infer.lock().unwrap_or_else(|e| e.into_inner());
     match model.infer(values) {
         Ok(body) => ok(stats, body),
         Err(msg) => bad_request(stats, &msg),
     }
 }
 
-fn simulate_endpoint<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
+fn simulate_endpoint<'a>(ctx: &'a Ctx, shard: &ShardCtx, req: &Request) -> Routed<'a> {
     let stats = &ctx.metrics.simulate;
     let parsed = std::str::from_utf8(&req.body)
         .map_err(|_| "body is not UTF-8".to_string())
@@ -623,7 +996,7 @@ fn simulate_endpoint<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
         Ok(j) => j,
         Err(msg) => return bad_request(stats, &msg),
     };
-    let Some(slot) = ctx.sim_batcher.submit(job) else {
+    let Some(slot) = shard.sim_batcher.submit(job) else {
         return batcher_gone(stats);
     };
     match slot.wait_timeout(SLOT_TIMEOUT) {
@@ -635,7 +1008,8 @@ fn simulate_endpoint<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::client_request;
+    use crate::http::{client_request, client_request_with_headers};
+    use crate::shard::HashRing;
 
     fn start_test_server() -> Server {
         Server::start(ServeConfig {
@@ -660,6 +1034,8 @@ mod tests {
         assert_eq!(status, 200);
         let v = spark_util::json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
         assert!(v.get("endpoints").is_some());
+        assert!(v.get("shards").is_some());
+        assert!(v.get("tenants").is_some());
         server.shutdown();
         server.join();
     }
@@ -738,6 +1114,184 @@ mod tests {
             assert_eq!(status, 400, "{path} {body:?} -> {reply:?}");
             let v = spark_util::json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
             assert!(v.get("error").is_some());
+        }
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn tenants_route_to_their_ring_shard_and_are_tracked() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            shards: 3,
+            shard_workers: 1,
+            queue_depth: 16,
+            batch_window: Duration::from_millis(1),
+            max_batch: 8,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+        let ring = HashRing::new(3);
+
+        // Fire a few tenants; each request must land on the shard the
+        // ring predicts, visible through per-shard hit counters.
+        let tenants = ["acme", "globex", "initech", "umbrella"];
+        for t in &tenants {
+            let (status, _) = client_request_with_headers(
+                &addr,
+                "POST",
+                "/v1/analyze",
+                "application/json",
+                &[("X-Spark-Tenant", t)],
+                b"{\"values\": [0.5, -0.25, 0.125]}",
+            )
+            .unwrap();
+            assert_eq!(status, 200, "tenant {t}");
+        }
+        let (_, body) = client_request(&addr, "GET", "/metrics", "", b"").unwrap();
+        let v = spark_util::json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        let shards = v.get("shards").unwrap().as_array().unwrap();
+        let mut expected = vec![0u64; 3];
+        for t in &tenants {
+            expected[ring.shard_for(t)] += 1;
+        }
+        for (i, want) in expected.iter().enumerate() {
+            let got = shards[i].get("hits").unwrap().as_f64().unwrap() as u64;
+            assert_eq!(got, *want, "shard {i} hits");
+        }
+        let tenant_section = v.get("tenants").unwrap();
+        assert_eq!(tenant_section.get("tracked").unwrap().as_f64(), Some(4.0));
+
+        // A hostile tenant id is a 400, not a route.
+        let (status, _) = client_request_with_headers(
+            &addr,
+            "POST",
+            "/v1/analyze",
+            "application/json",
+            &[("X-Spark-Tenant", "bad tenant id")],
+            b"{\"values\": [0.5]}",
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn tenant_quota_sheds_429_and_isolates_the_neighbor() {
+        // 2 rps sustained, burst of 3: the 4th+ back-to-back request from
+        // one tenant must shed with a typed 429 while a different tenant
+        // still gets 200s — admission is per tenant, not global.
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            shards: 2,
+            shard_workers: 1,
+            queue_depth: 16,
+            quota_rps: 2.0,
+            quota_burst: 3.0,
+            batch_window: Duration::from_millis(1),
+            max_batch: 8,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+
+        let mut ok_count = 0;
+        let mut shed = Vec::new();
+        for _ in 0..8 {
+            let (status, body) = client_request_with_headers(
+                &addr,
+                "POST",
+                "/v1/analyze",
+                "application/json",
+                &[("X-Spark-Tenant", "flooder")],
+                b"{\"values\": [0.5, -0.25]}",
+            )
+            .unwrap();
+            match status {
+                200 => ok_count += 1,
+                429 => shed.push(body),
+                other => panic!("unexpected status {other}"),
+            }
+        }
+        assert!(ok_count >= 3, "burst of 3 must be admitted, got {ok_count}");
+        assert!(!shed.is_empty(), "8 back-to-back requests must exceed a 3-token burst");
+        let v = spark_util::json::parse(std::str::from_utf8(&shed[0]).unwrap()).unwrap();
+        assert_eq!(v.get("tenant").unwrap().as_str(), Some("flooder"));
+        assert!(v.get("retry_after_ms").unwrap().as_f64().unwrap() > 0.0);
+
+        // The well-behaved neighbor is untouched by the flooder's quota.
+        let (status, _) = client_request_with_headers(
+            &addr,
+            "POST",
+            "/v1/analyze",
+            "application/json",
+            &[("X-Spark-Tenant", "polite")],
+            b"{\"values\": [0.5]}",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+
+        let (_, body) = client_request(&addr, "GET", "/metrics", "", b"").unwrap();
+        let v = spark_util::json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        let rejected =
+            v.get("queue").unwrap().get("rejected_429").unwrap().as_f64().unwrap();
+        assert_eq!(rejected as usize, shed.len());
+
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn sharded_server_answers_on_every_shard() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            shards: 4,
+            shard_workers: 1,
+            queue_depth: 32,
+            batch_window: Duration::from_millis(1),
+            max_batch: 8,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+        let ring = HashRing::new(4);
+        // Find one tenant per shard so every pool provably serves.
+        let mut per_shard: Vec<Option<String>> = vec![None; 4];
+        for i in 0.. {
+            let t = format!("probe-{i}");
+            let s = ring.shard_for(&t);
+            if per_shard[s].is_none() {
+                per_shard[s] = Some(t);
+                if per_shard.iter().all(Option::is_some) {
+                    break;
+                }
+            }
+        }
+        for t in per_shard.iter().flatten() {
+            let (status, _) = client_request_with_headers(
+                &addr,
+                "POST",
+                "/v1/encode",
+                "application/json",
+                &[("X-Spark-Tenant", t)],
+                b"{\"values\": [0.1, 0.2, 0.3]}",
+            )
+            .unwrap();
+            assert_eq!(status, 200, "tenant {t}");
+        }
+        let (_, body) = client_request(&addr, "GET", "/metrics", "", b"").unwrap();
+        let v = spark_util::json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        for (i, s) in v.get("shards").unwrap().as_array().unwrap().iter().enumerate() {
+            assert!(
+                s.get("hits").unwrap().as_f64().unwrap() >= 1.0,
+                "shard {i} never served"
+            );
         }
         server.shutdown();
         server.join();

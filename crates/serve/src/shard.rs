@@ -1,0 +1,459 @@
+//! Tenant sharding: consistent hashing, admission control, and the
+//! per-tenant registry.
+//!
+//! The serving plane assigns every request to a *tenant* (the
+//! `X-Spark-Tenant` header, or `"default"` when absent) and routes the
+//! tenant onto one of N independent shard worker pools through a
+//! consistent-hash ring. Three properties make the ring the right
+//! structure, and all three are pinned by tests:
+//!
+//! 1. **Stability** — a tenant always lands on the same shard, so one
+//!    noisy tenant's queueing delay never leaks onto tenants hashed
+//!    elsewhere.
+//! 2. **Uniformity** — with `VNODES` virtual points per shard the load
+//!    across 10k tenants balances to within a few percent.
+//! 3. **Minimal disruption** — removing a shard remaps only the tenants
+//!    that shard owned; everyone else keeps their assignment (the
+//!    property plain `hash % n` does not have).
+//!
+//! Admission is a per-tenant token bucket: `quota_rps` sustained, up to
+//! `quota_burst` tokens banked. A tenant over its quota gets an immediate
+//! typed 429 — shedding *before* the shard queue, so a flooding tenant
+//! burns almost no shard capacity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use spark_util::json::Value;
+use spark_util::rng::splitmix64;
+
+/// Virtual ring points per shard. 128 keeps the 10k-tenant spread within
+/// ~±10% of uniform (pinned by `ring_balances_tenants`).
+pub const VNODES: usize = 128;
+
+/// Cap on distinct tenants tracked individually. Beyond this, new tenant
+/// names share one overflow entry so an adversary minting unique names
+/// cannot grow the registry without bound.
+pub const MAX_TRACKED_TENANTS: usize = 8192;
+
+/// Tenant used when the request carries no `X-Spark-Tenant` header.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Longest accepted tenant id (header value).
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// FNV-1a over the tenant id — the same hash family the container
+/// checksums use, stable across platforms and releases (a tenant's shard
+/// must never depend on compiler or stdlib hash seeds).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Validates a tenant id: 1..=[`MAX_TENANT_LEN`] visible ASCII characters
+/// (no spaces or control bytes, so ids embed cleanly in JSON and logs).
+///
+/// # Errors
+///
+/// A description of the violated constraint.
+pub fn validate_tenant(id: &str) -> Result<(), String> {
+    if id.is_empty() {
+        return Err("tenant id must not be empty".into());
+    }
+    if id.len() > MAX_TENANT_LEN {
+        return Err(format!("tenant id longer than {MAX_TENANT_LEN} bytes"));
+    }
+    if !id.bytes().all(|b| (0x21..=0x7E).contains(&b)) {
+        return Err("tenant id must be visible ASCII".into());
+    }
+    Ok(())
+}
+
+/// A consistent-hash ring mapping tenant ids onto `shards` pools.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point; binary search finds the
+    /// clockwise successor of a tenant's hash.
+    points: Vec<(u64, u32)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for shard ids `0..shards` with [`VNODES`] virtual
+    /// points each. `shards` is clamped to at least 1.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self { points: Self::points_for(&(0..shards as u32).collect::<Vec<_>>()), shards }
+    }
+
+    /// The ring with one shard removed — the disruption-minimality test
+    /// compares assignments against this.
+    pub fn without(&self, shard: u32) -> Self {
+        let keep: Vec<u32> =
+            (0..self.shards as u32).filter(|&s| s != shard).collect();
+        Self { points: Self::points_for(&keep), shards: self.shards }
+    }
+
+    fn points_for(shards: &[u32]) -> Vec<(u64, u32)> {
+        let mut points = Vec::with_capacity(shards.len() * VNODES);
+        for &s in shards {
+            // Each virtual point is a splitmix64 hash of (shard, replica):
+            // deterministic, well spread, and independent of shard count.
+            let mut state = 0x5A4D_0000u64 ^ (u64::from(s) << 32);
+            for _ in 0..VNODES {
+                points.push((splitmix64(&mut state), s));
+            }
+        }
+        points.sort_unstable();
+        points
+    }
+
+    /// Number of shards the ring was built over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `tenant`: the first ring point at or after the
+    /// tenant's hash, wrapping at the top.
+    pub fn shard_for(&self, tenant: &str) -> usize {
+        let h = fnv1a(tenant.as_bytes());
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[i % self.points.len()];
+        shard as usize
+    }
+}
+
+/// A token bucket: `rate` tokens/second sustained, at most `burst`
+/// banked. `rate == 0` disables admission (always admits).
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    /// `(tokens, last_refill)` — a tiny mutex; contention is per tenant,
+    /// never global.
+    state: Mutex<(f64, Instant)>,
+}
+
+impl TokenBucket {
+    /// Creates a bucket starting full.
+    pub fn new(rate: f64, burst: f64, now: Instant) -> Self {
+        Self { rate: rate.max(0.0), burst: burst.max(1.0), state: Mutex::new((burst.max(1.0), now)) }
+    }
+
+    /// Takes `cost` tokens (a cheap request charges 1.0; heavyweight
+    /// endpoints charge more, so admission tracks *work*, not request
+    /// count). On refusal, returns the milliseconds until `cost` tokens
+    /// will be available (the `retry_after_ms` the 429 carries).
+    pub fn try_take(&self, now: Instant, cost: f64) -> Result<(), u64> {
+        if self.rate <= 0.0 {
+            return Ok(());
+        }
+        let cost = cost.max(0.0).min(self.burst);
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let (ref mut tokens, ref mut last) = *s;
+        let dt = now.saturating_duration_since(*last).as_secs_f64();
+        *tokens = (*tokens + dt * self.rate).min(self.burst);
+        *last = now;
+        if *tokens >= cost {
+            *tokens -= cost;
+            Ok(())
+        } else {
+            let wait_s = (cost - *tokens) / self.rate;
+            Err((wait_s * 1000.0).ceil() as u64)
+        }
+    }
+}
+
+/// Everything the server tracks about one tenant.
+#[derive(Debug)]
+pub struct TenantState {
+    /// The id (owned; also the registry key).
+    pub id: String,
+    /// Shard the ring assigned.
+    pub shard: usize,
+    /// Requests routed (admitted past the quota).
+    pub hits: AtomicU64,
+    /// Requests shed with 429 by the quota.
+    pub rejected_429: AtomicU64,
+    /// The admission bucket.
+    pub bucket: TokenBucket,
+}
+
+impl TenantState {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("tenant", Value::Str(self.id.clone())),
+            ("shard", Value::Num(self.shard as f64)),
+            ("hits", Value::Num(self.hits.load(Ordering::Relaxed) as f64)),
+            (
+                "rejected_429",
+                Value::Num(self.rejected_429.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+}
+
+/// The bounded tenant registry: ring + per-tenant state + quota config.
+pub struct Tenants {
+    ring: HashRing,
+    quota_rps: f64,
+    quota_burst: f64,
+    started: Instant,
+    map: Mutex<HashMap<String, Arc<TenantState>>>,
+    /// Shared state for tenants past [`MAX_TRACKED_TENANTS`]; keeps
+    /// memory bounded under adversarial name minting. The overflow
+    /// bucket is shared, so overflow tenants also share a quota —
+    /// documented behavior, and itself a (coarse) protection.
+    overflow: Arc<TenantState>,
+}
+
+impl Tenants {
+    /// Creates the registry. `quota_rps == 0` disables admission control.
+    pub fn new(shards: usize, quota_rps: f64, quota_burst: f64) -> Self {
+        let started = Instant::now();
+        let ring = HashRing::new(shards);
+        let overflow = Arc::new(TenantState {
+            id: "(overflow)".into(),
+            shard: ring.shard_for("(overflow)"),
+            hits: AtomicU64::new(0),
+            rejected_429: AtomicU64::new(0),
+            bucket: TokenBucket::new(quota_rps, quota_burst, started),
+        });
+        Self { ring, quota_rps, quota_burst, started, map: Mutex::new(HashMap::new()), overflow }
+    }
+
+    /// The ring (for assignment-invariant tests and the router).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Time origin for the token buckets.
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    /// Looks up (or creates) the state for `tenant`.
+    pub fn get(&self, tenant: &str) -> Arc<TenantState> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(state) = map.get(tenant) {
+            return Arc::clone(state);
+        }
+        if map.len() >= MAX_TRACKED_TENANTS {
+            return Arc::clone(&self.overflow);
+        }
+        let state = Arc::new(TenantState {
+            id: tenant.to_string(),
+            shard: self.ring.shard_for(tenant),
+            hits: AtomicU64::new(0),
+            rejected_429: AtomicU64::new(0),
+            bucket: TokenBucket::new(self.quota_rps, self.quota_burst, Instant::now()),
+        });
+        map.insert(tenant.to_string(), Arc::clone(&state));
+        state
+    }
+
+    /// Number of individually tracked tenants.
+    pub fn tracked(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Total 429s across every tenant (including overflow).
+    pub fn total_rejected_429(&self) -> u64 {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.values()
+            .map(|t| t.rejected_429.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.overflow.rejected_429.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for `/metrics`: tenant count, total 429s, and the top
+    /// `top_n` tenants by hits (name-sorted on ties, so the dump is
+    /// deterministic for a settled server).
+    pub fn to_json(&self, top_n: usize) -> Value {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<&Arc<TenantState>> = map.values().collect();
+        entries.sort_by(|a, b| {
+            b.hits
+                .load(Ordering::Relaxed)
+                .cmp(&a.hits.load(Ordering::Relaxed))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        let top: Vec<Value> = entries.iter().take(top_n).map(|t| t.to_json()).collect();
+        let total_429 = entries
+            .iter()
+            .map(|t| t.rejected_429.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.overflow.rejected_429.load(Ordering::Relaxed);
+        Value::object([
+            ("tracked", Value::Num(map.len() as f64)),
+            ("rejected_429", Value::Num(total_429 as f64)),
+            (
+                "overflow_hits",
+                Value::Num(self.overflow.hits.load(Ordering::Relaxed) as f64),
+            ),
+            ("top", Value::Array(top)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn same_tenant_always_lands_on_the_same_shard() {
+        let ring = HashRing::new(4);
+        for t in 0..1000 {
+            let name = format!("tenant-{t}");
+            let first = ring.shard_for(&name);
+            for _ in 0..10 {
+                assert_eq!(ring.shard_for(&name), first, "{name} moved");
+            }
+            // A freshly built identical ring agrees (no hidden state).
+            assert_eq!(HashRing::new(4).shard_for(&name), first);
+        }
+    }
+
+    #[test]
+    fn ring_balances_tenants() {
+        // 10k synthetic tenants over 4 shards: every shard within ±10%
+        // of the uniform share.
+        let shards = 4;
+        let ring = HashRing::new(shards);
+        let mut counts = vec![0usize; shards];
+        for t in 0..10_000 {
+            counts[ring.shard_for(&format!("tenant-{t:05}"))] += 1;
+        }
+        let share = 10_000.0 / shards as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > share * 0.9 && (c as f64) < share * 1.1,
+                "shard {s} holds {c} of 10000 (uniform share {share})"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_remaps_only_its_own_tenants() {
+        let shards = 5;
+        let ring = HashRing::new(shards);
+        let removed = 2u32;
+        let smaller = ring.without(removed);
+        let mut remapped = 0usize;
+        for t in 0..10_000 {
+            let name = format!("tenant-{t:05}");
+            let before = ring.shard_for(&name);
+            let after = smaller.shard_for(&name);
+            if before == removed as usize {
+                assert_ne!(after, removed as usize, "{name} still on the removed shard");
+                remapped += 1;
+            } else {
+                assert_eq!(before, after, "{name} moved although its shard survived");
+            }
+        }
+        // The removed shard's tenants (~1/5 of them) all went somewhere.
+        assert!(remapped > 1500, "only {remapped} tenants lived on the removed shard");
+    }
+
+    #[test]
+    fn single_shard_ring_maps_everything_to_zero() {
+        let ring = HashRing::new(1);
+        for t in 0..100 {
+            assert_eq!(ring.shard_for(&format!("t{t}")), 0);
+        }
+        // Degenerate input clamps rather than panics.
+        assert_eq!(HashRing::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn token_bucket_admits_burst_then_refuses_then_refills() {
+        let t0 = Instant::now();
+        let b = TokenBucket::new(10.0, 5.0, t0);
+        for i in 0..5 {
+            assert!(b.try_take(t0, 1.0).is_ok(), "burst token {i}");
+        }
+        let retry = b.try_take(t0, 1.0).unwrap_err();
+        assert!(retry >= 1 && retry <= 200, "retry_after {retry} ms at 10 rps");
+        // 300 ms later: 3 tokens accrued.
+        let t1 = t0 + Duration::from_millis(300);
+        assert!(b.try_take(t1, 1.0).is_ok());
+        assert!(b.try_take(t1, 1.0).is_ok());
+        assert!(b.try_take(t1, 1.0).is_ok());
+        assert!(b.try_take(t1, 1.0).is_err());
+    }
+
+    #[test]
+    fn weighted_costs_drain_the_bucket_faster() {
+        let t0 = Instant::now();
+        let b = TokenBucket::new(10.0, 20.0, t0);
+        // One 16-unit heavyweight call eats most of the burst...
+        assert!(b.try_take(t0, 16.0).is_ok());
+        // ...four cheap calls drain the rest...
+        for _ in 0..4 {
+            assert!(b.try_take(t0, 1.0).is_ok());
+        }
+        // ...and the next heavyweight call must wait for 16 tokens.
+        let retry = b.try_take(t0, 16.0).unwrap_err();
+        assert!(retry >= 1000, "16 tokens at 10/s is >= 1.6 s, got {retry} ms");
+        // A cost above the burst clamps instead of wedging forever.
+        let greedy = TokenBucket::new(10.0, 4.0, t0);
+        assert!(greedy.try_take(t0, 1e9).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_bucket_always_admits() {
+        let t0 = Instant::now();
+        let b = TokenBucket::new(0.0, 0.0, t0);
+        for _ in 0..1000 {
+            assert!(b.try_take(t0, 1.0).is_ok());
+        }
+    }
+
+    #[test]
+    fn tenant_registry_is_bounded_and_stable() {
+        let tenants = Tenants::new(4, 0.0, 0.0);
+        let a1 = tenants.get("alpha");
+        let a2 = tenants.get("alpha");
+        assert!(Arc::ptr_eq(&a1, &a2), "same tenant must share state");
+        assert_eq!(a1.shard, tenants.ring().shard_for("alpha"));
+        for t in 0..MAX_TRACKED_TENANTS + 100 {
+            tenants.get(&format!("mint-{t}"));
+        }
+        assert!(tenants.tracked() <= MAX_TRACKED_TENANTS);
+        // Past the cap, new names share the overflow entry.
+        let o1 = tenants.get("definitely-not-tracked-1");
+        let o2 = tenants.get("definitely-not-tracked-2");
+        assert!(Arc::ptr_eq(&o1, &o2));
+    }
+
+    #[test]
+    fn tenant_snapshot_is_deterministic_and_ranked() {
+        let tenants = Tenants::new(2, 0.0, 0.0);
+        tenants.get("busy").hits.store(100, Ordering::Relaxed);
+        tenants.get("quiet").hits.store(1, Ordering::Relaxed);
+        tenants.get("medium").hits.store(50, Ordering::Relaxed);
+        let v = tenants.to_json(2);
+        assert_eq!(v.get("tracked").unwrap().as_f64(), Some(3.0));
+        let top = v.get("top").unwrap().as_array().unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].get("tenant").unwrap().as_str(), Some("busy"));
+        assert_eq!(top[1].get("tenant").unwrap().as_str(), Some("medium"));
+    }
+
+    #[test]
+    fn tenant_validation_rejects_hostile_ids() {
+        assert!(validate_tenant("ok-tenant_42.A").is_ok());
+        assert!(validate_tenant("").is_err());
+        assert!(validate_tenant(&"x".repeat(MAX_TENANT_LEN + 1)).is_err());
+        assert!(validate_tenant("has space").is_err());
+        assert!(validate_tenant("ctl\u{7}").is_err());
+        assert!(validate_tenant("uni\u{e9}").is_err());
+    }
+}

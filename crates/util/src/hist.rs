@@ -40,6 +40,9 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Smallest sample; `u64::MAX` while empty so `fetch_min` works
+    /// without a sentinel branch on the hot path.
+    min: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -91,6 +94,7 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -100,6 +104,7 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
     }
 
     /// Number of samples recorded.
@@ -117,6 +122,16 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Smallest sample recorded (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> f64 {
         let n = self.count();
@@ -126,24 +141,36 @@ impl Histogram {
         self.sum() as f64 / n as f64
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`), reported as the upper edge of the
-    /// bucket where the cumulative count crosses `q * count` — a
-    /// conservative (never understated) latency estimate with ≤ 1/8
-    /// relative error. Returns 0 when empty.
+    /// The `q`-quantile (`q` in `[0, 1]`) by the nearest-rank method:
+    /// the value at rank `⌈q·n⌉` of the sorted samples, reported as the
+    /// upper edge of that rank's bucket — a conservative (never
+    /// understated) estimate with ≤ 1/8 relative error. Clamped into
+    /// `[min, max]` so a single sample answers every quantile exactly.
+    /// `q ≤ 0` returns the minimum; an empty histogram returns 0 for
+    /// every `q`.
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
         }
-        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        // ⌈q·n⌉ computed with a one-ulp-scale epsilon so that exact
+        // boundaries survive binary rounding: 0.999 × 1000 must target
+        // rank 999, not drift to 999.0000000000001 and ceil to 1000.
+        let exact = q.clamp(0.0, 1.0) * n as f64;
+        let target = ((exact - 1e-9 * exact.max(1.0)).ceil() as u64).clamp(1, n);
+        // Load the extrema once; a record() racing between the max and
+        // min updates could transiently invert them, so order defensively
+        // rather than clamp (which would panic on lo > hi).
+        let hi = self.max();
+        let lo = self.min().min(hi);
         let mut seen = 0u64;
         for i in 0..BUCKETS {
             seen += self.buckets[i].load(Ordering::Relaxed);
             if seen >= target {
-                return bucket_upper(i).min(self.max());
+                return bucket_upper(i).clamp(lo, hi);
             }
         }
-        self.max()
+        hi
     }
 
     /// Non-empty buckets as `(lower_edge, count)` pairs, for dumps.
@@ -156,15 +183,18 @@ impl Histogram {
             .collect()
     }
 
-    /// Summary as a JSON object: `count`, `mean`, `p50`, `p90`, `p99`,
-    /// `max` — the schema `/metrics` serves.
+    /// Summary as a JSON object: `count`, `mean`, `min`, `p50`, `p90`,
+    /// `p99`, `p999`, `max` — the schema `/metrics` and the load-harness
+    /// reports serve.
     pub fn to_json(&self) -> crate::json::Value {
         crate::json::Value::object([
             ("count", crate::json::Value::Num(self.count() as f64)),
             ("mean", crate::json::Value::Num(self.mean())),
+            ("min", crate::json::Value::Num(self.min() as f64)),
             ("p50", crate::json::Value::Num(self.quantile(0.5) as f64)),
             ("p90", crate::json::Value::Num(self.quantile(0.9) as f64)),
             ("p99", crate::json::Value::Num(self.quantile(0.99) as f64)),
+            ("p999", crate::json::Value::Num(self.quantile(0.999) as f64)),
             ("max", crate::json::Value::Num(self.max() as f64)),
         ])
     }
@@ -221,9 +251,88 @@ mod tests {
     fn empty_histogram_is_zero() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.99), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_exactly() {
+        // Including a large value whose bucket is 1/8-wide: the clamp to
+        // [min, max] must collapse the bucket back to the sample.
+        for v in [0u64, 1, 63, 64, 100, 12_345, 1 << 40] {
+            let h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.25, 0.5, 0.99, 0.999, 1.0] {
+                assert_eq!(h.quantile(q), v, "v = {v}, q = {q}");
+            }
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+        }
+    }
+
+    #[test]
+    fn exact_boundary_ranks_do_not_overshoot() {
+        // 1000 samples: p999 must land on rank 999's value, not drift one
+        // rank up through floating-point (0.999 × 1000 ≈ 999.0000000001).
+        let h = Histogram::new();
+        for _ in 0..999 {
+            h.record(10);
+        }
+        h.record(50);
+        assert_eq!(h.quantile(0.999), 10, "rank 999 of 1000 is the low value");
+        assert_eq!(h.quantile(1.0), 50);
+        // Exact halves behave as nearest-rank: rank ⌈0.5·2⌉ = 1.
+        let h2 = Histogram::new();
+        h2.record(1);
+        h2.record(9);
+        assert_eq!(h2.quantile(0.5), 1);
+        assert_eq!(h2.quantile(0.51), 9);
+    }
+
+    #[test]
+    fn quantile_zero_is_the_minimum() {
+        let h = Histogram::new();
+        for v in [500u64, 20, 3000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 20);
+        assert_eq!(h.quantile(-1.0), 20, "q below range clamps to min");
+        assert_eq!(h.min(), 20);
+    }
+
+    #[test]
+    fn percentile_round_trip_against_sorted_reference() {
+        // Deterministic pseudo-random samples spanning the exact range,
+        // the log-bucketed range, and several octaves. Every reported
+        // quantile must sit in [reference, reference × 9/8] — never
+        // understated, bounded relative overshoot — where reference is
+        // the nearest-rank value from the sorted samples.
+        let mut state = 0x5EED_1234u64;
+        let mut samples: Vec<u64> = (0..10_000)
+            .map(|_| {
+                state = crate::rng::splitmix64(&mut state);
+                state % 2_000_000
+            })
+            .collect();
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let reference = samples[rank - 1];
+            let got = h.quantile(q);
+            assert!(got >= reference, "q{q}: {got} understates reference {reference}");
+            // Bucket width above EXACT_LIMIT is lower/8, so the upper
+            // edge overshoots the sample by at most a factor of 9/8.
+            let bound = reference + reference / 8 + 1;
+            assert!(got <= bound, "q{q}: {got} > bound {bound} (reference {reference})");
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //!
 //! - [`rng`] — seedable SplitMix64 / xoshiro256++ PRNG with shuffling
 //!   (replaces `rand`);
-//! - [`dist`] — Normal / StandardNormal / Gamma samplers (replaces
-//!   `rand_distr`);
+//! - [`dist`] — Normal / StandardNormal / Gamma / Exp / Zipf samplers
+//!   (replaces `rand_distr`);
 //! - [`par`] — scoped-thread [`par::par_map`], two-way [`par::join`], and
 //!   a bounded MPMC [`par::channel`] for coarse data-parallel sweeps and
 //!   the serving job queue (replaces `rayon` / `crossbeam-channel`);
@@ -33,7 +33,7 @@ pub mod par;
 pub mod prop;
 pub mod rng;
 
-pub use dist::{Gamma, Normal, StandardNormal};
+pub use dist::{Exp, Gamma, Normal, StandardNormal, Zipf};
 pub use hist::Histogram;
 pub use json::{ToJson, Value};
 pub use par::{channel, join, par_map};
