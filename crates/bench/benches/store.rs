@@ -1,0 +1,106 @@
+//! Blockstore benchmark: cold-loading an encoded weight matrix from
+//! `spark-store` versus re-encoding it from dense `f32` at startup.
+//!
+//! The number that matters is gated in CI (`BENCH_store.json`):
+//!
+//! - `cold_load_speedup` — time to rebuild the encoded matrix from its
+//!   dense values (`EncodedMatrix::encode`, the only alternative when no
+//!   store exists) over time to open the store directory and `pread` the
+//!   panels back (`BlockStore::open` + `get_matrix`, the full cold path
+//!   including WAL recovery). Must stay ≥ 3×: persistence has to beat
+//!   re-encoding decisively or the subsystem isn't paying rent.
+//!
+//! Bit-identity is asserted before any timing: the cold-loaded matrix
+//! must decode to exactly the same values as the one that was stored, so
+//! the two timed paths produce interchangeable artifacts.
+//! `SPARK_BENCH_JSON=<path>` writes the JSON document;
+//! `SPARK_BENCH_QUICK=1` shrinks iteration counts.
+
+use spark_store::BlockStore;
+use spark_tensor::{EncodedMatrix, Tensor};
+use spark_util::bench::{bench, black_box};
+use spark_util::{Rng, Value};
+
+fn main() {
+    let (k, n) = (512, 512);
+    let mut rng = Rng::seed_from_u64(0x570_4E5E);
+    let mut uniform = || (rng.gen_f64() as f32) * 2.0 - 1.0;
+    let dense = Tensor::from_fn(&[k, n], |_| uniform());
+    let encoded = EncodedMatrix::encode(&dense).expect("finite operand encodes");
+
+    let dir = std::env::temp_dir().join(format!("spark-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = BlockStore::open(&dir).expect("fresh temp dir opens");
+        store.put_matrix("bench/w", &encoded).expect("clean matrix stores");
+    }
+
+    // The stored artifact must be interchangeable with the re-encoded
+    // one: identical reconstructed values, bit for bit.
+    let loaded = {
+        let store = BlockStore::open(&dir).expect("stored dir reopens");
+        store.get_matrix("bench/w").expect("stored matrix loads")
+    };
+    let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    let want = encoded.decode().expect("clean container decodes");
+    let got = loaded.decode().expect("loaded container decodes");
+    assert_eq!(bits(&want), bits(&got), "cold-loaded matrix != stored matrix");
+
+    let resident = encoded.resident_bytes();
+    let dense_bytes = encoded.dense_bytes();
+    println!(
+        "store/artifact_bytes {resident} encoded / {dense_bytes} dense ({:.2}x reduction)",
+        dense_bytes as f64 / resident as f64
+    );
+
+    // The no-store cold path: quantize + encode the dense weights again.
+    let r_encode = bench(&format!("store/encode_from_dense/{k}x{n}"), || {
+        black_box(EncodedMatrix::encode(&dense).expect("finite operand encodes"));
+    });
+    // The store cold path, end to end: directory scan, WAL recovery,
+    // aligned pread, zero-copy rehydration.
+    let r_cold = bench(&format!("store/cold_load/{k}x{n}"), || {
+        let store = BlockStore::open(&dir).expect("stored dir reopens");
+        black_box(store.get_matrix("bench/w").expect("stored matrix loads"));
+    });
+    // Warm read: the handle already open, pure pread + rehydrate.
+    let warm_store = BlockStore::open(&dir).expect("stored dir reopens");
+    let r_warm = bench(&format!("store/warm_get/{k}x{n}"), || {
+        black_box(warm_store.get_matrix("bench/w").expect("stored matrix loads"));
+    });
+    // Ingest: WAL append + group-committed fdatasync.
+    let mut put_i = 0u64;
+    let r_put = bench(&format!("store/put_matrix/{k}x{n}"), || {
+        put_i += 1;
+        let name = format!("bench/put-{put_i}");
+        black_box(warm_store.put_matrix(&name, &encoded).expect("clean matrix stores"));
+    });
+    drop(warm_store);
+
+    let cold_load_speedup = r_encode.mean_ns / r_cold.mean_ns;
+    let warm_read_mb_s = resident as f64 / (r_warm.mean_ns * 1e-9) / 1e6;
+    let put_mb_s = resident as f64 / (r_put.mean_ns * 1e-9) / 1e6;
+    println!("store/cold_load_speedup         {cold_load_speedup:>11.2}x");
+    println!("store/warm_read_mb_s            {warm_read_mb_s:>11.1}");
+    println!("store/put_mb_s                  {put_mb_s:>11.1}");
+
+    if let Some(path) = std::env::var_os("SPARK_BENCH_JSON") {
+        let doc = Value::object([
+            ("bench", Value::Str("store/cold_load".into())),
+            ("shape", Value::Str(format!("{k}x{n}"))),
+            ("artifact_bytes", Value::Num(resident as f64)),
+            ("dense_bytes", Value::Num(dense_bytes as f64)),
+            ("encode_mean_ns", Value::Num(r_encode.mean_ns)),
+            ("cold_load_mean_ns", Value::Num(r_cold.mean_ns)),
+            ("warm_get_mean_ns", Value::Num(r_warm.mean_ns)),
+            ("put_mean_ns", Value::Num(r_put.mean_ns)),
+            ("cold_load_speedup", Value::Num(cold_load_speedup)),
+            ("warm_read_mb_s", Value::Num(warm_read_mb_s)),
+            ("put_mb_s", Value::Num(put_mb_s)),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty() + "\n").expect("write SPARK_BENCH_JSON");
+        println!("wrote {}", path.to_string_lossy());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,6 +10,7 @@
 //! spark serve [flags]                         batched, sharded HTTP serving front end
 //! spark load  [flags]                         open-loop load harness (JSON report)
 //! spark chaos [--seed N] [--streams N]        seeded fault-injection report (JSON)
+//! spark store <put|get|ls|compact|verify>     persistent encoded-tensor blockstore
 //! ```
 //!
 //! Input `.f32` files are raw little-endian 32-bit floats (e.g. exported
@@ -43,18 +44,21 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         _ => {
             eprintln!(
-                "usage: spark <encode|decode|analyze|simulate|profile|models|serve|load|chaos> ..."
+                "usage: spark <encode|decode|analyze|simulate|profile|models|serve|load|chaos|store> ..."
             );
             eprintln!("  encode  <input.f32> <output.spark>");
             eprintln!("  decode  <input.spark> <output.u8>");
             eprintln!("  analyze [--json] <input.f32>");
             eprintln!("  simulate [--json] <model> [accelerator]");
             eprintln!("  profile <model>");
-            eprintln!("  serve [--addr A] [--workers N] [--shards N] [--shard-workers N] [--quota UNITS_PER_S] [--batch N] [--window-us N] [--queue N] [--smoke]");
-            eprintln!("  load  [--smoke] [--schedule-only] [--addr A] [--seed N] [--rps R] [--flood-rps R] [--duration-ms N] [--tenants N] [--skew S] [--injectors N] [--shards N] [--quota U] [--out FILE]");
+            eprintln!("  serve [--addr A] [--workers N] [--shards N] [--shard-workers N] [--quota UNITS_PER_S] [--batch N] [--window-us N] [--queue N] [--store DIR] [--smoke]");
+            eprintln!("  load  [--smoke] [--schedule-only] [--addr A] [--seed N] [--rps R] [--flood-rps R] [--duration-ms N] [--tenants N] [--skew S] [--injectors N] [--shards N] [--quota U] [--tensor-mix F] [--store DIR] [--out FILE]");
             eprintln!("  chaos [--seed N] [--streams N]");
+            eprintln!("  store put <dir> --infer-model | put <dir> <name> <input.f32>");
+            eprintln!("        get <dir> <name> <output.spark> | ls <dir> | compact <dir> | verify <dir>");
             return ExitCode::from(2);
         }
     };
@@ -260,6 +264,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(b) = take_option(&mut args, "--quota-burst")? {
         config.quota_burst = b.parse().map_err(|_| format!("bad --quota-burst {b:?}"))?;
     }
+    if let Some(dir) = take_option(&mut args, "--store")? {
+        config.store_dir = Some(dir.into());
+    }
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument {extra:?}").into());
     }
@@ -269,10 +276,14 @@ fn cmd_serve(args: &[String]) -> CliResult {
         return Ok(());
     }
     let shards = config.shards.max(1);
+    let store_attached = config.store_dir.is_some();
     let server = Server::start(config)?;
     println!("spark-serve listening on http://{} ({shards} shard(s))", server.addr());
     println!("endpoints: POST /v1/encode /v1/decode /v1/analyze /v1/simulate");
     println!("           GET /healthz /metrics, POST /shutdown  (X-Spark-Tenant routes)");
+    if store_attached {
+        println!("           PUT/GET/DELETE /v1/tensors/<name>  (persistent blockstore)");
+    }
     server.join();
     println!("shutdown complete");
     Ok(())
@@ -327,6 +338,10 @@ fn cmd_load(args: &[String]) -> CliResult {
     if let Some(n) = take_option(&mut args, "--injectors")? {
         cfg.injectors = n.parse().map_err(|_| format!("bad --injectors {n:?}"))?;
     }
+    if let Some(f) = take_option(&mut args, "--tensor-mix")? {
+        cfg.tensor_mix = f.parse().map_err(|_| format!("bad --tensor-mix {f:?}"))?;
+    }
+    let store_dir = take_option(&mut args, "--store")?;
     let shards: usize = match take_option(&mut args, "--shards")? {
         Some(n) => n.parse().map_err(|_| format!("bad --shards {n:?}"))?,
         None => 4,
@@ -358,6 +373,17 @@ fn cmd_load(args: &[String]) -> CliResult {
     let report = match &addr {
         Some(addr) => run_load(addr, &cfg)?,
         None => {
+            // With tensor traffic in the mix, the ephemeral server needs a
+            // blockstore behind /v1/tensors; default to a scratch dir.
+            let ephemeral_store = match (&store_dir, cfg.tensor_mix > 0.0) {
+                (Some(dir), _) => Some(std::path::PathBuf::from(dir)),
+                (None, true) => Some(std::env::temp_dir().join(format!(
+                    "spark-load-store-{}-{}",
+                    std::process::id(),
+                    cfg.seed
+                ))),
+                (None, false) => None,
+            };
             let server = Server::start(ServeConfig {
                 addr: "127.0.0.1:0".into(),
                 workers: 2,
@@ -369,11 +395,19 @@ fn cmd_load(args: &[String]) -> CliResult {
                 quota_burst: quota / 2.0,
                 batch_window: Duration::from_millis(1),
                 max_batch: 16,
+                store_dir: ephemeral_store.clone(),
                 ..ServeConfig::default()
             })?;
             let report = run_load(&server.addr().to_string(), &cfg)?;
             server.shutdown();
             server.join();
+            // Only scrub the store we conjured; an explicit --store dir is
+            // the caller's to keep.
+            if store_dir.is_none() {
+                if let Some(dir) = &ephemeral_store {
+                    std::fs::remove_dir_all(dir).ok();
+                }
+            }
             report
         }
     };
@@ -424,6 +458,112 @@ fn cmd_chaos(args: &[String]) -> CliResult {
     let report = spark_fault::run_chaos(seed, streams)?;
     println!("{}", report.to_string_pretty());
     Ok(())
+}
+
+/// `spark store`: direct command-line surface over the persistent
+/// blockstore — ingest tensors or the serving model, read stored
+/// container images back out, list, compact, and verify. `verify` prints
+/// a deterministic report (recovery counters + per-entry checksum pass),
+/// so CI can run it twice and diff the output byte-for-byte.
+fn cmd_store(args: &[String]) -> CliResult {
+    let usage = "usage: spark store <put|get|ls|compact|verify> <dir> ...";
+    let sub = args.first().ok_or(usage)?.clone();
+    let mut rest = args[1..].to_vec();
+    match sub.as_str() {
+        "put" => {
+            let infer_model = take_flag(&mut rest, "--infer-model");
+            let dir = rest
+                .first()
+                .ok_or("usage: spark store put <dir> (--infer-model | <name> <input.f32>)")?;
+            let store = spark_store::BlockStore::open(std::path::Path::new(dir))?;
+            if infer_model {
+                let model = api::InferModel::new()?;
+                let mats = model.export_matrices();
+                for (key, m) in api::STORE_MODEL_KEYS.iter().zip(&mats) {
+                    store.put_matrix(key, m)?;
+                    println!(
+                        "{key}: {}x{} matrix, {} resident bytes",
+                        m.k(),
+                        m.n(),
+                        m.resident_bytes()
+                    );
+                }
+                let r = model.report();
+                println!(
+                    "ingested serving model: {} resident / {} dense bytes ({:.3} ratio)",
+                    r.resident_bytes,
+                    r.dense_bytes,
+                    r.ratio()
+                );
+                return Ok(());
+            }
+            let [_, name, input] = &rest[..] else {
+                return Err("usage: spark store put <dir> (--infer-model | <name> <input.f32>)"
+                    .into());
+            };
+            let tensor = read_f32_tensor(input)?;
+            let quantizer = MagnitudeQuantizer::new(8)?;
+            let codes = quantizer.quantize(&tensor)?;
+            let encoded = encode_tensor(&codes.codes);
+            store.put_tensor(name, &encoded)?;
+            println!(
+                "{name}: {} values stored ({:.2} bits/value), scale {}",
+                encoded.elements,
+                encoded.stats.avg_bits(),
+                codes.scale
+            );
+            Ok(())
+        }
+        "get" => {
+            let [dir, name, output] = &rest[..] else {
+                return Err("usage: spark store get <dir> <name> <output.spark>".into());
+            };
+            let store = spark_store::BlockStore::open(std::path::Path::new(dir))?;
+            let (kind, bytes) = store.get_raw(name)?;
+            std::fs::write(output, &bytes)?;
+            println!("{name}: {} bytes ({}) -> {output}", bytes.len(), kind.name());
+            Ok(())
+        }
+        "ls" => {
+            let [dir] = &rest[..] else {
+                return Err("usage: spark store ls <dir>".into());
+            };
+            let store = spark_store::BlockStore::open(std::path::Path::new(dir))?;
+            for e in store.list() {
+                println!("{:<7} {:>10}  {}", e.kind.name(), e.len, e.name);
+            }
+            let s = store.stats();
+            println!(
+                "{} entries, generation {}, wal {} bytes, next seq {}",
+                s.entries, s.generation, s.wal_bytes, s.next_seq
+            );
+            Ok(())
+        }
+        "compact" => {
+            let [dir] = &rest[..] else {
+                return Err("usage: spark store compact <dir>".into());
+            };
+            let store = spark_store::BlockStore::open(std::path::Path::new(dir))?;
+            let stats = store.compact()?;
+            println!("{}", stats.to_json().to_string_pretty());
+            Ok(())
+        }
+        "verify" => {
+            let [dir] = &rest[..] else {
+                return Err("usage: spark store verify <dir>".into());
+            };
+            let store = spark_store::BlockStore::open(std::path::Path::new(dir))?;
+            let verified = store.verify()?;
+            let mut doc = match store.recovery_report().to_json() {
+                spark_util::json::Value::Object(members) => members,
+                _ => unreachable!("recovery report serializes as an object"),
+            };
+            doc.push(("entries_verified".into(), spark_util::json::Value::Num(verified as f64)));
+            println!("{}", spark_util::json::Value::Object(doc).to_string_pretty());
+            Ok(())
+        }
+        _ => Err(usage.into()),
+    }
 }
 
 #[cfg(test)]
@@ -517,6 +657,50 @@ mod tests {
         assert!(v.get("sqnr_db").unwrap().as_f64().is_some());
         cmd_analyze(&["--json".to_string(), path.to_str().unwrap().to_string()]).unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_put_get_ls_verify_round_trip() {
+        let base = std::env::temp_dir().join(format!("spark-cli-store-{}", std::process::id()));
+        let dir = base.to_str().unwrap().to_string();
+        let f32_path = base.with_extension("f32");
+        let out_path = base.with_extension("spark");
+        let values: Vec<f32> = (0..300).map(|i| ((i * 13) % 97) as f32 / 97.0 - 0.5).collect();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::write(&f32_path, &bytes).unwrap();
+
+        cmd_store(&[
+            "put".into(),
+            dir.clone(),
+            "weights/w".into(),
+            f32_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        cmd_store(&["put".into(), dir.clone(), "--infer-model".into()]).unwrap();
+        cmd_store(&[
+            "get".into(),
+            dir.clone(),
+            "weights/w".into(),
+            out_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        // The stored payload is a valid container holding all 300 values.
+        let image = std::fs::read(&out_path).unwrap();
+        assert_eq!(read_container(image.as_slice()).unwrap().elements, 300);
+        cmd_store(&["ls".into(), dir.clone()]).unwrap();
+        cmd_store(&["compact".into(), dir.clone()]).unwrap();
+        cmd_store(&["verify".into(), dir.clone()]).unwrap();
+        // A missing name is a typed error, not a panic.
+        assert!(cmd_store(&[
+            "get".into(),
+            dir.clone(),
+            "absent".into(),
+            out_path.to_str().unwrap().into(),
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_file(&f32_path).ok();
+        std::fs::remove_file(&out_path).ok();
     }
 
     #[test]

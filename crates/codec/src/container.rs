@@ -35,13 +35,12 @@ pub const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
 /// integrity check of the version-2 container header. Not cryptographic;
 /// it detects accidental corruption (bit rot, truncation at a byte
 /// boundary, mis-spliced files), which is the container's threat model.
+///
+/// Delegates to the workspace's one FNV-1a implementation
+/// ([`spark_util::fnv`]); `checksum_pins_the_v2_wire_format` pins a golden
+/// digest so the v2 wire format cannot drift under refactors there.
 pub fn stream_checksum(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
+    spark_util::fnv::fnv1a(bytes)
 }
 
 /// Errors reading a container.
@@ -408,6 +407,17 @@ mod tests {
     fn checksum_is_order_sensitive() {
         assert_ne!(stream_checksum(&[1, 2]), stream_checksum(&[2, 1]));
         assert_ne!(stream_checksum(&[0]), stream_checksum(&[]));
+    }
+
+    #[test]
+    fn checksum_pins_the_v2_wire_format() {
+        // Golden digests computed by the original in-crate FNV-1a loop
+        // before it was consolidated into spark_util::fnv. A v2 container
+        // written before the consolidation must still verify after it.
+        assert_eq!(stream_checksum(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(stream_checksum(b"SPRK"), 0x9F55_6424_6C61_1AE5);
+        let payload: Vec<u8> = (0u16..256).map(|i| i as u8).collect();
+        assert_eq!(stream_checksum(&payload), 0x4242_DC52_49C3_3625);
     }
 
     #[test]

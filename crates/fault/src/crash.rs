@@ -1,0 +1,322 @@
+//! Crash plane: power-cut adversary against the persistent blockstore.
+//!
+//! [`spark_store::BlockStore`] claims crash-deterministic recovery: after
+//! a crash leaving any byte prefix of the WAL on disk — or a crash inside
+//! any window of the compaction protocol — reopening yields exactly the
+//! committed mutations, with typed errors only, and two recovery runs of
+//! the same directory report identically. This plane attacks all of it:
+//!
+//! - **Truncation sweep** — a seeded workload builds a log; the log is
+//!   cut at a spread of byte offsets and recovered. Recovery must never
+//!   panic, never refuse a pure truncation, apply a monotonically
+//!   non-decreasing record count as the prefix grows, and match the
+//!   expected committed state exactly at every cut.
+//! - **Bit rot** — single-bit flips anywhere in the log; recovery must
+//!   come back typed-and-working and every surviving entry must pass its
+//!   payload checksum ([`BlockStore::verify`]).
+//! - **Compaction windows** — the store is crashed at each
+//!   [`CompactPoint`] failpoint (after writing blocks, after the
+//!   manifest, after the `CURRENT` swap); reopening must converge on the
+//!   same live set in every window, twice.
+//!
+//! Everything derives from the caller's seed; the report carries counts
+//! only (no paths, no wall-clock), so two sweeps with the same inputs
+//! serialize byte-identically.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use spark_codec::encode_tensor;
+use spark_store::{BlockStore, CompactPoint};
+use spark_util::json::Value;
+use spark_util::Rng;
+
+/// Aggregated outcome of one crash sweep against the blockstore.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CrashSweepReport {
+    /// WAL truncation points recovered.
+    pub cuts: u64,
+    /// Unwinds caught escaping recovery anywhere in the plane. Must be 0.
+    pub panics: u64,
+    /// Truncation cuts that failed to open. Must be 0: a pure prefix is
+    /// always recoverable.
+    pub open_failures: u64,
+    /// Cuts whose recovered live set differed from the committed prefix.
+    /// Must be 0.
+    pub state_mismatches: u64,
+    /// Cuts where a longer prefix recovered fewer records. Must be 0.
+    pub non_monotonic: u64,
+    /// Cuts where a second recovery of the same directory reported
+    /// differently. Must be 0.
+    pub replay_mismatches: u64,
+    /// Cuts that diagnosed (and discarded) a torn tail.
+    pub torn_tails: u64,
+    /// Single-bit corruption trials.
+    pub bitrot_trials: u64,
+    /// Bit-rot recoveries that failed to open or whose surviving entries
+    /// failed checksum verification. Must be 0.
+    pub bitrot_failures: u64,
+    /// Compaction failpoint windows crashed into and recovered.
+    pub compaction_windows: u64,
+    /// Windows whose recovered state diverged from the committed live
+    /// set, or differed between two recovery runs. Must be 0.
+    pub compaction_mismatches: u64,
+}
+
+impl CrashSweepReport {
+    /// The report as deterministic JSON (counts only).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("cuts", Value::Num(self.cuts as f64)),
+            ("panics", Value::Num(self.panics as f64)),
+            ("open_failures", Value::Num(self.open_failures as f64)),
+            ("state_mismatches", Value::Num(self.state_mismatches as f64)),
+            ("non_monotonic", Value::Num(self.non_monotonic as f64)),
+            ("replay_mismatches", Value::Num(self.replay_mismatches as f64)),
+            ("torn_tails", Value::Num(self.torn_tails as f64)),
+            ("bitrot_trials", Value::Num(self.bitrot_trials as f64)),
+            ("bitrot_failures", Value::Num(self.bitrot_failures as f64)),
+            ("compaction_windows", Value::Num(self.compaction_windows as f64)),
+            ("compaction_mismatches", Value::Num(self.compaction_mismatches as f64)),
+        ])
+    }
+
+    /// True when recovery never panicked, never refused a prefix, matched
+    /// the committed state at every cut, and converged identically across
+    /// reruns — in every window.
+    pub fn contract_holds(&self) -> bool {
+        self.panics == 0
+            && self.open_failures == 0
+            && self.state_mismatches == 0
+            && self.non_monotonic == 0
+            && self.replay_mismatches == 0
+            && self.bitrot_failures == 0
+            && self.compaction_mismatches == 0
+    }
+}
+
+/// Scratch directory for one sub-experiment, namespaced by pid + seed so
+/// parallel CI shards never collide.
+fn scratch(seed: u64, tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("spark-fault-crash-{}-{seed}-{tag}", std::process::id()))
+}
+
+/// One deterministic put/delete workload; returns the expected live set
+/// (name → container image) after each mutation.
+fn run_workload(
+    store: &BlockStore,
+    seed: u64,
+    ops: usize,
+) -> Result<Vec<BTreeMap<String, Vec<u8>>>, String> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut live: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut states = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let roll = rng.gen_below(10);
+        if roll < 7 || live.is_empty() {
+            let name = format!("t/{:02}", rng.gen_below(8));
+            let len = 16 + rng.gen_below(120) as usize;
+            let values: Vec<u8> = (0..len).map(|_| (rng.next_u64() >> 11) as u8).collect();
+            let tensor = encode_tensor(&values);
+            store.put_tensor(&name, &tensor).map_err(|e| format!("workload put {i}: {e}"))?;
+            let mut image = Vec::new();
+            spark_codec::write_container(&tensor, &mut image)
+                .map_err(|e| format!("image serialize: {e}"))?;
+            live.insert(name, image);
+        } else {
+            let names: Vec<&String> = live.keys().collect();
+            let name = names[rng.gen_below(names.len() as u64) as usize].clone();
+            store.delete(&name).map_err(|e| format!("workload delete {i}: {e}"))?;
+            live.remove(&name);
+        }
+        states.push(live.clone());
+    }
+    Ok(states)
+}
+
+/// True when `store` holds exactly `want` (names and payload bytes).
+fn state_matches(store: &BlockStore, want: &BTreeMap<String, Vec<u8>>) -> bool {
+    let names: Vec<String> = store.list().into_iter().map(|e| e.name).collect();
+    if names.len() != want.len() || !names.iter().eq(want.keys()) {
+        return false;
+    }
+    want.iter().all(|(name, payload)| {
+        matches!(store.get_raw(name), Ok((_, bytes)) if &bytes == payload)
+    })
+}
+
+/// The path-free numeric core of a recovery report, for comparing two
+/// recovery runs of the same directory.
+fn report_fingerprint(store: &BlockStore) -> String {
+    let r = store.recovery_report();
+    format!(
+        "gen={} applied={} live={} next={}",
+        r.generation, r.records_applied, r.live_entries, r.next_seq
+    )
+}
+
+/// Runs the full crash plane: truncation sweep over ~`cuts` offsets,
+/// seeded bit-rot trials, and all three compaction failpoint windows.
+///
+/// # Errors
+///
+/// Infrastructure failures only (scratch directory I/O, a workload append
+/// on the *clean* store failing) — contract violations are counters in
+/// the report, never errors.
+pub fn sweep_store_crash(seed: u64, cuts: usize) -> Result<CrashSweepReport, String> {
+    let mut report = CrashSweepReport::default();
+
+    // Reference log: a seeded workload, fully committed, then read back.
+    let base = scratch(seed, "base");
+    let _ = std::fs::remove_dir_all(&base);
+    let states = {
+        let store = BlockStore::open(&base).map_err(|e| format!("open base store: {e}"))?;
+        run_workload(&store, seed, 16)?
+    };
+    let full_log =
+        std::fs::read(base.join("wal.log")).map_err(|e| format!("read reference log: {e}"))?;
+
+    // Truncation sweep: an evenly-spread set of byte cuts, always
+    // including the exact end (the uncrashed image).
+    let sweep = scratch(seed, "sweep");
+    let _ = std::fs::remove_dir_all(&sweep);
+    std::fs::create_dir_all(&sweep).map_err(|e| format!("mkdir sweep: {e}"))?;
+    let step = (full_log.len() / cuts.max(1)).max(1);
+    let mut prev_applied = 0usize;
+    for cut in (0..=full_log.len()).step_by(step).chain([full_log.len()]) {
+        report.cuts += 1;
+        std::fs::write(sweep.join("wal.log"), &full_log[..cut])
+            .map_err(|e| format!("write crash image: {e}"))?;
+        let opened = catch_unwind(AssertUnwindSafe(|| BlockStore::open(&sweep)));
+        let store = match opened {
+            Err(_) => {
+                report.panics += 1;
+                continue;
+            }
+            Ok(Err(_)) => {
+                report.open_failures += 1;
+                continue;
+            }
+            Ok(Ok(s)) => s,
+        };
+        let r = store.recovery_report();
+        if r.torn_tail.is_some() {
+            report.torn_tails += 1;
+        }
+        let applied = r.records_applied;
+        if applied < prev_applied {
+            report.non_monotonic += 1;
+        }
+        prev_applied = applied;
+        let matches = match applied {
+            0 => store.list().is_empty(),
+            n => states.get(n - 1).is_some_and(|want| state_matches(&store, want)),
+        };
+        if !matches {
+            report.state_mismatches += 1;
+        }
+        // Recovery idempotence: reopening the recovered directory must
+        // change nothing and fingerprint identically.
+        let first = report_fingerprint(&store);
+        drop(store);
+        match BlockStore::open(&sweep) {
+            Ok(second) => {
+                if report_fingerprint(&second) != first {
+                    report.replay_mismatches += 1;
+                }
+            }
+            Err(_) => report.open_failures += 1,
+        }
+    }
+
+    // Bit rot: one flipped bit anywhere in the log. Recovery must come
+    // back working and every surviving entry must verify.
+    let mut rng = Rng::seed_from_u64(seed ^ 0xB17_207);
+    let trials = (cuts / 2).max(8);
+    for _ in 0..trials {
+        report.bitrot_trials += 1;
+        let mut rot = full_log.clone();
+        let at = rng.gen_below(rot.len() as u64) as usize;
+        rot[at] ^= 1 << rng.gen_below(8);
+        std::fs::write(sweep.join("wal.log"), &rot)
+            .map_err(|e| format!("write rotted image: {e}"))?;
+        match catch_unwind(AssertUnwindSafe(|| BlockStore::open(&sweep))) {
+            Err(_) => report.panics += 1,
+            Ok(Err(_)) => report.bitrot_failures += 1,
+            Ok(Ok(s)) => {
+                if s.verify().is_err() {
+                    report.bitrot_failures += 1;
+                }
+            }
+        }
+    }
+
+    // Compaction windows: crash at each failpoint, then recover twice.
+    for (i, point) in
+        [CompactPoint::AfterBlocks, CompactPoint::AfterManifest, CompactPoint::AfterCurrent]
+            .into_iter()
+            .enumerate()
+    {
+        report.compaction_windows += 1;
+        let dir = scratch(seed, &format!("compact-{i}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let want = {
+            let store = BlockStore::open(&dir).map_err(|e| format!("open compact store: {e}"))?;
+            let states = run_workload(&store, seed.wrapping_add(i as u64 + 1), 10)?;
+            let crashed = catch_unwind(AssertUnwindSafe(|| store.compact_until(point)));
+            if matches!(crashed, Err(_)) {
+                report.panics += 1;
+            }
+            states.into_iter().next_back().unwrap_or_default()
+        };
+        let first = match catch_unwind(AssertUnwindSafe(|| BlockStore::open(&dir))) {
+            Err(_) => {
+                report.panics += 1;
+                continue;
+            }
+            Ok(Err(_)) => {
+                report.compaction_mismatches += 1;
+                continue;
+            }
+            Ok(Ok(s)) => s,
+        };
+        if !state_matches(&first, &want) {
+            report.compaction_mismatches += 1;
+        }
+        let fp = report_fingerprint(&first);
+        drop(first);
+        match BlockStore::open(&dir) {
+            Ok(second) => {
+                if report_fingerprint(&second) != fp || !state_matches(&second, &want) {
+                    report.compaction_mismatches += 1;
+                }
+            }
+            Err(_) => report.compaction_mismatches += 1,
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&sweep);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_plane_contract_holds_and_is_deterministic() {
+        let a = sweep_store_crash(11, 40).unwrap();
+        assert!(a.contract_holds(), "{}", a.to_json().to_string_compact());
+        assert!(a.cuts > 0 && a.torn_tails > 0, "sweep must hit mid-record cuts");
+        assert_eq!(a.compaction_windows, 3);
+        let b = sweep_store_crash(11, 40).unwrap();
+        assert_eq!(
+            a.to_json().to_string_compact(),
+            b.to_json().to_string_compact(),
+            "crash report must be a pure function of the seed"
+        );
+    }
+}

@@ -27,19 +27,27 @@
 //!   hard worker death, slowloris, garbage bytes) against a live loopback
 //!   `spark-serve` instance, asserting the panic-isolation / respawn /
 //!   deadline-shedding contract.
+//! - **Crash plane** ([`crash`]) — a power-cut adversary against the
+//!   [`spark-store`](spark_store) blockstore: the WAL truncated at a
+//!   sweep of byte offsets, single-bit rot under the checksums, and
+//!   crashes inside every compaction failpoint window — proving recovery
+//!   never panics, lands exactly on the committed prefix, and reports
+//!   identically across reruns.
 //!
-//! [`run_chaos`] stitches all three into the single deterministic JSON
+//! [`run_chaos`] stitches all planes into the single deterministic JSON
 //! report behind `spark chaos`; CI runs it twice and diffs the bytes.
 
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod crash;
 pub mod fused;
 pub mod hardware;
 pub mod mutate;
 pub mod sweep;
 
 pub use chaos::{serve_chaos, shard_chaos};
+pub use crash::{sweep_store_crash, CrashSweepReport};
 pub use fused::{sweep_fused, FusedSweepReport};
 pub use hardware::{accuracy_sweep, systolic_kind_flip, StuckAtFault, TransientFault};
 pub use mutate::Corruption;
@@ -76,6 +84,15 @@ pub fn run_chaos(seed: u64, streams: usize) -> Result<Value, String> {
         ("accuracy", accuracy_sweep(seed, &REPORT_RATES)),
         ("systolic_timing", systolic_kind_flip(seed, 0.05)),
     ]);
+    // The crash plane rebuilds a store per failpoint, so it sweeps a
+    // fraction of the codec plane's volume.
+    let store = sweep_store_crash(seed, (streams / 10).max(20))?;
+    if !store.contract_holds() {
+        return Err(format!(
+            "blockstore recovery violated the crash contract: {}",
+            store.to_json().to_string_compact()
+        ));
+    }
     let serve = serve_chaos()?;
     let serve_shards = shard_chaos()?;
     Ok(Value::object([
@@ -84,6 +101,7 @@ pub fn run_chaos(seed: u64, streams: usize) -> Result<Value, String> {
         ("codec", codec.to_json()),
         ("fused_gemm", fused.to_json()),
         ("hardware", hardware),
+        ("store", store.to_json()),
         ("serve", serve),
         ("serve_shards", serve_shards),
     ]))
@@ -99,8 +117,15 @@ mod tests {
         let b = run_chaos(3, 400).unwrap().to_string_compact();
         assert_eq!(a, b);
         // And it actually carries all three planes.
-        for key in
-            ["\"codec\"", "\"fused_gemm\"", "\"hardware\"", "\"serve\"", "\"serve_shards\"", "\"panics\""]
+        for key in [
+            "\"codec\"",
+            "\"fused_gemm\"",
+            "\"hardware\"",
+            "\"store\"",
+            "\"serve\"",
+            "\"serve_shards\"",
+            "\"panics\"",
+        ]
         {
             assert!(a.contains(key), "report missing {key}: {a}");
         }

@@ -55,6 +55,41 @@ pub trait Layer: Send {
     fn freeze_encoded(&mut self) -> Result<(usize, usize), EncodedError> {
         Ok((0, 0))
     }
+
+    /// Whether this layer exports/imports a single frozen weight matrix
+    /// through [`Layer::exported_weight`] / [`Layer::import_weight`].
+    ///
+    /// This is the persistence contract a blockstore walks over a model:
+    /// layers answering `true` contribute exactly one [`EncodedMatrix`] to
+    /// the stored artifact, in layer order. The default is `false`; only
+    /// [`Dense`] participates today (conv/attention layers freeze multiple
+    /// matrices and are not yet covered by the store format).
+    fn persists_weight(&self) -> bool {
+        false
+    }
+
+    /// The frozen serving-form weight matrix, when this layer is frozen
+    /// and [`Layer::persists_weight`] — the export half of the blockstore
+    /// round-trip. Default: `None`.
+    fn exported_weight(&self) -> Option<&EncodedMatrix> {
+        None
+    }
+
+    /// Installs a stored frozen weight matrix as this layer's serving
+    /// form — the import half of the blockstore round-trip, skipping the
+    /// quantize-and-encode pass. Returns `(resident_bytes, dense_bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// The default (any layer with `persists_weight() == false`) rejects
+    /// every matrix with [`EncodedError::Shape`]; [`Dense`] rejects
+    /// mismatched dimensions and corrupt container bytes.
+    fn import_weight(&mut self, em: EncodedMatrix) -> Result<(usize, usize), EncodedError> {
+        let _ = em;
+        Err(EncodedError::Shape(spark_tensor::ShapeError::new(
+            "layer has no installable weight matrix",
+        )))
+    }
 }
 
 /// Encodes one weight matrix for serving and swaps the dense tensor for
@@ -104,6 +139,46 @@ impl Dense {
     /// True when the layer serves from SPARK-encoded weights.
     pub fn is_frozen(&self) -> bool {
         self.enc_w.is_some()
+    }
+
+    /// The frozen serving-form weights, when the layer is frozen — the
+    /// export half of the persistence round-trip: a blockstore serializes
+    /// these container images byte-for-byte.
+    pub fn frozen_weight(&self) -> Option<&EncodedMatrix> {
+        self.enc_w.as_ref()
+    }
+
+    /// Installs an already-encoded weight matrix (e.g. cold-loaded from a
+    /// blockstore) as this layer's frozen serving form, skipping the
+    /// quantize-and-encode pass entirely. The dense tensor is replaced by
+    /// the decoded reconstruction, exactly as [`Layer::freeze_encoded`]
+    /// leaves it — so a layer cold-loaded from the store is
+    /// *state-identical* (same container bytes, same dense reconstruction)
+    /// to one frozen in process, and its forward is bit-identical.
+    ///
+    /// Returns `(resident_bytes, dense_bytes)` like the freeze path.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodedError::Shape`] when the matrix dimensions do not match the
+    /// layer, and any typed decode error for corrupted container bytes
+    /// (nothing is installed in that case).
+    pub fn install_frozen(&mut self, em: EncodedMatrix) -> Result<(usize, usize), EncodedError> {
+        let (inputs, outputs) = self.w.shape().as_matrix()?;
+        if em.k() != inputs || em.n() != outputs {
+            return Err(EncodedError::Shape(spark_tensor::ShapeError::new(format!(
+                "stored matrix is {}x{}, layer expects {inputs}x{outputs}",
+                em.k(),
+                em.n(),
+            ))));
+        }
+        // Decode before committing anything: corrupted bytes must leave
+        // the layer untouched.
+        let reconstructed = em.decode()?;
+        self.w = reconstructed;
+        let bytes = (em.resident_bytes(), em.dense_bytes());
+        self.enc_w = Some(em);
+        Ok(bytes)
     }
 }
 
@@ -164,6 +239,18 @@ impl Layer for Dense {
         let bytes = (em.resident_bytes(), em.dense_bytes());
         self.enc_w = Some(em);
         Ok(bytes)
+    }
+
+    fn persists_weight(&self) -> bool {
+        true
+    }
+
+    fn exported_weight(&self) -> Option<&EncodedMatrix> {
+        Dense::frozen_weight(self)
+    }
+
+    fn import_weight(&mut self, em: EncodedMatrix) -> Result<(usize, usize), EncodedError> {
+        Dense::install_frozen(self, em)
     }
 }
 
@@ -891,6 +978,32 @@ mod tests {
 
     fn bits(t: &Tensor) -> Vec<u32> {
         t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn dense_install_frozen_round_trips_the_freeze_state() {
+        // Export a frozen layer's matrix, install it into a fresh layer:
+        // container bytes, reconstruction, and forward must all match —
+        // the invariant the blockstore's cold-load path rests on.
+        let mut src = Dense::new(7, 19, 77);
+        src.freeze_encoded().unwrap();
+        let em = src.frozen_weight().unwrap().clone();
+        let mut dst = Dense::new(7, 19, 999); // different seed on purpose
+        let (resident, dense) = dst.install_frozen(em.clone()).unwrap();
+        assert_eq!(resident, em.resident_bytes());
+        assert_eq!(dense, em.dense_bytes());
+        assert!(dst.is_frozen());
+        assert_eq!(
+            dst.weight().as_slice(),
+            src.weight().as_slice(),
+            "reconstruction must match the freezing layer's"
+        );
+        let x = Tensor::from_fn(&[2, 7], |i| (i as f32 * 0.31).sin());
+        assert_eq!(bits(&src.forward(&x)), bits(&dst.forward(&x)));
+        // Dimension mismatch is typed and leaves the layer untouched.
+        let mut wrong = Dense::new(8, 19, 1);
+        assert!(wrong.install_frozen(em).is_err());
+        assert!(!wrong.is_frozen());
     }
 
     #[test]

@@ -167,6 +167,57 @@ impl Sequential {
         Ok(report)
     }
 
+    /// The frozen weight matrices of every persistence-capable layer, in
+    /// layer order — the export half of the blockstore round-trip. Empty
+    /// when the model is not frozen (or has no [`Layer::persists_weight`]
+    /// layers).
+    pub fn exported_weights(&self) -> Vec<&spark_tensor::EncodedMatrix> {
+        self.layers.iter().filter_map(|l| l.exported_weight()).collect()
+    }
+
+    /// Installs stored frozen weights into the persistence-capable layers,
+    /// in layer order — the cold-load inverse of [`Sequential::freeze_encoded`]
+    /// + [`Sequential::exported_weights`]. Skips the quantize-and-encode
+    /// pass entirely; after this call the model serves from the given
+    /// nibble streams and its forward is bit-identical to the model the
+    /// matrices were exported from.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodedError::Shape`] when the matrix count does not match the
+    /// number of weight-persisting layers or any matrix's dimensions do
+    /// not match its layer; decode errors for corrupt container bytes.
+    /// Layers before the failing one keep their installed state.
+    pub fn import_weights(
+        &mut self,
+        mats: impl IntoIterator<Item = spark_tensor::EncodedMatrix>,
+    ) -> Result<FreezeReport, EncodedError> {
+        let mut mats = mats.into_iter();
+        let mut report = FreezeReport {
+            resident_bytes: 0,
+            dense_bytes: 0,
+        };
+        for layer in &mut self.layers {
+            if !layer.persists_weight() {
+                continue;
+            }
+            let Some(em) = mats.next() else {
+                return Err(EncodedError::Shape(spark_tensor::ShapeError::new(
+                    "fewer stored matrices than weight-persisting layers",
+                )));
+            };
+            let (resident, dense) = layer.import_weight(em)?;
+            report.resident_bytes += resident;
+            report.dense_bytes += dense;
+        }
+        if mats.next().is_some() {
+            return Err(EncodedError::Shape(spark_tensor::ShapeError::new(
+                "more stored matrices than weight-persisting layers",
+            )));
+        }
+        Ok(report)
+    }
+
     /// Mutable access to every weight tensor across layers.
     pub fn weights_mut(&mut self) -> Vec<&mut Tensor> {
         self.layers
@@ -275,6 +326,41 @@ mod tests {
         let _ = m.weights_mut();
         let dense = m.forward(&x);
         assert_eq!(bits(&frozen), bits(&dense));
+    }
+
+    #[test]
+    fn export_import_round_trip_is_bit_identical() {
+        let mut src = Sequential::new("export")
+            .push(Dense::new(6, 40, 21))
+            .push(Relu::new())
+            .push(Dense::new(40, 4, 22));
+        src.freeze_encoded().unwrap();
+        let x = Tensor::from_vec((0..6).map(|i| (i as f32 - 2.5) * 0.3).collect(), &[1, 6])
+            .unwrap();
+        let want = src.forward(&x);
+        let mats: Vec<_> = src.exported_weights().into_iter().cloned().collect();
+        assert_eq!(mats.len(), 2, "two Dense layers export two matrices");
+
+        // A model with different seeds: importing must overwrite its state
+        // with the stored streams, making the forward bit-identical.
+        let mut dst = Sequential::new("import")
+            .push(Dense::new(6, 40, 91))
+            .push(Relu::new())
+            .push(Dense::new(40, 4, 92));
+        let report = dst.import_weights(mats.clone()).unwrap();
+        assert!(report.resident_bytes > 0);
+        assert_eq!(bits(&dst.forward(&x)), bits(&want));
+
+        // Count mismatches are typed errors, not partial installs silently
+        // accepted.
+        let mut short = Sequential::new("short")
+            .push(Dense::new(6, 40, 1))
+            .push(Relu::new())
+            .push(Dense::new(40, 4, 2));
+        assert!(short.import_weights(mats[..1].to_vec()).is_err());
+        let mut long_mats = mats.clone();
+        long_mats.push(mats[0].clone());
+        assert!(short.import_weights(long_mats).is_err());
     }
 
     #[test]

@@ -223,6 +223,11 @@ pub const INFER_OUTPUTS: usize = 10;
 /// an [`InferModel`] gets bit-identical weights, which is what makes the
 /// loopback bit-identity test against `/v1/infer` meaningful.
 pub const INFER_SEED: u64 = 0x5134_11CE;
+/// Reserved blockstore names the serving model's frozen weight matrices
+/// persist under, in layer order. `spark store put --infer-model` writes
+/// them; `spark serve --store <dir>` cold-loads from them when all are
+/// present.
+pub const STORE_MODEL_KEYS: [&str; 2] = ["__model/infer/w0", "__model/infer/w1"];
 
 /// The `/v1/infer` model: a deterministic seeded MLP whose weights are
 /// frozen into SPARK nibble streams at construction. Every forward pass
@@ -248,6 +253,33 @@ impl InferModel {
             .push(Dense::new(INFER_HIDDEN, INFER_OUTPUTS, INFER_SEED.wrapping_add(1)));
         let report = model.freeze_encoded().map_err(|e| format!("freeze: {e}"))?;
         Ok(Self { model, report })
+    }
+
+    /// Cold-loads the serving model from stored frozen weight matrices
+    /// (layer order: the two [`Dense`] weights), skipping the
+    /// quantize-and-encode pass. The resulting model serves `/v1/infer`
+    /// responses bit-identical to the model the matrices were exported
+    /// from — the loopback test in `server.rs` enforces this.
+    ///
+    /// # Errors
+    ///
+    /// Wrong matrix count, mismatched dimensions, or corrupt container
+    /// bytes.
+    pub fn from_matrices(
+        mats: impl IntoIterator<Item = spark_tensor::EncodedMatrix>,
+    ) -> Result<Self, String> {
+        let mut model = Sequential::new("serve-infer")
+            .push(Dense::new(INFER_INPUTS, INFER_HIDDEN, INFER_SEED))
+            .push(Relu::new())
+            .push(Dense::new(INFER_HIDDEN, INFER_OUTPUTS, INFER_SEED.wrapping_add(1)));
+        let report = model.import_weights(mats).map_err(|e| format!("import: {e}"))?;
+        Ok(Self { model, report })
+    }
+
+    /// The frozen weight matrices in layer order — what `spark store put
+    /// --infer-model` persists and [`InferModel::from_matrices`] reloads.
+    pub fn export_matrices(&self) -> Vec<spark_tensor::EncodedMatrix> {
+        self.model.exported_weights().into_iter().cloned().collect()
     }
 
     /// Encoded resident bytes / dense `f32` bytes for the frozen weights.

@@ -50,25 +50,41 @@ pub enum Endpoint {
     /// blended mix, only fired by the designated flooder (see
     /// [`LoadConfig::flood_rps`]).
     Simulate,
+    /// `GET /v1/tensors/<name>` — reads a stored encoded tensor off the
+    /// blockstore; drawn only when [`LoadConfig::tensor_mix`] is nonzero.
+    TensorGet,
+    /// `PUT /v1/tensors/<name>` — encodes and persists a tensor; drawn
+    /// only when [`LoadConfig::tensor_mix`] is nonzero.
+    TensorPut,
 }
 
 /// All endpoints the harness can fire; the first four form the blended
-/// mix, the last is flood-only.
-pub const ENDPOINTS: [Endpoint; 5] = [
+/// mix, simulate is flood-only, and the tensor pair joins the mix when
+/// [`LoadConfig::tensor_mix`] is nonzero.
+pub const ENDPOINTS: [Endpoint; 7] = [
     Endpoint::Encode,
     Endpoint::Decode,
     Endpoint::Analyze,
     Endpoint::Infer,
     Endpoint::Simulate,
+    Endpoint::TensorGet,
+    Endpoint::TensorPut,
 ];
 
 /// Cumulative endpoint mix: 35% encode, 25% decode, 25% analyze,
 /// 15% infer — encode-heavy like the paper's serving story, with enough
-/// decode/infer to keep every pipeline warm.
+/// decode/infer to keep every pipeline warm. When `tensor_mix` carves out
+/// a store slice, the remainder is rescaled through this same CDF so a
+/// zero `tensor_mix` reproduces historical schedules bit-for-bit.
 const MIX_CDF: [f64; 4] = [0.35, 0.60, 0.85, 1.0];
 
+/// Share of the tensor slice that reads (`GET`) rather than writes
+/// (`PUT`): the store is read-mostly in serving, 4 reads per write.
+const TENSOR_GET_SHARE: f64 = 0.8;
+
 impl Endpoint {
-    /// Request path.
+    /// Request path. The tensor endpoints append `/<name>` at send time
+    /// (see [`tensor_path`]); this is their collection prefix.
     pub fn path(self) -> &'static str {
         match self {
             Endpoint::Encode => "/v1/encode",
@@ -76,6 +92,7 @@ impl Endpoint {
             Endpoint::Analyze => "/v1/analyze",
             Endpoint::Infer => "/v1/infer",
             Endpoint::Simulate => "/v1/simulate",
+            Endpoint::TensorGet | Endpoint::TensorPut => "/v1/tensors",
         }
     }
 
@@ -87,6 +104,17 @@ impl Endpoint {
             Endpoint::Analyze => "analyze",
             Endpoint::Infer => "infer",
             Endpoint::Simulate => "simulate",
+            Endpoint::TensorGet => "tensor_get",
+            Endpoint::TensorPut => "tensor_put",
+        }
+    }
+
+    /// HTTP method the harness uses for this endpoint.
+    pub fn method(self) -> &'static str {
+        match self {
+            Endpoint::TensorGet => "GET",
+            Endpoint::TensorPut => "PUT",
+            _ => "POST",
         }
     }
 
@@ -97,8 +125,17 @@ impl Endpoint {
             Endpoint::Analyze => 2,
             Endpoint::Infer => 3,
             Endpoint::Simulate => 4,
+            Endpoint::TensorGet => 5,
+            Endpoint::TensorPut => 6,
         }
     }
+}
+
+/// The stored-tensor name the harness addresses for payload rank `i` —
+/// the Zipf payload pick doubles as the tensor-name pick, so reads skew
+/// onto a hot head exactly like real model traffic.
+pub fn tensor_path(i: u32) -> String {
+    format!("/v1/tensors/load-{i:04}")
 }
 
 /// Knobs for one load run. The schedule is a pure function of this
@@ -133,6 +170,11 @@ pub struct LoadConfig {
     /// What the flooder sends; [`Endpoint::Simulate`] is the expensive
     /// choice that models a tenant monopolizing compute.
     pub flood_endpoint: Endpoint,
+    /// Fraction of mix events redirected at the `/v1/tensors` store CRUD
+    /// (80% GET / 20% PUT, names Zipf-picked like payloads). `0.0`
+    /// (default) reproduces pre-store schedules byte-for-byte — the
+    /// endpoint draw consumes the same single uniform either way.
+    pub tensor_mix: f64,
     /// Injector threads firing the schedule.
     pub injectors: usize,
 }
@@ -151,6 +193,7 @@ impl Default for LoadConfig {
             payload_step_values: 16,
             flood_rps: 0.0,
             flood_endpoint: Endpoint::Simulate,
+            tensor_mix: 0.0,
             injectors: 8,
         }
     }
@@ -200,8 +243,23 @@ pub fn build_schedule(cfg: &LoadConfig) -> Result<Vec<Event>, String> {
         // the blended mix occupies indices 1..=tenants.
         let tenant = tenant_pick.sample_index(&mut rng) as u32 + u32::from(flooding);
         let payload = payload_pick.sample_index(&mut rng) as u32;
+        // One uniform decides the endpoint whether or not a tensor slice
+        // is configured: `u < tensor_mix` goes to the store (GET-heavy),
+        // the remainder rescales onto the classic CDF. With
+        // `tensor_mix == 0` the rescale is the identity, so historical
+        // schedules reproduce bit-for-bit.
         let u = rng.gen_f64();
-        let endpoint = ENDPOINTS[MIX_CDF.iter().position(|&c| u < c).unwrap_or(3)];
+        let tensor_mix = cfg.tensor_mix.clamp(0.0, 0.99);
+        let endpoint = if u < tensor_mix {
+            if u < tensor_mix * TENSOR_GET_SHARE {
+                Endpoint::TensorGet
+            } else {
+                Endpoint::TensorPut
+            }
+        } else {
+            let v = (u - tensor_mix) / (1.0 - tensor_mix);
+            ENDPOINTS[MIX_CDF.iter().position(|&c| v < c).unwrap_or(3)]
+        };
         events.push(Event { at_us: (t * 1e6) as u64, tenant, endpoint, payload });
     }
     if flooding {
@@ -241,14 +299,12 @@ pub fn schedule_dump(events: &[Event]) -> String {
     out
 }
 
-/// FNV-1a digest of a schedule dump, as fixed-width hex.
+/// FNV-1a digest of a schedule dump, as fixed-width hex. Uses the
+/// workspace's consolidated [`spark_util::fnv`] implementation;
+/// `digest_is_pinned` holds a golden value so CI's byte-reproducibility
+/// contract survives refactors of the hash.
 pub fn schedule_digest(dump: &str) -> String {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for &b in dump.as_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    format!("{h:016x}")
+    format!("{:016x}", spark_util::fnv::fnv1a(dump.as_bytes()))
 }
 
 /// Pre-rendered request bodies, one set per payload index. Building them
@@ -293,10 +349,13 @@ impl Payloads {
 
     fn body(&self, endpoint: Endpoint, payload: u32) -> &[u8] {
         let list = match endpoint {
-            Endpoint::Encode | Endpoint::Analyze => &self.values_json,
+            // A tensor PUT persists the same values bodies encode sees;
+            // a GET carries no body at all.
+            Endpoint::Encode | Endpoint::Analyze | Endpoint::TensorPut => &self.values_json,
             Endpoint::Decode => &self.decode_json,
             Endpoint::Infer => &self.infer_json,
             Endpoint::Simulate => return &self.simulate_json,
+            Endpoint::TensorGet => return b"",
         };
         let i = (payload as usize).min(list.len().saturating_sub(1));
         list.get(i).map(Vec::as_slice).unwrap_or(b"{}")
@@ -411,6 +470,7 @@ impl LoadReport {
                     ("tenant_skew", Value::Num(c.tenant_skew)),
                     ("payloads", Value::Num(c.payloads as f64)),
                     ("payload_skew", Value::Num(c.payload_skew)),
+                    ("tensor_mix", Value::Num(c.tensor_mix)),
                     ("injectors", Value::Num(c.injectors as f64)),
                 ]),
             ),
@@ -467,6 +527,11 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
     let payloads = Payloads::build(cfg)?;
     let tenant_names: Vec<String> =
         (0..cfg.tenants.max(1) as u32 + 1).map(tenant_name).collect();
+    // Tensor request paths, pre-rendered like the bodies: the payload
+    // rank doubles as the stored-tensor name, so Zipf-popular payloads
+    // are also the hot names on the store's read path.
+    let tensor_paths: Vec<String> =
+        (0..cfg.payloads.max(1) as u32).map(tensor_path).collect();
     let tallies: Vec<EndpointTally> = (0..ENDPOINTS.len()).map(|_| EndpointTally::new()).collect();
     let all_ok = Histogram::new();
     // Hot = the Zipf head (tenant 0); cold = everyone else. The split is
@@ -483,6 +548,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
             let events = &events;
             let payloads = &payloads;
             let tenant_names = &tenant_names;
+            let tensor_paths = &tensor_paths;
             let tallies = &tallies;
             let all_ok = &all_ok;
             let cold_ok_hist = &cold_ok_hist;
@@ -500,10 +566,17 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
                         .map(String::as_str)
                         .unwrap_or("lt-0000");
                     let body = payloads.body(e.endpoint, e.payload);
+                    let path = match e.endpoint {
+                        Endpoint::TensorGet | Endpoint::TensorPut => tensor_paths
+                            .get(e.payload as usize)
+                            .map(String::as_str)
+                            .unwrap_or("/v1/tensors/load-0000"),
+                        ep => ep.path(),
+                    };
                     let outcome = client_request_with_headers(
                         addr,
-                        "POST",
-                        e.endpoint.path(),
+                        e.endpoint.method(),
+                        path,
                         "application/json",
                         &[("X-Spark-Tenant", tenant)],
                         body,
@@ -639,6 +712,51 @@ mod tests {
             payload_skew: 1.0,
             injectors: 4,
             ..LoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn digest_is_pinned() {
+        // Golden digests from the original in-module FNV-1a loop, before
+        // it was consolidated into spark_util::fnv — CI's dump-diffing
+        // contract must survive the refactor.
+        assert_eq!(schedule_digest(""), "cbf29ce484222325");
+        assert_eq!(
+            schedule_digest("0 1 encode 0\n141 3 decode 2\n"),
+            "0f1e7ea9b1906637"
+        );
+    }
+
+    #[test]
+    fn zero_tensor_mix_reproduces_historical_schedules() {
+        // The tensor slice consumes the *same* uniform draw, so a zero
+        // mix must leave every event of a pre-store schedule untouched —
+        // not just the same distribution, the same bytes.
+        let cfg = quick();
+        assert_eq!(cfg.tensor_mix, 0.0);
+        let events = build_schedule(&cfg).unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.endpoint != Endpoint::TensorGet && e.endpoint != Endpoint::TensorPut));
+        // And the arrival/tenant/payload stream is identical to a config
+        // that never heard of the knob (field-for-field default).
+        let dump = schedule_dump(&events);
+        assert_eq!(schedule_digest(&dump), schedule_digest(&schedule_dump(&build_schedule(&cfg).unwrap())));
+    }
+
+    #[test]
+    fn tensor_mix_draws_store_traffic_deterministically() {
+        let cfg = LoadConfig { tensor_mix: 0.3, ..quick() };
+        let a = build_schedule(&cfg).unwrap();
+        let b = build_schedule(&cfg).unwrap();
+        assert_eq!(schedule_dump(&a), schedule_dump(&b));
+        let gets = a.iter().filter(|e| e.endpoint == Endpoint::TensorGet).count();
+        let puts = a.iter().filter(|e| e.endpoint == Endpoint::TensorPut).count();
+        assert!(gets > 0 && puts > 0, "{gets} gets / {puts} puts");
+        assert!(gets > puts, "the store slice is read-mostly");
+        // The non-tensor remainder still blends every classic endpoint.
+        for ep in [Endpoint::Encode, Endpoint::Decode, Endpoint::Analyze, Endpoint::Infer] {
+            assert!(a.iter().any(|e| e.endpoint == ep), "{} missing", ep.name());
         }
     }
 

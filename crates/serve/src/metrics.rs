@@ -117,6 +117,8 @@ pub struct Metrics {
     pub simulate: EndpointStats,
     /// `POST /v1/infer`.
     pub infer: EndpointStats,
+    /// `PUT`/`GET`/`DELETE /v1/tensors/...` (the blockstore CRUD plane).
+    pub tensors: EndpointStats,
     /// `GET /healthz`, `GET /metrics`, `POST /shutdown`.
     pub control: EndpointStats,
     /// Requests that matched no route (404/405).
@@ -170,6 +172,7 @@ impl Metrics {
             analyze: EndpointStats::default(),
             simulate: EndpointStats::default(),
             infer: EndpointStats::default(),
+            tensors: EndpointStats::default(),
             control: EndpointStats::default(),
             unrouted: EndpointStats::default(),
             rejected_503: AtomicU64::new(0),
@@ -228,6 +231,7 @@ impl Metrics {
                     ("analyze", self.analyze.to_json()),
                     ("simulate", self.simulate.to_json()),
                     ("infer", self.infer.to_json()),
+                    ("tensors", self.tensors.to_json()),
                     ("control", self.control.to_json()),
                     ("unrouted", self.unrouted.to_json()),
                 ]),

@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 
 use spark_codec::{decode_batch, encode_batch, NibbleStream};
 use spark_sim::{run_batch, SimConfig, WorkloadReport};
+use spark_store::{BlockStore, StoreError};
 use spark_util::json::Value;
 use spark_util::par::{Receiver, Sender, TrySendError};
 
@@ -96,6 +97,11 @@ pub struct ServeConfig {
     /// handler, kill a shard worker). Off by default; chaos tests and
     /// `spark chaos` turn it on for loopback servers only.
     pub chaos_endpoints: bool,
+    /// Directory of a persistent [`BlockStore`]. When set, the server
+    /// recovers the store at startup, exposes the `/v1/tensors` CRUD
+    /// plane over it, and cold-loads the `/v1/infer` model from the
+    /// reserved keys ([`api::STORE_MODEL_KEYS`]) when all are present.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +120,7 @@ impl Default for ServeConfig {
             max_body_bytes: 16 * 1024 * 1024,
             request_deadline: http::REQUEST_DEADLINE,
             chaos_endpoints: false,
+            store_dir: None,
         }
     }
 }
@@ -142,6 +149,10 @@ struct Ctx {
     deadline: Duration,
     chaos: bool,
     shards: Vec<ShardCtx>,
+    /// The persistent tensor store behind `/v1/tensors`, when attached.
+    /// All shards share it — the store does its own locking and group
+    /// commit, so CRUD traffic from any shard interleaves safely.
+    store: Option<Arc<BlockStore>>,
 }
 
 /// A parsed request in flight from a router to a shard worker.
@@ -196,6 +207,43 @@ impl Server {
         let shard_count = config.shards.max(1);
         let metrics = Arc::new(Metrics::with_shards(shard_count));
         let sim_config = SimConfig::default();
+
+        // Optional persistent tensor store: recovered before any shard
+        // spins up so the cold-start model load (below) and the first
+        // `/v1/tensors` request both see a consistent directory.
+        let store = match &config.store_dir {
+            Some(dir) => {
+                Some(Arc::new(BlockStore::open(dir).map_err(std::io::Error::other)?))
+            }
+            None => None,
+        };
+        // Cold start: when the store holds the complete serving model
+        // under the reserved keys, every shard loads those exact nibble
+        // streams instead of re-encoding from the seed. A partial model
+        // is refused outright — serving half-stale weights silently would
+        // break the bit-identity contract.
+        let stored_model = match &store {
+            Some(s) => {
+                let present =
+                    api::STORE_MODEL_KEYS.iter().filter(|k| s.kind_of(k).is_some()).count();
+                if present == api::STORE_MODEL_KEYS.len() {
+                    let mats = api::STORE_MODEL_KEYS
+                        .iter()
+                        .map(|k| s.get_matrix(k))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(std::io::Error::other)?;
+                    Some(mats)
+                } else if present > 0 {
+                    return Err(std::io::Error::other(format!(
+                        "store holds a partial serving model ({present} of {} reserved keys)",
+                        api::STORE_MODEL_KEYS.len()
+                    )));
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
 
         let mut shards = Vec::with_capacity(shard_count);
         let mut batcher_handles = Vec::with_capacity(shard_count);
@@ -261,7 +309,11 @@ impl Server {
                     },
                 )?
             };
-            let infer = api::InferModel::new().map_err(std::io::Error::other)?;
+            let infer = match &stored_model {
+                Some(mats) => api::InferModel::from_matrices(mats.iter().cloned()),
+                None => api::InferModel::new(),
+            }
+            .map_err(std::io::Error::other)?;
             batcher_handles.push((
                 encode_batcher.clone(),
                 decode_batcher.clone(),
@@ -284,6 +336,7 @@ impl Server {
             deadline: config.request_deadline,
             chaos: config.chaos_endpoints,
             shards,
+            store,
         });
 
         let (conn_tx, conn_rx) = spark_util::channel::<TcpStream>(config.queue_depth.max(1));
@@ -607,6 +660,7 @@ fn route_connection(ctx: &Ctx, shard_txs: &[Sender<ShardJob>], stream: &mut TcpS
             reason: "Bad Request",
             body: error_body(&format!("bad X-Spark-Tenant: {msg}")),
             stats: &ctx.metrics.unrouted,
+            raw: None,
         };
         finish(ctx, stream, started, &routed);
         return;
@@ -625,6 +679,7 @@ fn route_connection(ctx: &Ctx, shard_txs: &[Sender<ShardJob>], stream: &mut TcpS
                 ("retry_after_ms", Value::Num(retry_after_ms as f64)),
             ]),
             stats: endpoint_stats(&ctx.metrics, &req.path),
+            raw: None,
         };
         finish(ctx, stream, started, &routed);
         return;
@@ -644,6 +699,7 @@ fn route_connection(ctx: &Ctx, shard_txs: &[Sender<ShardJob>], stream: &mut TcpS
             reason: "Internal Server Error",
             body: error_body("connection handle unavailable"),
             stats: endpoint_stats(&ctx.metrics, &req.path),
+            raw: None,
         };
         finish(ctx, stream, started, &routed);
         return;
@@ -668,6 +724,7 @@ fn route_connection(ctx: &Ctx, shard_txs: &[Sender<ShardJob>], stream: &mut TcpS
                     ("shard", Value::Num(shard as f64)),
                 ]),
                 stats: endpoint_stats(&ctx.metrics, &job.req.path),
+                raw: None,
             };
             finish(ctx, stream, started, &routed);
         }
@@ -697,6 +754,8 @@ pub fn endpoint_cost(path: &str) -> f64 {
     match path {
         "/v1/simulate" => 16.0,
         "/v1/infer" => 2.0,
+        // Tensor CRUD hits the durable store (encode + fsync on PUT).
+        p if p.starts_with("/v1/tensors") => 2.0,
         _ => 1.0,
     }
 }
@@ -709,6 +768,7 @@ fn endpoint_stats<'a>(m: &'a Metrics, path: &str) -> &'a EndpointStats {
         "/v1/analyze" => &m.analyze,
         "/v1/simulate" => &m.simulate,
         "/v1/infer" => &m.infer,
+        p if p.starts_with("/v1/tensors") => &m.tensors,
         _ => &m.unrouted,
     }
 }
@@ -798,7 +858,20 @@ fn handle_job(ctx: &Ctx, shard_id: usize, job: ShardJob) -> JobOutcome {
                         s.errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                let _ = http::write_json(&mut stream, routed.status, routed.reason, &routed.body);
+                // Raw payloads (stored container images) go out verbatim
+                // as octet-stream; everything else is JSON.
+                let _ = match &routed.raw {
+                    Some(bytes) => http::write_response(
+                        &mut stream,
+                        routed.status,
+                        routed.reason,
+                        "application/octet-stream",
+                        bytes,
+                    ),
+                    None => {
+                        http::write_json(&mut stream, routed.status, routed.reason, &routed.body)
+                    }
+                };
             }
             Err(_) => {
                 ctx.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
@@ -830,6 +903,10 @@ struct Routed<'a> {
     reason: &'static str,
     body: Value,
     stats: &'a EndpointStats,
+    /// When set, the response is this exact byte payload served as
+    /// `application/octet-stream` and `body` is ignored — how `GET
+    /// /v1/tensors/<name>` streams a stored container image verbatim.
+    raw: Option<Vec<u8>>,
 }
 
 fn route<'a>(ctx: &'a Ctx, shard_id: usize, req: &Request) -> Routed<'a> {
@@ -840,6 +917,7 @@ fn route<'a>(ctx: &'a Ctx, shard_id: usize, req: &Request) -> Routed<'a> {
             reason: "Internal Server Error",
             body: error_body("shard context missing"),
             stats: &m.unrouted,
+            raw: None,
         };
     };
     match (req.method.as_str(), req.path.as_str()) {
@@ -870,28 +948,159 @@ fn route<'a>(ctx: &'a Ctx, shard_id: usize, req: &Request) -> Routed<'a> {
             Ok(values) => infer_endpoint(ctx, shard, &values),
             Err(msg) => bad_request(&m.infer, &msg),
         },
+        ("GET", "/v1/tensors") => tensors_list(ctx),
+        (_, p) if p.starts_with("/v1/tensors/") => tensors_endpoint(ctx, req),
         (_, "/healthz" | "/metrics" | "/shutdown" | "/v1/encode" | "/v1/analyze"
-            | "/v1/decode" | "/v1/simulate" | "/v1/infer") => Routed {
+            | "/v1/decode" | "/v1/simulate" | "/v1/infer" | "/v1/tensors") => Routed {
             status: 405,
             reason: "Method Not Allowed",
             body: error_body(&format!("method {} not allowed on {}", req.method, req.path)),
             stats: &m.unrouted,
+            raw: None,
         },
         _ => Routed {
             status: 404,
             reason: "Not Found",
             body: error_body(&format!("no such endpoint {}", req.path)),
             stats: &m.unrouted,
+            raw: None,
         },
     }
 }
 
 fn ok(stats: &EndpointStats, body: Value) -> Routed<'_> {
-    Routed { status: 200, reason: "OK", body, stats }
+    Routed { status: 200, reason: "OK", body, stats, raw: None }
 }
 
 fn bad_request<'a>(stats: &'a EndpointStats, message: &str) -> Routed<'a> {
-    Routed { status: 400, reason: "Bad Request", body: error_body(message), stats }
+    Routed { status: 400, reason: "Bad Request", body: error_body(message), stats, raw: None }
+}
+
+/// 404 for any `/v1/tensors` request on a server with no store attached.
+fn no_store(stats: &EndpointStats) -> Routed<'_> {
+    Routed {
+        status: 404,
+        reason: "Not Found",
+        body: error_body("no tensor store attached (start the server with --store <dir>)"),
+        stats,
+        raw: None,
+    }
+}
+
+/// Maps a typed store error onto the HTTP status it deserves: missing
+/// names are 404, caller mistakes (bad name, malformed image, kind
+/// mismatch) are 400, and anything touching disk integrity is 500.
+fn store_error<'a>(stats: &'a EndpointStats, e: &StoreError) -> Routed<'a> {
+    let (status, reason) = match e {
+        StoreError::NotFound(_) => (404, "Not Found"),
+        StoreError::InvalidName(_)
+        | StoreError::Container(_)
+        | StoreError::Encoded(_)
+        | StoreError::WrongKind { .. } => (400, "Bad Request"),
+        StoreError::Io(_) | StoreError::Corrupt(_) => (500, "Internal Server Error"),
+    };
+    Routed { status, reason, body: error_body(&e.to_string()), stats, raw: None }
+}
+
+/// `GET /v1/tensors` — the store's live directory plus durability stats.
+fn tensors_list(ctx: &Ctx) -> Routed<'_> {
+    let m = &ctx.metrics;
+    let Some(store) = &ctx.store else {
+        return no_store(&m.tensors);
+    };
+    let entries: Vec<Value> = store
+        .list()
+        .into_iter()
+        .map(|e| {
+            Value::object([
+                ("name", Value::Str(e.name)),
+                ("kind", Value::Str(e.kind.name().into())),
+                ("bytes", Value::Num(e.len as f64)),
+            ])
+        })
+        .collect();
+    let stats = store.stats();
+    ok(
+        &m.tensors,
+        Value::object([
+            ("tensors", Value::Array(entries)),
+            ("generation", Value::Num(stats.generation as f64)),
+            ("wal_bytes", Value::Num(stats.wal_bytes as f64)),
+        ]),
+    )
+}
+
+/// `PUT`/`GET`/`DELETE /v1/tensors/<name>` — CRUD over the blockstore.
+///
+/// PUT accepts either a JSON `{"values": [...]}` body (quantized and
+/// SPARK-encoded on the way in, like `/v1/encode`) or a raw container-v2
+/// image as octet-stream (validated structurally before a byte lands in
+/// the WAL). GET streams the stored image back verbatim; DELETE appends a
+/// tombstone. All three are durable (group-committed) before the 200.
+fn tensors_endpoint<'a>(ctx: &'a Ctx, req: &Request) -> Routed<'a> {
+    let m = &ctx.metrics;
+    let name = &req.path["/v1/tensors/".len()..];
+    let Some(store) = &ctx.store else {
+        return no_store(&m.tensors);
+    };
+    match req.method.as_str() {
+        "PUT" => {
+            if req.content_type().starts_with("application/octet-stream") {
+                match store.put_container(name, &req.body) {
+                    Ok(elements) => ok(
+                        &m.tensors,
+                        Value::object([
+                            ("name", Value::Str(name.into())),
+                            ("kind", Value::Str("tensor".into())),
+                            ("elements", Value::Num(elements as f64)),
+                            ("bytes", Value::Num(req.body.len() as f64)),
+                        ]),
+                    ),
+                    Err(e) => store_error(&m.tensors, &e),
+                }
+            } else {
+                let values = match parse_values(req) {
+                    Ok(v) => v,
+                    Err(msg) => return bad_request(&m.tensors, &msg),
+                };
+                let codes = match api::quantize_codes(&values) {
+                    Ok(c) => c,
+                    Err(msg) => return bad_request(&m.tensors, &msg),
+                };
+                let encoded = spark_codec::encode_tensor(&codes.codes);
+                match store.put_tensor(name, &encoded) {
+                    Ok(()) => ok(
+                        &m.tensors,
+                        Value::object([
+                            ("name", Value::Str(name.into())),
+                            ("kind", Value::Str("tensor".into())),
+                            ("elements", Value::Num(encoded.elements as f64)),
+                            ("scale", Value::Num(f64::from(codes.scale))),
+                            ("nibbles", Value::Num(encoded.stream.len() as f64)),
+                        ]),
+                    ),
+                    Err(e) => store_error(&m.tensors, &e),
+                }
+            }
+        }
+        "GET" => match store.get_raw(name) {
+            Ok((_, bytes)) => {
+                Routed { status: 200, reason: "OK", body: Value::Null, stats: &m.tensors, raw: Some(bytes) }
+            }
+            Err(e) => store_error(&m.tensors, &e),
+        },
+        "DELETE" => match store.delete(name) {
+            Ok(()) => ok(&m.tensors, Value::object([("deleted", Value::Str(name.into()))])),
+            Err(e) => store_error(&m.tensors, &e),
+        },
+        _ => Routed {
+            status: 405,
+            reason: "Method Not Allowed",
+            body: error_body(&format!("method {} not allowed on {}", req.method, req.path)),
+            stats: &m.tensors,
+            raw: None,
+        },
+    }
 }
 
 fn batcher_gone(stats: &EndpointStats) -> Routed<'_> {
@@ -900,6 +1109,7 @@ fn batcher_gone(stats: &EndpointStats) -> Routed<'_> {
         reason: "Internal Server Error",
         body: error_body("batch pipeline unavailable"),
         stats,
+        raw: None,
     }
 }
 
@@ -1082,6 +1292,145 @@ mod tests {
         // outputs, argmax, and footprint accounting included.
         let local = api::InferModel::new().unwrap().infer(&values).unwrap();
         assert_eq!(String::from_utf8(reply).unwrap(), local.to_string_compact());
+        server.shutdown();
+        server.join();
+    }
+
+    fn store_test_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("spark-serve-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn cold_loaded_store_model_serves_bit_identical_infer() {
+        // Ingest the frozen model's matrices into a fresh store, exactly
+        // as `spark store put --infer-model` does...
+        let dir = store_test_dir("coldload");
+        {
+            let store = BlockStore::open(&dir).unwrap();
+            let model = api::InferModel::new().unwrap();
+            for (key, m) in api::STORE_MODEL_KEYS.iter().zip(model.export_matrices()) {
+                store.put_matrix(key, &m).unwrap();
+            }
+        }
+        // ...then cold-start a server on the store and compare /v1/infer
+        // byte-for-byte against the in-memory frozen model.
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            batch_window: Duration::from_millis(1),
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+        let values: Vec<f32> =
+            (0..api::INFER_INPUTS).map(|i| ((i as f32) * 0.53).sin() * 1.5).collect();
+        let body = format!(
+            "{{\"values\": [{}]}}",
+            values.iter().map(f32::to_string).collect::<Vec<_>>().join(", ")
+        );
+        let (status, reply) =
+            client_request(&addr, "POST", "/v1/infer", "application/json", body.as_bytes())
+                .unwrap();
+        assert_eq!(status, 200, "{:?}", String::from_utf8_lossy(&reply));
+        let local = api::InferModel::new().unwrap().infer(&values).unwrap();
+        assert_eq!(String::from_utf8(reply).unwrap(), local.to_string_compact());
+        server.shutdown();
+        server.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tensors_crud_round_trips_through_the_store() {
+        let dir = store_test_dir("crud");
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            batch_window: Duration::from_millis(1),
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+
+        // PUT a JSON-valued tensor, read it back as a container image, and
+        // check it is byte-identical to encoding the same values locally
+        // (the codec is precision-aware, so compare encoded-to-encoded,
+        // not decoded-to-quantized).
+        let values: Vec<f32> = (0..100).map(|i| ((i as f32) * 0.31).cos()).collect();
+        let body = format!(
+            "{{\"values\": [{}]}}",
+            values.iter().map(f32::to_string).collect::<Vec<_>>().join(", ")
+        );
+        let (status, reply) = client_request(
+            &addr,
+            "PUT",
+            "/v1/tensors/t0",
+            "application/json",
+            body.as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{:?}", String::from_utf8_lossy(&reply));
+        let (status, image) = client_request(&addr, "GET", "/v1/tensors/t0", "", b"").unwrap();
+        assert_eq!(status, 200);
+        let codes = api::quantize_codes(&values).unwrap();
+        let mut local_image = Vec::new();
+        spark_codec::write_container(&spark_codec::encode_tensor(&codes.codes), &mut local_image)
+            .unwrap();
+        assert_eq!(image, local_image);
+
+        // PUT the image under a second name as raw octets: byte-identical
+        // round trip.
+        let (status, _) = client_request(
+            &addr,
+            "PUT",
+            "/v1/tensors/t1",
+            "application/octet-stream",
+            &image,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let (status, image2) = client_request(&addr, "GET", "/v1/tensors/t1", "", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(image2, image);
+
+        // The listing sees both; DELETE removes one; a deleted or absent
+        // name is 404; bad method is 405; corrupt octets are 400.
+        let (status, listing) = client_request(&addr, "GET", "/v1/tensors", "", b"").unwrap();
+        assert_eq!(status, 200);
+        let v = spark_util::json::parse(std::str::from_utf8(&listing).unwrap()).unwrap();
+        assert_eq!(v.get("tensors").unwrap().as_array().unwrap().len(), 2);
+        let (status, _) = client_request(&addr, "DELETE", "/v1/tensors/t0", "", b"").unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = client_request(&addr, "GET", "/v1/tensors/t0", "", b"").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client_request(&addr, "POST", "/v1/tensors/t1", "", b"").unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = client_request(
+            &addr,
+            "PUT",
+            "/v1/tensors/bad",
+            "application/octet-stream",
+            b"not a container",
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+
+        server.shutdown();
+        server.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tensors_without_a_store_is_a_404() {
+        let server = start_test_server();
+        let addr = server.addr().to_string();
+        let (status, body) = client_request(&addr, "GET", "/v1/tensors/x", "", b"").unwrap();
+        assert_eq!(status, 404);
+        assert!(String::from_utf8_lossy(&body).contains("no tensor store"));
         server.shutdown();
         server.join();
     }

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use spark_util::fnv::fnv1a;
 use spark_util::json::Value;
 use spark_util::rng::splitmix64;
 
@@ -44,17 +45,11 @@ pub const DEFAULT_TENANT: &str = "default";
 /// Longest accepted tenant id (header value).
 pub const MAX_TENANT_LEN: usize = 64;
 
-/// FNV-1a over the tenant id — the same hash family the container
-/// checksums use, stable across platforms and releases (a tenant's shard
-/// must never depend on compiler or stdlib hash seeds).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+// Tenant placement hashes with `spark_util::fnv::fnv1a` (imported above)
+// — the same hash the container checksums use, stable across platforms
+// and releases (a tenant's shard must never depend on compiler or stdlib
+// hash seeds). `tenant_hash_is_pinned` holds golden digests so
+// consolidating the implementation could not silently remap every tenant.
 
 /// Validates a tenant id: 1..=[`MAX_TENANT_LEN`] visible ASCII characters
 /// (no spaces or control bytes, so ids embed cleanly in JSON and logs).
@@ -306,6 +301,16 @@ impl Tenants {
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    #[test]
+    fn tenant_hash_is_pinned() {
+        // Golden digests from the original in-module FNV-1a loop, before
+        // it was consolidated into spark_util::fnv. A drift here would
+        // silently remap every tenant onto a different shard.
+        assert_eq!(fnv1a(b"default"), 0xEBAD_A516_8620_C5FE);
+        assert_eq!(fnv1a(b"tenant-0"), 0xC2EF_B028_E3EB_EED8);
+        assert_eq!(fnv1a(b"acme"), 0x0724_D383_F4F6_DE0F);
+    }
 
     #[test]
     fn same_tenant_always_lands_on_the_same_shard() {

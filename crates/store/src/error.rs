@@ -1,0 +1,181 @@
+//! The store's one error type.
+//!
+//! Everything the durable layer can refuse — I/O failure, corruption the
+//! checksums caught, a name that does not exist, a payload of the wrong
+//! kind — arrives as a typed [`StoreError`]. The store shares the
+//! codebase-wide contract the fault planes enforce: hostile bytes on disk
+//! produce errors, never panics, and the *same* hostile bytes always
+//! produce the same error.
+
+use std::io;
+
+use spark_codec::ContainerError;
+use spark_tensor::EncodedError;
+
+/// What kind of payload a stored entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A container-v2 encoded tensor ([`spark_codec::EncodedTensor`] image).
+    Tensor,
+    /// A panel-major encoded weight matrix (`SPKM` image wrapping
+    /// [`spark_tensor::EncodedMatrix`] raw parts).
+    Matrix,
+}
+
+impl EntryKind {
+    /// Stable name used in listings and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntryKind::Tensor => "tensor",
+            EntryKind::Matrix => "matrix",
+        }
+    }
+
+    /// The WAL/manifest wire tag.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            EntryKind::Tensor => 1,
+            EntryKind::Matrix => 2,
+        }
+    }
+
+    /// Inverse of [`EntryKind::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(EntryKind::Tensor),
+            2 => Some(EntryKind::Matrix),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from the blockstore.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// On-disk bytes failed a structural or checksum validation.
+    Corrupt(String),
+    /// The named tensor is not in the live set.
+    NotFound(String),
+    /// The name violates the store's naming rules.
+    InvalidName(String),
+    /// The entry exists but holds the other payload kind.
+    WrongKind {
+        /// The requested name.
+        name: String,
+        /// What the caller asked for.
+        expected: EntryKind,
+        /// What the store holds.
+        found: EntryKind,
+    },
+    /// A stored container image failed the codec's validation.
+    Container(ContainerError),
+    /// A stored matrix image failed the tensor layer's validation.
+    Encoded(EncodedError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+            StoreError::NotFound(name) => write!(f, "no stored tensor named {name:?}"),
+            StoreError::InvalidName(msg) => write!(f, "invalid tensor name: {msg}"),
+            StoreError::WrongKind { name, expected, found } => write!(
+                f,
+                "{name:?} holds a {} but a {} was requested",
+                found.name(),
+                expected.name()
+            ),
+            StoreError::Container(e) => write!(f, "stored container: {e}"),
+            StoreError::Encoded(e) => write!(f, "stored matrix: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ContainerError> for StoreError {
+    fn from(e: ContainerError) -> Self {
+        StoreError::Container(e)
+    }
+}
+
+impl From<EncodedError> for StoreError {
+    fn from(e: EncodedError) -> Self {
+        StoreError::Encoded(e)
+    }
+}
+
+/// Longest accepted tensor name, in bytes.
+pub const MAX_NAME_LEN: usize = 256;
+
+/// Validates a tensor name: 1..=[`MAX_NAME_LEN`] bytes of visible ASCII
+/// (0x21..=0x7E — embeds cleanly in JSON, logs, and URL paths; `/` is
+/// allowed so model weights can namespace as `__model/<model>/<layer>`).
+///
+/// # Errors
+///
+/// [`StoreError::InvalidName`] describing the violated rule.
+pub fn validate_name(name: &str) -> Result<(), StoreError> {
+    if name.is_empty() {
+        return Err(StoreError::InvalidName("name must not be empty".into()));
+    }
+    if name.len() > MAX_NAME_LEN {
+        return Err(StoreError::InvalidName(format!(
+            "name longer than {MAX_NAME_LEN} bytes"
+        )));
+    }
+    if !name.bytes().all(|b| (0x21..=0x7E).contains(&b)) {
+        return Err(StoreError::InvalidName(
+            "name must be visible ASCII (no spaces or control bytes)".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in [EntryKind::Tensor, EntryKind::Matrix] {
+            assert_eq!(EntryKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(EntryKind::from_tag(0), None);
+        assert_eq!(EntryKind::from_tag(99), None);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("weights/layer-0").is_ok());
+        assert!(validate_name("__model/infer/w0").is_ok());
+        assert!(validate_name("a").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("has space").is_err());
+        assert!(validate_name("newline\n").is_err());
+        assert!(validate_name(&"x".repeat(MAX_NAME_LEN + 1)).is_err());
+        assert!(validate_name(&"x".repeat(MAX_NAME_LEN)).is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(StoreError::NotFound("w0".into()).to_string().contains("w0"));
+        assert!(StoreError::Corrupt("bad tail".into()).to_string().contains("bad tail"));
+        let wk = StoreError::WrongKind {
+            name: "m".into(),
+            expected: EntryKind::Matrix,
+            found: EntryKind::Tensor,
+        };
+        assert!(wk.to_string().contains("matrix"));
+        assert!(wk.to_string().contains("tensor"));
+    }
+}

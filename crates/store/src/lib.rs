@@ -1,0 +1,150 @@
+//! # spark-store — persistent blockstore for SPARK-encoded tensors
+//!
+//! Encoded weights are the deployment artifact of the SPARK pipeline:
+//! what a serving fleet ships to accelerator DRAM. This crate makes them
+//! durable. A [`BlockStore`] is a directory holding container-v2 encoded
+//! tensors and panel-major encoded weight matrices behind three small,
+//! fully-checksummed on-disk structures:
+//!
+//! - **WAL** ([`wal`]) — every mutation is one fixed-frame record in an
+//!   append-only log, FNV-1a-checksummed twice (header and payload),
+//!   made durable by group-committed `fdatasync`. Recovery accepts the
+//!   longest valid prefix and discards the torn tail deterministically.
+//! - **Manifest** ([`manifest`]) — compaction folds the live set into an
+//!   immutable `blocks-<gen>.dat` + `manifest-<gen>` snapshot and commits
+//!   it with a single `rename` of the `CURRENT` pointer. The manifest's
+//!   WAL sequence floor fences replay: records at or below it are
+//!   already in the blocks.
+//! - **Reads** — payloads are `pread` into 64-byte-aligned buffers and
+//!   rehydrated through the existing zero-copy constructors
+//!   ([`spark_codec::read_container`],
+//!   [`spark_tensor::EncodedMatrix::from_raw_parts`]), so a stored model
+//!   cold-loads without re-encoding and round-trips byte-identically.
+//!
+//! The recovery invariant, exercised exhaustively by the crash suite in
+//! `tests/` and the `spark-fault` crash plane: after a crash at *any*
+//! write boundary, reopening yields exactly the set of acknowledged
+//! (group-committed) mutations — no panics, typed [`StoreError`] only,
+//! and two recovery runs of the same directory produce byte-identical
+//! reports.
+
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod error;
+pub mod manifest;
+pub mod store;
+pub mod wal;
+
+pub use compact::{CompactPoint, CompactStats};
+pub use error::{validate_name, EntryKind, StoreError, MAX_NAME_LEN};
+pub use store::{BlockStore, EntryInfo, RecoveryReport, StoreStats};
+
+use std::path::Path;
+
+/// Fsyncs a directory so a just-renamed file inside it is durable — the
+/// second half of the swap protocol every installer in this crate uses.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// A heap buffer aligned to 64 bytes — the staging area `pread` fills, so
+/// payload bytes land cache-line-aligned exactly as the WAL laid them out
+/// on disk (and as an `O_DIRECT`-style path would require).
+#[derive(Debug)]
+pub struct AlignedBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: AlignedBuf exclusively owns its allocation; no interior
+// mutability, no aliasing — moving it between threads is sound.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocation alignment in bytes.
+    pub const ALIGN: usize = 64;
+
+    /// Allocates a zero-filled buffer of `len` bytes aligned to 64.
+    pub fn new(len: usize) -> Self {
+        if len == 0 {
+            return Self { ptr: std::ptr::null_mut(), len: 0 };
+        }
+        let layout = std::alloc::Layout::from_size_align(len, Self::ALIGN)
+            .expect("64-byte alignment is valid and len fits isize");
+        // SAFETY: layout has nonzero size (len > 0 checked above).
+        let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Self { ptr, len }
+    }
+
+    /// The buffer as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        if self.len == 0 {
+            return &mut [];
+        }
+        // SAFETY: ptr is valid for len bytes, exclusively owned.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// The buffer as a shared slice.
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr is valid for len bytes.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            let layout = std::alloc::Layout::from_size_align(self.len, Self::ALIGN)
+                .expect("layout validated at allocation");
+            // SAFETY: ptr came from alloc_zeroed with this exact layout.
+            unsafe { std::alloc::dealloc(self.ptr, layout) };
+        }
+    }
+}
+
+impl std::ops::Deref for AlignedBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_buf_is_aligned_and_usable() {
+        for len in [1usize, 63, 64, 65, 4096] {
+            let mut b = AlignedBuf::new(len);
+            assert_eq!(b.len(), len);
+            assert_eq!(b.as_slice().as_ptr() as usize % AlignedBuf::ALIGN, 0);
+            assert!(b.as_slice().iter().all(|&x| x == 0));
+            b.as_mut_slice()[len - 1] = 0xAB;
+            assert_eq!(b[len - 1], 0xAB);
+        }
+        let empty = AlignedBuf::new(0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.as_slice(), &[] as &[u8]);
+    }
+}

@@ -1,0 +1,375 @@
+//! Versioned manifest and `CURRENT` pointer: the store's atomic commit
+//! point.
+//!
+//! A manifest (`manifest-<gen>`) is an immutable snapshot of the live set
+//! at one generation: tensor names mapped to extents in that generation's
+//! block file, plus the WAL sequence floor — replay skips records at or
+//! below it, because their effects are already folded into the blocks.
+//! The `CURRENT` file holds the one live generation number.
+//!
+//! Both files are checksummed (trailing FNV-1a over everything before it)
+//! and installed by the classic swap protocol: write `<file>.tmp`, fsync
+//! it, `rename` over the destination, fsync the directory. A crash leaves
+//! either the old file or the new one — the rename is the commit point,
+//! and stale `.tmp` / off-generation files are garbage-collected on the
+//! next open.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+use spark_util::fnv::fnv1a;
+
+use crate::error::{validate_name, EntryKind, StoreError, MAX_NAME_LEN};
+use crate::sync_dir;
+
+/// Manifest file magic: "SMAN".
+pub const MANIFEST_MAGIC: [u8; 4] = *b"SMAN";
+/// `CURRENT` file magic: "SCUR".
+pub const CURRENT_MAGIC: [u8; 4] = *b"SCUR";
+/// Format version shared by both files.
+pub const MANIFEST_VERSION: u32 = 1;
+/// Name of the generation-pointer file.
+pub const CURRENT_FILE: &str = "CURRENT";
+
+/// Fixed prefix of a manifest: magic, version, gen, floor, entry count.
+const MANIFEST_HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
+/// Fixed per-entry prefix: name_len, kind, pad, offset, len, crc.
+const ENTRY_FIXED_LEN: usize = 4 + 1 + 3 + 8 + 8 + 8;
+
+/// One live extent in a generation's block file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Tensor name.
+    pub name: String,
+    /// Payload kind.
+    pub kind: EntryKind,
+    /// Byte offset of the payload in `blocks-<gen>.dat` (64-byte aligned).
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a checksum of the payload.
+    pub crc: u64,
+}
+
+/// A decoded manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// The generation this snapshot belongs to.
+    pub gen: u64,
+    /// WAL records with `seq <= wal_seq_floor` are already folded in.
+    pub wal_seq_floor: u64,
+    /// Live extents, in the written (name-sorted) order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// File name of the manifest for `gen`.
+pub fn manifest_file(gen: u64) -> String {
+    format!("manifest-{gen:016x}")
+}
+
+/// File name of the block file for `gen`.
+pub fn blocks_file(gen: u64) -> String {
+    format!("blocks-{gen:016x}.dat")
+}
+
+/// Serializes `m` and installs it as `manifest-<gen>` via the swap
+/// protocol.
+///
+/// # Errors
+///
+/// [`StoreError::Io`].
+pub fn write_manifest(dir: &Path, m: &Manifest) -> Result<(), StoreError> {
+    let mut buf = Vec::with_capacity(
+        MANIFEST_HEADER_LEN + m.entries.iter().map(|e| ENTRY_FIXED_LEN + e.name.len()).sum::<usize>() + 8,
+    );
+    buf.extend_from_slice(&MANIFEST_MAGIC);
+    buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    buf.extend_from_slice(&m.gen.to_le_bytes());
+    buf.extend_from_slice(&m.wal_seq_floor.to_le_bytes());
+    buf.extend_from_slice(&(m.entries.len() as u64).to_le_bytes());
+    for e in &m.entries {
+        buf.extend_from_slice(&(e.name.len() as u32).to_le_bytes());
+        buf.push(e.kind.tag());
+        buf.extend_from_slice(&[0u8; 3]);
+        buf.extend_from_slice(&e.offset.to_le_bytes());
+        buf.extend_from_slice(&e.len.to_le_bytes());
+        buf.extend_from_slice(&e.crc.to_le_bytes());
+        buf.extend_from_slice(e.name.as_bytes());
+    }
+    let crc = fnv1a(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    install(dir, &manifest_file(m.gen), &buf)
+}
+
+/// Reads and validates `manifest-<gen>`.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when the file is missing/unreadable,
+/// [`StoreError::Corrupt`] when any structural or checksum validation
+/// fails.
+pub fn read_manifest(dir: &Path, gen: u64) -> Result<Manifest, StoreError> {
+    let bytes = std::fs::read(dir.join(manifest_file(gen)))?;
+    if bytes.len() < MANIFEST_HEADER_LEN + 8 {
+        return Err(StoreError::Corrupt(format!(
+            "manifest-{gen:016x} is {} bytes, shorter than any valid manifest",
+            bytes.len()
+        )));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let declared = u64::from_le_bytes(tail.try_into().expect("8-byte slice"));
+    let found = fnv1a(body);
+    if found != declared {
+        return Err(StoreError::Corrupt(format!(
+            "manifest-{gen:016x} checksum mismatch: trailer says {declared:#018x}, body hashes to {found:#018x}"
+        )));
+    }
+    if body[0..4] != MANIFEST_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "manifest-{gen:016x} has bad magic {:?}",
+            &body[0..4]
+        )));
+    }
+    let version = u32::from_le_bytes(body[4..8].try_into().expect("4-byte slice"));
+    if version != MANIFEST_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "manifest-{gen:016x} has unsupported version {version}"
+        )));
+    }
+    let file_gen = u64::from_le_bytes(body[8..16].try_into().expect("8-byte slice"));
+    if file_gen != gen {
+        return Err(StoreError::Corrupt(format!(
+            "manifest-{gen:016x} claims generation {file_gen}"
+        )));
+    }
+    let wal_seq_floor = u64::from_le_bytes(body[16..24].try_into().expect("8-byte slice"));
+    let count = u64::from_le_bytes(body[24..32].try_into().expect("8-byte slice"));
+    // Each entry is at least ENTRY_FIXED_LEN + 1 bytes; an implausible
+    // count is rejected before any allocation sized from it.
+    let remaining = body.len() - MANIFEST_HEADER_LEN;
+    if count > (remaining / (ENTRY_FIXED_LEN + 1)) as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "manifest-{gen:016x} claims {count} entries in {remaining} bytes"
+        )));
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    let mut pos = MANIFEST_HEADER_LEN;
+    for i in 0..count {
+        if body.len() - pos < ENTRY_FIXED_LEN {
+            return Err(StoreError::Corrupt(format!(
+                "manifest-{gen:016x} truncated inside entry {i}"
+            )));
+        }
+        let f = &body[pos..pos + ENTRY_FIXED_LEN];
+        let name_len = u32::from_le_bytes(f[0..4].try_into().expect("4-byte slice")) as usize;
+        let kind = EntryKind::from_tag(f[4]).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "manifest-{gen:016x} entry {i} has unknown kind tag {}",
+                f[4]
+            ))
+        })?;
+        if f[5..8].iter().any(|&b| b != 0) {
+            return Err(StoreError::Corrupt(format!(
+                "manifest-{gen:016x} entry {i} has nonzero pad bytes"
+            )));
+        }
+        let offset = u64::from_le_bytes(f[8..16].try_into().expect("8-byte slice"));
+        let len = u64::from_le_bytes(f[16..24].try_into().expect("8-byte slice"));
+        let crc = u64::from_le_bytes(f[24..32].try_into().expect("8-byte slice"));
+        pos += ENTRY_FIXED_LEN;
+        if name_len == 0 || name_len > MAX_NAME_LEN || body.len() - pos < name_len {
+            return Err(StoreError::Corrupt(format!(
+                "manifest-{gen:016x} entry {i} has implausible name length {name_len}"
+            )));
+        }
+        let name = std::str::from_utf8(&body[pos..pos + name_len])
+            .map_err(|_| {
+                StoreError::Corrupt(format!("manifest-{gen:016x} entry {i} has a non-UTF-8 name"))
+            })?
+            .to_string();
+        validate_name(&name).map_err(|_| {
+            StoreError::Corrupt(format!("manifest-{gen:016x} entry {i} has an invalid name"))
+        })?;
+        pos += name_len;
+        entries.push(ManifestEntry { name, kind, offset, len, crc });
+    }
+    if pos != body.len() {
+        return Err(StoreError::Corrupt(format!(
+            "manifest-{gen:016x} has {} trailing bytes after entry {count}",
+            body.len() - pos
+        )));
+    }
+    Ok(Manifest { gen, wal_seq_floor, entries })
+}
+
+/// Installs `CURRENT` pointing at `gen` via the swap protocol.
+///
+/// # Errors
+///
+/// [`StoreError::Io`].
+pub fn write_current(dir: &Path, gen: u64) -> Result<(), StoreError> {
+    let mut buf = Vec::with_capacity(24);
+    buf.extend_from_slice(&CURRENT_MAGIC);
+    buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    buf.extend_from_slice(&gen.to_le_bytes());
+    let crc = fnv1a(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    install(dir, CURRENT_FILE, &buf)
+}
+
+/// Reads `CURRENT`. `Ok(None)` when the file does not exist — a fresh
+/// store at implicit generation 0 with an empty base snapshot.
+///
+/// # Errors
+///
+/// [`StoreError::Io`], or [`StoreError::Corrupt`] when the file exists
+/// but fails validation.
+pub fn read_current(dir: &Path) -> Result<Option<u64>, StoreError> {
+    let bytes = match std::fs::read(dir.join(CURRENT_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() != 24 {
+        return Err(StoreError::Corrupt(format!(
+            "CURRENT is {} bytes, expected 24",
+            bytes.len()
+        )));
+    }
+    let (body, tail) = bytes.split_at(16);
+    let declared = u64::from_le_bytes(tail.try_into().expect("8-byte slice"));
+    let found = fnv1a(body);
+    if found != declared {
+        return Err(StoreError::Corrupt(format!(
+            "CURRENT checksum mismatch: trailer says {declared:#018x}, body hashes to {found:#018x}"
+        )));
+    }
+    if body[0..4] != CURRENT_MAGIC {
+        return Err(StoreError::Corrupt(format!("CURRENT has bad magic {:?}", &body[0..4])));
+    }
+    let version = u32::from_le_bytes(body[4..8].try_into().expect("4-byte slice"));
+    if version != MANIFEST_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "CURRENT has unsupported version {version}"
+        )));
+    }
+    Ok(Some(u64::from_le_bytes(body[8..16].try_into().expect("8-byte slice"))))
+}
+
+/// The swap protocol: `<name>.tmp` → fsync → rename → fsync dir.
+fn install(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp_path = dir.join(format!("{name}.tmp"));
+    let final_path = dir.join(name);
+    let mut tmp = File::create(&tmp_path)?;
+    tmp.write_all(bytes)?;
+    tmp.sync_data()?;
+    drop(tmp);
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "spark-manifest-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            gen: 3,
+            wal_seq_floor: 41,
+            entries: vec![
+                ManifestEntry {
+                    name: "__model/infer/w0".into(),
+                    kind: EntryKind::Matrix,
+                    offset: 0,
+                    len: 4096,
+                    crc: 0xDEAD_BEEF_0000_0001,
+                },
+                ManifestEntry {
+                    name: "act/x".into(),
+                    kind: EntryKind::Tensor,
+                    offset: 4096,
+                    len: 300,
+                    crc: 0xDEAD_BEEF_0000_0002,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let m = sample();
+        write_manifest(&dir, &m).unwrap();
+        let back = read_manifest(&dir, 3).unwrap();
+        assert_eq!(back.gen, 3);
+        assert_eq!(back.wal_seq_floor, 41);
+        assert_eq!(back.entries, m.entries);
+        // No .tmp leftover after a clean install.
+        assert!(!dir.join("manifest-0000000000000003.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let dir = tmp_dir("bitrot");
+        write_manifest(&dir, &sample()).unwrap();
+        let path = dir.join(manifest_file(3));
+        let clean = std::fs::read(&path).unwrap();
+        for i in 0..clean.len() {
+            let mut rot = clean.clone();
+            rot[i] ^= 0x01;
+            std::fs::write(&path, &rot).unwrap();
+            let r = read_manifest(&dir, 3);
+            assert!(
+                matches!(r, Err(StoreError::Corrupt(_))),
+                "flip at byte {i} was not caught: {r:?}"
+            );
+        }
+        std::fs::write(&path, &clean).unwrap();
+        assert!(read_manifest(&dir, 3).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn current_round_trips_and_absence_is_gen_zero() {
+        let dir = tmp_dir("current");
+        assert!(read_current(&dir).unwrap().is_none());
+        write_current(&dir, 7).unwrap();
+        assert_eq!(read_current(&dir).unwrap(), Some(7));
+        write_current(&dir, 8).unwrap();
+        assert_eq!(read_current(&dir).unwrap(), Some(8));
+        // Truncated CURRENT is corruption, not absence.
+        std::fs::write(dir.join(CURRENT_FILE), b"SCUR").unwrap();
+        assert!(matches!(read_current(&dir), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_rejects_truncation_and_forged_counts() {
+        let dir = tmp_dir("forged");
+        write_manifest(&dir, &sample()).unwrap();
+        let path = dir.join(manifest_file(3));
+        let clean = std::fs::read(&path).unwrap();
+        // Any truncation fails (checksum or framing).
+        for cut in 0..clean.len() {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            assert!(read_manifest(&dir, 3).is_err(), "truncation at {cut} accepted");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

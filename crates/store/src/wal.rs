@@ -1,0 +1,576 @@
+//! Append-only write-ahead log: fixed-frame records, accept-prefix
+//! recovery.
+//!
+//! Every mutation (put tensor, put matrix, delete) becomes one WAL record
+//! before it is acknowledged. A record is a fixed 64-byte header — magic,
+//! version, monotonic sequence number, kind, name/payload lengths, an
+//! FNV-1a checksum over the payload, and an FNV-1a checksum over the
+//! header itself — followed by the name and the payload, each padded to a
+//! 64-byte boundary so payloads start cache-line-aligned and can be
+//! `pread` straight into aligned buffers.
+//!
+//! Recovery is **accept-prefix**: [`Wal::open`] scans from the start and
+//! stops at the *first* record that is short, mis-framed, checksum-bad, or
+//! out of sequence, truncating the file there. Everything before the stop
+//! point was written in full (header checksum covers the frame, payload
+//! checksum covers the data, sequence numbers forbid splices), so the
+//! committed prefix is recovered exactly and the torn tail — the
+//! signature of a crash mid-write — is discarded deterministically. Two
+//! recoveries of the same bytes always yield the same state.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use spark_util::fnv::Fnv1a;
+
+use crate::error::{StoreError, MAX_NAME_LEN};
+use crate::sync_dir;
+
+/// Record frame magic: "SWAL".
+pub const WAL_MAGIC: [u8; 4] = *b"SWAL";
+/// WAL frame version.
+pub const WAL_VERSION: u32 = 1;
+/// Fixed record header size — one cache line.
+pub const RECORD_HEADER_LEN: usize = 64;
+/// Alignment unit for name and payload sections.
+pub const ALIGN: usize = 64;
+/// The log's file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// What a WAL record does to the live set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Install/overwrite a container-v2 encoded tensor.
+    PutTensor,
+    /// Remove a name from the live set (payload is empty).
+    Delete,
+    /// Install/overwrite an `SPKM` encoded-matrix image.
+    PutMatrix,
+}
+
+impl RecordKind {
+    fn tag(self) -> u8 {
+        match self {
+            RecordKind::PutTensor => 1,
+            RecordKind::Delete => 2,
+            RecordKind::PutMatrix => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(RecordKind::PutTensor),
+            2 => Some(RecordKind::Delete),
+            3 => Some(RecordKind::PutMatrix),
+            _ => None,
+        }
+    }
+}
+
+/// Rounds `len` up to the next [`ALIGN`] boundary.
+pub fn align_up(len: u64) -> u64 {
+    len.div_ceil(ALIGN as u64) * ALIGN as u64
+}
+
+/// Total on-disk footprint of a record with the given name/payload sizes.
+pub fn record_len(name_len: usize, payload_len: usize) -> u64 {
+    RECORD_HEADER_LEN as u64 + align_up(name_len as u64) + align_up(payload_len as u64)
+}
+
+/// A record surfaced by the recovery scan: framing metadata plus where its
+/// payload lives in the (truncated-to-valid) log file. Payload bytes are
+/// *not* retained — readers `pread` them on demand.
+#[derive(Debug, Clone)]
+pub struct ScannedRecord {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// What the record does.
+    pub kind: RecordKind,
+    /// The tensor name it applies to.
+    pub name: String,
+    /// Byte offset of the payload within the log file (64-byte aligned).
+    pub payload_off: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// FNV-1a checksum of the payload, from the verified header.
+    pub payload_crc: u64,
+}
+
+/// Serializes one record frame (header + padded name + padded payload).
+fn encode_record(seq: u64, kind: RecordKind, name: &str, payload: &[u8]) -> Vec<u8> {
+    let total = record_len(name.len(), payload.len()) as usize;
+    let mut buf = vec![0u8; total];
+    buf[0..4].copy_from_slice(&WAL_MAGIC);
+    buf[4..8].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    buf[8..16].copy_from_slice(&seq.to_le_bytes());
+    buf[16] = kind.tag();
+    // bytes 17..20 are zero padding
+    buf[20..24].copy_from_slice(&(name.len() as u32).to_le_bytes());
+    buf[24..32].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf[32..40].copy_from_slice(&spark_util::fnv::fnv1a(payload).to_le_bytes());
+    let mut h = Fnv1a::new();
+    h.update(&buf[0..40]);
+    buf[40..48].copy_from_slice(&h.finish().to_le_bytes());
+    // bytes 48..64 are zero reserved
+    let name_end = RECORD_HEADER_LEN + name.len();
+    buf[RECORD_HEADER_LEN..name_end].copy_from_slice(name.as_bytes());
+    let payload_start = RECORD_HEADER_LEN + align_up(name.len() as u64) as usize;
+    buf[payload_start..payload_start + payload.len()].copy_from_slice(payload);
+    buf
+}
+
+/// Outcome of scanning a log image.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Records in the valid prefix, in append order.
+    pub records: Vec<ScannedRecord>,
+    /// Length of the valid prefix in bytes — where the next append goes.
+    pub valid_len: u64,
+    /// Why the scan stopped before the end of the file, if it did. This is
+    /// the torn-tail diagnosis surfaced in the recovery report.
+    pub torn: Option<String>,
+}
+
+/// Scans a full log image, accepting the longest valid prefix.
+///
+/// Never fails: hostile bytes shorten the accepted prefix instead. The
+/// result is a pure function of the input bytes.
+pub fn scan(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos: u64 = 0;
+    let len = bytes.len() as u64;
+    let mut prev_seq: Option<u64> = None;
+    let mut torn = None;
+
+    loop {
+        let remaining = len - pos;
+        if remaining == 0 {
+            break;
+        }
+        if remaining < RECORD_HEADER_LEN as u64 {
+            torn = Some(format!(
+                "short header at offset {pos}: {remaining} bytes left of {RECORD_HEADER_LEN}"
+            ));
+            break;
+        }
+        let h = &bytes[pos as usize..pos as usize + RECORD_HEADER_LEN];
+        if h[0..4] != WAL_MAGIC {
+            torn = Some(format!("bad record magic at offset {pos}"));
+            break;
+        }
+        let version = u32::from_le_bytes([h[4], h[5], h[6], h[7]]);
+        if version != WAL_VERSION {
+            torn = Some(format!("record version {version} at offset {pos}"));
+            break;
+        }
+        let mut declared = [0u8; 8];
+        declared.copy_from_slice(&h[40..48]);
+        let mut hasher = Fnv1a::new();
+        hasher.update(&h[0..40]);
+        if hasher.finish() != u64::from_le_bytes(declared) {
+            torn = Some(format!("header checksum mismatch at offset {pos}"));
+            break;
+        }
+        if h[17..20].iter().chain(h[48..64].iter()).any(|&b| b != 0) {
+            torn = Some(format!("nonzero reserved header bytes at offset {pos}"));
+            break;
+        }
+        let seq = u64::from_le_bytes(h[8..16].try_into().expect("8-byte slice"));
+        let Some(kind) = RecordKind::from_tag(h[16]) else {
+            torn = Some(format!("unknown record kind {} at offset {pos}", h[16]));
+            break;
+        };
+        let name_len = u32::from_le_bytes([h[20], h[21], h[22], h[23]]) as usize;
+        let payload_len = u64::from_le_bytes(h[24..32].try_into().expect("8-byte slice"));
+        let payload_crc = u64::from_le_bytes(h[32..40].try_into().expect("8-byte slice"));
+        if name_len == 0 || name_len > MAX_NAME_LEN {
+            torn = Some(format!("implausible name length {name_len} at offset {pos}"));
+            break;
+        }
+        let total = record_len(name_len, payload_len as usize);
+        if total > remaining {
+            torn = Some(format!(
+                "torn record at offset {pos}: frame needs {total} bytes, file holds {remaining}"
+            ));
+            break;
+        }
+        if let Some(prev) = prev_seq {
+            if seq != prev.wrapping_add(1) {
+                torn = Some(format!(
+                    "sequence break at offset {pos}: {seq} after {prev}"
+                ));
+                break;
+            }
+        }
+        let name_start = pos as usize + RECORD_HEADER_LEN;
+        let name_bytes = &bytes[name_start..name_start + name_len];
+        let Ok(name) = std::str::from_utf8(name_bytes) else {
+            torn = Some(format!("non-UTF-8 name at offset {pos}"));
+            break;
+        };
+        if crate::error::validate_name(name).is_err() {
+            torn = Some(format!("invalid name bytes at offset {pos}"));
+            break;
+        }
+        let payload_off = pos + RECORD_HEADER_LEN as u64 + align_up(name_len as u64);
+        let payload =
+            &bytes[payload_off as usize..payload_off as usize + payload_len as usize];
+        if spark_util::fnv::fnv1a(payload) != payload_crc {
+            torn = Some(format!("payload checksum mismatch at offset {pos}"));
+            break;
+        }
+        records.push(ScannedRecord {
+            seq,
+            kind,
+            name: name.to_string(),
+            payload_off,
+            payload_len,
+            payload_crc,
+        });
+        prev_seq = Some(seq);
+        pos += total;
+    }
+
+    WalScan {
+        records,
+        valid_len: pos,
+        torn,
+    }
+}
+
+/// Where an append landed, for the caller's index.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendInfo {
+    /// Sequence number assigned to the record.
+    pub seq: u64,
+    /// Payload offset in the log file.
+    pub payload_off: u64,
+    /// Payload length.
+    pub payload_len: u64,
+    /// FNV-1a checksum of the payload.
+    pub payload_crc: u64,
+}
+
+/// The write-ahead log: an open append handle plus the framing state
+/// (tail offset, next sequence number).
+///
+/// `Wal` does **not** fsync on append — durability is the caller's group
+/// commit via [`Wal::sync`].
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    tail: u64,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log in `dir`, scans it, truncates
+    /// any torn tail, and returns the handle plus the scan result.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] — corruption never fails an open, it shortens
+    /// the accepted prefix (reported via [`WalScan::torn`]).
+    pub fn open(dir: &Path) -> Result<(Self, WalScan), StoreError> {
+        let path = dir.join(WAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let scan = scan(&bytes);
+        if scan.valid_len < bytes.len() as u64 {
+            // Drop the torn tail so the next append starts on a clean
+            // frame boundary; group commit will fsync before anything
+            // after this point is acknowledged.
+            file.set_len(scan.valid_len)?;
+        }
+        let next_seq = scan.records.last().map_or(1, |r| r.seq + 1);
+        Ok((
+            Self {
+                file,
+                path,
+                tail: scan.valid_len,
+                next_seq,
+            },
+            scan,
+        ))
+    }
+
+    /// Appends one record at the tail. Not durable until [`Wal::sync`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] from the underlying write.
+    pub fn append(
+        &mut self,
+        kind: RecordKind,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<AppendInfo, StoreError> {
+        let seq = self.next_seq;
+        let frame = encode_record(seq, kind, name, payload);
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(&frame, self.tail)?;
+        let info = AppendInfo {
+            seq,
+            payload_off: self.tail + RECORD_HEADER_LEN as u64 + align_up(name.len() as u64),
+            payload_len: payload.len() as u64,
+            payload_crc: spark_util::fnv::fnv1a(payload),
+        };
+        self.tail += frame.len() as u64;
+        self.next_seq += 1;
+        Ok(info)
+    }
+
+    /// Flushes appended records to stable storage (`fdatasync`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Raises the next sequence number to at least `min_next`. The store
+    /// calls this on open with the manifest's replay floor + 1: after
+    /// compaction rewrites the log empty, the file alone restarts
+    /// numbering at 1, and a fresh append at or below the fence would be
+    /// silently skipped by the next recovery.
+    pub fn ensure_next_seq(&mut self, min_next: u64) {
+        self.next_seq = self.next_seq.max(min_next);
+    }
+
+    /// Current tail offset (valid log length in bytes).
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Duplicates the append handle (`dup`) so group commit can
+    /// `fdatasync` without holding the writer lock.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn file_clone(&self) -> Result<File, StoreError> {
+        Ok(self.file.try_clone()?)
+    }
+
+    /// Opens an independent read-only handle on the log file for `pread`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn reader(&self) -> Result<File, StoreError> {
+        Ok(File::open(&self.path)?)
+    }
+
+    /// Compaction's log-tail rewrite: keeps only records with
+    /// `seq > floor`, writing them (re-framed, offsets rebased) to a temp
+    /// file that atomically replaces the log. Returns the kept records
+    /// with their offsets in the *new* file.
+    ///
+    /// Crash-safe: the swap is a single `rename`, so recovery sees either
+    /// the old log (and a manifest floor that makes the duplicate prefix
+    /// a no-op at replay) or the new one — never a blend.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn truncate_through(
+        &mut self,
+        floor: u64,
+    ) -> Result<Vec<ScannedRecord>, StoreError> {
+        let mut bytes = Vec::new();
+        {
+            use std::os::unix::fs::FileExt;
+            bytes.resize(self.tail as usize, 0);
+            self.file.read_exact_at(&mut bytes, 0)?;
+        }
+        let old = scan(&bytes);
+        let tmp_path = self.path.with_extension("log.tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        let mut kept = Vec::new();
+        let mut new_tail: u64 = 0;
+        for rec in old.records.iter().filter(|r| r.seq > floor) {
+            let payload = &bytes
+                [rec.payload_off as usize..(rec.payload_off + rec.payload_len) as usize];
+            let frame = encode_record(rec.seq, rec.kind, &rec.name, payload);
+            tmp.write_all(&frame)?;
+            kept.push(ScannedRecord {
+                payload_off: new_tail
+                    + RECORD_HEADER_LEN as u64
+                    + align_up(rec.name.len() as u64),
+                ..rec.clone()
+            });
+            new_tail += frame.len() as u64;
+        }
+        tmp.sync_data()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)?;
+        sync_dir(self.path.parent().unwrap_or(Path::new(".")))?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.tail = new_tail;
+        // next_seq is unchanged: kept records preserve their numbers.
+        Ok(kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "spark-wal-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn record_framing_is_aligned_and_scannable() {
+        let frame = encode_record(7, RecordKind::PutTensor, "w/a", &[1, 2, 3, 4, 5]);
+        assert_eq!(frame.len() % ALIGN, 0);
+        assert_eq!(frame.len(), record_len(3, 5) as usize);
+        let s = scan(&frame);
+        assert!(s.torn.is_none());
+        assert_eq!(s.records.len(), 1);
+        let r = &s.records[0];
+        assert_eq!((r.seq, r.kind, r.name.as_str()), (7, RecordKind::PutTensor, "w/a"));
+        assert_eq!(r.payload_off, 128); // header 64 + name padded to 64
+        assert_eq!(r.payload_len, 5);
+    }
+
+    #[test]
+    fn scan_accepts_longest_valid_prefix() {
+        let mut log = encode_record(1, RecordKind::PutTensor, "a", b"xx");
+        log.extend(encode_record(2, RecordKind::Delete, "a", b""));
+        let full = scan(&log);
+        assert_eq!(full.records.len(), 2);
+        assert!(full.torn.is_none());
+        assert_eq!(full.valid_len, log.len() as u64);
+
+        // Every proper prefix recovers only the records it fully frames.
+        for cut in 0..log.len() {
+            let s = scan(&log[..cut]);
+            let expect = usize::from(cut >= record_len(1, 2) as usize);
+            assert_eq!(s.records.len(), expect, "cut at {cut}");
+            if cut > 0 && expect == 0 {
+                assert!(s.torn.is_some(), "cut at {cut} must diagnose a tear");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_stops_on_corruption_and_sequence_breaks() {
+        let mut log = encode_record(1, RecordKind::PutTensor, "a", b"hello");
+        log.extend(encode_record(2, RecordKind::PutTensor, "b", b"world"));
+        let clean = scan(&log).records.len();
+        assert_eq!(clean, 2);
+
+        // Flip one payload byte of the second record: first survives.
+        let mut rot = log.clone();
+        let second_payload = record_len(1, 5) as usize + 128;
+        rot[second_payload] ^= 0x40;
+        let s = scan(&rot);
+        assert_eq!(s.records.len(), 1);
+        assert!(s.torn.unwrap().contains("payload checksum"));
+
+        // Sequence splice: duplicate record 1 after itself.
+        let first = encode_record(1, RecordKind::PutTensor, "a", b"hello");
+        let mut spliced = first.clone();
+        spliced.extend(first);
+        let s = scan(&spliced);
+        assert_eq!(s.records.len(), 1);
+        assert!(s.torn.unwrap().contains("sequence break"));
+    }
+
+    #[test]
+    fn wal_appends_survive_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let (mut wal, scan0) = Wal::open(&dir).unwrap();
+            assert_eq!(scan0.records.len(), 0);
+            let a = wal.append(RecordKind::PutTensor, "t/one", b"payload-1").unwrap();
+            assert_eq!(a.seq, 1);
+            let b = wal.append(RecordKind::PutMatrix, "m/two", b"payload-22").unwrap();
+            assert_eq!(b.seq, 2);
+            wal.sync().unwrap();
+        }
+        let (wal, s) = Wal::open(&dir).unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(wal.next_seq(), 3);
+        assert_eq!(s.records[1].name, "m/two");
+        assert_eq!(s.records[1].payload_len, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_then_appends_cleanly() {
+        let dir = tmp_dir("torn");
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            wal.append(RecordKind::PutTensor, "keep", b"safe").unwrap();
+            wal.append(RecordKind::PutTensor, "torn", b"lost-on-crash").unwrap();
+            wal.sync().unwrap();
+        }
+        // Crash model: the final record only half-reached the disk.
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        let keep_len = record_len(4, 4);
+        std::fs::write(&path, &full[..keep_len as usize + 70]).unwrap();
+
+        let (mut wal, s) = Wal::open(&dir).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].name, "keep");
+        assert!(s.torn.is_some());
+        // The tail was physically truncated; appends resume at seq 2.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep_len);
+        let a = wal.append(RecordKind::Delete, "keep", b"").unwrap();
+        assert_eq!(a.seq, 2);
+        wal.sync().unwrap();
+        let (_, s2) = Wal::open(&dir).unwrap();
+        assert_eq!(s2.records.len(), 2);
+        assert!(s2.torn.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_through_rebases_the_tail() {
+        let dir = tmp_dir("truncate");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.append(RecordKind::PutTensor, "old", b"aa").unwrap();
+        wal.append(RecordKind::PutTensor, "mid", b"bb").unwrap();
+        wal.append(RecordKind::PutTensor, "new", b"cc").unwrap();
+        wal.sync().unwrap();
+        let kept = wal.truncate_through(2).unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].name, "new");
+        assert_eq!(kept[0].seq, 3);
+        assert_eq!(kept[0].payload_off, 128); // now first in the file
+        assert_eq!(wal.next_seq(), 4);
+        // Reopen agrees with the in-memory rebase.
+        drop(wal);
+        let (wal2, s) = Wal::open(&dir).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].seq, 3);
+        assert_eq!(wal2.next_seq(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,255 @@
+//! Crash-recovery property suite: kill the log at *every* byte offset.
+//!
+//! The store's recovery contract: after a crash that leaves any prefix of
+//! the WAL on disk, reopening yields exactly the committed records whose
+//! frames survive in full — no panics, typed `StoreError` only, and
+//! recovery is idempotent (a second open of the recovered directory
+//! reports byte-identically). This suite enforces it exhaustively: a
+//! seeded workload builds a log, then every single truncation point of
+//! the final record (and a coarser sweep over the whole file) is
+//! recovered and compared against the expected committed set.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use spark_codec::encode_tensor;
+use spark_store::{BlockStore, StoreError};
+use spark_util::rng::Rng;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("spark-crash-{tag}-{}-{n}", std::process::id()))
+}
+
+/// One deterministic mutation batch; returns the expected live set after
+/// each mutation is applied (name → payload bytes).
+fn run_workload(store: &BlockStore, seed: u64, ops: usize) -> Vec<BTreeMap<String, Vec<u8>>> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut live: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut states = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let roll = rng.gen_below(10);
+        if roll < 7 || live.is_empty() {
+            // Put a tensor with a pseudo-random payload.
+            let name = format!("t/{:02}", rng.gen_below(8));
+            let len = 20 + rng.gen_below(150) as usize;
+            let values: Vec<u8> = (0..len).map(|_| (rng.next_u64() >> 11) as u8).collect();
+            let tensor = encode_tensor(&values);
+            store
+                .put_tensor(&name, &tensor)
+                .unwrap_or_else(|e| panic!("put {i} failed: {e}"));
+            let mut image = Vec::new();
+            spark_codec::write_container(&tensor, &mut image).expect("vec write");
+            live.insert(name, image);
+        } else {
+            // Delete a (deterministically chosen) live name.
+            let names: Vec<&String> = live.keys().collect();
+            let name = names[rng.gen_below(names.len() as u64) as usize].clone();
+            store
+                .delete(&name)
+                .unwrap_or_else(|e| panic!("delete {i} failed: {e}"));
+            live.remove(&name);
+        }
+        states.push(live.clone());
+    }
+    states
+}
+
+/// Asserts `store` holds exactly `want` (names and payload bytes).
+fn assert_state(store: &BlockStore, want: &BTreeMap<String, Vec<u8>>, ctx: &str) {
+    let names: Vec<String> = store.list().into_iter().map(|e| e.name).collect();
+    let want_names: Vec<&String> = want.keys().collect();
+    assert_eq!(
+        names.iter().collect::<Vec<_>>(),
+        want_names,
+        "live set mismatch {ctx}"
+    );
+    for (name, payload) in want {
+        let (_, bytes) = store
+            .get_raw(name)
+            .unwrap_or_else(|e| panic!("get {name} {ctx}: {e}"));
+        assert_eq!(&bytes, payload, "payload mismatch for {name} {ctx}");
+    }
+}
+
+#[test]
+fn every_truncation_of_the_final_record_recovers_the_committed_prefix() {
+    // Build the reference log once, remembering the expected state after
+    // every mutation and the log length it committed at.
+    let base = tmp_dir("final-record");
+    let store = BlockStore::open(&base).expect("open base");
+    let ops = 12;
+    let states = run_workload(&store, 0xC0FFEE, ops);
+    let final_len = store.stats().wal_bytes;
+    drop(store);
+    let full_log = std::fs::read(base.join("wal.log")).expect("read log");
+    assert_eq!(full_log.len() as u64, final_len);
+
+    // Find each record's commit boundary by replaying prefix lengths:
+    // boundary[i] = log length after mutation i. Recover them by probing:
+    // open a store per prefix and count applied records.
+    let mut boundaries = Vec::new();
+    for cut in 0..=full_log.len() {
+        // Cheap pre-filter: boundaries are 64-byte aligned.
+        if cut % 64 == 0 {
+            boundaries.push(cut);
+        }
+    }
+
+    // The exhaustive sweep over the *final* record: every byte offset
+    // from the second-to-last boundary to the end.
+    let dir = tmp_dir("sweep");
+    let last_boundary = {
+        // The final record began at the largest boundary strictly below
+        // the end that, when recovered, yields ops-1 applied records.
+        let mut found = 0;
+        for &b in boundaries.iter().rev() {
+            if b >= full_log.len() {
+                continue;
+            }
+            std::fs::create_dir_all(&dir).expect("mkdir");
+            std::fs::write(dir.join("wal.log"), &full_log[..b]).expect("write prefix");
+            let s = BlockStore::open(&dir).expect("open prefix");
+            if s.recovery_report().records_applied == ops - 1 {
+                found = b;
+                break;
+            }
+        }
+        assert!(found > 0, "could not locate the final record boundary");
+        found
+    };
+
+    for cut in last_boundary..=full_log.len() {
+        std::fs::write(dir.join("wal.log"), &full_log[..cut]).expect("write prefix");
+        // Remove recovery side effects of the previous iteration so each
+        // cut is a fresh crash image.
+        let a = BlockStore::open(&dir)
+            .unwrap_or_else(|e| panic!("open after cut {cut} errored: {e}"));
+        let report_a = a.recovery_report().to_json().to_string_compact();
+        let expect = if cut == full_log.len() {
+            &states[ops - 1] // the full log: final mutation committed
+        } else {
+            &states[ops - 2] // any torn byte: final mutation discarded
+        };
+        assert_state(&a, expect, &format!("(cut {cut})"));
+        if cut != full_log.len() {
+            assert!(
+                a.recovery_report().torn_tail.is_some() || cut == last_boundary,
+                "cut {cut} mid-record must diagnose a torn tail"
+            );
+        }
+        drop(a);
+        // Idempotence: recovering the recovered directory changes nothing
+        // and reports identically.
+        let b = BlockStore::open(&dir).expect("second recovery");
+        let report_b = b.recovery_report().to_json().to_string_compact();
+        assert_state(&b, expect, &format!("(cut {cut}, second recovery)"));
+        // The first recovery already truncated the torn tail, so the
+        // second sees a clean log; everything except the torn-tail
+        // diagnosis must match.
+        let strip = |r: &str| {
+            let v = spark_util::json::parse(r).expect("report parses");
+            let mut out = String::new();
+            for key in ["records_applied", "live_entries", "next_seq", "generation"] {
+                out.push_str(&format!(
+                    "{key}={} ",
+                    v.get(key).and_then(|x| x.as_f64()).expect("numeric field")
+                ));
+            }
+            out
+        };
+        assert_eq!(strip(&report_a), strip(&report_b), "recovery not idempotent at cut {cut}");
+    }
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coarse_sweep_over_the_whole_log_never_panics_and_is_monotonic() {
+    let base = tmp_dir("whole-base");
+    let store = BlockStore::open(&base).expect("open base");
+    let states = run_workload(&store, 0xBEEF, 10);
+    drop(store);
+    let full_log = std::fs::read(base.join("wal.log")).expect("read log");
+
+    let dir = tmp_dir("whole-sweep");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let mut prev_applied = 0usize;
+    // Step 7 (coprime with the 64-byte frame) hits every residue class
+    // while keeping the sweep fast; the final-record test is exhaustive.
+    for cut in (0..=full_log.len()).step_by(7).chain([full_log.len()]) {
+        std::fs::write(dir.join("wal.log"), &full_log[..cut]).expect("write prefix");
+        let s = BlockStore::open(&dir)
+            .unwrap_or_else(|e| panic!("cut {cut} errored instead of recovering: {e}"));
+        let applied = s.recovery_report().records_applied;
+        // Longer prefixes never recover fewer records.
+        assert!(
+            applied >= prev_applied,
+            "cut {cut}: applied {applied} < earlier {prev_applied}"
+        );
+        prev_applied = applied;
+        if applied > 0 {
+            assert_state(&s, &states[applied - 1], &format!("(whole-log cut {cut})"));
+        }
+    }
+    assert_eq!(prev_applied, 10, "the full log must recover all mutations");
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_rot_in_any_log_region_yields_typed_errors_only() {
+    let base = tmp_dir("bitrot");
+    let store = BlockStore::open(&base).expect("open base");
+    run_workload(&store, 0xDEAD, 6);
+    drop(store);
+    let path = base.join("wal.log");
+    let clean = std::fs::read(&path).expect("read log");
+
+    let mut rng = Rng::seed_from_u64(42);
+    for trial in 0..200 {
+        let mut rot = clean.clone();
+        let at = rng.gen_below(rot.len() as u64) as usize;
+        rot[at] ^= 1 << rng.gen_below(8);
+        std::fs::write(&path, &rot).expect("write rotted");
+        // Recovery must not panic; it either shortens the prefix or, if
+        // the flip hit an already-padded byte... (padding is checksummed
+        // via the header only for reserved bytes; payload padding is not
+        // covered) — in every case the result is a working store.
+        let s = BlockStore::open(&base)
+            .unwrap_or_else(|e| panic!("trial {trial} flip at {at} errored: {e}"));
+        // Everything recovered must read back clean.
+        let n = s.list().len();
+        match s.verify() {
+            Ok(v) => assert_eq!(v, n),
+            Err(e) => panic!("trial {trial}: recovered entry fails verify: {e}"),
+        }
+        drop(s);
+        std::fs::write(&path, &clean).expect("restore");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn missing_block_file_is_a_typed_corruption_error() {
+    let dir = tmp_dir("missing-blocks");
+    let store = BlockStore::open(&dir).expect("open");
+    run_workload(&store, 7, 4);
+    store.compact().expect("compact");
+    drop(store);
+    // Simulate losing the block file out from under the manifest.
+    let blocks: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("blocks-"))
+        .collect();
+    assert_eq!(blocks.len(), 1);
+    std::fs::remove_file(blocks[0].path()).expect("remove blocks");
+    match BlockStore::open(&dir) {
+        Err(StoreError::Io(_)) => {}
+        other => panic!("expected a typed I/O error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

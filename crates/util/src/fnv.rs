@@ -1,0 +1,120 @@
+//! FNV-1a 64-bit hashing — the workspace's one non-cryptographic
+//! integrity/placement hash.
+//!
+//! Three subsystems grew independent copies of the same loop before this
+//! module existed: the container-v2 payload checksum, the consistent-hash
+//! ring's tenant hash, and the load harness's schedule digest. They now
+//! all call [`fnv1a`] (or feed the streaming [`Fnv1a`] hasher), so the
+//! constants live in exactly one place and a golden-vector test pins the
+//! function itself. The store's WAL and manifest checksums build on the
+//! streaming form.
+//!
+//! FNV-1a is *not* cryptographic: it detects accidental corruption (bit
+//! rot, truncation, mis-spliced files) and spreads keys for placement.
+//! Nothing in the workspace uses it against an adversary who can choose
+//! collisions.
+
+/// FNV-1a 64-bit offset basis.
+pub const OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// One-shot FNV-1a 64 over a byte slice.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Streaming FNV-1a 64 hasher. Feeding bytes in any chunking yields the
+/// same digest as one [`fnv1a`] call over the concatenation — pinned by
+/// `chunking_is_transparent`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: OFFSET_BASIS }
+    }
+
+    /// Absorbs a chunk of bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Absorbs a single `u64` in little-endian byte order — the framing
+    /// convention every on-disk structure in the workspace uses.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The digest of everything absorbed so far. Non-destructive: more
+    /// `update` calls may follow.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn official_test_vectors() {
+        // Reference digests from the FNV spec / draft-eastlake-fnv:
+        // fnv1a-64 of "", "a", "foobar".
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn chunking_is_transparent() {
+        let data: Vec<u8> = (0u16..500).map(|i| (i.wrapping_mul(251) >> 3) as u8).collect();
+        let whole = fnv1a(&data);
+        for split in [0, 1, 7, 250, 499, 500] {
+            let mut h = Fnv1a::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), whole, "split at {split}");
+        }
+        // Byte-at-a-time too.
+        let mut h = Fnv1a::new();
+        for &b in &data {
+            h.update(&[b]);
+        }
+        assert_eq!(h.finish(), whole);
+    }
+
+    #[test]
+    fn update_u64_matches_le_bytes() {
+        let mut a = Fnv1a::new();
+        a.update_u64(0x0123_4567_89AB_CDEF);
+        let mut b = Fnv1a::new();
+        b.update(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(fnv1a(&[1, 2]), fnv1a(&[2, 1]));
+        assert_ne!(fnv1a(&[0]), fnv1a(&[]));
+    }
+}

@@ -8,6 +8,8 @@
 //!   (replaces `rand`);
 //! - [`dist`] — Normal / StandardNormal / Gamma / Exp / Zipf samplers
 //!   (replaces `rand_distr`);
+//! - [`fnv`] — the workspace's one FNV-1a 64 implementation (container
+//!   checksums, tenant placement, schedule digests, store framing);
 //! - [`par`] — scoped-thread [`par::par_map`], two-way [`par::join`], and
 //!   a bounded MPMC [`par::channel`] for coarse data-parallel sweeps and
 //!   the serving job queue (replaces `rayon` / `crossbeam-channel`);
@@ -27,6 +29,7 @@
 
 pub mod bench;
 pub mod dist;
+pub mod fnv;
 pub mod hist;
 pub mod json;
 pub mod par;
@@ -34,6 +37,7 @@ pub mod prop;
 pub mod rng;
 
 pub use dist::{Exp, Gamma, Normal, StandardNormal, Zipf};
+pub use fnv::{fnv1a, Fnv1a};
 pub use hist::Histogram;
 pub use json::{ToJson, Value};
 pub use par::{channel, join, par_map};

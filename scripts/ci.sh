@@ -167,6 +167,51 @@ awk '/"saturation_ratio"/ {
     exit 1
 }
 
+echo "==> blockstore: ingest frozen model, recover twice, byte-identical"
+# spark-store round trip through the CLI: persist the serving model's
+# encoded weights, then run recovery+verify twice on the same directory.
+# The verify report is a pure function of the directory contents (no
+# paths, no wall-clock), so the two runs must be byte-identical.
+STORE_DIR="$PWD/target/ci-store"
+rm -rf "$STORE_DIR"
+cargo run --release --offline -p spark-cli --bin spark -- \
+    store put "$STORE_DIR" --infer-model
+cargo run --release --offline -p spark-cli --bin spark -- \
+    store verify "$STORE_DIR" > STORE_VERIFY_a.json
+cargo run --release --offline -p spark-cli --bin spark -- \
+    store verify "$STORE_DIR" > STORE_VERIFY_b.json
+cmp STORE_VERIFY_a.json STORE_VERIFY_b.json || {
+    echo "store recovery report is not deterministic across runs" >&2
+    exit 1
+}
+grep -Eq '"entries_verified": *2' STORE_VERIFY_a.json || {
+    echo "store verify did not checksum both model matrices" >&2
+    exit 1
+}
+grep -Eq '"torn_tail": *null' STORE_VERIFY_a.json || {
+    echo "store verify diagnosed a torn tail on a cleanly closed store" >&2
+    exit 1
+}
+rm -f STORE_VERIFY_a.json STORE_VERIFY_b.json
+rm -rf "$STORE_DIR"
+
+echo "==> blockstore bench -> BENCH_store.json"
+# Full timing windows: cold_load_speedup is a gate (opening the store and
+# pread-ing the encoded panels back must beat re-encoding the matrix from
+# dense f32 by >=3x, or persistence isn't paying rent).
+SPARK_BENCH_JSON="$PWD/BENCH_store.json" \
+    cargo bench --offline -p spark-bench --bench store
+grep -Eq '"cold_load_mean_ns": *[0-9]' BENCH_store.json || {
+    echo "BENCH_store.json missing a numeric cold_load_mean_ns" >&2
+    exit 1
+}
+awk '/"cold_load_speedup"/ {
+    gsub(/[",]/, ""); if ($2 + 0 < 3.0) { exit 1 } else { found = 1 }
+} END { exit found ? 0 : 1 }' BENCH_store.json || {
+    echo "BENCH_store.json: store cold-load is not >=3x re-encoding from dense" >&2
+    exit 1
+}
+
 echo "==> experiments --smoke"
 SPARK_BENCH_QUICK=1 cargo run --release --offline -p spark-bench --bin experiments -- --smoke
 
@@ -191,10 +236,20 @@ grep -Eq '"bulk_divergence": *0' CHAOS_a.json || {
     echo "chaos sweep: bulk decoder diverged from the FSM on corruption" >&2
     exit 1
 }
+# The crash plane (blockstore power-cut sweep) reports its own counters;
+# no plane anywhere in the combined report may record a panic.
+if grep -Eq '"panics": *[1-9]' CHAOS_a.json; then
+    echo "chaos sweep: a fault plane recorded panics" >&2
+    exit 1
+fi
+grep -Eq '"compaction_mismatches": *0' CHAOS_a.json || {
+    echo "chaos sweep: blockstore crash plane missing or diverged" >&2
+    exit 1
+}
 mv CHAOS_a.json CHAOS.json
 rm -f CHAOS_b.json
 
-echo "==> robustness grep gate (no unwrap()/panic! in serve/codec non-test code)"
+echo "==> robustness grep gate (no unwrap()/panic! in serve/codec/store non-test code)"
 # Non-test code in the trust-boundary crates must use typed errors. The
 # awk body stops scanning each file at its #[cfg(test)] marker (test
 # modules sit at the bottom of every file in this repo). expect() with an
@@ -205,7 +260,7 @@ violations=$(awk '
     in_tests { next }
     /^[[:space:]]*\/\// { next }
     /\.unwrap\(\)|panic!\(/ { print FILENAME ":" FNR ": " $0 }
-' crates/serve/src/*.rs crates/codec/src/*.rs)
+' crates/serve/src/*.rs crates/codec/src/*.rs crates/store/src/*.rs)
 if [ -n "$violations" ]; then
     echo "grep gate: forbidden unwrap()/panic!() in non-test code:" >&2
     echo "$violations" >&2
