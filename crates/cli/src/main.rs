@@ -8,9 +8,10 @@
 //! spark profile <model>                       calibrated distribution characterization
 //! spark models                                list known model names
 //! spark serve [flags]                         batched, sharded HTTP serving front end
+//! spark router [flags]                        fault-aware fleet router over N backends
 //! spark load  [flags]                         open-loop load harness (JSON report)
 //! spark chaos [--seed N] [--streams N]        seeded fault-injection report (JSON)
-//! spark store <put|get|ls|compact|verify>     persistent encoded-tensor blockstore
+//! spark store <put|get|ls|compact|verify|snapshot>  persistent encoded-tensor blockstore
 //! ```
 //!
 //! Input `.f32` files are raw little-endian 32-bit floats (e.g. exported
@@ -42,12 +43,13 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("models") => cmd_models(),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("router") => cmd_router(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         _ => {
             eprintln!(
-                "usage: spark <encode|decode|analyze|simulate|profile|models|serve|load|chaos|store> ..."
+                "usage: spark <encode|decode|analyze|simulate|profile|models|serve|router|load|chaos|store> ..."
             );
             eprintln!("  encode  <input.f32> <output.spark>");
             eprintln!("  decode  <input.spark> <output.u8>");
@@ -56,9 +58,12 @@ fn main() -> ExitCode {
             eprintln!("  profile <model>");
             eprintln!("  serve [--addr A] [--workers N] [--shards N] [--shard-workers N] [--quota UNITS_PER_S] [--batch N] [--window-us N] [--queue N] [--store DIR] [--smoke]");
             eprintln!("  load  [--smoke] [--schedule-only] [--addr A] [--seed N] [--rps R] [--flood-rps R] [--duration-ms N] [--tenants N] [--skew S] [--injectors N] [--shards N] [--quota U] [--tensor-mix F] [--store DIR] [--out FILE]");
+            eprintln!("  router --backends A,B,... [--addr A] [--workers N] [--probe-ms N] [--retries N] [--retry-budget RPS] [--seed N]");
+            eprintln!("  router --bench-kill [--seed N] [--out FILE]");
             eprintln!("  chaos [--seed N] [--streams N]");
             eprintln!("  store put <dir> --infer-model | put <dir> <name> <input.f32>");
             eprintln!("        get <dir> <name> <output.spark> | ls <dir> | compact <dir> | verify <dir>");
+            eprintln!("        snapshot <src-dir> <dst-dir>");
             return ExitCode::from(2);
         }
     };
@@ -289,6 +294,80 @@ fn cmd_serve(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `spark router`: the fault-aware fleet front. In serve mode it fronts
+/// a comma-separated backend list with circuit breakers, a global retry
+/// budget, and active health probing. `--bench-kill` instead runs the
+/// full process-kill drill (3 snapshot-provisioned backends, SIGKILL one
+/// under load, require re-admission) and writes the `BENCH_router.json`
+/// report CI gates on.
+fn cmd_router(args: &[String]) -> CliResult {
+    let mut args = args.to_vec();
+    let bench_kill = take_flag(&mut args, "--bench-kill");
+    if bench_kill {
+        let seed: u64 = match take_option(&mut args, "--seed")? {
+            Some(s) => s.parse().map_err(|_| format!("bad --seed {s:?}"))?,
+            None => 7,
+        };
+        let out = take_option(&mut args, "--out")?;
+        if let Some(extra) = args.first() {
+            return Err(format!("unexpected argument {extra:?}").into());
+        }
+        let report = spark_fault::router_kill_bench(seed)?;
+        let availability =
+            report.get("availability").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let wrong = report.get("wrong_bodies").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        println!(
+            "router kill drill: availability {availability:.4}, wrong bodies {wrong:.0}"
+        );
+        match out.as_deref() {
+            Some(path) => {
+                std::fs::write(path, report.to_string_pretty() + "\n")?;
+                println!("wrote {path}");
+            }
+            None => println!("{}", report.to_string_pretty()),
+        }
+        return Ok(());
+    }
+    let mut config = spark_serve::RouterConfig::default();
+    let backends = take_option(&mut args, "--backends")?
+        .ok_or("router needs --backends A,B,... (or --bench-kill)")?;
+    config.backends = backends
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if let Some(addr) = take_option(&mut args, "--addr")? {
+        config.addr = addr;
+    }
+    if let Some(w) = take_option(&mut args, "--workers")? {
+        config.workers = w.parse().map_err(|_| format!("bad --workers {w:?}"))?;
+    }
+    if let Some(ms) = take_option(&mut args, "--probe-ms")? {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --probe-ms {ms:?}"))?;
+        config.probe_interval = Duration::from_millis(ms);
+    }
+    if let Some(n) = take_option(&mut args, "--retries")? {
+        let n: usize = n.parse().map_err(|_| format!("bad --retries {n:?}"))?;
+        config.max_attempts = n + 1;
+    }
+    if let Some(r) = take_option(&mut args, "--retry-budget")? {
+        config.retry_budget_rps = r.parse().map_err(|_| format!("bad --retry-budget {r:?}"))?;
+    }
+    if let Some(s) = take_option(&mut args, "--seed")? {
+        config.seed = s.parse().map_err(|_| format!("bad --seed {s:?}"))?;
+    }
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument {extra:?}").into());
+    }
+    let n = config.backends.len();
+    let router = spark_serve::Router::start(config)?;
+    println!("spark-router listening on http://{} ({n} backend(s))", router.addr());
+    println!("forwarding all /v1/* traffic; GET /healthz /metrics, POST /shutdown are local");
+    router.join();
+    println!("shutdown complete");
+    Ok(())
+}
+
 /// `spark load`: the deterministic open-loop load harness. By default it
 /// boots an ephemeral sharded server on loopback, fires the seeded
 /// schedule (blended mix plus a simulate-flooding noisy neighbor), and
@@ -466,7 +545,7 @@ fn cmd_chaos(args: &[String]) -> CliResult {
 /// a deterministic report (recovery counters + per-entry checksum pass),
 /// so CI can run it twice and diff the output byte-for-byte.
 fn cmd_store(args: &[String]) -> CliResult {
-    let usage = "usage: spark store <put|get|ls|compact|verify> <dir> ...";
+    let usage = "usage: spark store <put|get|ls|compact|verify|snapshot> <dir> ...";
     let sub = args.first().ok_or(usage)?.clone();
     let mut rest = args[1..].to_vec();
     match sub.as_str() {
@@ -560,6 +639,17 @@ fn cmd_store(args: &[String]) -> CliResult {
             };
             doc.push(("entries_verified".into(), spark_util::json::Value::Num(verified as f64)));
             println!("{}", spark_util::json::Value::Object(doc).to_string_pretty());
+            Ok(())
+        }
+        "snapshot" => {
+            let [src, dst] = &rest[..] else {
+                return Err("usage: spark store snapshot <src-dir> <dst-dir>".into());
+            };
+            let report = spark_store::snapshot(
+                std::path::Path::new(src),
+                std::path::Path::new(dst),
+            )?;
+            println!("{}", report.to_json().to_string_pretty());
             Ok(())
         }
         _ => Err(usage.into()),

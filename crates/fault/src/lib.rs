@@ -27,6 +27,10 @@
 //!   hard worker death, slowloris, garbage bytes) against a live loopback
 //!   `spark-serve` instance, asserting the panic-isolation / respawn /
 //!   deadline-shedding contract.
+//! - **Process plane** ([`proc`]) — a `kill -9` adversary against real
+//!   `spark serve` child processes behind the fleet router: snapshot
+//!   provisioning, mid-run SIGKILL under open-loop load, a byte-identity
+//!   differential oracle on `/v1/infer`, and half-open re-admission.
 //! - **Crash plane** ([`crash`]) — a power-cut adversary against the
 //!   [`spark-store`](spark_store) blockstore: the WAL truncated at a
 //!   sweep of byte offsets, single-bit rot under the checksums, and
@@ -44,10 +48,12 @@ pub mod crash;
 pub mod fused;
 pub mod hardware;
 pub mod mutate;
+pub mod proc;
 pub mod sweep;
 
 pub use chaos::{serve_chaos, shard_chaos};
 pub use crash::{sweep_store_crash, CrashSweepReport};
+pub use proc::{proc_chaos, router_kill_bench};
 pub use fused::{sweep_fused, FusedSweepReport};
 pub use hardware::{accuracy_sweep, systolic_kind_flip, StuckAtFault, TransientFault};
 pub use mutate::Corruption;
@@ -95,6 +101,7 @@ pub fn run_chaos(seed: u64, streams: usize) -> Result<Value, String> {
     }
     let serve = serve_chaos()?;
     let serve_shards = shard_chaos()?;
+    let router = proc::proc_chaos(seed)?;
     Ok(Value::object([
         ("seed", Value::Num(seed as f64)),
         ("streams", Value::Num(streams as f64)),
@@ -104,6 +111,7 @@ pub fn run_chaos(seed: u64, streams: usize) -> Result<Value, String> {
         ("store", store.to_json()),
         ("serve", serve),
         ("serve_shards", serve_shards),
+        ("router", router),
     ]))
 }
 
@@ -124,6 +132,7 @@ mod tests {
             "\"store\"",
             "\"serve\"",
             "\"serve_shards\"",
+            "\"router\"",
             "\"panics\"",
         ]
         {

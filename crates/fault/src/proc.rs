@@ -1,0 +1,501 @@
+//! Process-kill chaos: real `spark serve` child processes behind a real
+//! [`Router`], with `kill -9` in the loop.
+//!
+//! Every other plane in this crate attacks *in-process* state — bits,
+//! panics, failpoints. This one attacks the process boundary itself: it
+//! provisions N backend stores from one [`spark_store::snapshot`],
+//! spawns N real `spark serve --store` children, fronts them with the
+//! fleet router, runs the open-loop load harness through the router,
+//! SIGKILLs a backend mid-run, restarts it, and checks the whole
+//! robustness story end to end:
+//!
+//! - **Availability** — the router keeps answering while the victim is
+//!   down (retries absorb the kill window).
+//! - **Correctness** — a differential oracle fires one fixed `/v1/infer`
+//!   body throughout; because every replica cold-loads bit-identical
+//!   weights from the same snapshot, *every* 200 body must be
+//!   byte-identical, kill or no kill. A single differing body is a
+//!   wrong answer served to a client — the one unforgivable outcome.
+//! - **Healing** — the restarted victim must be re-admitted through the
+//!   router's half-open probes, not by operator intervention.
+//!
+//! [`router_kill_bench`] reports the raw numbers (`BENCH_router.json`);
+//! [`proc_chaos`] is the `spark chaos` plane — the same drill reduced to
+//! counts-and-booleans so two runs are byte-identical. When the `spark`
+//! binary is not locatable (unit tests without a built CLI), the plane
+//! reports `skipped` deterministically instead of failing.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use spark_serve::http;
+use spark_serve::load::{run_load, LoadConfig, LoadReport};
+use spark_serve::{Router, RouterConfig};
+use spark_util::json::Value;
+use spark_util::proc::{spark_bin, ChildProc};
+use spark_util::Rng;
+
+/// Scratch directory for one drill; torn down by the caller.
+fn scratch(seed: u64, tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "spark-proc-{tag}-{seed}-{}",
+        std::process::id()
+    ))
+}
+
+/// Reserves a loopback port by binding ephemeral and dropping the
+/// listener. The tiny reuse window between drop and the child's bind is
+/// acceptable on a CI box; a collision surfaces as a failed healthz
+/// wait, not silent corruption.
+fn pick_port() -> Result<u16, String> {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("pick_port: {e}"))?;
+    let port = l.local_addr().map_err(|e| format!("pick_port: {e}"))?.port();
+    Ok(port)
+}
+
+fn spawn_backend(bin: &PathBuf, addr: &str, store: &Path, label: &str) -> Result<ChildProc, String> {
+    let args: Vec<String> = [
+        "serve",
+        "--addr",
+        addr,
+        "--workers",
+        "2",
+        "--shards",
+        "1",
+        "--shard-workers",
+        "2",
+        "--store",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([store.display().to_string()])
+    .collect();
+    ChildProc::spawn(bin, &args, label)
+}
+
+/// Polls `GET /healthz` until 200 or the deadline.
+fn await_ready(addr: &str, deadline: Duration) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if let Ok(resp) = http::client_call(addr, "GET", "/healthz", "", &[], b"") {
+            if resp.status == 200 {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+/// Builds the seed store every replica is snapshot-provisioned from.
+fn build_seed_store(dir: &Path, seed: u64) -> Result<(), String> {
+    let store = spark_store::BlockStore::open(dir).map_err(|e| format!("seed store: {e}"))?;
+    let mut rng = Rng::seed_from_u64(seed);
+    for i in 0..4 {
+        let len = 64 + (rng.gen_below(64) as usize);
+        let values: Vec<u8> = (0..len).map(|_| (rng.next_u64() >> 17) as u8).collect();
+        store
+            .put_tensor(&format!("load-{i:04}"), &spark_codec::encode_tensor(&values))
+            .map_err(|e| format!("seed store put: {e}"))?;
+    }
+    store.flush().map_err(|e| format!("seed store flush: {e}"))?;
+    Ok(())
+}
+
+/// The one fixed `/v1/infer` body the differential oracle fires.
+fn oracle_body(seed: u64) -> Vec<u8> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x0AC1_E000);
+    let values: Vec<String> = (0..spark_serve::api::INFER_INPUTS)
+        .map(|_| format!("{}", (rng.gen_f64() * 2.0 - 1.0) as f32))
+        .collect();
+    format!("{{\"values\": [{}]}}", values.join(", ")).into_bytes()
+}
+
+/// What one kill drill measured.
+struct DrillOutcome {
+    backends: usize,
+    load: LoadReport,
+    oracle_probes: u64,
+    oracle_ok: u64,
+    wrong_bodies: u64,
+    restarted: bool,
+    readmitted: bool,
+    router_retries: f64,
+    router_budget_denied: f64,
+    router_panics: f64,
+    backend_panics: f64,
+}
+
+fn scrape_num(doc: &Value, section: &str, key: &str) -> f64 {
+    doc.get(section)
+        .and_then(|s| s.get(key))
+        .and_then(Value::as_f64)
+        .unwrap_or(-1.0)
+}
+
+/// Runs one full kill drill: provision `backends` replicas from one
+/// snapshot, route load through them, SIGKILL one mid-run, restart it,
+/// and wait for re-admission.
+fn kill_drill(
+    seed: u64,
+    backends_n: usize,
+    load_cfg: &LoadConfig,
+    restart_after: Duration,
+    readmit_wait: Duration,
+) -> Result<DrillOutcome, String> {
+    let bin = spark_bin().ok_or("spark binary not found (set SPARK_BIN or build the CLI)")?;
+    let root = scratch(seed, "drill");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).map_err(|e| format!("scratch: {e}"))?;
+    let result = kill_drill_inner(seed, backends_n, load_cfg, restart_after, readmit_wait, &bin, &root);
+    let _ = std::fs::remove_dir_all(&root);
+    result
+}
+
+#[allow(clippy::too_many_lines)]
+fn kill_drill_inner(
+    seed: u64,
+    backends_n: usize,
+    load_cfg: &LoadConfig,
+    restart_after: Duration,
+    readmit_wait: Duration,
+    bin: &PathBuf,
+    root: &Path,
+) -> Result<DrillOutcome, String> {
+    // Provision: one seed store, N snapshot replicas.
+    let src = root.join("seed-store");
+    build_seed_store(&src, seed)?;
+    let mut replica_dirs = Vec::new();
+    for i in 0..backends_n {
+        let dst = root.join(format!("replica-{i}"));
+        spark_store::snapshot(&src, &dst).map_err(|e| format!("snapshot replica {i}: {e}"))?;
+        replica_dirs.push(dst);
+    }
+
+    // Spawn the fleet and wait for every backend to answer.
+    let mut addrs = Vec::new();
+    let mut children: Vec<ChildProc> = Vec::new();
+    for (i, dir) in replica_dirs.iter().enumerate() {
+        let addr = format!("127.0.0.1:{}", pick_port()?);
+        children.push(spawn_backend(bin, &addr, dir, &format!("backend-{i}"))?);
+        addrs.push(addr);
+    }
+    for addr in &addrs {
+        if !await_ready(addr, Duration::from_secs(15)) {
+            return Err(format!("backend {addr} never became ready"));
+        }
+    }
+
+    let router = Router::start(RouterConfig {
+        backends: addrs.clone(),
+        probe_interval: Duration::from_millis(50),
+        breaker_failures: 2,
+        breaker_cooldown: Duration::from_millis(250),
+        retry_budget_rps: 200.0,
+        retry_budget_burst: 100.0,
+        seed,
+        ..RouterConfig::default()
+    })
+    .map_err(|e| format!("router start: {e}"))?;
+    let router_addr = router.addr().to_string();
+
+    // Differential oracle: one fixed infer body, fired continuously;
+    // every 200 body must match the first byte-for-byte.
+    let stop = Arc::new(AtomicBool::new(false));
+    let probes = Arc::new(AtomicU64::new(0));
+    let oks = Arc::new(AtomicU64::new(0));
+    let wrong = Arc::new(AtomicU64::new(0));
+    let golden: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+    let oracle = {
+        let (stop, probes, oks, wrong, golden) = (
+            Arc::clone(&stop),
+            Arc::clone(&probes),
+            Arc::clone(&oks),
+            Arc::clone(&wrong),
+            Arc::clone(&golden),
+        );
+        let addr = router_addr.clone();
+        let body = oracle_body(seed);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                probes.fetch_add(1, Ordering::Relaxed);
+                if let Ok(resp) =
+                    http::client_call(&addr, "POST", "/v1/infer", "application/json", &[], &body)
+                {
+                    if resp.status == 200 {
+                        oks.fetch_add(1, Ordering::Relaxed);
+                        let mut g = golden.lock().unwrap_or_else(|e| e.into_inner());
+                        match g.as_ref() {
+                            None => *g = Some(resp.body),
+                            Some(first) if *first != resp.body => {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    // Killer: SIGKILL one backend a third of the way in, restart it
+    // after `restart_after` on the same port and store.
+    let victim = (seed as usize) % backends_n;
+    let kill_at = load_cfg.duration / 3;
+    let victim_addr = addrs[victim].clone();
+    let victim_dir = replica_dirs[victim].clone();
+    let killer_bin = bin.clone();
+    let killer: std::thread::JoinHandle<Result<(bool, Option<ChildProc>), String>> = {
+        let mut victim_child = children.remove(victim);
+        std::thread::spawn(move || {
+            std::thread::sleep(kill_at);
+            victim_child.kill_hard()?;
+            std::thread::sleep(restart_after);
+            let revived = spawn_backend(
+                &killer_bin,
+                &victim_addr,
+                &victim_dir,
+                &format!("backend-{victim}-revived"),
+            )?;
+            let ready = await_ready(&victim_addr, Duration::from_secs(15));
+            Ok((ready, Some(revived)))
+        })
+    };
+
+    // The measured load runs while the kill and restart happen.
+    let load = run_load(&router_addr, load_cfg).map_err(|e| format!("load: {e}"))?;
+
+    let (restarted, revived_child) = killer
+        .join()
+        .map_err(|_| "killer thread panicked".to_string())??;
+    if let Some(c) = revived_child {
+        children.push(c);
+    }
+
+    // Re-admission: the router's half-open probes must return the
+    // revived victim to Closed with a readmission tick.
+    let mut readmitted = false;
+    let t0 = Instant::now();
+    while restarted && t0.elapsed() < readmit_wait {
+        if let Ok(resp) = http::client_call(&router_addr, "GET", "/metrics", "", &[], b"") {
+            if let Ok(doc) = std::str::from_utf8(&resp.body)
+                .map_err(|e| e.to_string())
+                .and_then(|t| spark_util::json::parse(t).map_err(|e| e.to_string()))
+            {
+                let entry = doc.get("backends").and_then(|b| b.get(&addrs[victim]));
+                let state = entry
+                    .and_then(|e| e.get("state"))
+                    .and_then(|s| s.as_str())
+                    .unwrap_or("");
+                let readmissions = entry
+                    .and_then(|e| e.get("readmissions"))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                if state == "closed" && readmissions >= 1.0 {
+                    readmitted = true;
+                    break;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    oracle.join().map_err(|_| "oracle thread panicked".to_string())?;
+
+    // Scrape router counters, then sum backend-side panic counters.
+    let router_doc = http::client_call(&router_addr, "GET", "/metrics", "", &[], b"")
+        .ok()
+        .and_then(|r| std::str::from_utf8(&r.body).ok().map(String::from))
+        .and_then(|t| spark_util::json::parse(&t).ok())
+        .unwrap_or(Value::Null);
+    let mut backend_panics = 0.0;
+    for addr in &addrs {
+        if let Ok(resp) = http::client_call(addr, "GET", "/metrics", "", &[], b"") {
+            if let Ok(doc) = std::str::from_utf8(&resp.body)
+                .map_err(|e| e.to_string())
+                .and_then(|t| spark_util::json::parse(t).map_err(|e| e.to_string()))
+            {
+                backend_panics += scrape_num(&doc, "resilience", "panics_total").max(0.0);
+            }
+        }
+    }
+
+    router.shutdown();
+    router.join();
+    for mut c in children {
+        let _ = c.kill_hard();
+    }
+
+    Ok(DrillOutcome {
+        backends: backends_n,
+        load,
+        oracle_probes: probes.load(Ordering::Relaxed),
+        oracle_ok: oks.load(Ordering::Relaxed),
+        wrong_bodies: wrong.load(Ordering::Relaxed),
+        restarted,
+        readmitted,
+        router_retries: scrape_num(&router_doc, "router", "retries"),
+        router_budget_denied: scrape_num(&router_doc, "router", "retry_budget_denied"),
+        router_panics: scrape_num(&router_doc, "router", "panics_total"),
+        backend_panics,
+    })
+}
+
+/// Availability over the drill: the share of scheduled requests that
+/// received a *successful* HTTP answer. Sheds and transport failures
+/// both count against it — the client doesn't care why it failed.
+fn availability(load: &LoadReport) -> f64 {
+    if load.offered == 0 {
+        return 0.0;
+    }
+    load.ok as f64 / load.offered as f64
+}
+
+/// The full-size kill drill behind `BENCH_router.json`: 3 snapshot-
+/// provisioned backends, open-loop load through the router, SIGKILL one
+/// backend mid-run, restart it, and require re-admission. Reports raw
+/// numbers (availability, wrong bodies, panics, retry accounting) for
+/// the CI awk gates.
+///
+/// # Errors
+///
+/// Missing `spark` binary, provisioning failures, or a backend that
+/// never becomes ready.
+pub fn router_kill_bench(seed: u64) -> Result<Value, String> {
+    let load_cfg = LoadConfig {
+        seed,
+        offered_rps: 150.0,
+        duration: Duration::from_secs(4),
+        tenants: 8,
+        tenant_skew: 1.0,
+        payloads: 4,
+        injectors: 4,
+        ..LoadConfig::default()
+    };
+    let d = kill_drill(
+        seed,
+        3,
+        &load_cfg,
+        Duration::from_millis(800),
+        Duration::from_secs(10),
+    )?;
+    Ok(Value::object([
+        ("seed", Value::Num(seed as f64)),
+        ("backends", Value::Num(d.backends as f64)),
+        ("offered", Value::Num(d.load.offered as f64)),
+        ("ok", Value::Num(d.load.ok as f64)),
+        ("availability", Value::Num(availability(&d.load))),
+        ("shed_503", Value::Num(d.load.shed_503 as f64)),
+        (
+            "transport",
+            Value::object([
+                ("connect", Value::Num(d.load.transport_connect as f64)),
+                ("timeout", Value::Num(d.load.transport_timeout as f64)),
+                ("short_body", Value::Num(d.load.transport_short as f64)),
+                ("other", Value::Num(d.load.transport_other as f64)),
+            ]),
+        ),
+        (
+            "oracle",
+            Value::object([
+                ("probes", Value::Num(d.oracle_probes as f64)),
+                ("ok_200", Value::Num(d.oracle_ok as f64)),
+            ]),
+        ),
+        ("wrong_bodies", Value::Num(d.wrong_bodies as f64)),
+        ("victim_restarted", Value::Bool(d.restarted)),
+        ("victim_readmitted", Value::Bool(d.readmitted)),
+        ("router_retries", Value::Num(d.router_retries)),
+        ("retry_budget_denied", Value::Num(d.router_budget_denied)),
+        (
+            "panics_total",
+            Value::Num(d.router_panics.max(0.0) + d.backend_panics),
+        ),
+    ]))
+}
+
+/// The `spark chaos` router plane: the same drill scaled down and
+/// reduced to booleans-vs-threshold and must-be-zero counts, so two
+/// runs with the same seed produce byte-identical JSON. Wall-clock
+/// quantities (how many requests landed in the kill window) never
+/// appear — only whether the contract held.
+///
+/// When the `spark` binary cannot be located the plane reports
+/// `{"skipped": true}` — deterministically — instead of failing the
+/// whole chaos report.
+///
+/// # Errors
+///
+/// Infrastructure failures (scratch dir, spawn) once a binary *was*
+/// found; contract violations are reported as false/nonzero fields, not
+/// errors.
+pub fn proc_chaos(seed: u64) -> Result<Value, String> {
+    if spark_bin().is_none() {
+        return Ok(Value::object([
+            ("skipped", Value::Bool(true)),
+            ("reason", Value::Str("spark binary unavailable".into())),
+        ]));
+    }
+    let load_cfg = LoadConfig {
+        seed,
+        offered_rps: 120.0,
+        duration: Duration::from_millis(2500),
+        tenants: 4,
+        tenant_skew: 1.0,
+        payloads: 4,
+        injectors: 4,
+        ..LoadConfig::default()
+    };
+    let d = kill_drill(
+        seed,
+        2,
+        &load_cfg,
+        Duration::from_millis(600),
+        Duration::from_secs(8),
+    )?;
+    let avail = availability(&d.load);
+    Ok(Value::object([
+        ("skipped", Value::Bool(false)),
+        ("backends", Value::Num(d.backends as f64)),
+        ("kill_issued", Value::Bool(true)),
+        ("victim_restarted", Value::Bool(d.restarted)),
+        ("victim_readmitted", Value::Bool(d.readmitted)),
+        ("availability_ok", Value::Bool(avail >= 0.99)),
+        ("wrong_bodies", Value::Num(d.wrong_bodies as f64)),
+        ("oracle_saw_success", Value::Bool(d.oracle_ok > 0)),
+        (
+            "router_panics",
+            Value::Num(d.router_panics.max(0.0)),
+        ),
+        ("backend_panics", Value::Num(d.backend_panics)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_chaos_without_a_binary_reports_skipped_deterministically() {
+        // Under `cargo test` the CLI binary may or may not be built; both
+        // sides of that coin must be byte-stable across two runs.
+        let a = proc_chaos(11).unwrap().to_string_compact();
+        let b = proc_chaos(11).unwrap().to_string_compact();
+        assert_eq!(a, b);
+        assert!(a.contains("\"skipped\""), "{a}");
+    }
+
+    #[test]
+    fn oracle_body_is_a_pure_function_of_the_seed() {
+        assert_eq!(oracle_body(3), oracle_body(3));
+        assert_ne!(oracle_body(3), oracle_body(4));
+        let text = String::from_utf8(oracle_body(3)).unwrap();
+        let v = spark_util::json::parse(&text).unwrap();
+        let n = v.get("values").and_then(|a| a.as_array().map(|arr| arr.len())).unwrap();
+        assert_eq!(n, spark_serve::api::INFER_INPUTS);
+    }
+}

@@ -256,8 +256,27 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_with_headers(stream, status, reason, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After` on
+/// a 429). Header names and values are emitted verbatim; callers supply
+/// well-formed tokens only.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let extra: String = extra.iter().map(|(k, v)| format!("{k}: {v}\r\n")).collect();
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n{extra}Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -276,8 +295,85 @@ pub fn write_json(
     reason: &str,
     body: &spark_util::Value,
 ) -> std::io::Result<()> {
+    write_json_with_headers(stream, status, reason, &[], body)
+}
+
+/// [`write_json`] with extra response headers.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_json_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, String)],
+    body: &spark_util::Value,
+) -> std::io::Result<()> {
     let text = body.to_string_compact();
-    write_response(stream, status, reason, "application/json", text.as_bytes())
+    write_response_with_headers(stream, status, reason, "application/json", extra, text.as_bytes())
+}
+
+/// Why a client call failed, split by transport failure mode so the load
+/// harness and the fleet router can tell a dead backend (connect refused)
+/// from a wedged one (read timeout) from one that died mid-response
+/// (short body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// TCP connect failed (connection refused / unreachable) — the
+    /// signature of a process that is simply gone.
+    Connect(String),
+    /// The socket timed out sending the request or awaiting the response
+    /// — the signature of a wedged or overloaded peer.
+    Timeout(String),
+    /// The peer closed (or reset) before a complete header block +
+    /// status line arrived — the signature of a peer killed mid-write.
+    ShortBody(String),
+    /// Any other socket or protocol failure.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(m) => write!(f, "connect: {m}"),
+            ClientError::Timeout(m) => write!(f, "timeout: {m}"),
+            ClientError::ShortBody(m) => write!(f, "short body: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+fn classify_io(stage: &str, e: &std::io::Error) -> ClientError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            ClientError::Timeout(format!("{stage}: {e}"))
+        }
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::UnexpectedEof => ClientError::ShortBody(format!("{stage}: {e}")),
+        _ => ClientError::Protocol(format!("{stage}: {e}")),
+    }
+}
+
+/// A full client-side view of one response: status, headers (names
+/// lowercased), body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Response headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First response header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
 }
 
 /// Minimal blocking client for tests, the smoke check, and the bench
@@ -310,11 +406,31 @@ pub fn client_request_with_headers(
     headers: &[(&str, &str)],
     body: &[u8],
 ) -> Result<(u16, Vec<u8>), String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client_call(addr, method, path, content_type, headers, body)
+        .map(|r| (r.status, r.body))
+        .map_err(|e| e.to_string())
+}
+
+/// The full-fidelity client: typed transport errors and response headers
+/// included. Everything else wraps this.
+///
+/// # Errors
+///
+/// A [`ClientError`] classifying the transport failure mode.
+pub fn client_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<ClientResponse, ClientError> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| ClientError::Connect(format!("{addr}: {e}")))?;
     stream
         .set_read_timeout(Some(IO_TIMEOUT))
         .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
-        .map_err(|e| format!("timeouts: {e}"))?;
+        .map_err(|e| ClientError::Protocol(format!("timeouts: {e}")))?;
     let extra: String =
         headers.iter().map(|(k, v)| format!("{k}: {v}\r\n")).collect();
     let head = format!(
@@ -324,20 +440,35 @@ pub fn client_request_with_headers(
     stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(body))
-        .map_err(|e| format!("send: {e}"))?;
+        .map_err(|e| classify_io("send", &e))?;
 
     let mut raw = Vec::new();
-    stream
-        .read_to_end(&mut raw)
-        .map_err(|e| format!("recv: {e}"))?;
-    let header_end = find_header_end(&raw).ok_or("response missing header terminator")?;
-    let head = std::str::from_utf8(&raw[..header_end]).map_err(|e| e.to_string())?;
-    let status: u16 = head
+    stream.read_to_end(&mut raw).map_err(|e| classify_io("recv", &e))?;
+    let header_end = find_header_end(&raw).ok_or_else(|| {
+        ClientError::ShortBody(format!(
+            "response missing header terminator ({} bytes received)",
+            raw.len()
+        ))
+    })?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|e| ClientError::Protocol(e.to_string()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("bad status line in {head:?}"))?;
-    Ok((status, raw[header_end + 4..].to_vec()))
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line in {head:?}")))?;
+    let resp_headers = lines
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(ClientResponse {
+        status,
+        headers: resp_headers,
+        body: raw[header_end + 4..].to_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -501,6 +632,59 @@ mod tests {
         .unwrap();
         assert_eq!(status, 200);
         assert_eq!(server.join().unwrap().as_deref(), Some("acme"));
+    }
+
+    #[test]
+    fn extra_response_headers_round_trip_through_the_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = read_request(&mut conn, 1024, Duration::from_secs(10)).unwrap();
+            write_response_with_headers(
+                &mut conn,
+                429,
+                "Too Many Requests",
+                "application/json",
+                &[("Retry-After", "3".to_string())],
+                b"{}",
+            )
+            .unwrap();
+        });
+        let resp = client_call(&addr, "GET", "/x", "", &[], b"").unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("3"));
+        assert_eq!(resp.body, b"{}");
+    }
+
+    #[test]
+    fn client_errors_classify_by_failure_mode() {
+        // Connect-refused: bind an ephemeral port, drop the listener, dial.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        match client_call(&addr, "GET", "/", "", &[], b"") {
+            Err(ClientError::Connect(_)) => {}
+            other => panic!("dial of a closed port must classify Connect, got {other:?}"),
+        }
+
+        // Short body: the peer accepts, writes half a header block, dies.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 256];
+            let _ = conn.read(&mut sink);
+            conn.write_all(b"HTTP/1.1 200 OK\r\nContent-").unwrap();
+            // drop closes the socket mid-headers
+        });
+        match client_call(&addr, "GET", "/", "", &[], b"") {
+            Err(ClientError::ShortBody(_)) => {}
+            other => panic!("truncated response must classify ShortBody, got {other:?}"),
+        }
+        server.join().unwrap();
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! - [`metrics`] — lock-free counters and latency/batch histograms.
 //! - [`shard`] — consistent-hash tenant routing and token-bucket quotas.
 //! - [`server`] — acceptor, shard worker pools, routing, graceful shutdown.
+//! - [`router`] — the fleet front: circuit breakers, retry budget, and
+//!   health probing over N independent backend processes.
 //!
 //! ```no_run
 //! let server = spark_serve::Server::start(spark_serve::ServeConfig::default()).unwrap();
@@ -32,11 +34,13 @@ pub mod http;
 pub mod io;
 pub mod load;
 pub mod metrics;
+pub mod router;
 pub mod server;
 pub mod shard;
 
 pub use batch::Batcher;
 pub use metrics::Metrics;
+pub use router::{Router, RouterConfig};
 pub use server::{ServeConfig, Server};
 
 use spark_util::json::parse;

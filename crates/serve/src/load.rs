@@ -33,7 +33,7 @@ use spark_util::json::Value;
 use spark_util::{Histogram, Rng};
 
 use crate::api;
-use crate::http::client_request_with_headers;
+use crate::http::{client_call, client_request_with_headers, ClientError};
 
 /// The endpoints the blended workload exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -367,10 +367,28 @@ fn render_values(values: &[f32]) -> String {
     format!("{{\"values\": [{}]}}", items.join(", "))
 }
 
-/// Status classes the harness tallies per endpoint.
-const STATUS_SLOTS: usize = 8;
-const STATUS_NAMES: [&str; STATUS_SLOTS] =
-    ["ok_200", "bad_400", "timeout_408", "shed_429", "err_500", "shed_503", "other", "transport"];
+/// Status classes the harness tallies per endpoint. The final four slots
+/// split transport failures by mode — a kill-window analysis needs to
+/// know *how* requests died (connect-refused means the process is gone,
+/// read-timeout means it hung, short-body means it died mid-response).
+const STATUS_SLOTS: usize = 11;
+const STATUS_NAMES: [&str; STATUS_SLOTS] = [
+    "ok_200",
+    "bad_400",
+    "timeout_408",
+    "shed_429",
+    "err_500",
+    "shed_503",
+    "other",
+    "transport_connect",
+    "transport_timeout",
+    "transport_short",
+    "transport_other",
+];
+
+/// First of the transport slots; slots `TRANSPORT_BASE..STATUS_SLOTS`
+/// sum to the report's aggregate `transport_errors`.
+const TRANSPORT_BASE: usize = 7;
 
 fn status_slot(status: u16) -> usize {
     match status {
@@ -381,6 +399,15 @@ fn status_slot(status: u16) -> usize {
         500 => 4,
         503 => 5,
         _ => 6,
+    }
+}
+
+fn transport_slot(e: &ClientError) -> usize {
+    match e {
+        ClientError::Connect(_) => TRANSPORT_BASE,
+        ClientError::Timeout(_) => TRANSPORT_BASE + 1,
+        ClientError::ShortBody(_) => TRANSPORT_BASE + 2,
+        ClientError::Protocol(_) => TRANSPORT_BASE + 3,
     }
 }
 
@@ -425,8 +452,17 @@ pub struct LoadReport {
     pub shed_429: u64,
     /// 503 queue sheds.
     pub shed_503: u64,
-    /// Transport-level failures (connect/read errors).
+    /// Transport-level failures, all modes summed (the key the CI
+    /// `transport_errors == 0` gate greps).
     pub transport_errors: u64,
+    /// Connect-refused/unreachable failures — the process is *gone*.
+    pub transport_connect: u64,
+    /// Read/write timeouts — the process accepted but hung.
+    pub transport_timeout: u64,
+    /// Connection died mid-response (reset/EOF before the promised body).
+    pub transport_short: u64,
+    /// Anything else (malformed status line, protocol violations).
+    pub transport_other: u64,
     /// p50 of success latency, µs from intended send.
     pub ok_p50_us: u64,
     /// p99 of success latency.
@@ -483,6 +519,15 @@ impl LoadReport {
             ("shed_429", Value::Num(self.shed_429 as f64)),
             ("shed_503", Value::Num(self.shed_503 as f64)),
             ("transport_errors", Value::Num(self.transport_errors as f64)),
+            (
+                "transport",
+                Value::object([
+                    ("connect", Value::Num(self.transport_connect as f64)),
+                    ("timeout", Value::Num(self.transport_timeout as f64)),
+                    ("short_body", Value::Num(self.transport_short as f64)),
+                    ("other", Value::Num(self.transport_other as f64)),
+                ]),
+            ),
             ("ok_p50_us", Value::Num(self.ok_p50_us as f64)),
             ("ok_p99_us", Value::Num(self.ok_p99_us as f64)),
             ("ok_p999_us", Value::Num(self.ok_p999_us as f64)),
@@ -573,7 +618,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
                             .unwrap_or("/v1/tensors/load-0000"),
                         ep => ep.path(),
                     };
-                    let outcome = client_request_with_headers(
+                    let outcome = client_call(
                         addr,
                         e.endpoint.method(),
                         path,
@@ -592,7 +637,8 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
                         cold_counts[0].fetch_add(1, Ordering::Relaxed);
                     }
                     match outcome {
-                        Ok((status, _)) => {
+                        Ok(resp) => {
+                            let status = resp.status;
                             let slot = status_slot(status);
                             tally.statuses[slot].fetch_add(1, Ordering::Relaxed);
                             if status == 200 {
@@ -608,8 +654,8 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
                                 hot_counts[2].fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                        Err(_) => {
-                            tally.statuses[STATUS_SLOTS - 1].fetch_add(1, Ordering::Relaxed);
+                        Err(err) => {
+                            tally.statuses[transport_slot(&err)].fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -623,8 +669,13 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
     let ok: u64 = tallies.iter().map(|t| t.statuses[0].load(Ordering::Relaxed)).sum();
     let shed_429: u64 = tallies.iter().map(|t| t.statuses[3].load(Ordering::Relaxed)).sum();
     let shed_503: u64 = tallies.iter().map(|t| t.statuses[5].load(Ordering::Relaxed)).sum();
-    let transport: u64 =
-        tallies.iter().map(|t| t.statuses[STATUS_SLOTS - 1].load(Ordering::Relaxed)).sum();
+    let transport_by_mode: [u64; STATUS_SLOTS - TRANSPORT_BASE] = std::array::from_fn(|i| {
+        tallies
+            .iter()
+            .map(|t| t.statuses[TRANSPORT_BASE + i].load(Ordering::Relaxed))
+            .sum()
+    });
+    let transport: u64 = transport_by_mode.iter().sum();
 
     let endpoints_json = Value::object(ENDPOINTS.iter().map(|&ep| {
         let t = &tallies[ep.index()];
@@ -657,6 +708,10 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
         shed_429,
         shed_503,
         transport_errors: transport,
+        transport_connect: transport_by_mode[0],
+        transport_timeout: transport_by_mode[1],
+        transport_short: transport_by_mode[2],
+        transport_other: transport_by_mode[3],
         ok_p50_us: all_ok.quantile(0.50),
         ok_p99_us: all_ok.quantile(0.99),
         ok_p999_us: all_ok.quantile(0.999),
@@ -916,6 +971,33 @@ mod tests {
         assert_eq!(server_side.get("panics_total").unwrap().as_f64(), Some(0.0));
         server.shutdown();
         server.join();
+    }
+
+    #[test]
+    fn dead_backend_failures_classify_as_connect_errors() {
+        // Bind-then-drop a listener so the port is known-closed: every
+        // request must land in the connect slot specifically, not the
+        // old lumped transport counter's anonymous bucket.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let cfg = LoadConfig {
+            offered_rps: 80.0,
+            duration: Duration::from_millis(300),
+            injectors: 2,
+            ..quick()
+        };
+        let report = run_load(&addr, &cfg).unwrap();
+        assert!(report.offered > 0);
+        assert_eq!(report.transport_connect, report.offered);
+        assert_eq!(report.transport_errors, report.offered);
+        assert_eq!(report.transport_timeout + report.transport_short + report.transport_other, 0);
+        assert_eq!(report.ok, 0);
+        // The JSON breakdown mirrors the typed fields.
+        let v = report.to_json();
+        let t = v.get("transport").unwrap();
+        assert_eq!(t.get("connect").unwrap().as_f64(), Some(report.offered as f64));
+        assert_eq!(t.get("short_body").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

@@ -7,9 +7,18 @@
 //! is the usual contract for scrape-style endpoints.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use spark_util::json::Value;
 use spark_util::Histogram;
+
+/// How long `/healthz` keeps reporting `"degraded"` after the most
+/// recent resilience incident (caught panic or worker respawn). Long
+/// enough that the chaos planes — which check health within a couple of
+/// seconds of an incident — still observe the degradation, short enough
+/// that a healed server returns to `"ok"` and a fleet router's
+/// re-admission probes can trust the status again.
+pub const DEGRADED_WINDOW: Duration = Duration::from_secs(30);
 
 /// Hit/error counters for one endpoint.
 #[derive(Default)]
@@ -149,6 +158,12 @@ pub struct Metrics {
     pub deadline_408: AtomicU64,
     /// Per-shard counters, indexed by shard id.
     pub shards: Vec<ShardStats>,
+    /// Registry creation time — the origin the incident stamp counts from.
+    started: Instant,
+    /// Microseconds-since-`started` of the latest resilience incident,
+    /// offset by +1 so `0` means "never". Written by [`Metrics::note_incident`],
+    /// read by [`Metrics::degraded_at`].
+    last_incident_us: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -187,6 +202,8 @@ impl Metrics {
             workers_respawned: AtomicU64::new(0),
             deadline_408: AtomicU64::new(0),
             shards: (0..shards.max(1)).map(|_| ShardStats::new()).collect(),
+            started: Instant::now(),
+            last_incident_us: AtomicU64::new(0),
         }
     }
 
@@ -286,11 +303,32 @@ impl Metrics {
         ])
     }
 
-    /// True when the server has caught at least one panic or respawned a
-    /// worker since start — surfaced by `/healthz` as `"degraded"`.
+    /// Stamps "a resilience incident happened now" (caught panic, worker
+    /// respawn). Call sites increment their counter *and* stamp, so the
+    /// cumulative totals keep flowing into `/metrics` while `/healthz`
+    /// judges only recency.
+    pub fn note_incident(&self) {
+        let us = Instant::now().saturating_duration_since(self.started).as_micros() as u64;
+        self.last_incident_us.store(us.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// True when a resilience incident (caught panic or worker respawn)
+    /// happened within the last [`DEGRADED_WINDOW`] — surfaced by
+    /// `/healthz` as `"degraded"`. Unlike the cumulative counters, this
+    /// un-latches: a server that healed and ran clean reports `"ok"`
+    /// again, which is what fleet routers key re-admission on.
     pub fn degraded(&self) -> bool {
-        self.panics_total.load(Ordering::Relaxed) > 0
-            || self.workers_respawned.load(Ordering::Relaxed) > 0
+        self.degraded_at(Instant::now())
+    }
+
+    /// [`Metrics::degraded`] with an injectable clock, for tests.
+    pub fn degraded_at(&self, now: Instant) -> bool {
+        let stamp = self.last_incident_us.load(Ordering::Relaxed);
+        if stamp == 0 {
+            return false;
+        }
+        let now_us = now.saturating_duration_since(self.started).as_micros() as u64;
+        now_us.saturating_sub(stamp - 1) < DEGRADED_WINDOW.as_micros() as u64
     }
 }
 
@@ -342,6 +380,7 @@ mod tests {
         assert!(!m.degraded(), "shed requests alone are not degradation");
         m.panics_total.fetch_add(1, Ordering::Relaxed);
         m.workers_respawned.fetch_add(2, Ordering::Relaxed);
+        m.note_incident();
         assert!(m.degraded());
         let text = m.to_json().to_string_compact();
         let v = spark_util::json::parse(&text).unwrap();
@@ -349,6 +388,28 @@ mod tests {
         assert_eq!(r.get("panics_total").unwrap().as_f64(), Some(1.0));
         assert_eq!(r.get("workers_respawned").unwrap().as_f64(), Some(2.0));
         assert_eq!(r.get("deadline_408").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn degraded_unlatches_once_the_incident_window_passes() {
+        let m = Metrics::new();
+        m.panics_total.fetch_add(1, Ordering::Relaxed);
+        m.note_incident();
+        let now = Instant::now();
+        assert!(m.degraded_at(now), "fresh incident must degrade health");
+        assert!(
+            m.degraded_at(now + DEGRADED_WINDOW - Duration::from_secs(1)),
+            "still inside the window"
+        );
+        assert!(
+            !m.degraded_at(now + DEGRADED_WINDOW + Duration::from_secs(1)),
+            "a healed server must report ok again"
+        );
+        // A new incident re-arms the window.
+        m.note_incident();
+        assert!(m.degraded_at(Instant::now()));
+        // Counters never reset — only the health judgment un-latches.
+        assert_eq!(m.panics_total.load(Ordering::Relaxed), 1);
     }
 
     #[test]

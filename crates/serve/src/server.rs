@@ -422,6 +422,7 @@ impl Server {
                                         ctx.metrics
                                             .workers_respawned
                                             .fetch_add(1, Ordering::Relaxed);
+                                        ctx.metrics.note_incident();
                                         next_id += 1;
                                     }
                                 }
@@ -452,6 +453,7 @@ impl Server {
                                         ctx.metrics
                                             .workers_respawned
                                             .fetch_add(1, Ordering::Relaxed);
+                                        ctx.metrics.note_incident();
                                         if let Some(s) = ctx.metrics.shards.get(sid) {
                                             s.workers_respawned
                                                 .fetch_add(1, Ordering::Relaxed);
@@ -602,6 +604,7 @@ fn spawn_router(
                 Ok(()) => {}
                 Err(_) => {
                     ctx.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                    ctx.metrics.note_incident();
                     let _ = http::write_json(
                         &mut stream,
                         500,
@@ -670,18 +673,27 @@ fn route_connection(ctx: &Ctx, shard_txs: &[Sender<ShardJob>], stream: &mut TcpS
     {
         tenant.rejected_429.fetch_add(1, Ordering::Relaxed);
         ctx.metrics.rejected_429.fetch_add(1, Ordering::Relaxed);
-        let routed = Routed {
-            status: 429,
-            reason: "Too Many Requests",
-            body: Value::object([
-                ("error", Value::Str("tenant quota exceeded".into())),
-                ("tenant", Value::Str(tenant.id.clone())),
-                ("retry_after_ms", Value::Num(retry_after_ms as f64)),
-            ]),
-            stats: endpoint_stats(&ctx.metrics, &req.path),
-            raw: None,
-        };
-        finish(ctx, stream, started, &routed);
+        // The hint rides both channels: `retry_after_ms` in the body for
+        // our own JSON clients, and a real `Retry-After` header (whole
+        // seconds, rounded up, never 0) for standard HTTP clients and the
+        // fleet router's backoff.
+        let retry_after_s = retry_after_ms.div_ceil(1000).max(1);
+        let stats = endpoint_stats(&ctx.metrics, &req.path);
+        stats.hit();
+        stats.error();
+        let body = Value::object([
+            ("error", Value::Str("tenant quota exceeded".into())),
+            ("tenant", Value::Str(tenant.id.clone())),
+            ("retry_after_ms", Value::Num(retry_after_ms as f64)),
+        ]);
+        let _ = http::write_json_with_headers(
+            stream,
+            429,
+            "Too Many Requests",
+            &[("Retry-After", retry_after_s.to_string())],
+            &body,
+        );
+        ctx.metrics.latency_us.record(elapsed_us(started));
         return;
     }
     tenant.hits.fetch_add(1, Ordering::Relaxed);
@@ -875,6 +887,7 @@ fn handle_job(ctx: &Ctx, shard_id: usize, job: ShardJob) -> JobOutcome {
             }
             Err(_) => {
                 ctx.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.note_incident();
                 if let Some(s) = ctx.metrics.shards.get(shard_id) {
                     s.errors.fetch_add(1, Ordering::Relaxed);
                 }
@@ -1552,7 +1565,7 @@ mod tests {
         let mut ok_count = 0;
         let mut shed = Vec::new();
         for _ in 0..8 {
-            let (status, body) = client_request_with_headers(
+            let resp = crate::http::client_call(
                 &addr,
                 "POST",
                 "/v1/analyze",
@@ -1561,17 +1574,30 @@ mod tests {
                 b"{\"values\": [0.5, -0.25]}",
             )
             .unwrap();
-            match status {
+            match resp.status {
                 200 => ok_count += 1,
-                429 => shed.push(body),
+                429 => shed.push(resp),
                 other => panic!("unexpected status {other}"),
             }
         }
         assert!(ok_count >= 3, "burst of 3 must be admitted, got {ok_count}");
         assert!(!shed.is_empty(), "8 back-to-back requests must exceed a 3-token burst");
-        let v = spark_util::json::parse(std::str::from_utf8(&shed[0]).unwrap()).unwrap();
+        let v = spark_util::json::parse(std::str::from_utf8(&shed[0].body).unwrap()).unwrap();
         assert_eq!(v.get("tenant").unwrap().as_str(), Some("flooder"));
-        assert!(v.get("retry_after_ms").unwrap().as_f64().unwrap() > 0.0);
+        let retry_ms = v.get("retry_after_ms").unwrap().as_f64().unwrap();
+        assert!(retry_ms > 0.0);
+        // The hint also rides a real Retry-After header: whole seconds,
+        // rounded up from the body's millisecond figure, never 0.
+        for resp in &shed {
+            let header: u64 = resp
+                .header("retry-after")
+                .expect("429 must carry a Retry-After header")
+                .parse()
+                .expect("Retry-After must be integral seconds");
+            let body = spark_util::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            let ms = body.get("retry_after_ms").unwrap().as_f64().unwrap() as u64;
+            assert_eq!(header, ms.div_ceil(1000).max(1), "header disagrees with body hint");
+        }
 
         // The well-behaved neighbor is untouched by the flooder's quota.
         let (status, _) = client_request_with_headers(

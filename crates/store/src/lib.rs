@@ -33,11 +33,13 @@
 pub mod compact;
 pub mod error;
 pub mod manifest;
+pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use compact::{CompactPoint, CompactStats};
 pub use error::{validate_name, EntryKind, StoreError, MAX_NAME_LEN};
+pub use snapshot::{snapshot, SnapshotReport};
 pub use store::{BlockStore, EntryInfo, RecoveryReport, StoreStats};
 
 use std::path::Path;

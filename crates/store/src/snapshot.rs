@@ -1,0 +1,355 @@
+//! Snapshot shipping: clone a live store's committed state into a fresh
+//! directory, cheaply, while the source keeps serving writes.
+//!
+//! SPARK's encoded containers are compact (that is the paper's point),
+//! so replicating a model across serving backends is a file copy, not a
+//! re-encode. This module implements `spark store snapshot <src> <dst>`:
+//!
+//! 1. **Pin** the generation by reading `CURRENT` — the one atomic
+//!    commit point the store has.
+//! 2. **Hardlink-or-copy** the pinned `manifest-<gen>` and
+//!    `blocks-<gen>.dat`. Both are immutable once committed (compaction
+//!    writes *new* files and GC only unlinks, which never disturbs a
+//!    hardlink's other name), so a hardlink is a correct zero-copy clone
+//!    and the copy fallback covers cross-device destinations.
+//! 3. **Verify** the shipped manifest by parsing it back — every header
+//!    and entry is checksummed, so a torn copy fails typed, not later.
+//! 4. **Copy `wal.log`** — the source may be appending concurrently; a
+//!    torn final frame is exactly the crash shape WAL recovery already
+//!    truncates (accept-prefix), so the destination opens clean.
+//! 5. **Re-check `CURRENT`.** If compaction committed a new generation
+//!    while we copied, the WAL we captured may have been truncated under
+//!    us (records folded into the new generation vanish from the log) —
+//!    the copy set is discarded and the whole sequence retries against
+//!    the new pin. If `CURRENT` still names the pinned generation, the
+//!    WAL copy happened strictly *before* any truncation could have,
+//!    so the pair (gen files, WAL prefix) is a consistent prefix of the
+//!    source's history.
+//! 6. **Install `CURRENT`** in the destination last — an interrupted
+//!    snapshot leaves a directory with no `CURRENT`, which opens as a
+//!    fresh store plus a recoverable WAL, never as a half-clone lying
+//!    about its generation.
+
+use std::path::Path;
+
+use spark_util::json::Value;
+
+use crate::error::StoreError;
+use crate::manifest::{self, CURRENT_FILE};
+use crate::wal::WAL_FILE;
+
+/// How many times the pin → copy → re-check loop retries when a
+/// concurrent compaction moves `CURRENT` mid-copy. Each retry lands on
+/// a strictly newer generation, and compactions are rare relative to a
+/// few file copies, so exhaustion means something is pathological.
+const PIN_RETRIES: usize = 8;
+
+/// What one snapshot shipped. Counts only — the report is the CLI's
+/// JSON output and the fleet harness's provisioning receipt.
+#[derive(Debug, Clone)]
+pub struct SnapshotReport {
+    /// Generation the snapshot pinned (0 = fresh store, WAL only).
+    pub gen: u64,
+    /// Entries in the verified shipped manifest (0 for gen 0).
+    pub manifest_entries: usize,
+    /// Bytes of WAL captured (prefix of the live log).
+    pub wal_bytes: u64,
+    /// Whether the generation files shipped as hardlinks (false = byte
+    /// copies, e.g. a cross-device destination).
+    pub hardlinked: bool,
+    /// Pin retries taken because compaction moved `CURRENT` mid-copy.
+    pub retries: usize,
+}
+
+impl SnapshotReport {
+    /// Serializes the receipt for `spark store snapshot`'s output.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("gen", Value::Num(self.gen as f64)),
+            ("manifest_entries", Value::Num(self.manifest_entries as f64)),
+            ("wal_bytes", Value::Num(self.wal_bytes as f64)),
+            ("hardlinked", Value::Bool(self.hardlinked)),
+            ("retries", Value::Num(self.retries as f64)),
+        ])
+    }
+}
+
+/// Hardlink `src` to `dst`, falling back to a byte copy when the link
+/// fails (cross-device, or a filesystem without hardlinks). Returns
+/// whether the hardlink path succeeded.
+fn link_or_copy(src: &Path, dst: &Path) -> std::io::Result<bool> {
+    match std::fs::hard_link(src, dst) {
+        Ok(()) => Ok(true),
+        Err(_) => std::fs::copy(src, dst).map(|_| false),
+    }
+}
+
+/// Removes a partial copy set from `dst` before a retry or after a
+/// failed attempt; missing files are fine.
+fn scrub(dst: &Path, gen: u64) {
+    let _ = std::fs::remove_file(dst.join(manifest::manifest_file(gen)));
+    let _ = std::fs::remove_file(dst.join(manifest::blocks_file(gen)));
+    let _ = std::fs::remove_file(dst.join(WAL_FILE));
+}
+
+/// Ships a consistent snapshot of the store at `src` into `dst`.
+///
+/// The source may be *live* — concurrent appends and even a concurrent
+/// compaction are tolerated (see the module docs for the protocol). The
+/// destination must not already contain a store.
+///
+/// # Errors
+///
+/// - [`StoreError::Corrupt`] if `dst` already holds store files, if the
+///   source has no `CURRENT` *and* no WAL (nothing to snapshot — almost
+///   certainly a wrong path), or if the pin loop exhausts its retries;
+/// - [`StoreError::Io`] for filesystem failures;
+/// - any typed error from re-parsing the shipped manifest.
+pub fn snapshot(src: &Path, dst: &Path) -> Result<SnapshotReport, StoreError> {
+    if !src.is_dir() {
+        return Err(StoreError::Corrupt(format!(
+            "snapshot source {} is not a directory",
+            src.display()
+        )));
+    }
+    std::fs::create_dir_all(dst)?;
+    for existing in [CURRENT_FILE, WAL_FILE] {
+        if dst.join(existing).exists() {
+            return Err(StoreError::Corrupt(format!(
+                "snapshot destination {} already holds a store ({existing} exists)",
+                dst.display()
+            )));
+        }
+    }
+    let mut retries = 0usize;
+    loop {
+        let gen = manifest::read_current(src)?.unwrap_or(0);
+        let mut hardlinked = true;
+        if gen > 0 {
+            for name in [manifest::manifest_file(gen), manifest::blocks_file(gen)] {
+                match link_or_copy(&src.join(&name), &dst.join(&name)) {
+                    Ok(linked) => hardlinked &= linked,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        // Compaction committed and GC'd the pinned
+                        // generation between read_current and the copy:
+                        // scrub and re-pin.
+                        scrub(dst, gen);
+                        retries += 1;
+                        if retries > PIN_RETRIES {
+                            return Err(StoreError::Corrupt(format!(
+                                "snapshot could not pin a stable generation after {PIN_RETRIES} retries"
+                            )));
+                        }
+                        continue;
+                    }
+                    Err(e) => {
+                        scrub(dst, gen);
+                        return Err(StoreError::Io(e));
+                    }
+                }
+            }
+            // Checksums make a torn or stale copy fail here, typed.
+            if let Err(e) = manifest::read_manifest(dst, gen) {
+                scrub(dst, gen);
+                return Err(e);
+            }
+        }
+        let wal_bytes = match std::fs::copy(src.join(WAL_FILE), dst.join(WAL_FILE)) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if gen == 0 {
+                    scrub(dst, gen);
+                    return Err(StoreError::Corrupt(format!(
+                        "snapshot source {} has neither CURRENT nor {WAL_FILE} — not a store",
+                        src.display()
+                    )));
+                }
+                0
+            }
+            Err(e) => {
+                scrub(dst, gen);
+                return Err(StoreError::Io(e));
+            }
+        };
+        // Re-check the pin: if compaction swapped CURRENT while we
+        // copied, our WAL capture may post-date a truncation — discard
+        // and go again on the new generation.
+        if manifest::read_current(src)?.unwrap_or(0) != gen {
+            scrub(dst, gen);
+            retries += 1;
+            if retries > PIN_RETRIES {
+                return Err(StoreError::Corrupt(format!(
+                    "snapshot could not pin a stable generation after {PIN_RETRIES} retries"
+                )));
+            }
+            continue;
+        }
+        let manifest_entries = if gen > 0 {
+            manifest::read_manifest(dst, gen)?.entries.len()
+        } else {
+            0
+        };
+        if gen > 0 {
+            manifest::write_current(dst, gen)?;
+        }
+        // A gen-0 snapshot ships only the WAL; `hardlinked` describes
+        // the generation files, so report false when there were none.
+        let hardlinked = gen > 0 && hardlinked;
+        return Ok(SnapshotReport { gen, manifest_entries, wal_bytes, hardlinked, retries });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::*;
+    use crate::store::BlockStore;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "spark-snapshot-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fill(store: &BlockStore, names: &[&str]) {
+        for (i, name) in names.iter().enumerate() {
+            let values: Vec<u8> = (0..64).map(|k| (k as u8).wrapping_mul(i as u8 + 1)).collect();
+            store.put_tensor(name, &spark_codec::encode_tensor(&values)).unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_of_quiescent_store_verifies_bit_identical() {
+        let src_dir = tmp_dir("quiet-src");
+        let dst_dir = tmp_dir("quiet-dst");
+        let _ = std::fs::remove_dir_all(&dst_dir);
+        {
+            let store = BlockStore::open(&src_dir).unwrap();
+            fill(&store, &["w/a", "w/b", "w/c"]);
+            store.flush().unwrap();
+        }
+        let report = snapshot(&src_dir, &dst_dir).unwrap();
+        assert_eq!(report.retries, 0);
+
+        let src = BlockStore::open(&src_dir).unwrap();
+        let dst = BlockStore::open(&dst_dir).unwrap();
+        assert_eq!(src.verify().unwrap(), dst.verify().unwrap());
+        let mut src_list = src.list();
+        let mut dst_list = dst.list();
+        src_list.sort_by(|a, b| a.name.cmp(&b.name));
+        dst_list.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(src_list.len(), dst_list.len());
+        for (a, b) in src_list.iter().zip(&dst_list) {
+            assert_eq!(a.name, b.name);
+            // Byte-identity of the stored payloads, the replica oracle's
+            // foundation: identical raw streams on both ends.
+            assert_eq!(src.get_raw(&a.name).unwrap(), dst.get_raw(&b.name).unwrap());
+        }
+    }
+
+    #[test]
+    fn snapshot_survives_a_concurrently_appending_source() {
+        let src_dir = tmp_dir("busy-src");
+        let store = std::sync::Arc::new(BlockStore::open(&src_dir).unwrap());
+        fill(&store, &["base/a", "base/b"]);
+        store.flush().unwrap();
+
+        // Writer thread keeps appending while snapshots are taken.
+        let writer_store = store.clone();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer_stop = stop.clone();
+        let writer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !writer_stop.load(Ordering::Relaxed) {
+                let values: Vec<u8> = (0..32).map(|k| (k as u8).wrapping_add(i as u8)).collect();
+                writer_store
+                    .put_tensor(&format!("hot/{i:04}"), &spark_codec::encode_tensor(&values))
+                    .unwrap();
+                i += 1;
+            }
+        });
+
+        for round in 0..4 {
+            let dst_dir = tmp_dir(&format!("busy-dst-{round}"));
+            let _ = std::fs::remove_dir_all(&dst_dir);
+            let report = snapshot(&src_dir, &dst_dir).unwrap();
+            // The destination must open clean at the pinned generation
+            // with typed errors only — recovery absorbs any torn WAL
+            // tail the live copy captured.
+            let dst = BlockStore::open(&dst_dir).unwrap();
+            assert_eq!(dst.recovery_report().generation, report.gen);
+            dst.verify().unwrap();
+            // Everything committed before the snapshot began must be
+            // present; the concurrent hot/* tail may be partial.
+            for name in ["base/a", "base/b"] {
+                assert!(dst.get_raw(name).is_ok(), "{name} missing from snapshot");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn snapshot_refuses_to_clobber_an_existing_store() {
+        let src_dir = tmp_dir("clobber-src");
+        {
+            let store = BlockStore::open(&src_dir).unwrap();
+            fill(&store, &["x"]);
+        }
+        let dst_dir = tmp_dir("clobber-dst");
+        {
+            let _existing = BlockStore::open(&dst_dir).unwrap();
+        }
+        match snapshot(&src_dir, &dst_dir) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("already holds"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_of_a_non_store_is_a_typed_error() {
+        let src_dir = tmp_dir("empty-src");
+        let dst_dir = tmp_dir("empty-dst");
+        let _ = std::fs::remove_dir_all(&dst_dir);
+        match snapshot(&src_dir, &dst_dir) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("not a store"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let missing = src_dir.join("never-existed");
+        match snapshot(&missing, &dst_dir) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("not a directory"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_after_compaction_ships_the_new_generation() {
+        let src_dir = tmp_dir("gen-src");
+        {
+            let store = BlockStore::open(&src_dir).unwrap();
+            fill(&store, &["m/a", "m/b"]);
+            store.compact().unwrap();
+            fill(&store, &["m/c"]);
+            store.flush().unwrap();
+        }
+        let dst_dir = tmp_dir("gen-dst");
+        let _ = std::fs::remove_dir_all(&dst_dir);
+        let report = snapshot(&src_dir, &dst_dir).unwrap();
+        assert!(report.gen >= 1, "compacted store must pin gen >= 1, got {}", report.gen);
+        assert!(report.manifest_entries >= 2);
+        let dst = BlockStore::open(&dst_dir).unwrap();
+        for name in ["m/a", "m/b", "m/c"] {
+            assert!(dst.get_raw(name).is_ok(), "{name} missing");
+        }
+        let j = report.to_json().to_string_compact();
+        assert!(j.contains("\"gen\""), "{j}");
+    }
+}

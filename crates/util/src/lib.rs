@@ -17,6 +17,8 @@
 //!   latency and batch-size metrics (replaces `hdrhistogram`);
 //! - [`json`] — a minimal JSON [`json::Value`] with serializer, parser and
 //!   the [`json::ToJson`] trait (replaces `serde` + `serde_json`);
+//! - [`proc`] — child-process spawn/kill/reap helpers with drop-time
+//!   reaping, for the multi-process chaos and fleet harnesses;
 //! - [`prop`] — seeded property-test runner with shrinking and seed
 //!   reporting (replaces `proptest`);
 //! - [`bench`] — adaptive micro-bench timer (replaces `criterion`).
@@ -33,6 +35,7 @@ pub mod fnv;
 pub mod hist;
 pub mod json;
 pub mod par;
+pub mod proc;
 pub mod prop;
 pub mod rng;
 

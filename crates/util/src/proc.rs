@@ -1,0 +1,206 @@
+//! Child-process spawn/kill/reap helpers for multi-process harnesses.
+//!
+//! The router chaos plane and the fleet CI stage drive *real* `spark`
+//! child processes: spawn N backends, `kill -9` one mid-run, restart it,
+//! and always reap — a leaked child outlives the test run and poisons
+//! the next one's ports. This module wraps `std::process` with the three
+//! guarantees those harnesses need:
+//!
+//! - **No zombies**: [`ChildProc`] reaps on [`Drop`] (kill + wait), so a
+//!   panicking test still collects its children.
+//! - **Hard kill**: [`ChildProc::kill_hard`] is SIGKILL semantics
+//!   (`std::process::Child::kill` sends SIGKILL on Unix) — the process
+//!   gets no chance to flush, exactly the crash model the store's WAL
+//!   recovery is specified against.
+//! - **Deadline waits**: [`ChildProc::wait_deadline`] polls with a
+//!   bounded wall-clock budget instead of blocking forever on a hung
+//!   child.
+//!
+//! [`spark_bin`] locates the workspace's own `spark` binary for tests
+//! and chaos planes that re-exec it: `SPARK_BIN` env override first,
+//! then a sibling of the current executable (how cargo lays out
+//! integration tests), else `None` — callers degrade to a deterministic
+//! "skipped" report rather than failing.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A spawned child process that is always reaped: on drop it is killed
+/// and waited, so no harness path (including panics) leaks a zombie.
+#[derive(Debug)]
+pub struct ChildProc {
+    child: Child,
+    /// Human-readable role tag for error messages ("backend-0").
+    label: String,
+}
+
+impl ChildProc {
+    /// Spawns `bin` with `args`, stdio nulled (harness children must not
+    /// interleave their output with the test's own).
+    ///
+    /// # Errors
+    ///
+    /// Spawn failure (missing binary, exec permission) as a string.
+    pub fn spawn(bin: &PathBuf, args: &[String], label: &str) -> Result<Self, String> {
+        let child = Command::new(bin)
+            .args(args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("{label}: spawn {}: {e}", bin.display()))?;
+        Ok(Self { child, label: label.to_string() })
+    }
+
+    /// OS process id, for logging and external kills.
+    pub fn id(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// The role tag this child was spawned with.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// SIGKILL the child (no shutdown grace — the crash model) and reap
+    /// it. Idempotent: killing an already-dead child is not an error.
+    ///
+    /// # Errors
+    ///
+    /// OS-level kill/wait failures other than "already exited".
+    pub fn kill_hard(&mut self) -> Result<(), String> {
+        match self.child.kill() {
+            Ok(()) => {}
+            // InvalidInput is what std returns for "already exited".
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {}
+            Err(e) => return Err(format!("{}: kill: {e}", self.label)),
+        }
+        self.child
+            .wait()
+            .map(|_| ())
+            .map_err(|e| format!("{}: reap after kill: {e}", self.label))
+    }
+
+    /// Returns `Some(exit_success)` if the child has exited, `None` if
+    /// it is still running.
+    ///
+    /// # Errors
+    ///
+    /// OS-level wait failures as a string.
+    pub fn try_wait(&mut self) -> Result<Option<bool>, String> {
+        self.child
+            .try_wait()
+            .map(|s| s.map(|st| st.success()))
+            .map_err(|e| format!("{}: try_wait: {e}", self.label))
+    }
+
+    /// Polls until the child exits or `deadline` elapses. Returns
+    /// `Ok(true)` on exit-success, `Ok(false)` on nonzero exit, and an
+    /// error if the deadline passes with the child still running (the
+    /// child is left running — callers decide whether to kill).
+    ///
+    /// # Errors
+    ///
+    /// Deadline exhaustion or OS-level wait failures.
+    pub fn wait_deadline(&mut self, deadline: Duration) -> Result<bool, String> {
+        let t0 = Instant::now();
+        loop {
+            if let Some(success) = self.try_wait()? {
+                return Ok(success);
+            }
+            if t0.elapsed() >= deadline {
+                return Err(format!(
+                    "{}: still running after {:.1}s deadline",
+                    self.label,
+                    deadline.as_secs_f64()
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for ChildProc {
+    fn drop(&mut self) {
+        // Best-effort reap; a second kill of a dead child is a no-op.
+        let _ = self.kill_hard();
+    }
+}
+
+/// Locates the workspace `spark` binary for harnesses that re-exec it:
+/// the `SPARK_BIN` env override wins, else a binary named `spark` next
+/// to (or one directory above — cargo puts test executables under
+/// `target/<profile>/deps/`) the current executable. Returns `None`
+/// when neither exists so callers can emit a deterministic "skipped"
+/// result instead of erroring.
+pub fn spark_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("SPARK_BIN") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+        return None;
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    for _ in 0..2 {
+        let candidate = dir.join("spark");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell() -> PathBuf {
+        PathBuf::from("/bin/sh")
+    }
+
+    #[test]
+    fn spawn_wait_collects_exit_status() {
+        let mut ok = ChildProc::spawn(&shell(), &["-c".into(), "exit 0".into()], "ok").unwrap();
+        assert!(ok.wait_deadline(Duration::from_secs(5)).unwrap());
+        let mut bad = ChildProc::spawn(&shell(), &["-c".into(), "exit 3".into()], "bad").unwrap();
+        assert!(!bad.wait_deadline(Duration::from_secs(5)).unwrap());
+    }
+
+    #[test]
+    fn kill_hard_reaps_a_running_child_and_is_idempotent() {
+        let mut sleeper =
+            ChildProc::spawn(&shell(), &["-c".into(), "sleep 30".into()], "sleeper").unwrap();
+        assert_eq!(sleeper.try_wait().unwrap(), None, "child must still be running");
+        sleeper.kill_hard().unwrap();
+        // Reaped: a follow-up wait sees the exit immediately.
+        assert_eq!(sleeper.try_wait().unwrap(), Some(false));
+        // Second kill of a dead child is a no-op, not an error.
+        sleeper.kill_hard().unwrap();
+    }
+
+    #[test]
+    fn wait_deadline_errors_instead_of_hanging() {
+        let mut sleeper =
+            ChildProc::spawn(&shell(), &["-c".into(), "sleep 30".into()], "hung").unwrap();
+        let err = sleeper.wait_deadline(Duration::from_millis(50)).unwrap_err();
+        assert!(err.contains("hung"), "{err}");
+        assert!(err.contains("deadline"), "{err}");
+        // Drop reaps it — verified indirectly by the process table not
+        // accumulating sleepers across test runs.
+    }
+
+    #[test]
+    fn spark_bin_honors_explicit_override_checks() {
+        // Can't mutate the env safely under the parallel test runner, so
+        // exercise the non-env fallback path only: whatever it returns
+        // must be an existing file named spark.
+        if let Some(p) = spark_bin() {
+            assert!(p.is_file());
+            assert_eq!(p.file_name().and_then(|n| n.to_str()), Some("spark"));
+        }
+    }
+}

@@ -212,6 +212,47 @@ awk '/"cold_load_speedup"/ {
     exit 1
 }
 
+echo "==> fleet router kill drill -> BENCH_router.json"
+# Snapshot-provisions three backend stores from one seed store (spark
+# store snapshot), boots three real `spark serve` child processes behind
+# the fleet router, drives a seeded open-loop load through the router,
+# kill -9s one backend mid-run, and restarts it. Gates: availability
+# >= 0.99 while a replica is down, zero wrong bodies from the
+# cross-replica byte-identity oracle on /v1/infer, zero handler or
+# router panics, and the killed backend re-admitted through half-open
+# probes. SPARK_BIN pins the child-process binary to the release build
+# from the top of this script; the timeout bounds the whole drill
+# (load + restart + re-admission polling) in wall-clock time.
+SPARK_BIN="$PWD/target/release/spark" timeout 180 \
+    "$PWD/target/release/spark" \
+    router --bench-kill --seed 7 --out "$PWD/BENCH_router.json"
+awk '/"availability"/ {
+    gsub(/[",]/, ""); if ($2 + 0 < 0.99) { exit 1 } else { found = 1 }
+} END { exit found ? 0 : 1 }' BENCH_router.json || {
+    echo "BENCH_router.json: fleet availability below 0.99 under kill -9" >&2
+    exit 1
+}
+awk '/"wrong_bodies"/ {
+    gsub(/[",]/, ""); if ($2 + 0 != 0) { exit 1 } else { found = 1 }
+} END { exit found ? 0 : 1 }' BENCH_router.json || {
+    echo "BENCH_router.json: byte-identity oracle saw a divergent /v1/infer body" >&2
+    exit 1
+}
+awk '/"panics_total"/ {
+    gsub(/[",]/, ""); if ($2 + 0 != 0) { exit 1 } else { found = 1 }
+} END { exit found ? 0 : 1 }' BENCH_router.json || {
+    echo "BENCH_router.json: a router worker or backend handler panicked" >&2
+    exit 1
+}
+grep -Eq '"victim_restarted": *true' BENCH_router.json || {
+    echo "BENCH_router.json: killed backend was never restarted" >&2
+    exit 1
+}
+grep -Eq '"victim_readmitted": *true' BENCH_router.json || {
+    echo "BENCH_router.json: restarted backend never re-admitted via half-open probes" >&2
+    exit 1
+}
+
 echo "==> experiments --smoke"
 SPARK_BENCH_QUICK=1 cargo run --release --offline -p spark-bench --bin experiments -- --smoke
 
